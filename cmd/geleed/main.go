@@ -1,0 +1,117 @@
+// Command geleed runs the hosted Gelee lifecycle management service of
+// Fig. 2: the REST/SOAP APIs, execution widgets, monitoring cockpit and
+// the journal-backed data tier, with the simulated resource plug-ins
+// (Google-Docs-like, MediaWiki-like, SVN-like) wired in.
+//
+// Usage:
+//
+//	geleed [-addr :8085] [-data DIR] [-auth] [-seed]
+//
+// -data enables persistence (empty = in-memory); -auth enforces the
+// §IV.D roles via the X-Gelee-User header; -seed loads the LiquidPub
+// demo project (quality plan + 35 deliverables) so the cockpit has
+// something to show.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"github.com/liquidpub/gelee"
+	"github.com/liquidpub/gelee/internal/scenario"
+)
+
+func main() {
+	addr := flag.String("addr", ":8085", "listen address")
+	dataDir := flag.String("data", "", "data directory (empty = in-memory)")
+	auth := flag.Bool("auth", false, "enforce roles via the X-Gelee-User header")
+	seed := flag.Bool("seed", false, "load the LiquidPub demo project")
+	flag.Parse()
+
+	sys, err := gelee.New(gelee.Options{
+		DataDir:         *dataDir,
+		Auth:            *auth,
+		EmbeddedPlugins: true,
+	})
+	if err != nil {
+		log.Fatalf("geleed: %v", err)
+	}
+	defer sys.Close()
+
+	if *seed {
+		if err := seedLiquidPub(sys); err != nil {
+			log.Fatalf("geleed: seed: %v", err)
+		}
+		log.Printf("seeded LiquidPub demo: %d instances", len(sys.Instances()))
+	}
+
+	log.Printf("gelee lifecycle manager listening on %s (auth=%t, data=%q)", *addr, *auth, *dataDir)
+	log.Printf("try: curl http://localhost%s/api/v1/monitor/summary", *addr)
+	if err := http.ListenAndServe(*addr, sys.HTTPHandler()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// seedLiquidPub creates the paper's §II.A project: the quality plan and
+// its 35 deliverables spread over the simulated managing applications,
+// each advanced to a different lifecycle stage.
+func seedLiquidPub(sys *gelee.System) error {
+	model, deliverables := scenario.LiquidPub()
+	if err := sys.DefineModel("", model); err != nil {
+		return err
+	}
+	if err := sys.SaveTemplate("", model); err != nil {
+		return err
+	}
+	for i, d := range deliverables {
+		if err := createResource(sys, d); err != nil {
+			return err
+		}
+		snap, err := sys.Instantiate(model.URI, d.Ref, d.Owner, map[string]map[string]string{
+			"http://www.liquidpub.org/a/notify": {"reviewers": d.Reviewers},
+			"http://www.liquidpub.org/a/post":   {"site": "project.liquidpub.org"},
+		})
+		if err != nil {
+			return err
+		}
+		// Spread instances across the lifecycle for an interesting
+		// cockpit view.
+		steps := i % len(scenario.HappyPath)
+		for j := 0; j <= steps; j++ {
+			if _, err := sys.Advance(snap.ID, scenario.HappyPath[j], d.Owner, gelee.AdvanceOptions{}); err != nil {
+				return fmt.Errorf("advance %s: %w", d.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+func createResource(sys *gelee.System, d scenario.Deliverable) error {
+	id := lastSegment(d.Ref.URI)
+	switch d.Ref.Type {
+	case "mediawiki":
+		_, err := sys.Sims.Wiki.CreatePage(id, d.Owner, "= "+d.Title+" =")
+		return err
+	case "gdoc":
+		_, err := sys.Sims.GDocs.Create(id, d.Title, d.Owner, "Draft of "+d.Title)
+		return err
+	case "svn":
+		if _, err := sys.Sims.SVN.CreateRepo(id); err != nil {
+			return err
+		}
+		_, err := sys.Sims.SVN.Commit(id, d.Owner, "import "+d.Title)
+		return err
+	}
+	return fmt.Errorf("unknown resource type %q", d.Ref.Type)
+}
+
+func lastSegment(uri string) string {
+	uri = strings.TrimRight(uri, "/")
+	if i := strings.LastIndexAny(uri, "/:"); i >= 0 {
+		return uri[i+1:]
+	}
+	return uri
+}

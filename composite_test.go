@@ -1,0 +1,95 @@
+package gelee
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/liquidpub/gelee/internal/scenario"
+)
+
+// TestCompositeDeliverable exercises the §VI future-work extension end
+// to end through the facade: a "State of the Art" deliverable composed
+// of a main wiki page and a references doc, each with its own quality
+// plan instance; the composite carries its own lifecycle and the owner
+// consults the rollup before submitting.
+func TestCompositeDeliverable(t *testing.T) {
+	sys := newSystem(t, Options{})
+	model := scenario.QualityPlan()
+	if err := sys.DefineModel("", model); err != nil {
+		t.Fatal(err)
+	}
+
+	// Components in their own managing applications.
+	sys.Sims.Wiki.CreatePage("SOTA-main", "alice", "main text")
+	sys.Sims.GDocs.Create("SOTA-refs", "References", "alice", "refs")
+	main := Ref{URI: "http://wiki.liquidpub.org/pages/SOTA-main", Type: "mediawiki"}
+	refs := Ref{URI: "http://docs.liquidpub.org/docs/SOTA-refs", Type: "gdoc"}
+	if _, err := sys.Sims.Composites.Create("sota", "State of the Art (D1.1)", main, refs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each component runs the quality plan independently.
+	var compIDs []string
+	for _, ref := range []Ref{main, refs} {
+		snap, err := sys.Instantiate(model.URI, ref, "alice", map[string]map[string]string{
+			"http://www.liquidpub.org/a/notify": {"reviewers": "bob"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compIDs = append(compIDs, snap.ID)
+	}
+	// The composite itself is a lifecycle-managed resource too.
+	compositeRef := Ref{URI: "urn:liquidpub:composites:sota", Type: "composite"}
+	top, err := sys.Instantiate(model.URI, compositeRef, "alice", map[string]map[string]string{
+		"http://www.liquidpub.org/a/notify": {"reviewers": "carol"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rollup: one component active, none completed.
+	sys.Advance(compIDs[0], "elaboration", "alice", AdvanceOptions{})
+	r, err := sys.CompositeRollup("sota")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Components != 2 || r.AllCompleted {
+		t.Fatalf("rollup = %+v", r)
+	}
+
+	// Finish both components, then the composite.
+	for _, id := range compIDs {
+		if _, err := sys.Advance(id, "accepted", "alice", AdvanceOptions{Annotation: "fast-track"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, _ = sys.CompositeRollup("sota")
+	if !r.AllCompleted || r.Completed != 2 {
+		t.Fatalf("rollup after completion = %+v", r)
+	}
+
+	// The composite's widget shows the composite as the managed resource.
+	html, err := sys.Widgets().HTML(top.ID, "anyone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"State of the Art (D1.1)", "composite of 2 resources", "2 completed"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("composite widget missing %q:\n%s", want, html)
+		}
+	}
+	// The transparent rendering lists each component with its phase.
+	rend, err := sys.Resources.Render(compositeRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SOTA-main", "References", "Accepted"} {
+		if !strings.Contains(rend.HTML, want) {
+			t.Errorf("composite rendering missing %q:\n%s", want, rend.HTML)
+		}
+	}
+	if _, err := sys.CompositeRollup("ghost"); err == nil {
+		t.Fatal("rollup of unknown composite accepted")
+	}
+}

@@ -1,0 +1,109 @@
+// Hosted service: Fig. 2 as a running process. Starts the full Gelee
+// stack on a local port, then plays three roles over plain HTTP — the
+// designer POSTing a Table I XML document, the artifact owner advancing
+// over REST and SOAP, and a stakeholder embedding the Fig. 4 widget.
+//
+// Run: go run ./examples/hostedservice
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"github.com/liquidpub/gelee"
+	"github.com/liquidpub/gelee/internal/scenario"
+	"github.com/liquidpub/gelee/internal/xmlcodec"
+)
+
+func main() {
+	sys, err := gelee.New(gelee.Options{EmbeddedPlugins: true, SyncActions: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	srv := httptest.NewServer(sys.HTTPHandler())
+	defer srv.Close()
+	fmt.Printf("gelee hosted at %s\n\n", srv.URL)
+
+	// The designer ships the quality plan as Table I XML.
+	xmlDoc, err := xmlcodec.MarshalModel(scenario.QualityPlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustPost(srv.URL+"/api/v1/models", "application/xml", xmlDoc)
+	fmt.Println("designer: quality plan defined from Table I XML")
+
+	// The owner's document lives in the simulated Google Docs.
+	sys.Sims.GDocs.Create("D4.2", "Platform Architecture", "inria-lead", "draft")
+
+	// The owner instantiates and advances over REST.
+	body, _ := json.Marshal(map[string]any{
+		"model_uri": scenario.QualityPlanURI,
+		"resource":  map[string]string{"uri": "http://docs.liquidpub.org/docs/D4.2", "type": "gdoc"},
+		"owner":     "inria-lead",
+		"bindings": map[string]map[string]string{
+			"http://www.liquidpub.org/a/notify": {"reviewers": "unitn-reviewer"},
+		},
+	})
+	var inst struct {
+		ID string `json:"id"`
+	}
+	json.Unmarshal(mustPost(srv.URL+"/api/v1/instances", "application/json", body), &inst)
+	fmt.Printf("owner: instance %s created over REST\n", inst.ID)
+
+	adv, _ := json.Marshal(map[string]any{"to": "elaboration"})
+	mustPost(srv.URL+"/api/v1/instances/"+inst.ID+"/advance", "application/json", adv)
+
+	// ... and one step over SOAP, as the paper's widgets would.
+	envelope := fmt.Sprintf(`<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body>
+	  <advance xmlns="urn:gelee:lifecycle">
+	    <instanceId>%s</instanceId><to>internalreview</to><actor>inria-lead</actor>
+	  </advance></Body></Envelope>`, inst.ID)
+	soapResp := mustPost(srv.URL+"/soap", "text/xml", []byte(envelope))
+	fmt.Printf("owner: advanced to internalreview over SOAP (%d-byte response)\n", len(soapResp))
+
+	// A stakeholder embeds the widget next to the resource (Fig. 4).
+	widget := mustGet(srv.URL + "/widgets/" + inst.ID)
+	fmt.Printf("\nwidget HTML (%d bytes), lifecycle strip excerpt:\n", len(widget))
+	for _, line := range strings.Split(string(widget), "\n") {
+		if strings.Contains(line, "current") || strings.Contains(line, "⚠") {
+			fmt.Println("  " + strings.TrimSpace(line))
+		}
+	}
+
+	// The project manager polls the cockpit.
+	summary := mustGet(srv.URL + "/api/v1/monitor/summary")
+	fmt.Printf("\ncockpit summary: %s\n", bytes.TrimSpace(summary))
+}
+
+func mustPost(url, contentType string, body []byte) []byte {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, data)
+	}
+	return data
+}
+
+func mustGet(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, data)
+	}
+	return data
+}

@@ -1,0 +1,74 @@
+// Quickstart: define a lifecycle, instantiate it on a wiki page, and
+// drive it — the embedded (library) use of Gelee in ~60 lines.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/liquidpub/gelee"
+)
+
+func main() {
+	// A System with the simulated plug-in suite (Google-Docs-like,
+	// MediaWiki-like, SVN-like managing applications) wired in-process.
+	sys, err := gelee.New(gelee.Options{EmbeddedPlugins: true, SyncActions: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// 1. Design a lifecycle: a small review flow with one action.
+	model := gelee.NewModel("urn:example:review-flow", "Two-step review").
+		Phase("draft", "Drafting").Done().
+		Phase("review", "Under Review").
+		Action("http://www.liquidpub.org/a/notify", "Notify reviewers",
+			gelee.Param{ID: "reviewers", Required: true}).
+		Done().
+		FinalPhase("done", "Done").
+		Initial("draft").
+		Chain("draft", "review", "done").
+		MustBuild()
+	if err := sys.DefineModel("", model); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The artifact lives in its own managing application — Gelee only
+	// ever sees its URI and type.
+	if _, err := sys.Sims.Wiki.CreatePage("HOWTO", "alice", "= How to use Gelee ="); err != nil {
+		log.Fatal(err)
+	}
+	ref := gelee.Ref{URI: "http://wiki.example.org/pages/HOWTO", Type: "mediawiki"}
+
+	// 3. Instantiate, binding the reviewer list at instantiation time.
+	snap, err := sys.Instantiate(model.URI, ref, "alice", map[string]map[string]string{
+		"http://www.liquidpub.org/a/notify": {"reviewers": "bob,carol"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance %s created on %s\n", snap.ID, ref.URI)
+
+	// 4. The human is the engine: alice moves the token.
+	for _, phase := range []string{"draft", "review", "done"} {
+		snap, err = sys.Advance(snap.ID, phase, "alice", gelee.AdvanceOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  -> %-8s state=%s\n", phase, snap.State)
+	}
+
+	// 5. Entering "review" executed the notify action against the wiki:
+	// reviewers joined the watchlist and got mail.
+	page, _ := sys.Sims.Wiki.Page("HOWTO")
+	fmt.Printf("watchers on the page: %v\n", page.Watchers)
+	fmt.Printf("bob's inbox: %d message(s)\n", len(sys.Sims.Notify.Inbox("bob")))
+
+	// 6. Full history, straight from the instance.
+	fmt.Println("history:")
+	for _, ev := range snap.Events {
+		fmt.Printf("  %2d %-16s %s\n", ev.Seq, ev.Kind, ev.Detail)
+	}
+}

@@ -1,0 +1,611 @@
+// Package gelee is the public facade of the Gelee universal resource
+// lifecycle management system — a from-scratch Go reproduction of Báez,
+// Casati and Marchese, "Universal Resource Lifecycle Management"
+// (WISS/ICDE 2009).
+//
+// A System wires the full Fig. 2 architecture: the data tier (model,
+// template, action-definition and user repositories plus the execution
+// log, journal-backed), the lifecycle manager (design-time and run-time
+// modules), the resource manager with its plug-ins, and the UI tier
+// (monitoring cockpit queries and execution widgets). Everything is
+// usable embedded (in-process, see examples/quickstart) or hosted over
+// HTTP (cmd/geleed).
+//
+// The quickest start:
+//
+//	sys, _ := gelee.New(gelee.Options{EmbeddedPlugins: true})
+//	defer sys.Close()
+//	sys.DefineModel("", myModel)
+//	snap, _ := sys.Instantiate(myModel.URI, ref, "me", nil)
+//	sys.Advance(snap.ID, "elaboration", "me", gelee.AdvanceOptions{})
+package gelee
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/liquidpub/gelee/internal/access"
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/core"
+	"github.com/liquidpub/gelee/internal/invoke"
+	"github.com/liquidpub/gelee/internal/monitor"
+	"github.com/liquidpub/gelee/internal/plugin/composite"
+	"github.com/liquidpub/gelee/internal/plugin/gdocsim"
+	"github.com/liquidpub/gelee/internal/plugin/notifysim"
+	"github.com/liquidpub/gelee/internal/plugin/svnsim"
+	"github.com/liquidpub/gelee/internal/plugin/websim"
+	"github.com/liquidpub/gelee/internal/plugin/wikisim"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/runtime"
+	"github.com/liquidpub/gelee/internal/store"
+	"github.com/liquidpub/gelee/internal/vclock"
+	"github.com/liquidpub/gelee/internal/widget"
+)
+
+// Re-exported types so that library users interact with one import path.
+type (
+	// Model is a lifecycle definition (phases + suggested transitions).
+	Model = core.Model
+	// Phase is one stage of a lifecycle.
+	Phase = core.Phase
+	// Transition is a suggested evolution between phases.
+	Transition = core.Transition
+	// Param is an action parameter (binding time, required flag).
+	Param = core.Param
+	// Ref identifies a managed resource: URI + type (+ credentials).
+	Ref = resource.Ref
+	// Snapshot is the observable state of a lifecycle instance.
+	Snapshot = runtime.Snapshot
+	// AdvanceOptions carries annotation and call-time bindings of a move.
+	AdvanceOptions = runtime.AdvanceOptions
+	// ActionType is a reusable action signature (Table II).
+	ActionType = actionlib.ActionType
+	// Implementation binds an action type to an endpoint for a type.
+	Implementation = actionlib.Implementation
+	// User is an account; Grant assigns a role on a scope.
+	User = access.User
+	// Grant assigns a role on a scope to a user.
+	Grant = access.Grant
+	// StatusUpdate is an action callback message.
+	StatusUpdate = actionlib.StatusUpdate
+)
+
+// Role constants re-exported from the access package (§IV.D).
+const (
+	RoleLifecycleManager = access.RoleLifecycleManager
+	RoleInstanceOwner    = access.RoleInstanceOwner
+	RoleTokenOwner       = access.RoleTokenOwner
+	RoleResourceOwner    = access.RoleResourceOwner
+)
+
+// NewModel starts a fluent model builder (see internal/core.Builder).
+var NewModel = core.NewModel
+
+// Begin is the pseudo-phase initial transitions start from.
+const Begin = core.Begin
+
+// Options configure a System.
+type Options struct {
+	// DataDir roots the persistent data tier. Empty means in-memory.
+	DataDir string
+	// SyncJournal fsyncs every journal append.
+	SyncJournal bool
+	// Clock overrides the wall clock (tests, benchmarks).
+	Clock vclock.Clock
+	// Auth enables role enforcement: every mutation requires an actor
+	// with the §IV.D role. Disabled, any actor may do anything (embedded
+	// library use).
+	Auth bool
+	// EmbeddedPlugins wires the full simulated-plug-in suite (Google
+	// Docs, MediaWiki, SVN, project site, notifications) in-process with
+	// local action endpoints.
+	EmbeddedPlugins bool
+	// SyncActions dispatches phase actions inline (deterministic tests).
+	SyncActions bool
+}
+
+// Sims exposes the embedded simulated managing applications so that
+// examples and tests can create documents, inspect inboxes, etc.
+// Composites implements the paper's §VI future-work extension: complex
+// resources whose components carry their own lifecycles; use
+// CompositeRollup to aggregate component progress.
+type Sims struct {
+	GDocs      *gdocsim.Service
+	Wiki       *wikisim.Service
+	SVN        *svnsim.Service
+	Web        *websim.Service
+	Notify     *notifysim.Service
+	Composites *composite.Service
+}
+
+// System is a complete Gelee deployment.
+type System struct {
+	opts      Options
+	clock     vclock.Clock
+	store     *store.Store
+	models    *store.Repo[*core.Model]
+	templates *store.Repo[*core.Model]
+	actTypes  *store.Repo[actionlib.ActionType]
+	actImpls  *store.Repo[actionlib.Implementation]
+	users     *store.Repo[access.User]
+	grants    *store.Repo[access.Grant]
+	execLog   *store.Log
+
+	Registry  *actionlib.Registry
+	Resources *resource.Manager
+	ACL       *access.Control
+	Runtime   *runtime.Runtime
+	Local     *invoke.LocalInvoker
+	Sims      *Sims
+
+	composites *composite.Adapter
+	mon        *monitor.Monitor
+	wdgt       *widget.Renderer
+}
+
+// CompositeRollup aggregates the component lifecycles of an embedded
+// composite resource (§VI extension): how many components exist, how
+// many carry lifecycles, their phases, and whether all completed.
+func (s *System) CompositeRollup(compositeID string) (composite.Rollup, error) {
+	if s.composites == nil {
+		return composite.Rollup{}, errors.New("gelee: composites require EmbeddedPlugins")
+	}
+	return s.composites.Rollup(compositeID)
+}
+
+// New builds and loads a System.
+func New(opts Options) (*System, error) {
+	clock := opts.Clock
+	if clock == nil {
+		clock = vclock.System
+	}
+
+	var st *store.Store
+	if opts.DataDir == "" {
+		st = store.NewMemory().WithClock(clock)
+	} else {
+		var err error
+		st, err = store.Open(opts.DataDir, store.Options{SyncEvery: opts.SyncJournal, Clock: clock})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s := &System{
+		opts:      opts,
+		clock:     clock,
+		store:     st,
+		Registry:  actionlib.NewRegistry(),
+		Resources: resource.NewManager(),
+		ACL:       access.NewControl(),
+	}
+	s.models = store.MustRepo[*core.Model](st, "models")
+	s.templates = store.MustRepo[*core.Model](st, "templates")
+	s.actTypes = store.MustRepo[actionlib.ActionType](st, "action-types")
+	s.actImpls = store.MustRepo[actionlib.Implementation](st, "action-impls")
+	s.users = store.MustRepo[access.User](st, "users")
+	s.grants = store.MustRepo[access.Grant](st, "grants")
+	s.execLog = store.MustLog(st, "execlog")
+	if err := st.Load(); err != nil {
+		return nil, err
+	}
+
+	// Rebuild the in-memory services from the replayed repositories.
+	for _, at := range s.actTypes.List() {
+		if err := s.Registry.ReplaceType(at); err != nil {
+			return nil, err
+		}
+	}
+	for _, im := range s.actImpls.List() {
+		if err := s.Registry.RegisterImplementation(im); err != nil && !errors.Is(err, actionlib.ErrDuplicate) {
+			return nil, err
+		}
+	}
+	for _, u := range s.users.List() {
+		if err := s.ACL.AddUser(u); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range s.grants.List() {
+		if err := s.ACL.Grant(g); err != nil {
+			return nil, err
+		}
+	}
+
+	// Invocation transports: local (in-process plug-ins) plus REST and
+	// SOAP for remote ones. The local invoker reports straight into the
+	// runtime; the closure breaks the construction cycle between them.
+	s.Local = invoke.NewLocalInvoker(reporterFunc(func(up actionlib.StatusUpdate) error {
+		return s.Runtime.Report(up)
+	}))
+	dispatcher := &invoke.Dispatcher{
+		REST:  &invoke.RESTInvoker{},
+		SOAP:  &invoke.SOAPInvoker{},
+		Local: s.Local,
+	}
+	var policy runtime.Policy
+	if opts.Auth {
+		policy = aclPolicy{s.ACL}
+	}
+	rt, err := runtime.New(runtime.Config{
+		Registry:    s.Registry,
+		Invoker:     dispatcher,
+		Clock:       clock,
+		Policy:      policy,
+		SyncActions: opts.SyncActions,
+		Observer:    s.logEvent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Runtime = rt
+
+	if opts.EmbeddedPlugins {
+		if err := s.wireEmbeddedPlugins(); err != nil {
+			return nil, err
+		}
+	}
+
+	s.mon = monitor.New(rt, clock)
+	var aclForWidgets *access.Control
+	if opts.Auth {
+		aclForWidgets = s.ACL
+	}
+	s.wdgt = widget.New(rt, s.Resources, aclForWidgets, clock)
+	return s, nil
+}
+
+// reporterFunc adapts a function to invoke.Reporter.
+type reporterFunc func(actionlib.StatusUpdate) error
+
+// Report calls f.
+func (f reporterFunc) Report(up actionlib.StatusUpdate) error { return f(up) }
+
+// wireEmbeddedPlugins builds the simulated managing applications,
+// registers their adapters with the resource manager, their action
+// implementations with the registry, and their handlers with the local
+// invoker.
+func (s *System) wireEmbeddedPlugins() error {
+	notify := notifysim.NewService(s.clock)
+	sims := &Sims{
+		GDocs:      gdocsim.NewService(s.clock),
+		Wiki:       wikisim.NewService(s.clock),
+		SVN:        svnsim.NewService(s.clock),
+		Web:        websim.NewService(s.clock),
+		Notify:     notify,
+		Composites: composite.NewService(),
+	}
+	s.Sims = sims
+
+	gdocs := gdocsim.NewAdapter(sims.GDocs, s.Runtime, notify)
+	wiki := wikisim.NewAdapter(sims.Wiki, s.Runtime, notify)
+	svn := svnsim.NewAdapter(sims.SVN, s.Runtime)
+	s.composites = composite.NewAdapter(sims.Composites, s.Resources, s.Runtime)
+	if err := s.Resources.Register(s.composites); err != nil {
+		return err
+	}
+
+	type wiring struct {
+		plug resource.Plugin
+		reg  func(base string) error
+		bind func(base string)
+		base string
+	}
+	wirings := []wiring{
+		{gdocs, func(b string) error { return gdocs.RegisterActions(s.Registry, b, actionlib.ProtocolLocal) },
+			func(b string) { gdocs.BindLocal(s.Local, b) }, "local://gdoc/actions"},
+		{wiki, func(b string) error { return wiki.RegisterActions(s.Registry, b, actionlib.ProtocolLocal) },
+			func(b string) { wiki.BindLocal(s.Local, b) }, "local://mediawiki/actions"},
+		{svn, func(b string) error { return svn.RegisterActions(s.Registry, b, actionlib.ProtocolLocal) },
+			func(b string) { svn.BindLocal(s.Local, b) }, "local://svn/actions"},
+	}
+	for _, w := range wirings {
+		if err := s.Resources.Register(w.plug); err != nil {
+			return err
+		}
+		if err := w.reg(w.base); err != nil && !errors.Is(err, actionlib.ErrDuplicate) {
+			return err
+		}
+		w.bind(w.base)
+	}
+	return nil
+}
+
+// aclPolicy adapts access.Control to the runtime's Policy.
+type aclPolicy struct{ c *access.Control }
+
+func (p aclPolicy) CanDrive(actor, inst string) bool { return p.c.CanDrive(actor, inst) }
+func (p aclPolicy) CanFollow(actor, inst, target string) bool {
+	return p.c.CanFollow(actor, inst, target)
+}
+
+// logEvent mirrors every runtime event into the persistent execution
+// log (Fig. 2 data tier).
+func (s *System) logEvent(instID string, ev runtime.Event) {
+	_, _ = s.execLog.Append(store.LogEntry{
+		Time:     ev.Time,
+		Instance: instID,
+		Kind:     string(ev.Kind),
+		Actor:    ev.Actor,
+		Detail:   eventDetail(ev),
+	})
+}
+
+func eventDetail(ev runtime.Event) string {
+	d := ev.Detail
+	if ev.Phase != "" {
+		d = "[" + ev.Phase + "] " + d
+	}
+	if ev.Deviation {
+		d += " (deviation)"
+	}
+	if ev.Status != "" {
+		d += " status=" + ev.Status
+	}
+	return d
+}
+
+// Close flushes and closes the data tier.
+func (s *System) Close() error {
+	s.Runtime.WaitDispatch()
+	return s.store.Close()
+}
+
+// Compact compacts the journal.
+func (s *System) Compact() error { return s.store.Compact() }
+
+// Monitor returns the cockpit query engine.
+func (s *System) Monitor() *monitor.Monitor { return s.mon }
+
+// Widgets returns the widget renderer.
+func (s *System) Widgets() *widget.Renderer { return s.wdgt }
+
+// ExecutionLog returns the persistent event log.
+func (s *System) ExecutionLog() *store.Log { return s.execLog }
+
+// ErrForbidden is returned when Auth is enabled and the actor lacks the
+// required role.
+var ErrForbidden = runtime.ErrForbidden
+
+func (s *System) canDesign(actor, modelURI string) bool {
+	if !s.opts.Auth {
+		return true
+	}
+	return s.ACL.CanDesign(actor, modelURI)
+}
+
+// ---- design time -------------------------------------------------------------
+
+// DefineModel validates and stores a lifecycle model. With Auth on, the
+// actor needs the lifecycle-manager role on the model URI — except for
+// a brand-new URI, whose definer is granted that role automatically.
+func (s *System) DefineModel(actor string, m *core.Model) error {
+	if m == nil {
+		return errors.New("gelee: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	_, exists := s.models.Get(m.URI)
+	if exists && !s.canDesign(actor, m.URI) {
+		return fmt.Errorf("%w: %s may not redefine %s", ErrForbidden, actor, m.URI)
+	}
+	if err := s.models.Put(m.URI, m.Clone()); err != nil {
+		return err
+	}
+	if !exists && s.opts.Auth && actor != "" {
+		if _, ok := s.ACL.User(actor); ok {
+			if err := s.AddGrant(access.Grant{User: actor, Role: access.RoleLifecycleManager, Scope: m.URI}); err != nil {
+				return err
+			}
+		}
+	}
+	_, _ = s.execLog.Append(store.LogEntry{Kind: "model-defined", Actor: actor, Detail: m.URI})
+	return nil
+}
+
+// Model returns the stored model under uri (a private clone).
+func (s *System) Model(uri string) (*core.Model, bool) {
+	m, ok := s.models.Get(uri)
+	if !ok {
+		return nil, false
+	}
+	return m.Clone(), true
+}
+
+// Models lists every stored model.
+func (s *System) Models() []*core.Model {
+	list := s.models.List()
+	out := make([]*core.Model, len(list))
+	for i, m := range list {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// SaveTemplate stores a reusable lifecycle template (Fig. 2 "Lifecycle
+// templates" repository). Templates are models that are copied, renamed
+// and customized per artifact (§II.B.2).
+func (s *System) SaveTemplate(actor string, m *core.Model) error {
+	if m == nil {
+		return errors.New("gelee: nil template")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if err := s.templates.Put(m.URI, m.Clone()); err != nil {
+		return err
+	}
+	_, _ = s.execLog.Append(store.LogEntry{Kind: "template-saved", Actor: actor, Detail: m.URI})
+	return nil
+}
+
+// Template returns the template stored under uri.
+func (s *System) Template(uri string) (*core.Model, bool) {
+	m, ok := s.templates.Get(uri)
+	if !ok {
+		return nil, false
+	}
+	return m.Clone(), true
+}
+
+// Templates lists every template.
+func (s *System) Templates() []*core.Model {
+	list := s.templates.List()
+	out := make([]*core.Model, len(list))
+	for i, m := range list {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// RegisterAction registers an action type with optional implementations
+// and persists both (Fig. 2 "Resource and action definition"
+// repository).
+func (s *System) RegisterAction(actor string, at actionlib.ActionType, impls ...actionlib.Implementation) error {
+	if err := s.Registry.ReplaceType(at); err != nil {
+		return err
+	}
+	if err := s.actTypes.Put(at.URI, at); err != nil {
+		return err
+	}
+	for _, im := range impls {
+		if im.TypeURI == "" {
+			im.TypeURI = at.URI
+		}
+		if err := s.Registry.RegisterImplementation(im); err != nil && !errors.Is(err, actionlib.ErrDuplicate) {
+			return err
+		}
+		if err := s.actImpls.Put(im.TypeURI+"|"+im.ResourceType, im); err != nil {
+			return err
+		}
+	}
+	_, _ = s.execLog.Append(store.LogEntry{Kind: "action-registered", Actor: actor, Detail: at.URI})
+	return nil
+}
+
+// ActionTypes returns the browsable action library: all types when
+// resourceType is empty (design-time browse, Fig. 3), otherwise only
+// the types implemented for that resource type (run-time browse).
+func (s *System) ActionTypes(resourceType string) []actionlib.ActionType {
+	if resourceType == "" {
+		return s.Registry.Types()
+	}
+	return s.Registry.TypesFor(resourceType)
+}
+
+// AddUser registers an account and persists it.
+func (s *System) AddUser(u access.User) error {
+	if err := s.ACL.AddUser(u); err != nil {
+		return err
+	}
+	return s.users.Put(u.Name, u)
+}
+
+// AddGrant assigns a role and persists it.
+func (s *System) AddGrant(g access.Grant) error {
+	if err := s.ACL.Grant(g); err != nil {
+		return err
+	}
+	return s.grants.Put(fmt.Sprintf("%s|%s|%s", g.Scope, g.User, g.Role), g)
+}
+
+// ---- run time ------------------------------------------------------------------
+
+// Instantiate creates a lifecycle instance of the stored model on ref,
+// owned by owner (who receives the instance-owner role when Auth is
+// enabled).
+func (s *System) Instantiate(modelURI string, ref resource.Ref, owner string, bindings map[string]map[string]string) (runtime.Snapshot, error) {
+	m, ok := s.models.Get(modelURI)
+	if !ok {
+		return runtime.Snapshot{}, fmt.Errorf("gelee: no model %q", modelURI)
+	}
+	if err := s.Resources.Check(ref); err != nil {
+		return runtime.Snapshot{}, err
+	}
+	snap, err := s.Runtime.Instantiate(m, ref, owner, bindings)
+	if err != nil {
+		return runtime.Snapshot{}, err
+	}
+	if s.opts.Auth && owner != "" {
+		if _, ok := s.ACL.User(owner); ok {
+			if err := s.AddGrant(access.Grant{User: owner, Role: access.RoleInstanceOwner, Scope: snap.ID}); err != nil {
+				return runtime.Snapshot{}, err
+			}
+		}
+	}
+	return snap, nil
+}
+
+// Advance moves the token (see runtime.Runtime.Advance).
+func (s *System) Advance(instID, toPhase, actor string, opts runtime.AdvanceOptions) (runtime.Snapshot, error) {
+	return s.Runtime.Advance(instID, toPhase, actor, opts)
+}
+
+// Annotate attaches a note to the instance history.
+func (s *System) Annotate(instID, actor, note string) error {
+	return s.Runtime.Annotate(instID, actor, note)
+}
+
+// BindParams supplies instantiation-stage parameter values.
+func (s *System) BindParams(instID, actor, actionURI string, values map[string]string) error {
+	return s.Runtime.BindParams(instID, actor, actionURI, values)
+}
+
+// Instance returns a snapshot.
+func (s *System) Instance(id string) (runtime.Snapshot, bool) { return s.Runtime.Instance(id) }
+
+// Instances lists every instance.
+func (s *System) Instances() []runtime.Snapshot { return s.Runtime.Instances() }
+
+// Report delivers an action status callback.
+func (s *System) Report(up actionlib.StatusUpdate) error { return s.Runtime.Report(up) }
+
+// Propagate saves the new model version and proposes it to every
+// running instance created from the same URI; owners decide
+// individually (§IV.B). It returns the number of instances notified.
+func (s *System) Propagate(actor string, m *core.Model, note string) (int, error) {
+	if m == nil {
+		return 0, errors.New("gelee: nil model")
+	}
+	if !s.canDesign(actor, m.URI) {
+		return 0, fmt.Errorf("%w: %s may not redesign %s", ErrForbidden, actor, m.URI)
+	}
+	if err := s.DefineModel(actor, m); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, snap := range s.Runtime.ByModelURI(m.URI) {
+		if snap.State == runtime.StateCompleted {
+			continue
+		}
+		if err := s.Runtime.ProposeChange(snap.ID, actor, m, note); err != nil {
+			return n, err
+		}
+		n++
+	}
+	_, _ = s.execLog.Append(store.LogEntry{Kind: "model-propagated", Actor: actor,
+		Detail: fmt.Sprintf("%s to %d instance(s)", m.URI, n)})
+	return n, nil
+}
+
+// ProposeChange pushes a model change to one instance.
+func (s *System) ProposeChange(instID, proposer string, m *core.Model, note string) error {
+	return s.Runtime.ProposeChange(instID, proposer, m, note)
+}
+
+// AcceptChange applies a pending change (owner decision).
+func (s *System) AcceptChange(instID, actor, landing string) (runtime.Snapshot, error) {
+	return s.Runtime.AcceptChange(instID, actor, landing)
+}
+
+// RejectChange discards a pending change (owner decision).
+func (s *System) RejectChange(instID, actor, note string) error {
+	return s.Runtime.RejectChange(instID, actor, note)
+}
+
+// SwitchModel lets the instance owner change the lifecycle followed by
+// the resource outright.
+func (s *System) SwitchModel(instID, actor string, m *core.Model, landing string) (runtime.Snapshot, error) {
+	return s.Runtime.SwitchModel(instID, actor, m, landing)
+}

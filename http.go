@@ -1,0 +1,23 @@
+package gelee
+
+import (
+	"net/http"
+
+	"github.com/liquidpub/gelee/internal/httpapi"
+)
+
+// UserExists reports whether an account is registered — part of the
+// HTTP layer's Backend contract.
+func (s *System) UserExists(name string) bool {
+	_, ok := s.ACL.User(name)
+	return ok
+}
+
+// HTTPHandler returns the hosted-service HTTP surface (REST + SOAP +
+// widgets + monitoring). Authentication follows Options.Auth.
+func (s *System) HTTPHandler() http.Handler {
+	return httpapi.New(s, httpapi.Options{RequireAuth: s.opts.Auth})
+}
+
+// Compile-time check that System satisfies the HTTP backend contract.
+var _ httpapi.Backend = (*System)(nil)

@@ -1,0 +1,321 @@
+// Package access implements the roles and access rights of the paper
+// (§IV.D): the lifecycle manager (designs and modifies a lifecycle
+// model), the lifecycle instance owner (drives and modifies a running
+// instance), the token owner (may only follow the suggested transitions,
+// and typically only specific ones), and the resource owner (full rights
+// over the resource itself — enforced by the managing application's
+// plug-in, not by Gelee).
+//
+// The package also implements the widget visibility attributes of §V.C:
+// different users get different views of the same lifecycle, and a
+// widget may demand authentication based on the visibility configured
+// for its scope.
+package access
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Role names one of the four paper-defined roles.
+type Role string
+
+// The roles of §IV.D. Scope conventions: lifecycle-manager grants are
+// scoped by model URI, instance-owner and token-owner by instance id,
+// resource-owner by resource URI.
+const (
+	RoleLifecycleManager Role = "lifecycle-manager"
+	RoleInstanceOwner    Role = "instance-owner"
+	RoleTokenOwner       Role = "token-owner"
+	RoleResourceOwner    Role = "resource-owner"
+)
+
+// Valid reports whether r is a known role.
+func (r Role) Valid() bool {
+	switch r {
+	case RoleLifecycleManager, RoleInstanceOwner, RoleTokenOwner, RoleResourceOwner:
+		return true
+	}
+	return false
+}
+
+// User is an account in the users-and-roles repository of the data tier.
+// Admin users bypass all checks (the hosting operator).
+type User struct {
+	Name    string `json:"name"`
+	Display string `json:"display,omitempty"`
+	Email   string `json:"email,omitempty"`
+	Admin   bool   `json:"admin,omitempty"`
+}
+
+// Grant assigns a role on a scope to a user. For token owners, Targets
+// optionally restricts the grant to transitions into the listed phases
+// ("typically to specific transitions only", §IV.D); empty Targets means
+// any suggested transition.
+type Grant struct {
+	User    string   `json:"user"`
+	Role    Role     `json:"role"`
+	Scope   string   `json:"scope"`
+	Targets []string `json:"targets,omitempty"`
+}
+
+// Visibility is a widget visibility attribute (§V.C).
+type Visibility string
+
+// Visibility levels: public widgets render for anyone; authenticated
+// widgets require any signed-in user; restricted widgets require a role
+// on the widget's scope.
+const (
+	VisibilityPublic        Visibility = "public"
+	VisibilityAuthenticated Visibility = "authenticated"
+	VisibilityRestricted    Visibility = "restricted"
+)
+
+// Valid reports whether v is a known visibility level.
+func (v Visibility) Valid() bool {
+	switch v {
+	case VisibilityPublic, VisibilityAuthenticated, VisibilityRestricted:
+		return true
+	}
+	return false
+}
+
+// Control is the in-memory access control service. It is safe for
+// concurrent use. Persistence is layered on by the facade, which stores
+// users and grants in the data tier and rebuilds the Control on load.
+type Control struct {
+	mu     sync.RWMutex
+	users  map[string]User
+	grants map[string][]Grant // key: scope
+}
+
+// NewControl returns an empty access control service.
+func NewControl() *Control {
+	return &Control{
+		users:  make(map[string]User),
+		grants: make(map[string][]Grant),
+	}
+}
+
+// AddUser registers a user account. Re-adding a name updates it.
+func (c *Control) AddUser(u User) error {
+	if strings.TrimSpace(u.Name) == "" {
+		return fmt.Errorf("access: user has no name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.users[u.Name] = u
+	return nil
+}
+
+// User returns the account registered under name.
+func (c *Control) User(name string) (User, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	u, ok := c.users[name]
+	return u, ok
+}
+
+// Users returns every account sorted by name.
+func (c *Control) Users() []User {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]User, 0, len(c.users))
+	for _, u := range c.users {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Grant assigns a role on a scope. The user must exist; the role must be
+// valid. Granting the same (user, role, scope) twice is idempotent; for
+// token owners the target lists are merged.
+func (c *Control) Grant(g Grant) error {
+	if !g.Role.Valid() {
+		return fmt.Errorf("access: unknown role %q", g.Role)
+	}
+	if strings.TrimSpace(g.Scope) == "" {
+		return fmt.Errorf("access: grant of %s to %s has no scope", g.Role, g.User)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.users[g.User]; !ok {
+		return fmt.Errorf("access: unknown user %q", g.User)
+	}
+	for i, ex := range c.grants[g.Scope] {
+		if ex.User == g.User && ex.Role == g.Role {
+			if len(g.Targets) == 0 {
+				c.grants[g.Scope][i].Targets = nil // widen to unrestricted
+			} else if len(ex.Targets) > 0 {
+				c.grants[g.Scope][i].Targets = mergeTargets(ex.Targets, g.Targets)
+			}
+			return nil
+		}
+	}
+	g.Targets = append([]string(nil), g.Targets...)
+	c.grants[g.Scope] = append(c.grants[g.Scope], g)
+	return nil
+}
+
+func mergeTargets(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, t := range append(append([]string{}, a...), b...) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Revoke removes a (user, role) grant from a scope. Revoking a missing
+// grant is a no-op.
+func (c *Control) Revoke(user string, role Role, scope string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gs := c.grants[scope]
+	out := gs[:0]
+	for _, g := range gs {
+		if !(g.User == user && g.Role == role) {
+			out = append(out, g)
+		}
+	}
+	if len(out) == 0 {
+		delete(c.grants, scope)
+	} else {
+		c.grants[scope] = out
+	}
+}
+
+// Has reports whether the user holds the role on the scope (directly;
+// admin bypass is applied by the Can* helpers, not here).
+func (c *Control) Has(user string, role Role, scope string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, g := range c.grants[scope] {
+		if g.User == user && g.Role == role {
+			return true
+		}
+	}
+	return false
+}
+
+// RolesOn returns the roles the user holds on the scope, sorted.
+func (c *Control) RolesOn(user, scope string) []Role {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Role
+	for _, g := range c.grants[scope] {
+		if g.User == user {
+			out = append(out, g.Role)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UsersWith returns the users holding the role on the scope, sorted.
+func (c *Control) UsersWith(role Role, scope string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for _, g := range c.grants[scope] {
+		if g.Role == role {
+			out = append(out, g.User)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Grants returns a copy of every grant, for persistence.
+func (c *Control) Grants() []Grant {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Grant
+	for _, gs := range c.grants {
+		for _, g := range gs {
+			g.Targets = append([]string(nil), g.Targets...)
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		return out[i].Role < out[j].Role
+	})
+	return out
+}
+
+func (c *Control) isAdmin(user string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	u, ok := c.users[user]
+	return ok && u.Admin
+}
+
+// CanDesign reports whether the user may create or modify the lifecycle
+// model with the given URI (lifecycle manager role).
+func (c *Control) CanDesign(user, modelURI string) bool {
+	return c.isAdmin(user) || c.Has(user, RoleLifecycleManager, modelURI)
+}
+
+// CanDrive reports whether the user may drive and modify the lifecycle
+// instance: free token moves, annotation, model change accept/reject
+// (instance owner role).
+func (c *Control) CanDrive(user, instanceID string) bool {
+	return c.isAdmin(user) || c.Has(user, RoleInstanceOwner, instanceID)
+}
+
+// CanFollow reports whether the user may move the token of the instance
+// along a suggested transition into target. Instance owners can always;
+// token owners only when their grant covers the target (an empty target
+// list on the grant covers every suggested transition).
+func (c *Control) CanFollow(user, instanceID, target string) bool {
+	if c.CanDrive(user, instanceID) {
+		return true
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, g := range c.grants[instanceID] {
+		if g.User != user || g.Role != RoleTokenOwner {
+			continue
+		}
+		if len(g.Targets) == 0 {
+			return true
+		}
+		for _, t := range g.Targets {
+			if t == target {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CanSee reports whether the user may view a widget with the given
+// visibility on the given scope. The empty user name means anonymous.
+func (c *Control) CanSee(user string, vis Visibility, scope string) bool {
+	switch vis {
+	case VisibilityPublic:
+		return true
+	case VisibilityAuthenticated:
+		_, ok := c.User(user)
+		return ok
+	case VisibilityRestricted:
+		if c.isAdmin(user) {
+			return true
+		}
+		return len(c.RolesOn(user, scope)) > 0
+	}
+	return false
+}

@@ -1,0 +1,256 @@
+package access
+
+import (
+	"reflect"
+	"testing"
+)
+
+func control(t *testing.T) *Control {
+	t.Helper()
+	c := NewControl()
+	for _, u := range []User{
+		{Name: "root", Admin: true},
+		{Name: "coordinator", Display: "Project Coordinator"},
+		{Name: "owner"},
+		{Name: "dev"},
+		{Name: "stranger"},
+	} {
+		if err := c.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestAddUserValidation(t *testing.T) {
+	c := NewControl()
+	if err := c.AddUser(User{Name: "  "}); err == nil {
+		t.Fatal("blank user name accepted")
+	}
+	if err := c.AddUser(User{Name: "a", Email: "a@x"}); err != nil {
+		t.Fatal(err)
+	}
+	u, ok := c.User("a")
+	if !ok || u.Email != "a@x" {
+		t.Fatalf("User = %+v, %t", u, ok)
+	}
+	// Re-add updates.
+	c.AddUser(User{Name: "a", Email: "new@x"})
+	u, _ = c.User("a")
+	if u.Email != "new@x" {
+		t.Fatalf("update lost: %+v", u)
+	}
+}
+
+func TestGrantValidation(t *testing.T) {
+	c := control(t)
+	if err := c.Grant(Grant{User: "ghost", Role: RoleInstanceOwner, Scope: "i1"}); err == nil {
+		t.Fatal("grant to unknown user accepted")
+	}
+	if err := c.Grant(Grant{User: "owner", Role: "superhero", Scope: "i1"}); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+	if err := c.Grant(Grant{User: "owner", Role: RoleInstanceOwner, Scope: ""}); err == nil {
+		t.Fatal("empty scope accepted")
+	}
+}
+
+func TestCanDesign(t *testing.T) {
+	c := control(t)
+	if err := c.Grant(Grant{User: "coordinator", Role: RoleLifecycleManager, Scope: "urn:m1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.CanDesign("coordinator", "urn:m1") {
+		t.Fatal("lifecycle manager cannot design own model")
+	}
+	if c.CanDesign("coordinator", "urn:other") {
+		t.Fatal("design right leaked to another model")
+	}
+	if c.CanDesign("dev", "urn:m1") {
+		t.Fatal("non-manager can design")
+	}
+	if !c.CanDesign("root", "urn:m1") {
+		t.Fatal("admin bypass missing")
+	}
+}
+
+func TestCanDriveAndFollow(t *testing.T) {
+	c := control(t)
+	if err := c.Grant(Grant{User: "owner", Role: RoleInstanceOwner, Scope: "i1"}); err != nil {
+		t.Fatal(err)
+	}
+	// dev is a token owner restricted to moving into "internalreview".
+	if err := c.Grant(Grant{User: "dev", Role: RoleTokenOwner, Scope: "i1", Targets: []string{"internalreview"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !c.CanDrive("owner", "i1") {
+		t.Fatal("instance owner cannot drive")
+	}
+	if c.CanDrive("dev", "i1") {
+		t.Fatal("token owner can drive (free moves must be owner-only)")
+	}
+	// Instance owners can follow anything.
+	if !c.CanFollow("owner", "i1", "anywhere") {
+		t.Fatal("instance owner cannot follow")
+	}
+	// Token owner: only granted targets.
+	if !c.CanFollow("dev", "i1", "internalreview") {
+		t.Fatal("token owner cannot follow granted transition")
+	}
+	if c.CanFollow("dev", "i1", "publication") {
+		t.Fatal("token owner can follow ungranted transition")
+	}
+	if c.CanFollow("stranger", "i1", "internalreview") {
+		t.Fatal("stranger can follow")
+	}
+}
+
+func TestTokenOwnerUnrestrictedTargets(t *testing.T) {
+	c := control(t)
+	if err := c.Grant(Grant{User: "dev", Role: RoleTokenOwner, Scope: "i1"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []string{"a", "b", "c"} {
+		if !c.CanFollow("dev", "i1", target) {
+			t.Fatalf("unrestricted token owner cannot follow to %q", target)
+		}
+	}
+}
+
+func TestGrantMergesTargets(t *testing.T) {
+	c := control(t)
+	if err := c.Grant(Grant{User: "dev", Role: RoleTokenOwner, Scope: "i1", Targets: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Grant(Grant{User: "dev", Role: RoleTokenOwner, Scope: "i1", Targets: []string{"b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.CanFollow("dev", "i1", "a") || !c.CanFollow("dev", "i1", "b") {
+		t.Fatal("merged targets not honored")
+	}
+	if c.CanFollow("dev", "i1", "c") {
+		t.Fatal("unexpected target allowed after merge")
+	}
+	// Granting with no targets widens to unrestricted.
+	if err := c.Grant(Grant{User: "dev", Role: RoleTokenOwner, Scope: "i1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.CanFollow("dev", "i1", "c") {
+		t.Fatal("widening grant not honored")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	c := control(t)
+	c.Grant(Grant{User: "owner", Role: RoleInstanceOwner, Scope: "i1"})
+	c.Grant(Grant{User: "dev", Role: RoleTokenOwner, Scope: "i1"})
+	c.Revoke("owner", RoleInstanceOwner, "i1")
+	if c.CanDrive("owner", "i1") {
+		t.Fatal("revoked owner can still drive")
+	}
+	if !c.CanFollow("dev", "i1", "x") {
+		t.Fatal("revoke removed an unrelated grant")
+	}
+	c.Revoke("ghost", RoleTokenOwner, "i1") // no-op
+	c.Revoke("dev", RoleTokenOwner, "nonexistent-scope")
+	if !c.CanFollow("dev", "i1", "x") {
+		t.Fatal("no-op revoke removed a grant")
+	}
+}
+
+func TestRolesOnAndUsersWith(t *testing.T) {
+	c := control(t)
+	c.Grant(Grant{User: "owner", Role: RoleInstanceOwner, Scope: "i1"})
+	c.Grant(Grant{User: "owner", Role: RoleTokenOwner, Scope: "i1"})
+	c.Grant(Grant{User: "dev", Role: RoleTokenOwner, Scope: "i1"})
+
+	roles := c.RolesOn("owner", "i1")
+	want := []Role{RoleInstanceOwner, RoleTokenOwner}
+	if !reflect.DeepEqual(roles, want) {
+		t.Fatalf("RolesOn = %v, want %v", roles, want)
+	}
+	users := c.UsersWith(RoleTokenOwner, "i1")
+	if !reflect.DeepEqual(users, []string{"dev", "owner"}) {
+		t.Fatalf("UsersWith = %v", users)
+	}
+	if got := c.RolesOn("stranger", "i1"); len(got) != 0 {
+		t.Fatalf("RolesOn(stranger) = %v", got)
+	}
+}
+
+func TestGrantsSnapshotSorted(t *testing.T) {
+	c := control(t)
+	c.Grant(Grant{User: "owner", Role: RoleInstanceOwner, Scope: "i2"})
+	c.Grant(Grant{User: "dev", Role: RoleTokenOwner, Scope: "i1", Targets: []string{"x"}})
+	gs := c.Grants()
+	if len(gs) != 2 {
+		t.Fatalf("Grants = %v", gs)
+	}
+	if gs[0].Scope != "i1" || gs[1].Scope != "i2" {
+		t.Fatalf("grants not sorted by scope: %v", gs)
+	}
+	// Mutating the returned slice must not affect the control.
+	gs[0].Targets[0] = "tampered"
+	if c.CanFollow("dev", "i1", "tampered") {
+		t.Fatal("Grants returned aliased storage")
+	}
+}
+
+func TestVisibility(t *testing.T) {
+	c := control(t)
+	c.Grant(Grant{User: "owner", Role: RoleInstanceOwner, Scope: "i1"})
+
+	cases := []struct {
+		user string
+		vis  Visibility
+		want bool
+	}{
+		{"", VisibilityPublic, true},
+		{"stranger", VisibilityPublic, true},
+		{"", VisibilityAuthenticated, false},
+		{"stranger", VisibilityAuthenticated, true},
+		{"nonexistent-user", VisibilityAuthenticated, false},
+		{"", VisibilityRestricted, false},
+		{"stranger", VisibilityRestricted, false},
+		{"owner", VisibilityRestricted, true},
+		{"root", VisibilityRestricted, true}, // admin bypass
+	}
+	for _, tc := range cases {
+		if got := c.CanSee(tc.user, tc.vis, "i1"); got != tc.want {
+			t.Errorf("CanSee(%q, %s) = %t, want %t", tc.user, tc.vis, got, tc.want)
+		}
+	}
+	if c.CanSee("owner", "invisible", "i1") {
+		t.Fatal("unknown visibility should deny")
+	}
+}
+
+func TestRoleAndVisibilityValidity(t *testing.T) {
+	for _, r := range []Role{RoleLifecycleManager, RoleInstanceOwner, RoleTokenOwner, RoleResourceOwner} {
+		if !r.Valid() {
+			t.Errorf("%s should be valid", r)
+		}
+	}
+	if Role("emperor").Valid() {
+		t.Error("emperor should not be a valid role")
+	}
+	for _, v := range []Visibility{VisibilityPublic, VisibilityAuthenticated, VisibilityRestricted} {
+		if !v.Valid() {
+			t.Errorf("%s should be valid", v)
+		}
+	}
+	if Visibility("cloaked").Valid() {
+		t.Error("cloaked should not be a valid visibility")
+	}
+}
+
+func TestUsersSorted(t *testing.T) {
+	c := control(t)
+	us := c.Users()
+	for i := 1; i < len(us); i++ {
+		if us[i-1].Name > us[i].Name {
+			t.Fatalf("Users not sorted: %v", us)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package actionlib implements the action model of the paper (§IV.C and
+// §V.B): the separation between action *types* (named, versioned
+// signatures such as "Change access rights") and action
+// *implementations* (resource-type-specific endpoints contributed by
+// plug-in developers).
+//
+// Actions are where all resource-specific complexity lives. The
+// lifecycle model only references action types by URI; when a lifecycle
+// is instantiated on a concrete resource the types are resolved to the
+// implementation registered for that resource's type. This is the second
+// of the paper's "light couplings": the same lifecycle definition can
+// run against a Google-Docs document, a wiki page, or an SVN repository
+// as long as each resource type registers an implementation of the
+// referenced action types.
+package actionlib
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/liquidpub/gelee/internal/core"
+)
+
+// Reserved status messages (§IV.C): all status strings are free-form and
+// informational, except these two that the model itself defines.
+const (
+	StatusCompleted = "completed"
+	StatusFailed    = "failed"
+)
+
+// IsTerminalStatus reports whether status is one of the two reserved,
+// model-defined statuses that end an action execution.
+func IsTerminalStatus(status string) bool {
+	return status == StatusCompleted || status == StatusFailed
+}
+
+// Protocol names how an implementation endpoint is invoked. The paper
+// allows REST or SOAP; Local exists for in-process plug-ins (tests,
+// embedded deployments) and exercises the same code path minus HTTP.
+type Protocol string
+
+// Supported invocation protocols.
+const (
+	ProtocolREST  Protocol = "rest"
+	ProtocolSOAP  Protocol = "soap"
+	ProtocolLocal Protocol = "local"
+)
+
+// Valid reports whether p is a known protocol.
+func (p Protocol) Valid() bool {
+	switch p {
+	case ProtocolREST, ProtocolSOAP, ProtocolLocal:
+		return true
+	}
+	return false
+}
+
+// ActionType is the Table II document: a reusable, resource-agnostic
+// action signature. Params hold the parameter specs; a spec's Value is
+// the default value (bound at definition time if the binding time allows
+// it).
+type ActionType struct {
+	URI      string
+	Name     string
+	Version  core.VersionInfo
+	Params   []core.Param
+	Metadata map[string]string // free-form "general metadata" of §V.B
+}
+
+// Param returns the parameter spec with the given id.
+func (t *ActionType) Param(id string) (core.Param, bool) {
+	for _, p := range t.Params {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return core.Param{}, false
+}
+
+// Validate checks the minimal structural rules of an action type.
+func (t ActionType) Validate() error {
+	if strings.TrimSpace(t.URI) == "" {
+		return errors.New("actionlib: action type has no URI")
+	}
+	if strings.TrimSpace(t.Name) == "" {
+		return fmt.Errorf("actionlib: action type %s has no name", t.URI)
+	}
+	seen := make(map[string]bool, len(t.Params))
+	for _, p := range t.Params {
+		if p.ID == "" {
+			return fmt.Errorf("actionlib: action type %s declares a parameter with no id", t.URI)
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("actionlib: action type %s declares parameter %q twice", t.URI, p.ID)
+		}
+		seen[p.ID] = true
+		if p.BindingTime != "" && !p.BindingTime.Valid() {
+			return fmt.Errorf("actionlib: action type %s parameter %q has unknown binding time %q", t.URI, p.ID, p.BindingTime)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the action type.
+func (t ActionType) Clone() ActionType {
+	c := t
+	c.Params = append([]core.Param(nil), t.Params...)
+	if t.Metadata != nil {
+		c.Metadata = make(map[string]string, len(t.Metadata))
+		for k, v := range t.Metadata {
+			c.Metadata[k] = v
+		}
+	}
+	return c
+}
+
+// Implementation binds an action type to a concrete endpoint for one
+// resource type. Registration (§V.B) is how an adapter makes Gelee aware
+// that "Change access rights" exists for, say, MediaWiki pages, and how
+// to invoke it.
+type Implementation struct {
+	TypeURI      string   // action type implemented
+	ResourceType string   // resource type served, e.g. "gdoc"
+	Endpoint     string   // invocation URI (REST/SOAP) or local handler name
+	Protocol     Protocol // how to call Endpoint
+	Description  string
+}
+
+// Validate checks the implementation record.
+func (im Implementation) Validate() error {
+	switch {
+	case strings.TrimSpace(im.TypeURI) == "":
+		return errors.New("actionlib: implementation has no action type URI")
+	case strings.TrimSpace(im.ResourceType) == "":
+		return fmt.Errorf("actionlib: implementation of %s has no resource type", im.TypeURI)
+	case strings.TrimSpace(im.Endpoint) == "":
+		return fmt.Errorf("actionlib: implementation of %s for %s has no endpoint", im.TypeURI, im.ResourceType)
+	case !im.Protocol.Valid():
+		return fmt.Errorf("actionlib: implementation of %s for %s has unknown protocol %q", im.TypeURI, im.ResourceType, im.Protocol)
+	}
+	return nil
+}
+
+// ErrUnknownType is wrapped by Registry errors when an action type URI
+// is not registered.
+var ErrUnknownType = errors.New("actionlib: unknown action type")
+
+// ErrNoImplementation is wrapped by Resolve when a type exists but no
+// implementation is registered for the requested resource type.
+var ErrNoImplementation = errors.New("actionlib: no implementation for resource type")
+
+// ErrDuplicate is returned when registering a type or implementation
+// that already exists.
+var ErrDuplicate = errors.New("actionlib: already registered")
+
+// Registry is the action library of Fig. 2's data tier: all known action
+// types and their per-resource-type implementations. It is safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	types map[string]ActionType
+	impls map[string]map[string]Implementation // type URI -> resource type -> impl
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		types: make(map[string]ActionType),
+		impls: make(map[string]map[string]Implementation),
+	}
+}
+
+// RegisterType adds a new action type. Registering an existing URI
+// returns ErrDuplicate (use ReplaceType for designer edits).
+func (r *Registry) RegisterType(t ActionType) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.types[t.URI]; ok {
+		return fmt.Errorf("%w: action type %s", ErrDuplicate, t.URI)
+	}
+	r.types[t.URI] = t.Clone()
+	return nil
+}
+
+// ReplaceType installs a new version of an existing (or new) type.
+func (r *Registry) ReplaceType(t ActionType) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.types[t.URI] = t.Clone()
+	return nil
+}
+
+// RegisterImplementation adds an implementation for an already-known
+// action type. Per §V.B, adapters either implement an existing type or
+// introduce a new one — for the latter, use Register which does both
+// atomically.
+func (r *Registry) RegisterImplementation(im Implementation) error {
+	if err := im.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.types[im.TypeURI]; !ok {
+		return fmt.Errorf("%w: %s (register the type first or use Register)", ErrUnknownType, im.TypeURI)
+	}
+	byType := r.impls[im.TypeURI]
+	if byType == nil {
+		byType = make(map[string]Implementation)
+		r.impls[im.TypeURI] = byType
+	}
+	if _, ok := byType[im.ResourceType]; ok {
+		return fmt.Errorf("%w: implementation of %s for %s", ErrDuplicate, im.TypeURI, im.ResourceType)
+	}
+	byType[im.ResourceType] = im
+	return nil
+}
+
+// Register registers an action type (if not already present) together
+// with an implementation — the single call an adapter makes at plug-in
+// load time.
+func (r *Registry) Register(t ActionType, im Implementation) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if im.TypeURI == "" {
+		im.TypeURI = t.URI
+	}
+	if im.TypeURI != t.URI {
+		return fmt.Errorf("actionlib: implementation type %s does not match registered type %s", im.TypeURI, t.URI)
+	}
+	r.mu.Lock()
+	if _, ok := r.types[t.URI]; !ok {
+		r.types[t.URI] = t.Clone()
+	}
+	r.mu.Unlock()
+	return r.RegisterImplementation(im)
+}
+
+// Type returns the action type registered under uri.
+func (r *Registry) Type(uri string) (ActionType, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.types[uri]
+	if !ok {
+		return ActionType{}, false
+	}
+	return t.Clone(), true
+}
+
+// Types returns every registered action type sorted by URI. This is the
+// design-time browse of Fig. 3: "users can browse through all actions as
+// there is not yet, in general, a binding to a resource type".
+func (r *Registry) Types() []ActionType {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ActionType, 0, len(r.types))
+	for _, t := range r.types {
+		out = append(out, t.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI < out[j].URI })
+	return out
+}
+
+// TypesFor returns only the action types that have an implementation for
+// the given resource type, sorted by URI. This is the run-time filtered
+// browse of Fig. 3: "for modifications at runtime, only actions for
+// which there is an implementation for the resource being managed are
+// shown".
+func (r *Registry) TypesFor(resourceType string) []ActionType {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []ActionType
+	for uri, byType := range r.impls {
+		if _, ok := byType[resourceType]; ok {
+			if t, ok := r.types[uri]; ok {
+				out = append(out, t.Clone())
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI < out[j].URI })
+	return out
+}
+
+// Resolve maps an action type URI to the implementation registered for
+// the given resource type. This happens when a lifecycle is instantiated
+// on a specific URI: "action types are resolved to specific action
+// signatures and implementations" (§V.B).
+func (r *Registry) Resolve(typeURI, resourceType string) (Implementation, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, ok := r.types[typeURI]; !ok {
+		return Implementation{}, fmt.Errorf("%w: %s", ErrUnknownType, typeURI)
+	}
+	im, ok := r.impls[typeURI][resourceType]
+	if !ok {
+		return Implementation{}, fmt.Errorf("%w: %s has no implementation for %q", ErrNoImplementation, typeURI, resourceType)
+	}
+	return im, nil
+}
+
+// Implementations returns every implementation of the given type, sorted
+// by resource type.
+func (r *Registry) Implementations(typeURI string) []Implementation {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	byType := r.impls[typeURI]
+	out := make([]Implementation, 0, len(byType))
+	for _, im := range byType {
+		out = append(out, im)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ResourceType < out[j].ResourceType })
+	return out
+}
+
+// ResourceTypes returns every resource type that has at least one
+// registered implementation, sorted.
+func (r *Registry) ResourceTypes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := make(map[string]bool)
+	for _, byType := range r.impls {
+		for rt := range byType {
+			seen[rt] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for rt := range seen {
+		out = append(out, rt)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Applicability returns, for a model referencing the given action type
+// URIs, the set of resource types that implement *all* of them —
+// "the actions they select will determine the resource types to which
+// the lifecycle can be applied" (§IV.A). An empty URI list means the
+// model is action-free and applies to every registered resource type.
+func (r *Registry) Applicability(typeURIs []string) []string {
+	if len(typeURIs) == 0 {
+		return r.ResourceTypes()
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	counts := make(map[string]int)
+	unique := make(map[string]bool)
+	for _, uri := range typeURIs {
+		if unique[uri] {
+			continue
+		}
+		unique[uri] = true
+		for rt := range r.impls[uri] {
+			counts[rt]++
+		}
+	}
+	var out []string
+	for rt, n := range counts {
+		if n == len(unique) {
+			out = append(out, rt)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,313 @@
+package actionlib
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/liquidpub/gelee/internal/core"
+)
+
+func chrType() ActionType {
+	return ActionType{
+		URI:  "http://www.liquidpub.org/a/chr",
+		Name: "Change Access Rights",
+		Params: []core.Param{
+			{ID: "mode", BindingTime: core.BindAny, Required: true},
+			{ID: "note", BindingTime: core.BindCall},
+		},
+	}
+}
+
+func notifyType() ActionType {
+	return ActionType{
+		URI:  "http://www.liquidpub.org/a/notify",
+		Name: "Notify Reviewers",
+		Params: []core.Param{
+			{ID: "reviewers", BindingTime: core.BindInstantiation, Required: true},
+		},
+	}
+}
+
+func impl(typeURI, rt string) Implementation {
+	return Implementation{
+		TypeURI: typeURI, ResourceType: rt,
+		Endpoint: "http://plugins.local/" + rt, Protocol: ProtocolREST,
+	}
+}
+
+func TestRegisterAndResolve(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterType(chrType()); err != nil {
+		t.Fatalf("RegisterType: %v", err)
+	}
+	if err := r.RegisterImplementation(impl(chrType().URI, "gdoc")); err != nil {
+		t.Fatalf("RegisterImplementation: %v", err)
+	}
+	im, err := r.Resolve(chrType().URI, "gdoc")
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if im.Endpoint != "http://plugins.local/gdoc" {
+		t.Fatalf("resolved endpoint = %q", im.Endpoint)
+	}
+}
+
+func TestResolveUnknownType(t *testing.T) {
+	r := NewRegistry()
+	_, err := r.Resolve("urn:nope", "gdoc")
+	if !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("Resolve unknown type err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestResolveMissingImplementation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterType(chrType()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterImplementation(impl(chrType().URI, "gdoc")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Resolve(chrType().URI, "mediawiki")
+	if !errors.Is(err, ErrNoImplementation) {
+		t.Fatalf("err = %v, want ErrNoImplementation", err)
+	}
+}
+
+func TestRegisterDuplicateTypeFails(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterType(chrType()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterType(chrType()); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate RegisterType err = %v, want ErrDuplicate", err)
+	}
+	// ReplaceType is the escape hatch for designers.
+	nt := chrType()
+	nt.Name = "Change Access Rights v2"
+	if err := r.ReplaceType(nt); err != nil {
+		t.Fatalf("ReplaceType: %v", err)
+	}
+	got, _ := r.Type(nt.URI)
+	if got.Name != "Change Access Rights v2" {
+		t.Fatalf("Type after replace = %q", got.Name)
+	}
+}
+
+func TestRegisterImplementationRequiresType(t *testing.T) {
+	r := NewRegistry()
+	err := r.RegisterImplementation(impl("urn:ghost", "gdoc"))
+	if !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestRegisterAtomicTypePlusImpl(t *testing.T) {
+	// §V.B: an adapter may introduce a completely new action type along
+	// with its implementation in one registration.
+	r := NewRegistry()
+	if err := r.Register(chrType(), impl("", "mediawiki")); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, ok := r.Type(chrType().URI); !ok {
+		t.Fatal("type not registered by Register")
+	}
+	if _, err := r.Resolve(chrType().URI, "mediawiki"); err != nil {
+		t.Fatalf("Resolve after Register: %v", err)
+	}
+	// Second adapter implements the *same existing* type for another
+	// resource type — the "same action name mapped to different action
+	// implementations based on the resource types" case.
+	if err := r.Register(chrType(), impl(chrType().URI, "gdoc")); err != nil {
+		t.Fatalf("Register second impl: %v", err)
+	}
+	if got := len(r.Implementations(chrType().URI)); got != 2 {
+		t.Fatalf("Implementations = %d, want 2", got)
+	}
+}
+
+func TestRegisterMismatchedTypeURI(t *testing.T) {
+	r := NewRegistry()
+	bad := impl("urn:other", "gdoc")
+	if err := r.Register(chrType(), bad); err == nil {
+		t.Fatal("Register accepted an implementation for a different type URI")
+	}
+}
+
+func TestTypesSortedAndFiltered(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(notifyType(), impl(notifyType().URI, "gdoc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(chrType(), impl(chrType().URI, "gdoc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterImplementation(impl(chrType().URI, "mediawiki")); err != nil {
+		t.Fatal(err)
+	}
+
+	all := r.Types()
+	if len(all) != 2 || all[0].URI > all[1].URI {
+		t.Fatalf("Types() = %v, want 2 sorted entries", all)
+	}
+
+	// Fig. 3 contract: runtime browse is filtered by resource type.
+	wiki := r.TypesFor("mediawiki")
+	if len(wiki) != 1 || wiki[0].URI != chrType().URI {
+		t.Fatalf("TypesFor(mediawiki) = %v, want only change-access-rights", wiki)
+	}
+	gdoc := r.TypesFor("gdoc")
+	if len(gdoc) != 2 {
+		t.Fatalf("TypesFor(gdoc) = %v, want both types", gdoc)
+	}
+	if got := r.TypesFor("svn"); len(got) != 0 {
+		t.Fatalf("TypesFor(svn) = %v, want empty", got)
+	}
+}
+
+func TestResourceTypes(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(chrType(), impl(chrType().URI, "gdoc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterImplementation(impl(chrType().URI, "mediawiki")); err != nil {
+		t.Fatal(err)
+	}
+	got := r.ResourceTypes()
+	if len(got) != 2 || got[0] != "gdoc" || got[1] != "mediawiki" {
+		t.Fatalf("ResourceTypes = %v", got)
+	}
+}
+
+func TestApplicability(t *testing.T) {
+	// §IV.A: "The actions they select will determine the resource types
+	// to which the lifecycle can be applied."
+	r := NewRegistry()
+	if err := r.Register(chrType(), impl(chrType().URI, "gdoc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterImplementation(impl(chrType().URI, "mediawiki")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(notifyType(), impl(notifyType().URI, "gdoc")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Model using both actions: only gdoc implements both.
+	both := r.Applicability([]string{chrType().URI, notifyType().URI})
+	if len(both) != 1 || both[0] != "gdoc" {
+		t.Fatalf("Applicability(both) = %v, want [gdoc]", both)
+	}
+	// Model using only chr: both types qualify.
+	chr := r.Applicability([]string{chrType().URI})
+	if len(chr) != 2 {
+		t.Fatalf("Applicability(chr) = %v, want both resource types", chr)
+	}
+	// Duplicated URIs in the model must not skew the count.
+	dup := r.Applicability([]string{chrType().URI, chrType().URI})
+	if len(dup) != 2 {
+		t.Fatalf("Applicability(dup) = %v, want both resource types", dup)
+	}
+	// Action-free model applies everywhere.
+	free := r.Applicability(nil)
+	if len(free) != 2 {
+		t.Fatalf("Applicability(nil) = %v, want all resource types", free)
+	}
+}
+
+func TestValidateImplementation(t *testing.T) {
+	cases := []struct {
+		name string
+		im   Implementation
+	}{
+		{"no type", Implementation{ResourceType: "x", Endpoint: "e", Protocol: ProtocolREST}},
+		{"no resource type", Implementation{TypeURI: "t", Endpoint: "e", Protocol: ProtocolREST}},
+		{"no endpoint", Implementation{TypeURI: "t", ResourceType: "x", Protocol: ProtocolREST}},
+		{"bad protocol", Implementation{TypeURI: "t", ResourceType: "x", Endpoint: "e", Protocol: "carrier-pigeon"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.im.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", c.im)
+			}
+		})
+	}
+}
+
+func TestActionTypeValidate(t *testing.T) {
+	bad := []ActionType{
+		{Name: "no uri"},
+		{URI: "urn:x"},
+		{URI: "urn:x", Name: "dup params", Params: []core.Param{{ID: "a"}, {ID: "a"}}},
+		{URI: "urn:x", Name: "empty param id", Params: []core.Param{{}}},
+		{URI: "urn:x", Name: "bad bt", Params: []core.Param{{ID: "a", BindingTime: "sometime"}}},
+	}
+	for _, at := range bad {
+		if err := at.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", at)
+		}
+	}
+	if err := chrType().Validate(); err != nil {
+		t.Fatalf("Validate rejected a good type: %v", err)
+	}
+}
+
+func TestActionTypeCloneIndependent(t *testing.T) {
+	at := chrType()
+	at.Metadata = map[string]string{"category": "access"}
+	c := at.Clone()
+	c.Params[0].ID = "tampered"
+	c.Metadata["category"] = "tampered"
+	if at.Params[0].ID == "tampered" || at.Metadata["category"] == "tampered" {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestTerminalStatus(t *testing.T) {
+	if !IsTerminalStatus(StatusCompleted) || !IsTerminalStatus(StatusFailed) {
+		t.Fatal("reserved statuses must be terminal")
+	}
+	// §IV.C: every other status message is arbitrary and informational.
+	for _, s := range []string{"progress 10%", "uploading", "", "done"} {
+		if IsTerminalStatus(s) {
+			t.Errorf("IsTerminalStatus(%q) = true", s)
+		}
+	}
+	if !(StatusUpdate{Message: StatusFailed}).Terminal() {
+		t.Fatal("StatusUpdate{failed} not terminal")
+	}
+	if (StatusUpdate{Message: "halfway"}).Terminal() {
+		t.Fatal("informational update reported terminal")
+	}
+}
+
+func TestProtocolValid(t *testing.T) {
+	for _, p := range []Protocol{ProtocolREST, ProtocolSOAP, ProtocolLocal} {
+		if !p.Valid() {
+			t.Errorf("%q should be valid", p)
+		}
+	}
+	if Protocol("smtp").Valid() {
+		t.Error("smtp should not be a valid protocol")
+	}
+}
+
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(chrType(), impl(chrType().URI, "gdoc")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 200; i++ {
+			_ = r.Types()
+			_, _ = r.Resolve(chrType().URI, "gdoc")
+		}
+		close(done)
+	}()
+	for i := 0; i < 200; i++ {
+		_ = r.TypesFor("gdoc")
+		_ = r.Applicability([]string{chrType().URI})
+	}
+	<-done
+}

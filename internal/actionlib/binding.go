@@ -1,0 +1,219 @@
+package actionlib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/liquidpub/gelee/internal/core"
+)
+
+// Stage identifies the moment a parameter value is being supplied, for
+// binding-time enforcement. The paper's compromise (§IV.C): "The
+// actions' parameter can be fixed at definition time, instantiated at
+// lifecycle instantiation time, or as the corresponding phase is
+// entered."
+type Stage int
+
+// Binding stages in chronological order.
+const (
+	StageDefinition Stage = iota
+	StageInstantiation
+	StageCall
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageDefinition:
+		return "definition"
+	case StageInstantiation:
+		return "instantiation"
+	case StageCall:
+		return "call"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// allows reports whether binding time b permits supplying a value at
+// stage s. An empty binding time is treated as "any" — the forgiving
+// default for hand-written XML.
+func allows(b core.BindingTime, s Stage) bool {
+	if b == "" {
+		b = core.BindAny
+	}
+	switch s {
+	case StageDefinition:
+		return b.AllowsDefinition()
+	case StageInstantiation:
+		return b.AllowsInstantiation()
+	case StageCall:
+		return b.AllowsCall()
+	}
+	return false
+}
+
+// BindingError reports a binding-time violation or a missing required
+// parameter.
+type BindingError struct {
+	ActionURI string
+	ParamID   string
+	Stage     Stage
+	Reason    string
+}
+
+// Error implements error.
+func (e *BindingError) Error() string {
+	return fmt.Sprintf("actionlib: action %s parameter %q at %s: %s",
+		e.ActionURI, e.ParamID, e.Stage, e.Reason)
+}
+
+// CheckStageBindings verifies that every value in supplied may legally
+// be bound at stage s according to the action type's parameter specs
+// (fall back to the call's own param declarations for parameters the
+// spec does not know — models may carry extra parameters, which the
+// model treats as free-form).
+func CheckStageBindings(spec *ActionType, call core.ActionCall, supplied map[string]string, s Stage) error {
+	for id := range supplied {
+		bt := bindingTimeFor(spec, call, id)
+		if !allows(bt, s) {
+			return &BindingError{
+				ActionURI: call.URI, ParamID: id, Stage: s,
+				Reason: fmt.Sprintf("binding time %q forbids supplying a value here", bt),
+			}
+		}
+	}
+	return nil
+}
+
+func bindingTimeFor(spec *ActionType, call core.ActionCall, id string) core.BindingTime {
+	if p, ok := call.Param(id); ok && p.BindingTime != "" {
+		return p.BindingTime
+	}
+	if spec != nil {
+		if p, ok := spec.Param(id); ok {
+			return p.BindingTime
+		}
+	}
+	return core.BindAny
+}
+
+func requiredFor(spec *ActionType, call core.ActionCall, id string) bool {
+	if p, ok := call.Param(id); ok && p.Required {
+		return true
+	}
+	if spec != nil {
+		if p, ok := spec.Param(id); ok {
+			return p.Required
+		}
+	}
+	return false
+}
+
+// ResolveParams computes the final parameter values for an action
+// invocation, layering the three binding stages:
+//
+//	spec default  <  model definition value  <  instantiation value  <  call value
+//
+// spec may be nil when the action type is not registered — the paper's
+// robustness stance is that the lifecycle still runs; the action call's
+// own parameter list is then the only spec. The returned map is ready to
+// ship in the invocation. Missing required parameters and binding-time
+// violations are reported as *BindingError.
+func ResolveParams(spec *ActionType, call core.ActionCall, instValues, callValues map[string]string) (map[string]string, error) {
+	out := make(map[string]string)
+
+	// Layer 0: spec defaults (definition-time values on the type).
+	if spec != nil {
+		for _, p := range spec.Params {
+			if p.Value != "" {
+				out[p.ID] = p.Value
+			}
+		}
+	}
+	// Layer 1: values written into the model (definition time).
+	for _, p := range call.Params {
+		if p.Value != "" {
+			if !allows(bindingTimeFor(spec, call, p.ID), StageDefinition) {
+				return nil, &BindingError{ActionURI: call.URI, ParamID: p.ID, Stage: StageDefinition,
+					Reason: "model binds a value but the binding time forbids definition-time binding"}
+			}
+			out[p.ID] = p.Value
+		}
+	}
+	// Layer 2: instantiation-time values.
+	if err := CheckStageBindings(spec, call, instValues, StageInstantiation); err != nil {
+		return nil, err
+	}
+	for id, v := range instValues {
+		out[id] = v
+	}
+	// Layer 3: call-time values.
+	if err := CheckStageBindings(spec, call, callValues, StageCall); err != nil {
+		return nil, err
+	}
+	for id, v := range callValues {
+		out[id] = v
+	}
+
+	// Required check: every required parameter (from spec or call) must
+	// have ended up with a non-empty value.
+	var missing []string
+	check := func(id string) {
+		if requiredFor(spec, call, id) && out[id] == "" {
+			missing = append(missing, id)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, p := range call.Params {
+		if !seen[p.ID] {
+			seen[p.ID] = true
+			check(p.ID)
+		}
+	}
+	if spec != nil {
+		for _, p := range spec.Params {
+			if !seen[p.ID] {
+				seen[p.ID] = true
+				check(p.ID)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, &BindingError{ActionURI: call.URI, ParamID: strings.Join(missing, ","), Stage: StageCall,
+			Reason: "required parameter(s) still unbound at call time"}
+	}
+	return out, nil
+}
+
+// Invocation is what the runtime ships to an action implementation: "the
+// action is invoked by calling an URI that identifies a web service
+// (either REST or SOAP), passing as parameters a link to the object and
+// a callback URI" (§IV.C). Credentials carry the resource's login
+// information when the resource is password-protected (§IV.A).
+type Invocation struct {
+	ID           string            // unique per action execution, echoed in callbacks
+	TypeURI      string            // action type being performed
+	ActionName   string            // human label from the model
+	Endpoint     string            // resolved implementation endpoint
+	Protocol     Protocol          // how Endpoint is to be called
+	ResourceURI  string            // the link to the object
+	ResourceType string            // managing-application type string
+	CallbackURI  string            // where status messages go
+	Params       map[string]string // fully resolved parameters
+	Credentials  map[string]string // optional resource login info
+}
+
+// StatusUpdate is a callback message an action sends during or after
+// execution. Message is free-form except the two reserved terminal
+// statuses; their interpretation and any follow-up is left to the owner
+// (§IV.C — statuses are informational only).
+type StatusUpdate struct {
+	InvocationID string
+	Message      string
+	Detail       string
+}
+
+// Terminal reports whether the update ends the action execution.
+func (s StatusUpdate) Terminal() bool { return IsTerminalStatus(s.Message) }

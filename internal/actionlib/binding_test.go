@@ -1,0 +1,244 @@
+package actionlib
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/liquidpub/gelee/internal/core"
+)
+
+func notifyCall() core.ActionCall {
+	return core.ActionCall{
+		URI:  "http://www.liquidpub.org/a/notify",
+		Name: "Notify reviewers",
+		Params: []core.Param{
+			{ID: "reviewers", BindingTime: core.BindInstantiation, Required: true},
+			{ID: "subject", Value: "please review", BindingTime: core.BindDefinition},
+		},
+	}
+}
+
+func TestResolveParamsLayering(t *testing.T) {
+	spec := notifyType()
+	spec.Params = append(spec.Params, core.Param{ID: "subject", Value: "default-subject", BindingTime: core.BindAny})
+	call := notifyCall()
+
+	got, err := ResolveParams(&spec, call,
+		map[string]string{"reviewers": "alice,bob"}, nil)
+	if err != nil {
+		t.Fatalf("ResolveParams: %v", err)
+	}
+	if got["reviewers"] != "alice,bob" {
+		t.Fatalf("reviewers = %q", got["reviewers"])
+	}
+	// Model definition value beats the spec default.
+	if got["subject"] != "please review" {
+		t.Fatalf("subject = %q, want model-bound value", got["subject"])
+	}
+}
+
+func TestResolveParamsCallOverridesInstantiation(t *testing.T) {
+	call := core.ActionCall{
+		URI:    "urn:a",
+		Params: []core.Param{{ID: "p", BindingTime: core.BindAny}},
+	}
+	got, err := ResolveParams(nil, call,
+		map[string]string{"p": "from-inst"},
+		map[string]string{"p": "from-call"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["p"] != "from-call" {
+		t.Fatalf("p = %q, want call-time value to win", got["p"])
+	}
+}
+
+func TestResolveParamsMissingRequired(t *testing.T) {
+	call := notifyCall()
+	_, err := ResolveParams(nil, call, nil, nil)
+	var be *BindingError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BindingError", err)
+	}
+	if !strings.Contains(be.ParamID, "reviewers") {
+		t.Fatalf("BindingError names %q, want reviewers", be.ParamID)
+	}
+}
+
+func TestResolveParamsRejectsWrongStage(t *testing.T) {
+	// reviewers is inst-bound: supplying it at call time must fail.
+	call := notifyCall()
+	_, err := ResolveParams(nil, call, nil, map[string]string{"reviewers": "late"})
+	var be *BindingError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BindingError", err)
+	}
+	if be.Stage != StageCall {
+		t.Fatalf("stage = %v, want call", be.Stage)
+	}
+}
+
+func TestResolveParamsRejectsDefinitionValueForCallOnlyParam(t *testing.T) {
+	call := core.ActionCall{
+		URI:    "urn:a",
+		Params: []core.Param{{ID: "p", Value: "preset", BindingTime: core.BindCall}},
+	}
+	_, err := ResolveParams(nil, call, nil, nil)
+	var be *BindingError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BindingError for def-time binding of call-only param", err)
+	}
+	if be.Stage != StageDefinition {
+		t.Fatalf("stage = %v, want definition", be.Stage)
+	}
+}
+
+func TestResolveParamsInstValueForInstParam(t *testing.T) {
+	call := core.ActionCall{
+		URI:    "urn:a",
+		Params: []core.Param{{ID: "p", BindingTime: core.BindInstantiation}},
+	}
+	got, err := ResolveParams(nil, call, map[string]string{"p": "v"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["p"] != "v" {
+		t.Fatalf("p = %q", got["p"])
+	}
+}
+
+func TestResolveParamsUnknownParamsTolerated(t *testing.T) {
+	// Paper robustness: owners insert parameters "by hand"; extra values
+	// unknown to both spec and call are treated as any-time bindings.
+	call := core.ActionCall{URI: "urn:a"}
+	got, err := ResolveParams(nil, call, map[string]string{"extra": "1"}, map[string]string{"more": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["extra"] != "1" || got["more"] != "2" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestResolveParamsSpecRequiredWithSpecDefault(t *testing.T) {
+	spec := &ActionType{
+		URI: "urn:a", Name: "A",
+		Params: []core.Param{{ID: "mode", Value: "private", BindingTime: core.BindAny, Required: true}},
+	}
+	got, err := ResolveParams(spec, core.ActionCall{URI: "urn:a"}, nil, nil)
+	if err != nil {
+		t.Fatalf("spec default should satisfy required param: %v", err)
+	}
+	if got["mode"] != "private" {
+		t.Fatalf("mode = %q", got["mode"])
+	}
+}
+
+func TestResolveParamsEmptyBindingTimeMeansAny(t *testing.T) {
+	call := core.ActionCall{URI: "urn:a", Params: []core.Param{{ID: "p"}}}
+	for _, stage := range []map[string]string{nil, {"p": "x"}} {
+		if _, err := ResolveParams(nil, call, stage, stage); err != nil {
+			t.Fatalf("empty binding time should allow any stage: %v", err)
+		}
+	}
+}
+
+func TestCheckStageBindings(t *testing.T) {
+	spec := notifyType()
+	call := core.ActionCall{URI: spec.URI}
+	if err := CheckStageBindings(&spec, call, map[string]string{"reviewers": "r"}, StageInstantiation); err != nil {
+		t.Fatalf("inst-time binding of inst param rejected: %v", err)
+	}
+	if err := CheckStageBindings(&spec, call, map[string]string{"reviewers": "r"}, StageCall); err == nil {
+		t.Fatal("call-time binding of inst param accepted")
+	}
+}
+
+func TestBindingErrorMessage(t *testing.T) {
+	e := &BindingError{ActionURI: "urn:a", ParamID: "p", Stage: StageInstantiation, Reason: "nope"}
+	for _, want := range []string{"urn:a", `"p"`, "instantiation", "nope"} {
+		if !strings.Contains(e.Error(), want) {
+			t.Errorf("error %q missing %q", e.Error(), want)
+		}
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageDefinition.String() != "definition" || StageInstantiation.String() != "instantiation" || StageCall.String() != "call" {
+		t.Fatal("stage names wrong")
+	}
+	if !strings.Contains(Stage(42).String(), "42") {
+		t.Fatal("unknown stage should include its number")
+	}
+}
+
+// Property: for a parameter with binding time "any", values supplied at a
+// later stage always win over earlier stages, and resolution never errors.
+func TestQuickLateBindingWins(t *testing.T) {
+	type vals struct{ Def, Inst, Call string }
+	f := func(v vals) bool {
+		call := core.ActionCall{
+			URI:    "urn:q",
+			Params: []core.Param{{ID: "p", Value: v.Def, BindingTime: core.BindAny}},
+		}
+		inst := map[string]string{}
+		callv := map[string]string{}
+		want := v.Def
+		if v.Inst != "" {
+			inst["p"] = v.Inst
+			want = v.Inst
+		}
+		if v.Call != "" {
+			callv["p"] = v.Call
+			want = v.Call
+		}
+		got, err := ResolveParams(nil, call, inst, callv)
+		if err != nil {
+			return false
+		}
+		return got["p"] == want
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			pick := func() string {
+				options := []string{"", "a", "b", "c"}
+				return options[r.Intn(len(options))]
+			}
+			args[0] = reflect.ValueOf(struct{ Def, Inst, Call string }{pick(), pick(), pick()})
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ResolveParams never panics and never returns a map
+// containing a key that was not in any layer.
+func TestQuickResolveParamsClosedOverInputs(t *testing.T) {
+	f := func(defVal, instVal, callVal string) bool {
+		call := core.ActionCall{
+			URI:    "urn:q",
+			Params: []core.Param{{ID: "p", Value: defVal, BindingTime: core.BindAny}},
+		}
+		inst := map[string]string{"i": instVal}
+		cv := map[string]string{"c": callVal}
+		got, err := ResolveParams(nil, call, inst, cv)
+		if err != nil {
+			return false
+		}
+		for k := range got {
+			if k != "p" && k != "i" && k != "c" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import "time"
+
+// Builder assembles a Model with a fluent API. It exists for the two
+// audiences the paper targets: programmatic callers (tests, scenario
+// generators) and the designer UI backend, both of which would otherwise
+// repeat the same struct plumbing. Build validates and returns the
+// finished model.
+type Builder struct {
+	m Model
+}
+
+// NewModel starts a builder for a model with the given URI and display
+// name.
+func NewModel(uri, name string) *Builder {
+	return &Builder{m: Model{URI: uri, Name: name}}
+}
+
+// Version sets the version info block.
+func (b *Builder) Version(number, createdBy string, created time.Time) *Builder {
+	b.m.Version = VersionInfo{Number: number, CreatedBy: createdBy, Created: created}
+	return b
+}
+
+// SuggestTypes appends suggested resource types.
+func (b *Builder) SuggestTypes(types ...string) *Builder {
+	b.m.ResourceTypes = append(b.m.ResourceTypes, types...)
+	return b
+}
+
+// Annotate appends a model-level annotation.
+func (b *Builder) Annotate(note string) *Builder {
+	b.m.Annotations = append(b.m.Annotations, note)
+	return b
+}
+
+// Phase appends a phase with the given id and name and returns a
+// PhaseBuilder for attaching actions and deadlines.
+func (b *Builder) Phase(id, name string) *PhaseBuilder {
+	p := &Phase{ID: id, Name: name}
+	b.m.Phases = append(b.m.Phases, p)
+	return &PhaseBuilder{b: b, p: p}
+}
+
+// FinalPhase appends a final (end) phase. Final phases carry no actions
+// by rule; PhaseBuilder.Action on a final phase will fail validation.
+func (b *Builder) FinalPhase(id, name string) *Builder {
+	b.m.Phases = append(b.m.Phases, &Phase{ID: id, Name: name, Final: true})
+	return b
+}
+
+// Transition appends a suggested transition.
+func (b *Builder) Transition(from, to string) *Builder {
+	b.m.Transitions = append(b.m.Transitions, Transition{From: from, To: to})
+	return b
+}
+
+// LabeledTransition appends a suggested transition with designer text.
+func (b *Builder) LabeledTransition(from, to, label string) *Builder {
+	b.m.Transitions = append(b.m.Transitions, Transition{From: from, To: to, Label: label})
+	return b
+}
+
+// Initial is shorthand for Transition(Begin, to).
+func (b *Builder) Initial(to string) *Builder {
+	return b.Transition(Begin, to)
+}
+
+// Chain declares transitions linking each listed phase to the next.
+func (b *Builder) Chain(ids ...string) *Builder {
+	for i := 0; i+1 < len(ids); i++ {
+		b.Transition(ids[i], ids[i+1])
+	}
+	return b
+}
+
+// Build validates the assembled model and returns it. The model is
+// returned even when validation fails so callers that tolerate partial
+// specifications (the designer does) can keep the draft.
+func (b *Builder) Build() (*Model, error) {
+	m := b.m.Clone()
+	return m, m.Validate()
+}
+
+// MustBuild is Build for static models known to be valid; it panics on
+// validation failure.
+func (b *Builder) MustBuild() *Model {
+	m, err := b.Build()
+	if err != nil {
+		panic("core: MustBuild: " + err.Error())
+	}
+	return m
+}
+
+// PhaseBuilder configures one phase in place.
+type PhaseBuilder struct {
+	b *Builder
+	p *Phase
+}
+
+// Action attaches an action call with already-bound or unbound
+// parameters.
+func (pb *PhaseBuilder) Action(uri, name string, params ...Param) *PhaseBuilder {
+	pb.p.Actions = append(pb.p.Actions, ActionCall{URI: uri, Name: name, Params: params})
+	return pb
+}
+
+// DueIn sets a deadline relative to instance start.
+func (pb *PhaseBuilder) DueIn(offset time.Duration) *PhaseBuilder {
+	pb.p.Deadline = Deadline{Offset: offset}
+	return pb
+}
+
+// DueAt sets an absolute deadline.
+func (pb *PhaseBuilder) DueAt(t time.Time) *PhaseBuilder {
+	pb.p.Deadline = Deadline{Absolute: t}
+	return pb
+}
+
+// Note attaches a free-form annotation to the phase.
+func (pb *PhaseBuilder) Note(note string) *PhaseBuilder {
+	pb.p.Note = note
+	return pb
+}
+
+// Done returns to the model builder.
+func (pb *PhaseBuilder) Done() *Builder { return pb.b }
+
+// Phase lets a PhaseBuilder chain straight into declaring the next
+// phase, mirroring Builder.Phase.
+func (pb *PhaseBuilder) Phase(id, name string) *PhaseBuilder { return pb.b.Phase(id, name) }
+
+// FinalPhase mirrors Builder.FinalPhase.
+func (pb *PhaseBuilder) FinalPhase(id, name string) *Builder { return pb.b.FinalPhase(id, name) }
+
+// Transition mirrors Builder.Transition.
+func (pb *PhaseBuilder) Transition(from, to string) *Builder { return pb.b.Transition(from, to) }

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// fig1 builds the paper's Fig. 1 EU Project deliverable lifecycle:
+// Elaboration -> Internal Review -> Final Assembly -> EU Review ->
+// Publication, with two terminal nodes and the actions shown in the
+// figure.
+func fig1(t testing.TB) *Model {
+	t.Helper()
+	m, err := NewModel("urn:gelee:models:eu-deliverable", "EU Project deliverable lifecycle").
+		Version("1.0", "lpAdmin", time.Date(2008, 7, 8, 0, 0, 0, 0, time.UTC)).
+		SuggestTypes("mediawiki", "gdoc").
+		Phase("elaboration", "Elaboration").Done().
+		Phase("internalreview", "Internal Review").
+		Action("http://www.liquidpub.org/a/chr", "Change access rights",
+			Param{ID: "mode", Value: "reviewers-only", BindingTime: BindDefinition}).
+		Action("http://www.liquidpub.org/a/notify", "Notify reviewers",
+			Param{ID: "reviewers", BindingTime: BindInstantiation, Required: true}).
+		Done().
+		Phase("finalassembly", "Final Assembly").
+		Action("http://www.liquidpub.org/a/pdf", "Generate PDF").
+		Action("http://www.liquidpub.org/a/chr", "Change access rights",
+			Param{ID: "mode", Value: "consortium", BindingTime: BindDefinition}).
+		Done().
+		Phase("eureview", "EU Review").
+		Action("http://www.liquidpub.org/a/chr", "Change access rights",
+			Param{ID: "mode", Value: "agency", BindingTime: BindDefinition}).
+		Action("http://www.liquidpub.org/a/notify", "Notify reviewers",
+			Param{ID: "reviewers", Value: "eu-officers", BindingTime: BindAny}).
+		Done().
+		Phase("publication", "Publication").
+		Action("http://www.liquidpub.org/a/post", "Post on web site",
+			Param{ID: "site", BindingTime: BindCall, Required: true}).
+		Action("http://www.liquidpub.org/a/chr", "Change access rights",
+			Param{ID: "mode", Value: "public", BindingTime: BindDefinition}).
+		Done().
+		FinalPhase("accepted", "Accepted").
+		FinalPhase("rejected", "Rejected").
+		Initial("elaboration").
+		Chain("elaboration", "internalreview", "finalassembly", "eureview", "publication", "accepted").
+		Transition("internalreview", "elaboration"). // review iteration loop
+		Transition("eureview", "finalassembly").     // EU asks for changes
+		Transition("eureview", "rejected").
+		Build()
+	if err != nil {
+		t.Fatalf("fig1 model invalid: %v", err)
+	}
+	return m
+}
+
+func TestFig1ModelShape(t *testing.T) {
+	m := fig1(t)
+	if got, want := len(m.Phases), 7; got != want {
+		t.Fatalf("phases = %d, want %d", got, want)
+	}
+	if got := m.InitialPhases(); len(got) != 1 || got[0] != "elaboration" {
+		t.Fatalf("InitialPhases = %v, want [elaboration]", got)
+	}
+	finals := m.FinalPhases()
+	if len(finals) != 2 {
+		t.Fatalf("FinalPhases = %v, want two terminal nodes", finals)
+	}
+	ir, ok := m.Phase("internalreview")
+	if !ok {
+		t.Fatal("internalreview phase missing")
+	}
+	if len(ir.Actions) != 2 {
+		t.Fatalf("internalreview actions = %d, want 2 (change rights, notify)", len(ir.Actions))
+	}
+}
+
+func TestSuggestedFromFollowsDeclarationOrder(t *testing.T) {
+	m := fig1(t)
+	got := m.SuggestedFrom("eureview")
+	want := []string{"publication", "finalassembly", "rejected"}
+	if len(got) != len(want) {
+		t.Fatalf("SuggestedFrom(eureview) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SuggestedFrom(eureview)[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSuggests(t *testing.T) {
+	m := fig1(t)
+	cases := []struct {
+		from, to string
+		want     bool
+	}{
+		{"elaboration", "internalreview", true},
+		{"internalreview", "elaboration", true}, // iteration loop
+		{"elaboration", "publication", false},   // skipping is a deviation
+		{Begin, "elaboration", true},
+		{Begin, "publication", false},
+	}
+	for _, c := range cases {
+		if got := m.Suggests(c.from, c.to); got != c.want {
+			t.Errorf("Suggests(%q, %q) = %t, want %t", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestInitialPhasesFallsBackToFirstPhase(t *testing.T) {
+	m := &Model{Name: "draft", Phases: []*Phase{{ID: "a", Name: "A"}, {ID: "b", Name: "B"}}}
+	got := m.InitialPhases()
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("InitialPhases = %v, want fallback to first phase [a]", got)
+	}
+}
+
+func TestInitialPhasesDeduplicates(t *testing.T) {
+	m := &Model{
+		Phases: []*Phase{{ID: "a", Name: "A"}},
+		Transitions: []Transition{
+			{From: Begin, To: "a"},
+			{From: Begin, To: "a"},
+		},
+	}
+	if got := m.InitialPhases(); len(got) != 1 {
+		t.Fatalf("InitialPhases = %v, want deduplicated single entry", got)
+	}
+}
+
+func TestSuggestsTypeEmptyMeansUniversal(t *testing.T) {
+	m := &Model{Phases: []*Phase{{ID: "a", Name: "A"}}}
+	if !m.SuggestsType("anything") {
+		t.Fatal("model with no suggested types must accept every resource type")
+	}
+	m.ResourceTypes = []string{"gdoc"}
+	if m.SuggestsType("mediawiki") {
+		t.Fatal("model suggesting gdoc should not suggest mediawiki")
+	}
+	if !m.SuggestsType("gdoc") {
+		t.Fatal("model should suggest its own declared type")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := fig1(t)
+	c := m.Clone()
+	if m.Fingerprint() != c.Fingerprint() {
+		t.Fatal("clone fingerprint differs from original")
+	}
+	// Mutate the clone everywhere a shallow copy would alias.
+	c.Phases[1].Actions[0].Params[0].Value = "tampered"
+	c.Phases[0].Name = "tampered"
+	c.Transitions[0].To = "tampered"
+	c.ResourceTypes[0] = "tampered"
+	if m.Fingerprint() == c.Fingerprint() {
+		t.Fatal("mutating clone changed nothing detectable; fingerprint too weak")
+	}
+	orig, _ := m.Phase("internalreview")
+	if orig.Actions[0].Params[0].Value == "tampered" {
+		t.Fatal("mutating clone's action params leaked into original: shallow copy")
+	}
+	if m.Phases[0].Name == "tampered" {
+		t.Fatal("mutating clone's phase leaked into original")
+	}
+	if m.Transitions[0].To == "tampered" {
+		t.Fatal("mutating clone's transitions leaked into original")
+	}
+}
+
+func TestDeadlineDueAt(t *testing.T) {
+	start := time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		d    Deadline
+		want time.Time
+	}{
+		{"zero means none", Deadline{}, time.Time{}},
+		{"offset from start", Deadline{Offset: 72 * time.Hour}, start.Add(72 * time.Hour)},
+		{"absolute wins", Deadline{Offset: time.Hour, Absolute: start.Add(24 * time.Hour)}, start.Add(24 * time.Hour)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.d.DueAt(start); !got.Equal(c.want) {
+				t.Fatalf("DueAt = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestBindingTimeSemantics(t *testing.T) {
+	cases := []struct {
+		b               BindingTime
+		def, inst, call bool
+	}{
+		{BindDefinition, true, false, false},
+		{BindInstantiation, false, true, false},
+		{BindCall, false, false, true},
+		{BindAny, true, true, true},
+	}
+	for _, c := range cases {
+		if got := c.b.AllowsDefinition(); got != c.def {
+			t.Errorf("%s.AllowsDefinition = %t, want %t", c.b, got, c.def)
+		}
+		if got := c.b.AllowsInstantiation(); got != c.inst {
+			t.Errorf("%s.AllowsInstantiation = %t, want %t", c.b, got, c.inst)
+		}
+		if got := c.b.AllowsCall(); got != c.call {
+			t.Errorf("%s.AllowsCall = %t, want %t", c.b, got, c.call)
+		}
+	}
+	if BindingTime("whenever").Valid() {
+		t.Fatal("unknown binding time reported valid")
+	}
+}
+
+func TestActionCallParamLookup(t *testing.T) {
+	a := ActionCall{URI: "urn:a", Params: []Param{{ID: "x", Value: "1"}, {ID: "y"}}}
+	p, ok := a.Param("x")
+	if !ok || p.Value != "1" {
+		t.Fatalf("Param(x) = %+v, %t; want value 1, true", p, ok)
+	}
+	if _, ok := a.Param("missing"); ok {
+		t.Fatal("Param(missing) reported found")
+	}
+}

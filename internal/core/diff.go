@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Diff summarizes what changed between two model versions. The runtime
+// uses it when a designer propagates a model change (§IV.B): the
+// instance owner must choose a landing phase whenever the instance's
+// current phase was removed, and the diff tells the UI what to offer.
+type Diff struct {
+	AddedPhases   []string // phase ids present only in the new model
+	RemovedPhases []string // phase ids present only in the old model
+	ChangedPhases []string // same id, different name/actions/deadline/final flag
+	SameShape     bool     // true when nothing structural changed
+}
+
+// DiffModels compares old and new by phase id.
+func DiffModels(oldM, newM *Model) Diff {
+	var d Diff
+	oldByID := make(map[string]*Phase, len(oldM.Phases))
+	for _, p := range oldM.Phases {
+		oldByID[p.ID] = p
+	}
+	newByID := make(map[string]*Phase, len(newM.Phases))
+	for _, p := range newM.Phases {
+		newByID[p.ID] = p
+	}
+	for _, p := range newM.Phases {
+		op, ok := oldByID[p.ID]
+		switch {
+		case !ok:
+			d.AddedPhases = append(d.AddedPhases, p.ID)
+		case phaseFingerprint(op) != phaseFingerprint(p):
+			d.ChangedPhases = append(d.ChangedPhases, p.ID)
+		}
+	}
+	for _, p := range oldM.Phases {
+		if _, ok := newByID[p.ID]; !ok {
+			d.RemovedPhases = append(d.RemovedPhases, p.ID)
+		}
+	}
+	d.SameShape = len(d.AddedPhases) == 0 && len(d.RemovedPhases) == 0 &&
+		len(d.ChangedPhases) == 0 &&
+		transitionsFingerprint(oldM) == transitionsFingerprint(newM)
+	return d
+}
+
+// Removed reports whether the given phase id was removed by the change.
+func (d Diff) Removed(phaseID string) bool {
+	for _, id := range d.RemovedPhases {
+		if id == phaseID {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the diff for logs and the propagation UI.
+func (d Diff) String() string {
+	if d.SameShape {
+		return "no structural change"
+	}
+	var parts []string
+	if len(d.AddedPhases) > 0 {
+		parts = append(parts, "added "+strings.Join(d.AddedPhases, ","))
+	}
+	if len(d.RemovedPhases) > 0 {
+		parts = append(parts, "removed "+strings.Join(d.RemovedPhases, ","))
+	}
+	if len(d.ChangedPhases) > 0 {
+		parts = append(parts, "changed "+strings.Join(d.ChangedPhases, ","))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "transitions changed")
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Fingerprint returns a stable hash of the model's structural content.
+// Two models with identical phases, actions, parameters, transitions and
+// suggested types fingerprint equally regardless of version metadata.
+// The store uses it to detect no-op saves; tests use it to prove clone
+// fidelity and XML round-trip stability.
+func (m *Model) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "model|%s|%s\n", m.URI, m.Name)
+	types := append([]string(nil), m.ResourceTypes...)
+	sort.Strings(types)
+	fmt.Fprintf(h, "types|%s\n", strings.Join(types, ","))
+	for _, p := range m.Phases {
+		fmt.Fprintf(h, "phase|%s\n", phaseFingerprint(p))
+	}
+	fmt.Fprintf(h, "trans|%s\n", transitionsFingerprint(m))
+	for _, a := range m.Annotations {
+		fmt.Fprintf(h, "note|%s\n", a)
+	}
+	return h.Sum64()
+}
+
+func phaseFingerprint(p *Phase) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|final=%t|due=%d/%d|note=%s", p.ID, p.Name, p.Final,
+		p.Deadline.Offset, p.Deadline.Absolute.UnixNano(), p.Note)
+	for _, a := range p.Actions {
+		fmt.Fprintf(&b, "|act=%s,%s", a.URI, a.Name)
+		for _, prm := range a.Params {
+			fmt.Fprintf(&b, ";%s=%s,%s,%t", prm.ID, prm.Value, prm.BindingTime, prm.Required)
+		}
+	}
+	return b.String()
+}
+
+func transitionsFingerprint(m *Model) string {
+	edges := make([]string, len(m.Transitions))
+	for i, t := range m.Transitions {
+		edges[i] = t.From + ">" + t.To + ":" + t.Label
+	}
+	sort.Strings(edges)
+	return strings.Join(edges, "|")
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffIdenticalModels(t *testing.T) {
+	a := fig1(t)
+	b := a.Clone()
+	d := DiffModels(a, b)
+	if !d.SameShape {
+		t.Fatalf("identical models reported different: %s", d)
+	}
+}
+
+func TestDiffDetectsAddedPhase(t *testing.T) {
+	a := fig1(t)
+	b := a.Clone()
+	b.Phases = append(b.Phases, &Phase{ID: "archival", Name: "Archival"})
+	d := DiffModels(a, b)
+	if d.SameShape {
+		t.Fatal("added phase not detected")
+	}
+	if len(d.AddedPhases) != 1 || d.AddedPhases[0] != "archival" {
+		t.Fatalf("AddedPhases = %v, want [archival]", d.AddedPhases)
+	}
+}
+
+func TestDiffDetectsRemovedPhase(t *testing.T) {
+	a := fig1(t)
+	b := a.Clone()
+	// Remove the internal review phase — the classic "skip the internal
+	// review, we're late" change from §II.A.
+	var phases []*Phase
+	for _, p := range b.Phases {
+		if p.ID != "internalreview" {
+			phases = append(phases, p)
+		}
+	}
+	b.Phases = phases
+	d := DiffModels(a, b)
+	if len(d.RemovedPhases) != 1 || d.RemovedPhases[0] != "internalreview" {
+		t.Fatalf("RemovedPhases = %v, want [internalreview]", d.RemovedPhases)
+	}
+	if !d.Removed("internalreview") {
+		t.Fatal("Removed(internalreview) = false")
+	}
+	if d.Removed("elaboration") {
+		t.Fatal("Removed(elaboration) = true for an untouched phase")
+	}
+}
+
+func TestDiffDetectsChangedActions(t *testing.T) {
+	a := fig1(t)
+	b := a.Clone()
+	p, _ := b.Phase("publication")
+	p.Actions[0].Params[0].Value = "https://project.liquidpub.org"
+	d := DiffModels(a, b)
+	if len(d.ChangedPhases) != 1 || d.ChangedPhases[0] != "publication" {
+		t.Fatalf("ChangedPhases = %v, want [publication]", d.ChangedPhases)
+	}
+}
+
+func TestDiffDetectsTransitionOnlyChange(t *testing.T) {
+	a := fig1(t)
+	b := a.Clone()
+	b.Transitions = append(b.Transitions, Transition{From: "publication", To: "elaboration"})
+	d := DiffModels(a, b)
+	if d.SameShape {
+		t.Fatal("transition-only change not detected")
+	}
+	if len(d.AddedPhases)+len(d.RemovedPhases)+len(d.ChangedPhases) != 0 {
+		t.Fatalf("phase-level diff should be empty, got %s", d)
+	}
+	if !strings.Contains(d.String(), "transitions changed") {
+		t.Fatalf("String() = %q, want mention of transitions", d.String())
+	}
+}
+
+func TestDiffStringMentionsEverything(t *testing.T) {
+	a := fig1(t)
+	b := a.Clone()
+	b.Phases = append(b.Phases[1:], &Phase{ID: "new", Name: "New"}) // drop first, add one
+	p, _ := b.Phase("publication")
+	p.Name = "Publish!"
+	s := DiffModels(a, b).String()
+	for _, want := range []string{"added new", "removed elaboration", "changed publication"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Diff.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFingerprintIgnoresVersionMetadata(t *testing.T) {
+	a := fig1(t)
+	b := a.Clone()
+	b.Version.Number = "9.9"
+	b.Version.CreatedBy = "somebody-else"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint should ignore version metadata")
+	}
+}
+
+func TestFingerprintSensitiveToStructure(t *testing.T) {
+	a := fig1(t)
+	mutations := []func(*Model){
+		func(m *Model) { m.Phases[0].Name = "Renamed" },
+		func(m *Model) { m.Phases[0].Final = false; m.Phases[5].Final = false },
+		func(m *Model) { m.Transitions = m.Transitions[1:] },
+		func(m *Model) { m.ResourceTypes = append(m.ResourceTypes, "svn") },
+		func(m *Model) {
+			p, _ := m.Phase("internalreview")
+			p.Actions = p.Actions[:1]
+		},
+		func(m *Model) { m.Annotations = append(m.Annotations, "quality plan v2") },
+	}
+	for i, mutate := range mutations {
+		b := a.Clone()
+		mutate(b)
+		if a.Fingerprint() == b.Fingerprint() {
+			t.Errorf("mutation %d not reflected in fingerprint", i)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// genModel is a quick.Generator-style random model factory used by the
+// property tests below. It produces structurally valid models of
+// arbitrary shape: 1..12 phases, random suggested transitions, random
+// actions with random binding times, at most one final phase carrying no
+// actions.
+func genModel(r *rand.Rand) *Model {
+	n := 1 + r.Intn(12)
+	b := NewModel(fmt.Sprintf("urn:gelee:models:rnd-%d", r.Int63()), fmt.Sprintf("Random %d", n))
+	b.Version("1.0", "quick", time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
+	bindTimes := []BindingTime{BindDefinition, BindInstantiation, BindCall, BindAny}
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("p%d", i)
+		if i == n-1 && n > 1 && r.Intn(2) == 0 {
+			b.FinalPhase(ids[i], fmt.Sprintf("Phase %d", i))
+			continue
+		}
+		pb := b.Phase(ids[i], fmt.Sprintf("Phase %d", i))
+		for a := 0; a < r.Intn(3); a++ {
+			var params []Param
+			for p := 0; p < r.Intn(3); p++ {
+				params = append(params, Param{
+					ID:          fmt.Sprintf("a%dparam%d", a, p),
+					Value:       fmt.Sprintf("v%d", r.Intn(10)),
+					BindingTime: bindTimes[r.Intn(len(bindTimes))],
+					Required:    r.Intn(2) == 0,
+				})
+			}
+			pb.Action(fmt.Sprintf("urn:gelee:actions:act%d", a), fmt.Sprintf("Action %d", a), params...)
+		}
+		if r.Intn(4) == 0 {
+			pb.DueIn(time.Duration(1+r.Intn(100)) * time.Hour)
+		}
+	}
+	b.Initial(ids[0])
+	for i := 0; i < n*2; i++ {
+		from := ids[r.Intn(n)]
+		to := ids[r.Intn(n)]
+		b.Transition(from, to)
+	}
+	m, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("genModel produced invalid model: %v", err))
+	}
+	return m
+}
+
+// randomModel adapts genModel to testing/quick's Generator protocol via
+// a wrapper type.
+type randomModel struct{ M *Model }
+
+// Generate implements quick.Generator.
+func (randomModel) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomModel{M: genModel(r)})
+}
+
+// Property: cloning preserves the fingerprint, and the clone is
+// independent storage (mutating it never affects the original).
+func TestQuickClonePreservesFingerprint(t *testing.T) {
+	f := func(rm randomModel) bool {
+		m := rm.M
+		c := m.Clone()
+		if m.Fingerprint() != c.Fingerprint() {
+			return false
+		}
+		// Mutate every mutable field of the clone.
+		c.Name += "!"
+		for _, p := range c.Phases {
+			p.Name += "!"
+			for i := range p.Actions {
+				p.Actions[i].Name += "!"
+				for j := range p.Actions[i].Params {
+					p.Actions[i].Params[j].Value += "!"
+				}
+			}
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a model that passed validation always has at least one
+// initial phase, and every suggested transition both endpoints resolve.
+func TestQuickValidatedModelsAreNavigable(t *testing.T) {
+	f := func(rm randomModel) bool {
+		m := rm.M
+		if len(m.InitialPhases()) == 0 {
+			return false
+		}
+		for _, id := range m.InitialPhases() {
+			if _, ok := m.Phase(id); !ok {
+				return false
+			}
+		}
+		for _, p := range m.Phases {
+			for _, next := range m.SuggestedFrom(p.ID) {
+				if _, ok := m.Phase(next); !ok {
+					return false
+				}
+				if !m.Suggests(p.ID, next) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DiffModels(m, m.Clone()) is always SameShape, and removing
+// any phase is always detected.
+func TestQuickDiffDetectsRemovals(t *testing.T) {
+	f := func(rm randomModel) bool {
+		m := rm.M
+		if d := DiffModels(m, m.Clone()); !d.SameShape {
+			return false
+		}
+		if len(m.Phases) < 2 {
+			return true
+		}
+		c := m.Clone()
+		victim := c.Phases[len(c.Phases)/2].ID
+		var kept []*Phase
+		for _, p := range c.Phases {
+			if p.ID != victim {
+				kept = append(kept, p)
+			}
+		}
+		c.Phases = kept
+		d := DiffModels(m, c)
+		return d.Removed(victim) && !d.SameShape
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fingerprints are stable across repeated computation (no map
+// iteration order leaks into the hash).
+func TestQuickFingerprintDeterministic(t *testing.T) {
+	f := func(rm randomModel) bool {
+		m := rm.M
+		a := m.Fingerprint()
+		for i := 0; i < 5; i++ {
+			if m.Fingerprint() != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

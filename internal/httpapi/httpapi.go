@@ -1,0 +1,587 @@
+// Package httpapi exposes the lifecycle manager over HTTP: the
+// SOAP/REST interfaces of Fig. 2 through which the designer GUI,
+// execution widgets, monitoring cockpit and resource plug-ins talk to
+// the kernel.
+//
+// REST resources (JSON unless stated):
+//
+//	GET  /api/v1/ping                     liveness
+//	POST /api/v1/models                   define model (JSON or Table I XML)
+//	GET  /api/v1/models                   list models
+//	GET  /api/v1/models/one?uri=U         fetch (?format=xml → Table I)
+//	POST /api/v1/models/propagate?uri=U   push new version to instances
+//	GET  /api/v1/actions[?resource_type=] browse action library (Fig. 3)
+//	POST /api/v1/actions                  register action type (+impls)
+//	POST /api/v1/instances                instantiate
+//	GET  /api/v1/instances                list
+//	GET  /api/v1/instances/{id}           snapshot
+//	POST /api/v1/instances/{id}/advance   move the token
+//	POST /api/v1/instances/{id}/annotations
+//	POST /api/v1/instances/{id}/bindings  inst-stage parameter values
+//	POST /api/v1/instances/{id}/migrate   accept/reject a pending change
+//	POST /api/v1/callbacks/{inv}          action status callback (no auth)
+//	GET  /api/v1/monitor/summary|overview|late
+//	GET  /api/v1/monitor/instances/{id}/timeline
+//	GET  /widgets/{id}                    HTML widget (Fig. 4)
+//	GET  /widgets/{id}/json               widget payload
+//	GET  /widgets/{id}/feed               RSS feed (pipes, §V.C)
+//	POST /soap                            SOAP 1.1 subset (see soap.go)
+//
+// Authentication is the hosted-prototype scheme: the X-Gelee-User header
+// names the acting user. With RequireAuth the header must name a known
+// user; callbacks and public widgets stay open.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/core"
+	"github.com/liquidpub/gelee/internal/invoke"
+	"github.com/liquidpub/gelee/internal/monitor"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/runtime"
+	"github.com/liquidpub/gelee/internal/widget"
+	"github.com/liquidpub/gelee/internal/xmlcodec"
+)
+
+// UserHeader names the acting user on authenticated routes.
+const UserHeader = "X-Gelee-User"
+
+// Backend is the kernel surface the HTTP layer drives — implemented by
+// *gelee.System.
+type Backend interface {
+	DefineModel(actor string, m *core.Model) error
+	Model(uri string) (*core.Model, bool)
+	Models() []*core.Model
+	Propagate(actor string, m *core.Model, note string) (int, error)
+
+	ActionTypes(resourceType string) []actionlib.ActionType
+	RegisterAction(actor string, at actionlib.ActionType, impls ...actionlib.Implementation) error
+
+	Instantiate(modelURI string, ref resource.Ref, owner string, bindings map[string]map[string]string) (runtime.Snapshot, error)
+	Advance(instID, toPhase, actor string, opts runtime.AdvanceOptions) (runtime.Snapshot, error)
+	Annotate(instID, actor, note string) error
+	BindParams(instID, actor, actionURI string, values map[string]string) error
+	AcceptChange(instID, actor, landing string) (runtime.Snapshot, error)
+	RejectChange(instID, actor, note string) error
+	Instance(id string) (runtime.Snapshot, bool)
+	Instances() []runtime.Snapshot
+	Report(up actionlib.StatusUpdate) error
+
+	Monitor() *monitor.Monitor
+	Widgets() *widget.Renderer
+	UserExists(name string) bool
+}
+
+// Options configure the server.
+type Options struct {
+	// RequireAuth rejects mutating requests without a known user in the
+	// UserHeader.
+	RequireAuth bool
+}
+
+// Server is the HTTP front end.
+type Server struct {
+	b    Backend
+	opts Options
+	mux  *http.ServeMux
+}
+
+// New builds the server and its routing table.
+func New(b Backend, opts Options) *Server {
+	s := &Server{b: b, opts: opts, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"gelee": "ok"})
+	})
+
+	// Design time.
+	s.mux.HandleFunc("POST /api/v1/models", s.authed(s.handleDefineModel))
+	s.mux.HandleFunc("GET /api/v1/models", s.handleListModels)
+	s.mux.HandleFunc("GET /api/v1/models/one", s.handleGetModel)
+	s.mux.HandleFunc("POST /api/v1/models/propagate", s.authed(s.handlePropagate))
+	s.mux.HandleFunc("GET /api/v1/actions", s.handleBrowseActions)
+	s.mux.HandleFunc("POST /api/v1/actions", s.authed(s.handleRegisterAction))
+
+	// Run time.
+	s.mux.HandleFunc("POST /api/v1/instances", s.authed(s.handleInstantiate))
+	s.mux.HandleFunc("GET /api/v1/instances", s.handleListInstances)
+	s.mux.HandleFunc("GET /api/v1/instances/{id}", s.handleGetInstance)
+	s.mux.HandleFunc("POST /api/v1/instances/{id}/advance", s.authed(s.handleAdvance))
+	s.mux.HandleFunc("POST /api/v1/instances/{id}/annotations", s.authed(s.handleAnnotate))
+	s.mux.HandleFunc("POST /api/v1/instances/{id}/bindings", s.authed(s.handleBind))
+	s.mux.HandleFunc("POST /api/v1/instances/{id}/migrate", s.authed(s.handleMigrate))
+
+	// Callbacks are invoked by action implementations, not users.
+	s.mux.HandleFunc("POST /api/v1/callbacks/{inv}", s.handleCallback)
+
+	// Monitoring cockpit.
+	s.mux.HandleFunc("GET /api/v1/monitor/summary", s.handleMonitorSummary)
+	s.mux.HandleFunc("GET /api/v1/monitor/overview", s.handleMonitorOverview)
+	s.mux.HandleFunc("GET /api/v1/monitor/late", s.handleMonitorLate)
+	s.mux.HandleFunc("GET /api/v1/monitor/instances/{id}/timeline", s.handleTimeline)
+
+	// Widgets.
+	s.mux.HandleFunc("GET /widgets/{id}", s.handleWidgetHTML)
+	s.mux.HandleFunc("GET /widgets/{id}/json", s.handleWidgetJSON)
+	s.mux.HandleFunc("GET /widgets/{id}/feed", s.handleWidgetFeed)
+
+	// SOAP subset.
+	s.mux.HandleFunc("POST /soap", s.handleSOAP)
+}
+
+// user extracts the acting user from the request.
+func (s *Server) user(r *http.Request) string { return r.Header.Get(UserHeader) }
+
+// authed wraps mutating handlers with the hosted-prototype auth check.
+func (s *Server) authed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.opts.RequireAuth {
+			u := s.user(r)
+			if u == "" || !s.b.UserExists(u) {
+				writeError(w, http.StatusUnauthorized, fmt.Errorf("missing or unknown %s header", UserHeader))
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// ---- helpers -----------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusFor maps kernel errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, runtime.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, runtime.ErrForbidden):
+		return http.StatusForbidden
+	case errors.Is(err, runtime.ErrUnknownPhase), errors.Is(err, runtime.ErrNoPending):
+		return http.StatusConflict
+	case core.IsValidation(err):
+		return http.StatusUnprocessableEntity
+	}
+	var be *actionlib.BindingError
+	if errors.As(err, &be) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
+// readBody caps request bodies at 4 MiB.
+func readBody(r *http.Request) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(r.Body, 4<<20))
+}
+
+func isXML(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return strings.Contains(ct, "xml")
+}
+
+// ---- payloads ----------------------------------------------------------------
+
+// modelSummary is the list view of a model.
+type modelSummary struct {
+	URI     string   `json:"uri"`
+	Name    string   `json:"name"`
+	Version string   `json:"version"`
+	Phases  []string `json:"phases"`
+	Types   []string `json:"resource_types,omitempty"`
+}
+
+func toModelSummary(m *core.Model) modelSummary {
+	return modelSummary{
+		URI: m.URI, Name: m.Name, Version: m.Version.Number,
+		Phases: m.PhaseIDs(), Types: m.ResourceTypes,
+	}
+}
+
+// instancePayload is the JSON view of a snapshot (Snapshot itself keeps
+// its model out of JSON).
+type instancePayload struct {
+	ID            string                    `json:"id"`
+	ModelURI      string                    `json:"model_uri"`
+	ModelName     string                    `json:"model_name"`
+	Resource      resource.Ref              `json:"resource"`
+	Owner         string                    `json:"owner"`
+	State         string                    `json:"state"`
+	Current       string                    `json:"current"`
+	NextSuggested []string                  `json:"next_suggested"`
+	Phases        []string                  `json:"phases"`
+	Events        []runtime.Event           `json:"events,omitempty"`
+	Executions    []runtime.ActionExecution `json:"executions,omitempty"`
+	Pending       string                    `json:"pending_change,omitempty"`
+	Unresolved    []string                  `json:"unresolved_actions,omitempty"`
+}
+
+func toInstancePayload(s runtime.Snapshot, full bool) instancePayload {
+	p := instancePayload{
+		ID:            s.ID,
+		ModelURI:      s.ModelURI,
+		ModelName:     s.Model.Name,
+		Resource:      s.Resource,
+		Owner:         s.Owner,
+		State:         string(s.State),
+		Current:       s.Current,
+		NextSuggested: s.NextSuggested(),
+		Phases:        s.Model.PhaseIDs(),
+		Unresolved:    s.Unresolved,
+	}
+	p.Resource.Credentials = nil // never leak credentials over the API
+	if s.Pending != nil {
+		p.Pending = s.Pending.Summary
+	}
+	if full {
+		p.Events = s.Events
+		p.Executions = s.Executions
+	}
+	return p
+}
+
+// ---- design-time handlers ------------------------------------------------------
+
+func (s *Server) decodeModel(r *http.Request) (*core.Model, error) {
+	body, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if isXML(r) || (len(body) > 0 && body[0] == '<') {
+		return xmlcodec.UnmarshalModel(body)
+	}
+	var m core.Model
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("httpapi: decode model JSON: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (s *Server) handleDefineModel(w http.ResponseWriter, r *http.Request) {
+	m, err := s.decodeModel(r)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if err := s.b.DefineModel(s.user(r), m); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toModelSummary(m))
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	models := s.b.Models()
+	out := make([]modelSummary, len(models))
+	for i, m := range models {
+		out[i] = toModelSummary(m)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	uri := r.URL.Query().Get("uri")
+	m, ok := s.b.Model(uri)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no model %q", uri))
+		return
+	}
+	if r.URL.Query().Get("format") == "xml" {
+		out, err := xmlcodec.MarshalModel(m)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		w.Write(out)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) handlePropagate(w http.ResponseWriter, r *http.Request) {
+	m, err := s.decodeModel(r)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	note := r.URL.Query().Get("note")
+	n, err := s.b.Propagate(s.user(r), m, note)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"proposed_to": n})
+}
+
+func (s *Server) handleBrowseActions(w http.ResponseWriter, r *http.Request) {
+	// Fig. 3: design time browses everything; passing resource_type
+	// gives the run-time filtered view.
+	types := s.b.ActionTypes(r.URL.Query().Get("resource_type"))
+	writeJSON(w, http.StatusOK, types)
+}
+
+func (s *Server) handleRegisterAction(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var at actionlib.ActionType
+	var impls []actionlib.Implementation
+	if isXML(r) || (len(body) > 0 && body[0] == '<') {
+		at, err = xmlcodec.UnmarshalActionType(body)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+	} else {
+		var req struct {
+			Type            actionlib.ActionType       `json:"type"`
+			Implementations []actionlib.Implementation `json:"implementations"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode action registration: %w", err))
+			return
+		}
+		at, impls = req.Type, req.Implementations
+	}
+	if err := s.b.RegisterAction(s.user(r), at, impls...); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"uri": at.URI})
+}
+
+// ---- run-time handlers ----------------------------------------------------------
+
+func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ModelURI string                       `json:"model_uri"`
+		Resource resource.Ref                 `json:"resource"`
+		Owner    string                       `json:"owner"`
+		Bindings map[string]map[string]string `json:"bindings"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	owner := req.Owner
+	if owner == "" {
+		owner = s.user(r)
+	}
+	snap, err := s.b.Instantiate(req.ModelURI, req.Resource, owner, req.Bindings)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toInstancePayload(snap, true))
+}
+
+func (s *Server) handleListInstances(w http.ResponseWriter, r *http.Request) {
+	snaps := s.b.Instances()
+	out := make([]instancePayload, len(snaps))
+	for i, snap := range snaps {
+		out[i] = toInstancePayload(snap, false)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetInstance(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.b.Instance(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, toInstancePayload(snap, true))
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		To         string                       `json:"to"`
+		Annotation string                       `json:"annotation"`
+		Bindings   map[string]map[string]string `json:"bindings"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap, err := s.b.Advance(r.PathValue("id"), req.To, s.user(r), runtime.AdvanceOptions{
+		Annotation:   req.Annotation,
+		CallBindings: req.Bindings,
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toInstancePayload(snap, true))
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Note string `json:"note"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.b.Annotate(r.PathValue("id"), s.user(r), req.Note); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"annotated": r.PathValue("id")})
+}
+
+func (s *Server) handleBind(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ActionURI string            `json:"action_uri"`
+		Values    map[string]string `json:"values"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.b.BindParams(r.PathValue("id"), s.user(r), req.ActionURI, req.Values); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"bound": req.ActionURI})
+}
+
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Decision string `json:"decision"` // "accept" | "reject"
+		Landing  string `json:"landing"`
+		Note     string `json:"note"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch req.Decision {
+	case "accept":
+		snap, err := s.b.AcceptChange(r.PathValue("id"), s.user(r), req.Landing)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toInstancePayload(snap, true))
+	case "reject":
+		if err := s.b.RejectChange(r.PathValue("id"), s.user(r), req.Note); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"rejected": r.PathValue("id")})
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decision must be accept or reject"))
+	}
+}
+
+func (s *Server) handleCallback(w http.ResponseWriter, r *http.Request) {
+	up, err := invoke.DecodeStatus(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if up.InvocationID == "" {
+		up.InvocationID = r.PathValue("inv")
+	}
+	if up.InvocationID != r.PathValue("inv") {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("invocation id mismatch: body %q vs path %q", up.InvocationID, r.PathValue("inv")))
+		return
+	}
+	if err := s.b.Report(up); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"received": up.InvocationID})
+}
+
+// ---- monitoring handlers ---------------------------------------------------------
+
+func (s *Server) handleMonitorSummary(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.b.Monitor().Summarize())
+}
+
+func (s *Server) handleMonitorOverview(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.b.Monitor().Overview())
+}
+
+func (s *Server) handleMonitorLate(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.b.Monitor().Late())
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	tl, ok := s.b.Monitor().Timeline(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, tl)
+}
+
+// ---- widget handlers ----------------------------------------------------------
+
+func widgetStatus(err error) int {
+	switch {
+	case errors.Is(err, widget.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, widget.ErrDenied):
+		return http.StatusForbidden
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleWidgetHTML(w http.ResponseWriter, r *http.Request) {
+	html, err := s.b.Widgets().HTML(r.PathValue("id"), s.user(r))
+	if err != nil {
+		writeError(w, widgetStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, html)
+}
+
+func (s *Server) handleWidgetJSON(w http.ResponseWriter, r *http.Request) {
+	v, err := s.b.Widgets().View(r.PathValue("id"), s.user(r))
+	if err != nil {
+		writeError(w, widgetStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleWidgetFeed(w http.ResponseWriter, r *http.Request) {
+	out, err := s.b.Widgets().Feed(r.PathValue("id"), s.user(r))
+	if err != nil {
+		writeError(w, widgetStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/rss+xml")
+	w.Write(out)
+}

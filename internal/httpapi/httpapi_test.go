@@ -1,0 +1,605 @@
+// These tests drive the full Fig. 2 architecture over the wire: REST
+// design-time and run-time APIs, the Fig. 3 action browse, callbacks,
+// the monitoring cockpit, Fig. 4 widgets, and the SOAP subset — using a
+// real gelee.System with the embedded plug-in suite as the backend.
+package httpapi_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/liquidpub/gelee"
+	"github.com/liquidpub/gelee/internal/httpapi"
+	"github.com/liquidpub/gelee/internal/scenario"
+	"github.com/liquidpub/gelee/internal/vclock"
+	"github.com/liquidpub/gelee/internal/xmlcodec"
+)
+
+type env struct {
+	sys   *gelee.System
+	srv   *httptest.Server
+	clock *vclock.Fake
+}
+
+func newEnv(t *testing.T, auth bool) *env {
+	t.Helper()
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 9, 0, 0, 0, time.UTC))
+	sys, err := gelee.New(gelee.Options{
+		Clock:           clock,
+		EmbeddedPlugins: true,
+		SyncActions:     true,
+		Auth:            auth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.HTTPHandler())
+	t.Cleanup(func() { srv.Close(); sys.Close() })
+	return &env{sys: sys, srv: srv, clock: clock}
+}
+
+// call issues a JSON request and decodes the JSON response into out
+// (which may be nil).
+func (e *env) call(t *testing.T, method, path, user string, body any, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, e.srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if user != "" {
+		req.Header.Set(httpapi.UserHeader, user)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("%s %s: decode response: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+type instanceJSON struct {
+	ID            string   `json:"id"`
+	State         string   `json:"state"`
+	Current       string   `json:"current"`
+	NextSuggested []string `json:"next_suggested"`
+	Pending       string   `json:"pending_change"`
+	Executions    []struct {
+		ActionURI  string `json:"action_uri"`
+		LastStatus string `json:"last_status"`
+		Terminal   bool   `json:"terminal"`
+	} `json:"executions"`
+}
+
+func TestPing(t *testing.T) {
+	e := newEnv(t, false)
+	var out map[string]string
+	if code := e.call(t, "GET", "/api/v1/ping", "", nil, &out); code != 200 {
+		t.Fatalf("ping = %d", code)
+	}
+	if out["gelee"] != "ok" {
+		t.Fatalf("ping body = %v", out)
+	}
+}
+
+// TestFig2EndToEnd is experiment E4: define a model with Table I XML,
+// instantiate it on a simulated document over REST, advance through the
+// lifecycle, watch actions execute and callbacks land, read the
+// execution history.
+func TestFig2EndToEnd(t *testing.T) {
+	e := newEnv(t, false)
+
+	// 1. Design time: POST the Table I XML document.
+	model := scenario.QualityPlan()
+	xmlDoc, err := xmlcodec.MarshalModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("POST", e.srv.URL+"/api/v1/models", bytes.NewReader(xmlDoc))
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("define model = %d: %s", resp.StatusCode, body)
+	}
+	resp.Body.Close()
+
+	// The stored model round-trips back as Table I XML.
+	resp, err = http.Get(e.srv.URL + "/api/v1/models/one?uri=" + model.URI + "&format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	m2, err := xmlcodec.UnmarshalModel(back)
+	if err != nil {
+		t.Fatalf("returned XML invalid: %v", err)
+	}
+	if m2.Fingerprint() != model.Fingerprint() {
+		t.Fatal("model drifted across the API")
+	}
+
+	// 2. Create the managed resource in the simulated service.
+	e.sys.Sims.GDocs.Create("D2.1", "Requirements Analysis", "epfl-lead", "draft")
+
+	// 3. Run time: instantiate over REST.
+	var inst instanceJSON
+	code := e.call(t, "POST", "/api/v1/instances", "epfl-lead", map[string]any{
+		"model_uri": model.URI,
+		"resource":  map[string]string{"uri": "http://docs.liquidpub.org/docs/D2.1", "type": "gdoc"},
+		"owner":     "epfl-lead",
+		"bindings": map[string]map[string]string{
+			"http://www.liquidpub.org/a/notify": {"reviewers": "unitn-reviewer"},
+		},
+	}, &inst)
+	if code != http.StatusCreated {
+		t.Fatalf("instantiate = %d", code)
+	}
+	if inst.Current != "" || inst.State != "active" {
+		t.Fatalf("fresh instance = %+v", inst)
+	}
+
+	// 4. Advance through the whole lifecycle.
+	for _, phase := range scenario.HappyPath {
+		body := map[string]any{"to": phase}
+		if phase == "publication" {
+			body["bindings"] = map[string]map[string]string{
+				"http://www.liquidpub.org/a/post": {"site": "project.liquidpub.org"},
+			}
+		}
+		var out instanceJSON
+		if code := e.call(t, "POST", "/api/v1/instances/"+inst.ID+"/advance", "epfl-lead", body, &out); code != 200 {
+			t.Fatalf("advance %s = %d", phase, code)
+		}
+		if out.Current != phase {
+			t.Fatalf("current = %q after advancing to %q", out.Current, phase)
+		}
+	}
+
+	// 5. Final state: completed, all actions terminal-completed.
+	var final instanceJSON
+	e.call(t, "GET", "/api/v1/instances/"+inst.ID, "", nil, &final)
+	if final.State != "completed" {
+		t.Fatalf("state = %s", final.State)
+	}
+	if len(final.Executions) == 0 {
+		t.Fatal("no executions recorded")
+	}
+	for _, ex := range final.Executions {
+		if !ex.Terminal || ex.LastStatus != "completed" {
+			t.Fatalf("execution %+v", ex)
+		}
+	}
+
+	// 6. The document itself changed: published documents are public.
+	doc, _ := e.sys.Sims.GDocs.Get("D2.1")
+	if doc.Mode != "public" {
+		t.Fatalf("document mode = %s", doc.Mode)
+	}
+
+	// 7. The cockpit saw everything.
+	var tl []map[string]any
+	if code := e.call(t, "GET", "/api/v1/monitor/instances/"+inst.ID+"/timeline", "", nil, &tl); code != 200 {
+		t.Fatalf("timeline = %d", code)
+	}
+	if len(tl) < 8 {
+		t.Fatalf("timeline entries = %d", len(tl))
+	}
+}
+
+func TestFig3ActionBrowse(t *testing.T) {
+	e := newEnv(t, false)
+	var all []map[string]any
+	e.call(t, "GET", "/api/v1/actions", "", nil, &all)
+	var svnOnly []map[string]any
+	e.call(t, "GET", "/api/v1/actions?resource_type=svn", "", nil, &svnOnly)
+	if len(all) <= len(svnOnly) {
+		t.Fatalf("design browse (%d) should exceed svn runtime browse (%d)", len(all), len(svnOnly))
+	}
+	if len(svnOnly) != 3 {
+		t.Fatalf("svn actions = %d, want 3", len(svnOnly))
+	}
+}
+
+func TestRegisterActionOverAPI(t *testing.T) {
+	e := newEnv(t, false)
+	// JSON form with implementations.
+	code := e.call(t, "POST", "/api/v1/actions", "", map[string]any{
+		"type": map[string]any{"URI": "urn:custom:archive", "Name": "Archive"},
+		"implementations": []map[string]any{
+			{"ResourceType": "gdoc", "Endpoint": "http://archiver/act", "Protocol": "rest"},
+		},
+	}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("register = %d", code)
+	}
+	var gdocActions []map[string]any
+	e.call(t, "GET", "/api/v1/actions?resource_type=gdoc", "", nil, &gdocActions)
+	found := false
+	for _, a := range gdocActions {
+		if a["URI"] == "urn:custom:archive" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered action not browsable")
+	}
+
+	// Table II XML form.
+	xmlBody := `<action_type uri="urn:custom:stamp"><name>Stamp</name>
+	  <parameters><param bindingTime="call" required="yes"><name>seal</name><value></value></param></parameters>
+	</action_type>`
+	req, _ := http.NewRequest("POST", e.srv.URL+"/api/v1/actions", strings.NewReader(xmlBody))
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("XML register = %d: %s", resp.StatusCode, body)
+	}
+	resp.Body.Close()
+}
+
+func TestDeviationAndMigrationOverAPI(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "o", "x")
+
+	var inst instanceJSON
+	e.call(t, "POST", "/api/v1/instances", "owner", map[string]any{
+		"model_uri": model.URI,
+		"resource":  map[string]string{"uri": "http://wiki/D1.1", "type": "mediawiki"},
+		"owner":     "owner",
+	}, &inst)
+
+	// Deviation with annotation.
+	var out instanceJSON
+	e.call(t, "POST", "/api/v1/instances/"+inst.ID+"/advance", "owner",
+		map[string]any{"to": "eureview", "annotation": "skipping everything, deadline"}, &out)
+	if out.Current != "eureview" {
+		t.Fatalf("current = %q", out.Current)
+	}
+
+	// Propagate a model change, then reject it over the API.
+	v2 := model.Clone()
+	v2.Version.Number = "2.0"
+	v2.Phases = append(v2.Phases, &gelee.Phase{ID: "archival", Name: "Archival"})
+	data, _ := json.Marshal(v2)
+	req, _ := http.NewRequest("POST", e.srv.URL+"/api/v1/models/propagate?note=archive", bytes.NewReader(data))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prop map[string]int
+	json.NewDecoder(resp.Body).Decode(&prop)
+	resp.Body.Close()
+	if prop["proposed_to"] != 1 {
+		t.Fatalf("propagate = %v", prop)
+	}
+	var got instanceJSON
+	e.call(t, "GET", "/api/v1/instances/"+inst.ID, "", nil, &got)
+	if got.Pending == "" {
+		t.Fatal("pending change missing")
+	}
+	if code := e.call(t, "POST", "/api/v1/instances/"+inst.ID+"/migrate", "owner",
+		map[string]any{"decision": "reject", "note": "not now"}, nil); code != 200 {
+		t.Fatalf("reject = %d", code)
+	}
+	var after instanceJSON
+	e.call(t, "GET", "/api/v1/instances/"+inst.ID, "", nil, &after)
+	if after.Pending != "" {
+		t.Fatal("pending survived rejection")
+	}
+	// Bad decision value.
+	if code := e.call(t, "POST", "/api/v1/instances/"+inst.ID+"/migrate", "owner",
+		map[string]any{"decision": "maybe"}, nil); code != 400 {
+		t.Fatalf("bad decision = %d", code)
+	}
+}
+
+func TestCallbackEndpoint(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "o", "x")
+	snap, err := e.sys.Instantiate(model.URI, gelee.Ref{URI: "http://wiki/D1.1", Type: "mediawiki"}, "owner", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.sys.Advance(snap.ID, "elaboration", "owner", gelee.AdvanceOptions{})
+	e.sys.Advance(snap.ID, "internalreview", "owner", gelee.AdvanceOptions{
+		CallBindings: map[string]map[string]string{
+			"http://www.liquidpub.org/a/notify": {"reviewers": "r1"},
+		},
+	})
+	got, _ := e.sys.Instance(snap.ID)
+	inv := got.Executions[0].InvocationID
+
+	// Late duplicate callback over HTTP: accepted, idempotent.
+	body := fmt.Sprintf(`{"invocation_id":%q,"message":"completed","detail":"late dup"}`, inv)
+	resp, err := http.Post(e.srv.URL+"/api/v1/callbacks/"+inv, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("callback = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Mismatched path/body ids rejected.
+	resp, _ = http.Post(e.srv.URL+"/api/v1/callbacks/inv-000042", "application/json", strings.NewReader(body))
+	if resp.StatusCode != 400 {
+		t.Fatalf("mismatch = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown invocation 404s.
+	resp, _ = http.Post(e.srv.URL+"/api/v1/callbacks/inv-999999", "application/json",
+		strings.NewReader(`{"invocation_id":"inv-999999","message":"completed"}`))
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestMonitorEndpoints(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("D1.%d", i+1)
+		e.sys.Sims.Wiki.CreatePage(id, "o", "x")
+		snap, _ := e.sys.Instantiate(model.URI, gelee.Ref{URI: "http://wiki/" + id, Type: "mediawiki"}, "owner", nil)
+		e.sys.Advance(snap.ID, "elaboration", "owner", gelee.AdvanceOptions{})
+	}
+	var sum struct {
+		Total   int            `json:"total"`
+		Active  int            `json:"active"`
+		ByPhase map[string]int `json:"by_phase"`
+	}
+	e.call(t, "GET", "/api/v1/monitor/summary", "", nil, &sum)
+	if sum.Total != 3 || sum.Active != 3 || sum.ByPhase["Elaboration"] != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	var rows []map[string]any
+	e.call(t, "GET", "/api/v1/monitor/overview", "", nil, &rows)
+	if len(rows) != 3 {
+		t.Fatalf("overview = %d rows", len(rows))
+	}
+	e.clock.Advance(31 * 24 * time.Hour)
+	var late []map[string]any
+	e.call(t, "GET", "/api/v1/monitor/late", "", nil, &late)
+	if len(late) != 3 {
+		t.Fatalf("late = %d rows", len(late))
+	}
+	if code := e.call(t, "GET", "/api/v1/monitor/instances/ghost/timeline", "", nil, nil); code != 404 {
+		t.Fatalf("ghost timeline = %d", code)
+	}
+}
+
+func TestWidgetEndpoints(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "o", "x")
+	snap, _ := e.sys.Instantiate(model.URI, gelee.Ref{URI: "http://wiki/D1.1", Type: "mediawiki"}, "owner", nil)
+	e.sys.Advance(snap.ID, "elaboration", "owner", gelee.AdvanceOptions{})
+
+	resp, err := http.Get(e.srv.URL + "/widgets/" + snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(html), "gelee-widget") {
+		t.Fatalf("widget HTML = %d:\n%s", resp.StatusCode, html)
+	}
+	var view map[string]any
+	if code := e.call(t, "GET", "/widgets/"+snap.ID+"/json", "", nil, &view); code != 200 {
+		t.Fatalf("widget JSON = %d", code)
+	}
+	if view["current"] != "elaboration" {
+		t.Fatalf("view = %v", view)
+	}
+	resp, _ = http.Get(e.srv.URL + "/widgets/" + snap.ID + "/feed")
+	feed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(feed), "<rss") {
+		t.Fatalf("feed = %s", feed)
+	}
+	resp, _ = http.Get(e.srv.URL + "/widgets/ghost")
+	if resp.StatusCode != 404 {
+		t.Fatalf("ghost widget = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestSOAPAdvanceAndGet(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "o", "x")
+	snap, _ := e.sys.Instantiate(model.URI, gelee.Ref{URI: "http://wiki/D1.1", Type: "mediawiki"}, "owner", nil)
+
+	envelope := fmt.Sprintf(`<?xml version="1.0"?>
+	<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body>
+	  <advance xmlns="urn:gelee:lifecycle">
+	    <instanceId>%s</instanceId><to>elaboration</to><actor>owner</actor>
+	  </advance>
+	</Body></Envelope>`, snap.ID)
+	resp, err := http.Post(e.srv.URL+"/soap", "text/xml", strings.NewReader(envelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("SOAP advance = %d: %s", resp.StatusCode, body)
+	}
+	s := string(body)
+	for _, want := range []string{"instanceState", "<current>elaboration</current>", "<state>active</state>"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SOAP response missing %q:\n%s", want, s)
+		}
+	}
+
+	getEnv := fmt.Sprintf(`<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body>
+	  <getInstance xmlns="urn:gelee:lifecycle"><instanceId>%s</instanceId></getInstance>
+	</Body></Envelope>`, snap.ID)
+	resp, _ = http.Post(e.srv.URL+"/soap", "text/xml", strings.NewReader(getEnv))
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "<current>elaboration</current>") {
+		t.Fatalf("SOAP get:\n%s", body)
+	}
+
+	// Fault paths.
+	resp, _ = http.Post(e.srv.URL+"/soap", "text/xml", strings.NewReader("<Envelope xmlns=\"http://schemas.xmlsoap.org/soap/envelope/\"><Body/></Envelope>"))
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 500 || !strings.Contains(string(body), "Fault") {
+		t.Fatalf("unknown op: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = http.Post(e.srv.URL+"/soap", "text/xml", strings.NewReader("not xml"))
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("malformed envelope = %d", resp.StatusCode)
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	e := newEnv(t, true)
+	e.sys.AddUser(gelee.User{Name: "coordinator"})
+
+	model := scenario.QualityPlan()
+	data, _ := json.Marshal(model)
+
+	// No user header → 401.
+	resp, err := http.Post(e.srv.URL+"/api/v1/models", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("anonymous define = %d", resp.StatusCode)
+	}
+	// Unknown user → 401.
+	req, _ := http.NewRequest("POST", e.srv.URL+"/api/v1/models", bytes.NewReader(data))
+	req.Header.Set(httpapi.UserHeader, "nobody")
+	req.Header.Set("Content-Type", "application/json")
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unknown user define = %d", resp.StatusCode)
+	}
+	// Known user → 201.
+	if code := e.call(t, "POST", "/api/v1/models", "coordinator", model, nil); code != http.StatusCreated {
+		t.Fatalf("known user define = %d", code)
+	}
+	// Reads stay open.
+	if code := e.call(t, "GET", "/api/v1/models", "", nil, nil); code != 200 {
+		t.Fatalf("anonymous list = %d", code)
+	}
+}
+
+func TestDefineModelValidationErrors(t *testing.T) {
+	e := newEnv(t, false)
+	// Invalid JSON.
+	resp, _ := http.Post(e.srv.URL+"/api/v1/models", "application/json", strings.NewReader("{"))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad JSON = %d", resp.StatusCode)
+	}
+	// Structurally invalid model (duplicate phases).
+	bad := `{"URI":"urn:x","Name":"x","Phases":[{"ID":"a","Name":"A"},{"ID":"a","Name":"A2"}]}`
+	resp, _ = http.Post(e.srv.URL+"/api/v1/models", "application/json", strings.NewReader(bad))
+	resp.Body.Close()
+	if resp.StatusCode != 422 {
+		t.Fatalf("invalid model = %d", resp.StatusCode)
+	}
+	// Unknown model fetch.
+	resp, _ = http.Get(e.srv.URL + "/api/v1/models/one?uri=urn:ghost")
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown model = %d", resp.StatusCode)
+	}
+}
+
+func TestInstanceErrorsOverAPI(t *testing.T) {
+	e := newEnv(t, false)
+	if code := e.call(t, "GET", "/api/v1/instances/li-999999", "", nil, nil); code != 404 {
+		t.Fatalf("missing instance = %d", code)
+	}
+	if code := e.call(t, "POST", "/api/v1/instances/li-999999/advance", "u", map[string]any{"to": "x"}, nil); code != 404 {
+		t.Fatalf("advance missing = %d", code)
+	}
+	// Instantiate with unknown model URI.
+	if code := e.call(t, "POST", "/api/v1/instances", "u", map[string]any{
+		"model_uri": "urn:ghost",
+		"resource":  map[string]string{"uri": "u", "type": "t"},
+	}, nil); code != 400 {
+		t.Fatalf("unknown model instantiate = %d", code)
+	}
+	// Advance to a phase outside the model → 409.
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D9.9", "o", "x")
+	snap, _ := e.sys.Instantiate(model.URI, gelee.Ref{URI: "http://wiki/D9.9", Type: "mediawiki"}, "owner", nil)
+	if code := e.call(t, "POST", "/api/v1/instances/"+snap.ID+"/advance", "owner",
+		map[string]any{"to": "nonexistent-phase"}, nil); code != 409 {
+		t.Fatalf("unknown phase = %d", code)
+	}
+}
+
+func TestCredentialsNeverLeak(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "o", "x")
+	snap, err := e.sys.Instantiate(model.URI,
+		gelee.Ref{URI: "http://wiki/D1.1", Type: "mediawiki",
+			Credentials: map[string]string{"password": "hunter2"}},
+		"owner", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := http.Get(e.srv.URL + "/api/v1/instances/" + snap.ID)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "hunter2") {
+		t.Fatal("resource credentials leaked over the API")
+	}
+	resp, _ = http.Get(e.srv.URL + "/api/v1/instances")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "hunter2") {
+		t.Fatal("resource credentials leaked in the list view")
+	}
+}

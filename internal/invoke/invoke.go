@@ -1,0 +1,328 @@
+// Package invoke carries action invocations from the lifecycle manager
+// to action implementations and status updates back. It implements the
+// §IV.C contract: "the action is invoked by calling an URI that
+// identifies a web service (either REST or SOAP), passing as parameters
+// a link to the object and a callback URI. Upon completion, or
+// periodically during execution, the action can then call the callback
+// URI and update on its status."
+//
+// Three transports are provided: REST (JSON over HTTP POST), SOAP (a
+// minimal SOAP 1.1 envelope over HTTP POST), and local (in-process
+// handler table) for embedded deployments and tests. A Dispatcher picks
+// the transport from the resolved implementation's protocol.
+package invoke
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+)
+
+// WireInvocation is the JSON body POSTed to a REST action endpoint.
+type WireInvocation struct {
+	ID           string            `json:"invocation_id"`
+	TypeURI      string            `json:"action_type"`
+	ActionName   string            `json:"action_name,omitempty"`
+	ResourceURI  string            `json:"resource_uri"`
+	ResourceType string            `json:"resource_type"`
+	CallbackURI  string            `json:"callback_uri"`
+	Params       map[string]string `json:"params,omitempty"`
+	Credentials  map[string]string `json:"credentials,omitempty"`
+}
+
+// WireStatus is the JSON body an action POSTs to its callback URI.
+type WireStatus struct {
+	InvocationID string `json:"invocation_id"`
+	Message      string `json:"message"`
+	Detail       string `json:"detail,omitempty"`
+}
+
+// ToWire converts a runtime invocation to its wire form.
+func ToWire(inv actionlib.Invocation) WireInvocation {
+	return WireInvocation{
+		ID:           inv.ID,
+		TypeURI:      inv.TypeURI,
+		ActionName:   inv.ActionName,
+		ResourceURI:  inv.ResourceURI,
+		ResourceType: inv.ResourceType,
+		CallbackURI:  inv.CallbackURI,
+		Params:       inv.Params,
+		Credentials:  inv.Credentials,
+	}
+}
+
+// FromWire converts a wire invocation back to the runtime form.
+// Endpoint and protocol are not on the wire — the receiver is the
+// endpoint.
+func FromWire(w WireInvocation) actionlib.Invocation {
+	return actionlib.Invocation{
+		ID:           w.ID,
+		TypeURI:      w.TypeURI,
+		ActionName:   w.ActionName,
+		ResourceURI:  w.ResourceURI,
+		ResourceType: w.ResourceType,
+		CallbackURI:  w.CallbackURI,
+		Params:       w.Params,
+		Credentials:  w.Credentials,
+	}
+}
+
+// DecodeInvocation reads a WireInvocation from a request body.
+func DecodeInvocation(r io.Reader) (actionlib.Invocation, error) {
+	var w WireInvocation
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return actionlib.Invocation{}, fmt.Errorf("invoke: decode invocation: %w", err)
+	}
+	if w.ID == "" {
+		return actionlib.Invocation{}, fmt.Errorf("invoke: invocation without id")
+	}
+	return FromWire(w), nil
+}
+
+// RESTInvoker POSTs invocations as JSON to the implementation endpoint.
+type RESTInvoker struct {
+	Client *http.Client
+}
+
+// Invoke implements runtime.Invoker semantics for REST endpoints. A
+// non-2xx response is a dispatch failure.
+func (ri *RESTInvoker) Invoke(inv actionlib.Invocation) error {
+	body, err := json.Marshal(ToWire(inv))
+	if err != nil {
+		return fmt.Errorf("invoke: encode invocation %s: %w", inv.ID, err)
+	}
+	client := ri.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := client.Post(inv.Endpoint, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("invoke: POST %s: %w", inv.Endpoint, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("invoke: POST %s: status %s", inv.Endpoint, resp.Status)
+	}
+	return nil
+}
+
+// soapEnvelope is the minimal SOAP 1.1 wrapper used by the SOAP
+// transport.
+type soapEnvelope struct {
+	XMLName xml.Name `xml:"http://schemas.xmlsoap.org/soap/envelope/ Envelope"`
+	Body    soapBody `xml:"http://schemas.xmlsoap.org/soap/envelope/ Body"`
+}
+
+type soapBody struct {
+	Invoke *soapInvoke `xml:"urn:gelee:actions invoke,omitempty"`
+}
+
+type soapInvoke struct {
+	ID           string      `xml:"invocationId"`
+	TypeURI      string      `xml:"actionType"`
+	ResourceURI  string      `xml:"resourceUri"`
+	ResourceType string      `xml:"resourceType"`
+	CallbackURI  string      `xml:"callbackUri"`
+	Params       []soapParam `xml:"params>param"`
+}
+
+type soapParam struct {
+	ID    string `xml:"id,attr"`
+	Value string `xml:",chardata"`
+}
+
+// SOAPInvoker wraps the invocation in a SOAP envelope.
+type SOAPInvoker struct {
+	Client *http.Client
+}
+
+// Invoke POSTs a SOAP envelope to the endpoint.
+func (si *SOAPInvoker) Invoke(inv actionlib.Invocation) error {
+	env := soapEnvelope{Body: soapBody{Invoke: &soapInvoke{
+		ID:           inv.ID,
+		TypeURI:      inv.TypeURI,
+		ResourceURI:  inv.ResourceURI,
+		ResourceType: inv.ResourceType,
+		CallbackURI:  inv.CallbackURI,
+	}}}
+	for k, v := range inv.Params {
+		env.Body.Invoke.Params = append(env.Body.Invoke.Params, soapParam{ID: k, Value: v})
+	}
+	body, err := xml.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("invoke: encode SOAP %s: %w", inv.ID, err)
+	}
+	client := si.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	req, err := http.NewRequest(http.MethodPost, inv.Endpoint, bytes.NewReader(append([]byte(xml.Header), body...)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	req.Header.Set("SOAPAction", "urn:gelee:actions#invoke")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("invoke: SOAP POST %s: %w", inv.Endpoint, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("invoke: SOAP POST %s: status %s", inv.Endpoint, resp.Status)
+	}
+	return nil
+}
+
+// DecodeSOAPInvocation parses a SOAP envelope into an invocation.
+func DecodeSOAPInvocation(r io.Reader) (actionlib.Invocation, error) {
+	var env soapEnvelope
+	if err := xml.NewDecoder(r).Decode(&env); err != nil {
+		return actionlib.Invocation{}, fmt.Errorf("invoke: decode SOAP: %w", err)
+	}
+	if env.Body.Invoke == nil {
+		return actionlib.Invocation{}, fmt.Errorf("invoke: SOAP body has no invoke element")
+	}
+	in := env.Body.Invoke
+	inv := actionlib.Invocation{
+		ID:           in.ID,
+		TypeURI:      in.TypeURI,
+		ResourceURI:  in.ResourceURI,
+		ResourceType: in.ResourceType,
+		CallbackURI:  in.CallbackURI,
+		Params:       make(map[string]string, len(in.Params)),
+	}
+	for _, p := range in.Params {
+		inv.Params[p.ID] = p.Value
+	}
+	return inv, nil
+}
+
+// Handler is an in-process action implementation: perform the operation
+// and return the terminal status detail. Returning an error reports the
+// reserved failed status; otherwise completed is reported. Handlers may
+// send intermediate updates through the Reporter first.
+type Handler func(inv actionlib.Invocation, report Reporter) (detail string, err error)
+
+// Reporter delivers status updates back to the lifecycle manager.
+type Reporter interface {
+	Report(up actionlib.StatusUpdate) error
+}
+
+// LocalInvoker routes invocations to registered in-process handlers by
+// endpoint key and reports the terminal status itself. It exercises the
+// same resolution and callback code paths as the HTTP transports minus
+// the network.
+type LocalInvoker struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	reporter Reporter
+}
+
+// NewLocalInvoker returns a LocalInvoker reporting through r.
+func NewLocalInvoker(r Reporter) *LocalInvoker {
+	return &LocalInvoker{handlers: make(map[string]Handler), reporter: r}
+}
+
+// Register installs the handler for an endpoint key (e.g.
+// "local://gdoc/chr"). Re-registering replaces.
+func (li *LocalInvoker) Register(endpoint string, h Handler) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	li.handlers[endpoint] = h
+}
+
+// Invoke implements runtime.Invoker.
+func (li *LocalInvoker) Invoke(inv actionlib.Invocation) error {
+	li.mu.RLock()
+	h, ok := li.handlers[inv.Endpoint]
+	li.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("invoke: no local handler for endpoint %q", inv.Endpoint)
+	}
+	detail, err := h(inv, li.reporter)
+	up := actionlib.StatusUpdate{InvocationID: inv.ID, Message: actionlib.StatusCompleted, Detail: detail}
+	if err != nil {
+		up.Message = actionlib.StatusFailed
+		up.Detail = err.Error()
+	}
+	return li.reporter.Report(up)
+}
+
+// Dispatcher routes by implementation protocol — the single Invoker the
+// runtime is configured with in full deployments.
+type Dispatcher struct {
+	REST  *RESTInvoker
+	SOAP  *SOAPInvoker
+	Local *LocalInvoker
+}
+
+// Invoke implements runtime.Invoker.
+func (d *Dispatcher) Invoke(inv actionlib.Invocation) error {
+	switch inv.Protocol {
+	case actionlib.ProtocolREST:
+		if d.REST == nil {
+			return fmt.Errorf("invoke: REST transport not configured")
+		}
+		return d.REST.Invoke(inv)
+	case actionlib.ProtocolSOAP:
+		if d.SOAP == nil {
+			return fmt.Errorf("invoke: SOAP transport not configured")
+		}
+		return d.SOAP.Invoke(inv)
+	case actionlib.ProtocolLocal:
+		if d.Local == nil {
+			return fmt.Errorf("invoke: local transport not configured")
+		}
+		return d.Local.Invoke(inv)
+	}
+	return fmt.Errorf("invoke: unknown protocol %q", inv.Protocol)
+}
+
+// CallbackClient is what remote (HTTP-hosted) action implementations use
+// to report status: POST the WireStatus JSON to the callback URI.
+type CallbackClient struct {
+	Client *http.Client
+}
+
+// Send posts the status update to callbackURI.
+func (cc *CallbackClient) Send(callbackURI string, up actionlib.StatusUpdate) error {
+	body, err := json.Marshal(WireStatus{InvocationID: up.InvocationID, Message: up.Message, Detail: up.Detail})
+	if err != nil {
+		return err
+	}
+	client := cc.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := client.Post(callbackURI, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("invoke: callback POST %s: %w", callbackURI, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("invoke: callback POST %s: status %s", callbackURI, resp.Status)
+	}
+	return nil
+}
+
+// DecodeStatus reads a WireStatus from a callback request body.
+func DecodeStatus(r io.Reader) (actionlib.StatusUpdate, error) {
+	var w WireStatus
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return actionlib.StatusUpdate{}, fmt.Errorf("invoke: decode status: %w", err)
+	}
+	if w.InvocationID == "" {
+		return actionlib.StatusUpdate{}, fmt.Errorf("invoke: status without invocation id")
+	}
+	return actionlib.StatusUpdate{InvocationID: w.InvocationID, Message: w.Message, Detail: w.Detail}, nil
+}

@@ -1,0 +1,287 @@
+package invoke
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+)
+
+func sampleInvocation() actionlib.Invocation {
+	return actionlib.Invocation{
+		ID:           "inv-000001",
+		TypeURI:      "http://www.liquidpub.org/a/chr",
+		ActionName:   "Change access rights",
+		Endpoint:     "http://unset",
+		Protocol:     actionlib.ProtocolREST,
+		ResourceURI:  "http://wiki/D1.1",
+		ResourceType: "mediawiki",
+		CallbackURI:  "http://gelee/api/v1/callbacks/inv-000001",
+		Params:       map[string]string{"mode": "reviewers-only"},
+		Credentials:  map[string]string{"user": "bot", "password": "s3cret"},
+	}
+}
+
+type memReporter struct {
+	mu  sync.Mutex
+	ups []actionlib.StatusUpdate
+}
+
+func (m *memReporter) Report(up actionlib.StatusUpdate) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ups = append(m.ups, up)
+	return nil
+}
+
+func (m *memReporter) updates() []actionlib.StatusUpdate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]actionlib.StatusUpdate(nil), m.ups...)
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	inv := sampleInvocation()
+	w := ToWire(inv)
+	back := FromWire(w)
+	back.Endpoint = inv.Endpoint
+	back.Protocol = inv.Protocol
+	if back.ID != inv.ID || back.TypeURI != inv.TypeURI ||
+		back.ResourceURI != inv.ResourceURI || back.CallbackURI != inv.CallbackURI ||
+		back.Params["mode"] != "reviewers-only" || back.Credentials["user"] != "bot" {
+		t.Fatalf("wire round trip lost data: %+v", back)
+	}
+}
+
+func TestRESTInvokerDeliversInvocation(t *testing.T) {
+	var got actionlib.Invocation
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var err error
+		got, err = DecodeInvocation(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+
+	inv := sampleInvocation()
+	inv.Endpoint = srv.URL
+	ri := &RESTInvoker{Client: srv.Client()}
+	if err := ri.Invoke(inv); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != inv.ID || got.Params["mode"] != "reviewers-only" || got.CallbackURI != inv.CallbackURI {
+		t.Fatalf("endpoint received %+v", got)
+	}
+}
+
+func TestRESTInvokerNon2xxIsDispatchError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	inv := sampleInvocation()
+	inv.Endpoint = srv.URL
+	if err := (&RESTInvoker{Client: srv.Client()}).Invoke(inv); err == nil {
+		t.Fatal("503 treated as success")
+	}
+}
+
+func TestRESTInvokerUnreachableEndpoint(t *testing.T) {
+	inv := sampleInvocation()
+	inv.Endpoint = "http://127.0.0.1:1/unreachable"
+	if err := (&RESTInvoker{}).Invoke(inv); err == nil {
+		t.Fatal("unreachable endpoint succeeded")
+	}
+}
+
+func TestSOAPInvokerEnvelope(t *testing.T) {
+	var body []byte
+	var soapAction string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		buf := new(bytes.Buffer)
+		buf.ReadFrom(r.Body)
+		body = buf.Bytes()
+		soapAction = r.Header.Get("SOAPAction")
+	}))
+	defer srv.Close()
+
+	inv := sampleInvocation()
+	inv.Endpoint = srv.URL
+	inv.Protocol = actionlib.ProtocolSOAP
+	if err := (&SOAPInvoker{Client: srv.Client()}).Invoke(inv); err != nil {
+		t.Fatal(err)
+	}
+	s := string(body)
+	for _, want := range []string{"Envelope", "Body", "invocationId", "inv-000001", "resourceUri", "callbackUri"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SOAP body missing %q:\n%s", want, s)
+		}
+	}
+	if soapAction != "urn:gelee:actions#invoke" {
+		t.Errorf("SOAPAction = %q", soapAction)
+	}
+
+	decoded, err := DecodeSOAPInvocation(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != inv.ID || decoded.Params["mode"] != "reviewers-only" {
+		t.Fatalf("decoded SOAP invocation = %+v", decoded)
+	}
+}
+
+func TestDecodeSOAPInvocationErrors(t *testing.T) {
+	if _, err := DecodeSOAPInvocation(strings.NewReader("<not-soap/>")); err == nil {
+		t.Fatal("non-envelope accepted")
+	}
+	empty := `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body/></Envelope>`
+	if _, err := DecodeSOAPInvocation(strings.NewReader(empty)); err == nil {
+		t.Fatal("empty body accepted")
+	}
+}
+
+func TestLocalInvokerReportsCompleted(t *testing.T) {
+	rep := &memReporter{}
+	li := NewLocalInvoker(rep)
+	li.Register("local://gdoc/chr", func(inv actionlib.Invocation, r Reporter) (string, error) {
+		r.Report(actionlib.StatusUpdate{InvocationID: inv.ID, Message: "working"})
+		return "rights set to " + inv.Params["mode"], nil
+	})
+	inv := sampleInvocation()
+	inv.Endpoint = "local://gdoc/chr"
+	inv.Protocol = actionlib.ProtocolLocal
+	if err := li.Invoke(inv); err != nil {
+		t.Fatal(err)
+	}
+	ups := rep.updates()
+	if len(ups) != 2 {
+		t.Fatalf("updates = %+v", ups)
+	}
+	if ups[0].Message != "working" {
+		t.Fatalf("intermediate update = %+v", ups[0])
+	}
+	if ups[1].Message != actionlib.StatusCompleted || !strings.Contains(ups[1].Detail, "reviewers-only") {
+		t.Fatalf("terminal update = %+v", ups[1])
+	}
+}
+
+func TestLocalInvokerReportsFailed(t *testing.T) {
+	rep := &memReporter{}
+	li := NewLocalInvoker(rep)
+	li.Register("local://x", func(inv actionlib.Invocation, r Reporter) (string, error) {
+		return "", errors.New("document is locked")
+	})
+	inv := sampleInvocation()
+	inv.Endpoint = "local://x"
+	if err := li.Invoke(inv); err != nil {
+		t.Fatal(err)
+	}
+	ups := rep.updates()
+	if len(ups) != 1 || ups[0].Message != actionlib.StatusFailed || ups[0].Detail != "document is locked" {
+		t.Fatalf("updates = %+v", ups)
+	}
+}
+
+func TestLocalInvokerUnknownEndpoint(t *testing.T) {
+	li := NewLocalInvoker(&memReporter{})
+	inv := sampleInvocation()
+	inv.Endpoint = "local://nowhere"
+	if err := li.Invoke(inv); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+}
+
+func TestDispatcherRoutesByProtocol(t *testing.T) {
+	rep := &memReporter{}
+	local := NewLocalInvoker(rep)
+	called := ""
+	local.Register("local://x", func(inv actionlib.Invocation, r Reporter) (string, error) {
+		called = "local"
+		return "", nil
+	})
+	d := &Dispatcher{Local: local}
+
+	inv := sampleInvocation()
+	inv.Endpoint = "local://x"
+	inv.Protocol = actionlib.ProtocolLocal
+	if err := d.Invoke(inv); err != nil {
+		t.Fatal(err)
+	}
+	if called != "local" {
+		t.Fatal("local transport not used")
+	}
+	// Unconfigured transports error cleanly.
+	inv.Protocol = actionlib.ProtocolREST
+	if err := d.Invoke(inv); err == nil {
+		t.Fatal("missing REST transport accepted")
+	}
+	inv.Protocol = actionlib.ProtocolSOAP
+	if err := d.Invoke(inv); err == nil {
+		t.Fatal("missing SOAP transport accepted")
+	}
+	inv.Protocol = "pigeon"
+	if err := d.Invoke(inv); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestCallbackClientAndDecodeStatus(t *testing.T) {
+	var got actionlib.StatusUpdate
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var err error
+		got, err = DecodeStatus(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	}))
+	defer srv.Close()
+
+	cc := &CallbackClient{Client: srv.Client()}
+	up := actionlib.StatusUpdate{InvocationID: "inv-7", Message: actionlib.StatusCompleted, Detail: "done"}
+	if err := cc.Send(srv.URL, up); err != nil {
+		t.Fatal(err)
+	}
+	if got != up {
+		t.Fatalf("callback received %+v, want %+v", got, up)
+	}
+}
+
+func TestCallbackClientErrorPaths(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gone", http.StatusGone)
+	}))
+	defer srv.Close()
+	cc := &CallbackClient{Client: srv.Client()}
+	if err := cc.Send(srv.URL, actionlib.StatusUpdate{InvocationID: "x"}); err == nil {
+		t.Fatal("410 treated as success")
+	}
+	if err := cc.Send("http://127.0.0.1:1/cb", actionlib.StatusUpdate{InvocationID: "x"}); err == nil {
+		t.Fatal("unreachable callback succeeded")
+	}
+}
+
+func TestDecodeInvocationErrors(t *testing.T) {
+	if _, err := DecodeInvocation(strings.NewReader("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := DecodeInvocation(strings.NewReader("{}")); err == nil {
+		t.Fatal("invocation without id accepted")
+	}
+}
+
+func TestDecodeStatusErrors(t *testing.T) {
+	if _, err := DecodeStatus(strings.NewReader("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := DecodeStatus(strings.NewReader(`{"message":"ok"}`)); err == nil {
+		t.Fatal("status without invocation id accepted")
+	}
+}

@@ -1,0 +1,231 @@
+// Package monitor implements the monitoring cockpit of Fig. 2 — the
+// interface "a project manager would use to visualize status and history
+// of the resources under her responsibility" (§I). It answers the §II.B
+// requirements directly: which artifacts are in a given status, which
+// are late, and what happened to each one, at any point in time.
+//
+// The monitor is a pure read-side component: it queries runtime
+// snapshots and derives aggregates; it never mutates lifecycle state.
+package monitor
+
+import (
+	"sort"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/runtime"
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+// Source supplies instance snapshots — satisfied by *runtime.Runtime.
+type Source interface {
+	Instances() []runtime.Snapshot
+	Instance(id string) (runtime.Snapshot, bool)
+}
+
+// Monitor is the cockpit query engine.
+type Monitor struct {
+	src   Source
+	clock vclock.Clock
+}
+
+// New builds a Monitor over src; nil clock means wall clock.
+func New(src Source, clock vclock.Clock) *Monitor {
+	if clock == nil {
+		clock = vclock.System
+	}
+	return &Monitor{src: src, clock: clock}
+}
+
+// Row is one artifact line of the cockpit's status-at-a-glance view.
+type Row struct {
+	InstanceID   string    `json:"instance_id"`
+	ModelName    string    `json:"model_name"`
+	ResourceURI  string    `json:"resource_uri"`
+	ResourceType string    `json:"resource_type"`
+	Owner        string    `json:"owner"`
+	Phase        string    `json:"phase"`      // current phase id ("" = not started)
+	PhaseName    string    `json:"phase_name"` // display name
+	State        string    `json:"state"`
+	Due          time.Time `json:"due,omitempty"`
+	Late         bool      `json:"late"`
+	LateBy       string    `json:"late_by,omitempty"`
+	Deviations   int       `json:"deviations"`
+	FailedSteps  int       `json:"failed_steps"`
+	PendingInvs  int       `json:"pending_invocations"`
+	HasProposal  bool      `json:"has_proposal"`
+}
+
+func (m *Monitor) row(s runtime.Snapshot, now time.Time) Row {
+	r := Row{
+		InstanceID:   s.ID,
+		ModelName:    s.Model.Name,
+		ResourceURI:  s.Resource.URI,
+		ResourceType: s.Resource.Type,
+		Owner:        s.Owner,
+		Phase:        s.Current,
+		State:        string(s.State),
+		HasProposal:  s.Pending != nil,
+	}
+	if p := s.CurrentPhase(); p != nil {
+		r.PhaseName = p.Name
+	}
+	if s.Current != "" {
+		r.Due = s.DueAt(s.Current)
+	}
+	if s.Late(now) {
+		r.Late = true
+		r.LateBy = now.Sub(r.Due).Round(time.Minute).String()
+	}
+	for _, ev := range s.Events {
+		if ev.Kind == runtime.EventPhaseEntered && ev.Deviation {
+			r.Deviations++
+		}
+	}
+	for _, ex := range s.Executions {
+		switch {
+		case ex.Terminal && ex.LastStatus == "failed":
+			r.FailedSteps++
+		case !ex.Terminal:
+			r.PendingInvs++
+		}
+	}
+	return r
+}
+
+// Overview returns one row per instance, in creation order.
+func (m *Monitor) Overview() []Row {
+	now := m.clock.Now()
+	snaps := m.src.Instances()
+	rows := make([]Row, len(snaps))
+	for i, s := range snaps {
+		rows[i] = m.row(s, now)
+	}
+	return rows
+}
+
+// Late returns the rows of active, overdue instances, most overdue
+// first — requirement §II.B.4: "with particular attention to delays".
+func (m *Monitor) Late() []Row {
+	now := m.clock.Now()
+	var rows []Row
+	for _, s := range m.src.Instances() {
+		if s.Late(now) {
+			rows = append(rows, m.row(s, now))
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Due.Before(rows[j].Due) })
+	return rows
+}
+
+// Summary aggregates the cockpit's headline numbers.
+type Summary struct {
+	Total      int            `json:"total"`
+	Active     int            `json:"active"`
+	Completed  int            `json:"completed"`
+	NotStarted int            `json:"not_started"` // token still at BEGIN
+	Late       int            `json:"late"`
+	ByPhase    map[string]int `json:"by_phase"` // phase display name -> count
+	ByModel    map[string]int `json:"by_model"`
+	Deviations int            `json:"deviations"`
+	Failed     int            `json:"failed_actions"`
+	Proposals  int            `json:"pending_proposals"`
+}
+
+// Summarize computes the aggregate over every instance — the "picture of
+// the status of the lifecycle for each artifact at any given point in
+// time" (§II.B.4).
+func (m *Monitor) Summarize() Summary {
+	now := m.clock.Now()
+	sum := Summary{ByPhase: make(map[string]int), ByModel: make(map[string]int)}
+	for _, s := range m.src.Instances() {
+		sum.Total++
+		switch s.State {
+		case runtime.StateActive:
+			sum.Active++
+		case runtime.StateCompleted:
+			sum.Completed++
+		}
+		if s.Current == "" {
+			sum.NotStarted++
+			sum.ByPhase["(not started)"]++
+		} else if p := s.CurrentPhase(); p != nil {
+			sum.ByPhase[p.Name]++
+		}
+		sum.ByModel[s.Model.Name]++
+		if s.Late(now) {
+			sum.Late++
+		}
+		for _, ev := range s.Events {
+			if ev.Kind == runtime.EventPhaseEntered && ev.Deviation {
+				sum.Deviations++
+			}
+		}
+		for _, ex := range s.Executions {
+			if ex.Terminal && ex.LastStatus == "failed" {
+				sum.Failed++
+			}
+		}
+		if s.Pending != nil {
+			sum.Proposals++
+		}
+	}
+	return sum
+}
+
+// TimelineEntry is one step of an instance's history view.
+type TimelineEntry struct {
+	Seq       int       `json:"seq"`
+	Time      time.Time `json:"time"`
+	Kind      string    `json:"kind"`
+	Actor     string    `json:"actor,omitempty"`
+	Phase     string    `json:"phase,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+	Deviation bool      `json:"deviation,omitempty"`
+	Status    string    `json:"status,omitempty"`
+}
+
+// Timeline returns the instance history in order, or false when the
+// instance does not exist.
+func (m *Monitor) Timeline(instanceID string) ([]TimelineEntry, bool) {
+	s, ok := m.src.Instance(instanceID)
+	if !ok {
+		return nil, false
+	}
+	out := make([]TimelineEntry, len(s.Events))
+	for i, ev := range s.Events {
+		out[i] = TimelineEntry{
+			Seq: ev.Seq, Time: ev.Time, Kind: string(ev.Kind), Actor: ev.Actor,
+			Phase: ev.Phase, Detail: ev.Detail, Deviation: ev.Deviation, Status: ev.Status,
+		}
+	}
+	return out, true
+}
+
+// PhaseStats measures time spent per phase for one instance: entered
+// count and cumulative residence time (ongoing residence counts up to
+// now). Monitoring is a first-class purpose of empty phases (§IV.A), so
+// residency is computed purely from phase-entered events.
+func (m *Monitor) PhaseStats(instanceID string) (map[string]time.Duration, bool) {
+	s, ok := m.src.Instance(instanceID)
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]time.Duration)
+	var lastPhase string
+	var lastTime time.Time
+	for _, ev := range s.Events {
+		if ev.Kind != runtime.EventPhaseEntered {
+			continue
+		}
+		if lastPhase != "" {
+			out[lastPhase] += ev.Time.Sub(lastTime)
+		}
+		lastPhase, lastTime = ev.Phase, ev.Time
+	}
+	if lastPhase != "" && s.State == runtime.StateActive {
+		out[lastPhase] += m.clock.Now().Sub(lastTime)
+	} else if lastPhase != "" && !s.CompletedAt.IsZero() {
+		out[lastPhase] += s.CompletedAt.Sub(lastTime)
+	}
+	return out, true
+}

@@ -1,0 +1,245 @@
+// Package composite implements the extension the paper singles out as
+// future work (§VI): "to link the lifecycle to complex resource types,
+// and specifically to composed resources ... the state of the art is
+// composed of the main documents, the references, presentations ...
+// managing a complex resource with components and with potentially
+// independent but somehow interacting lifecycles".
+//
+// A composite is itself a URI-identified resource (type "composite")
+// whose components are arbitrary resource refs — each possibly carrying
+// its own independent lifecycle instances. The adapter renders the
+// composite by aggregating component renderings and lifecycle states,
+// and the Rollup helper gives lifecycle owners the "interaction" the
+// paper hints at: a composite's readiness derived from its components'
+// phases (e.g. don't submit the deliverable until every component
+// completed).
+package composite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/liquidpub/gelee/internal/plugin"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/runtime"
+)
+
+// ResourceType is the lifecycle resource type string for composites.
+const ResourceType = "composite"
+
+// Composite is a complex resource: a titled set of component refs.
+type Composite struct {
+	ID         string         `json:"id"`
+	Title      string         `json:"title"`
+	Components []resource.Ref `json:"components"`
+}
+
+func (c *Composite) clone() Composite {
+	out := *c
+	out.Components = make([]resource.Ref, len(c.Components))
+	for i, r := range c.Components {
+		out.Components[i] = r.Clone()
+	}
+	return out
+}
+
+// Service stores composites. Safe for concurrent use.
+type Service struct {
+	mu         sync.RWMutex
+	composites map[string]*Composite
+}
+
+// NewService returns an empty composite store.
+func NewService() *Service {
+	return &Service{composites: make(map[string]*Composite)}
+}
+
+// Create adds a composite.
+func (s *Service) Create(id, title string, components ...resource.Ref) (Composite, error) {
+	if strings.TrimSpace(id) == "" {
+		return Composite{}, fmt.Errorf("composite: empty id")
+	}
+	for _, c := range components {
+		if err := c.Validate(); err != nil {
+			return Composite{}, fmt.Errorf("composite %s: %w", id, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.composites[id]; ok {
+		return Composite{}, fmt.Errorf("composite: %q exists", id)
+	}
+	c := &Composite{ID: id, Title: title, Components: components}
+	s.composites[id] = c
+	return c.clone(), nil
+}
+
+// AddComponent appends a component ref to an existing composite.
+func (s *Service) AddComponent(id string, ref resource.Ref) error {
+	if err := ref.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.composites[id]
+	if !ok {
+		return fmt.Errorf("composite: no composite %q", id)
+	}
+	for _, ex := range c.Components {
+		if ex.URI == ref.URI {
+			return fmt.Errorf("composite: %q already contains %s", id, ref.URI)
+		}
+	}
+	c.Components = append(c.Components, ref.Clone())
+	return nil
+}
+
+// Get returns a copy of the composite.
+func (s *Service) Get(id string) (Composite, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.composites[id]
+	if !ok {
+		return Composite{}, false
+	}
+	return c.clone(), true
+}
+
+// IDs returns every composite id, sorted.
+func (s *Service) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.composites))
+	for id := range s.composites {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InstanceSource supplies the lifecycle instances running on a URI —
+// satisfied by *runtime.Runtime.
+type InstanceSource interface {
+	ByResource(uri string) []runtime.Snapshot
+}
+
+// Adapter makes composites first-class Gelee resources.
+type Adapter struct {
+	svc       *Service
+	resources *resource.Manager
+	instances InstanceSource
+}
+
+// NewAdapter builds the adapter. resources renders components
+// transparently; instances (may be nil) links component lifecycles into
+// the rendering.
+func NewAdapter(svc *Service, resources *resource.Manager, instances InstanceSource) *Adapter {
+	return &Adapter{svc: svc, resources: resources, instances: instances}
+}
+
+// Type implements resource.Plugin.
+func (a *Adapter) Type() string { return ResourceType }
+
+// Check implements resource.Plugin.
+func (a *Adapter) Check(ref resource.Ref) error {
+	if _, ok := a.svc.Get(plugin.LastSegment(ref.URI)); !ok {
+		return fmt.Errorf("composite: no composite %q", plugin.LastSegment(ref.URI))
+	}
+	return nil
+}
+
+// Render implements resource.Plugin: the composite's rendering
+// aggregates its components' renderings and current lifecycle phases.
+func (a *Adapter) Render(ref resource.Ref) (resource.Rendering, error) {
+	c, ok := a.svc.Get(plugin.LastSegment(ref.URI))
+	if !ok {
+		return resource.Rendering{}, fmt.Errorf("composite: no composite %q", plugin.LastSegment(ref.URI))
+	}
+	var html strings.Builder
+	fmt.Fprintf(&html, "<section class=\"composite\"><h1>%s</h1><ul>", c.Title)
+	states := make(map[string]int)
+	for _, comp := range c.Components {
+		title := comp.URI
+		if a.resources != nil {
+			if rend, err := a.resources.Render(comp); err == nil || rend.Title != "" {
+				title = rend.Title
+			}
+		}
+		phase := "no lifecycle"
+		if a.instances != nil {
+			if snaps := a.instances.ByResource(comp.URI); len(snaps) > 0 {
+				last := snaps[len(snaps)-1]
+				if p := last.CurrentPhase(); p != nil {
+					phase = p.Name
+				} else {
+					phase = "not started"
+				}
+				states[string(last.State)]++
+			}
+		}
+		fmt.Fprintf(&html, "<li>%s — %s</li>", title, phase)
+	}
+	html.WriteString("</ul></section>")
+
+	status := fmt.Sprintf("%d component(s)", len(c.Components))
+	if n := states[string(runtime.StateCompleted)]; n > 0 {
+		status += fmt.Sprintf(", %d completed", n)
+	}
+	if n := states[string(runtime.StateActive)]; n > 0 {
+		status += fmt.Sprintf(", %d active", n)
+	}
+	return resource.Rendering{
+		Title:   c.Title,
+		Summary: fmt.Sprintf("composite of %d resources", len(c.Components)),
+		HTML:    html.String(),
+		Link:    ref.URI,
+		Status:  status,
+	}, nil
+}
+
+// Rollup summarizes the component lifecycles of a composite — the
+// "somehow interacting lifecycles" hook: lifecycle owners consult it
+// before advancing the composite's own lifecycle.
+type Rollup struct {
+	Components    int            `json:"components"`
+	WithLifecycle int            `json:"with_lifecycle"`
+	Completed     int            `json:"completed"`
+	Active        int            `json:"active"`
+	ByPhase       map[string]int `json:"by_phase"`
+	AllCompleted  bool           `json:"all_completed"`
+}
+
+// Rollup computes the aggregate over the composite's components.
+func (a *Adapter) Rollup(compositeID string) (Rollup, error) {
+	c, ok := a.svc.Get(compositeID)
+	if !ok {
+		return Rollup{}, fmt.Errorf("composite: no composite %q", compositeID)
+	}
+	r := Rollup{Components: len(c.Components), ByPhase: make(map[string]int)}
+	if a.instances == nil {
+		return r, nil
+	}
+	for _, comp := range c.Components {
+		snaps := a.instances.ByResource(comp.URI)
+		if len(snaps) == 0 {
+			continue
+		}
+		r.WithLifecycle++
+		last := snaps[len(snaps)-1]
+		switch last.State {
+		case runtime.StateCompleted:
+			r.Completed++
+		case runtime.StateActive:
+			r.Active++
+		}
+		if p := last.CurrentPhase(); p != nil {
+			r.ByPhase[p.Name]++
+		} else {
+			r.ByPhase["(not started)"]++
+		}
+	}
+	r.AllCompleted = r.WithLifecycle > 0 && r.Completed == r.WithLifecycle
+	return r, nil
+}

@@ -1,0 +1,236 @@
+package composite
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/core"
+	"github.com/liquidpub/gelee/internal/plugin/wikisim"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/runtime"
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+func TestServiceBasics(t *testing.T) {
+	s := NewService()
+	main := resource.Ref{URI: "http://wiki/SOTA-main", Type: "mediawiki"}
+	refsDoc := resource.Ref{URI: "http://docs/SOTA-refs", Type: "gdoc"}
+	c, err := s.Create("sota", "State of the Art", main, refsDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Components) != 2 {
+		t.Fatalf("components = %d", len(c.Components))
+	}
+	if _, err := s.Create("sota", "again"); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := s.Create(" ", "blank"); err == nil {
+		t.Fatal("blank id accepted")
+	}
+	if _, err := s.Create("bad", "bad", resource.Ref{URI: "x"}); err == nil {
+		t.Fatal("invalid component accepted")
+	}
+
+	slides := resource.Ref{URI: "http://docs/SOTA-slides", Type: "gdoc"}
+	if err := s.AddComponent("sota", slides); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddComponent("sota", slides); err == nil {
+		t.Fatal("duplicate component accepted")
+	}
+	if err := s.AddComponent("ghost", slides); err == nil {
+		t.Fatal("unknown composite accepted")
+	}
+	got, _ := s.Get("sota")
+	if len(got.Components) != 3 {
+		t.Fatalf("components = %d", len(got.Components))
+	}
+	if ids := s.IDs(); len(ids) != 1 || ids[0] != "sota" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewService()
+	s.Create("c", "C", resource.Ref{URI: "u", Type: "t"})
+	c, _ := s.Get("c")
+	c.Components[0].URI = "tampered"
+	fresh, _ := s.Get("c")
+	if fresh.Components[0].URI == "tampered" {
+		t.Fatal("Get returned aliased storage")
+	}
+}
+
+// env wires a composite over two wiki components, each with its own
+// lifecycle instance — the paper's "state of the art composed of the
+// main documents, the references, presentations".
+type env struct {
+	adapter *Adapter
+	rt      *runtime.Runtime
+	insts   []runtime.Snapshot
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
+	wiki := wikisim.NewService(clock)
+	wiki.CreatePage("SOTA-main", "a", "main text")
+	wiki.CreatePage("SOTA-refs", "a", "references")
+
+	resources := resource.NewManager()
+	if err := resources.Register(wikisim.NewAdapter(wiki, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := runtime.New(runtime.Config{
+		Registry:    actionlib.NewRegistry(),
+		Invoker:     runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+		Clock:       clock,
+		SyncActions: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := core.NewModel("urn:m", "Component lifecycle").
+		Phase("draft", "Draft").Done().
+		FinalPhase("done", "Done").
+		Initial("draft").Transition("draft", "done").
+		MustBuild()
+
+	svc := NewService()
+	main := resource.Ref{URI: "http://wiki/SOTA-main", Type: "mediawiki"}
+	refsDoc := resource.Ref{URI: "http://wiki/SOTA-refs", Type: "mediawiki"}
+	if _, err := svc.Create("sota", "State of the Art", main, refsDoc); err != nil {
+		t.Fatal(err)
+	}
+	adapter := NewAdapter(svc, resources, rt)
+	if err := resources.Register(adapter); err != nil {
+		t.Fatal(err)
+	}
+
+	var insts []runtime.Snapshot
+	for _, ref := range []resource.Ref{main, refsDoc} {
+		snap, err := rt.Instantiate(model, ref, "owner", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, snap)
+	}
+	return &env{adapter: adapter, rt: rt, insts: insts}
+}
+
+func TestRenderAggregatesComponents(t *testing.T) {
+	e := newEnv(t)
+	e.rt.Advance(e.insts[0].ID, "draft", "owner", runtime.AdvanceOptions{})
+
+	rend, err := e.adapter.Render(resource.Ref{URI: "urn:composite:sota", Type: ResourceType})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rend.Title != "State of the Art" {
+		t.Fatalf("title = %q", rend.Title)
+	}
+	// Component titles come from their own plug-in renderings; phases
+	// from their lifecycle instances.
+	for _, want := range []string{"SOTA-main", "SOTA-refs", "Draft", "not started"} {
+		if !strings.Contains(rend.HTML, want) {
+			t.Errorf("HTML missing %q:\n%s", want, rend.HTML)
+		}
+	}
+	if !strings.Contains(rend.Status, "2 component(s)") {
+		t.Fatalf("status = %q", rend.Status)
+	}
+	if _, err := e.adapter.Render(resource.Ref{URI: "urn:composite:ghost", Type: ResourceType}); err == nil {
+		t.Fatal("missing composite rendered")
+	}
+}
+
+func TestRollupTracksComponentLifecycles(t *testing.T) {
+	e := newEnv(t)
+	r, err := e.adapter.Rollup("sota")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Components != 2 || r.WithLifecycle != 2 || r.Completed != 0 || r.AllCompleted {
+		t.Fatalf("initial rollup = %+v", r)
+	}
+	if r.ByPhase["(not started)"] != 2 {
+		t.Fatalf("by phase = %v", r.ByPhase)
+	}
+
+	// Complete the first component.
+	e.rt.Advance(e.insts[0].ID, "draft", "owner", runtime.AdvanceOptions{})
+	e.rt.Advance(e.insts[0].ID, "done", "owner", runtime.AdvanceOptions{})
+	r, _ = e.adapter.Rollup("sota")
+	if r.Completed != 1 || r.AllCompleted {
+		t.Fatalf("rollup = %+v", r)
+	}
+
+	// Complete the second: the composite is ready.
+	e.rt.Advance(e.insts[1].ID, "draft", "owner", runtime.AdvanceOptions{})
+	e.rt.Advance(e.insts[1].ID, "done", "owner", runtime.AdvanceOptions{})
+	r, _ = e.adapter.Rollup("sota")
+	if !r.AllCompleted || r.Completed != 2 {
+		t.Fatalf("rollup = %+v", r)
+	}
+	if _, err := e.adapter.Rollup("ghost"); err == nil {
+		t.Fatal("rollup of missing composite accepted")
+	}
+}
+
+func TestCompositeIsItselfALifecycleResource(t *testing.T) {
+	// The composite can carry its own lifecycle instance, independent of
+	// the components' — "potentially independent but somehow interacting
+	// lifecycles".
+	e := newEnv(t)
+	model := core.NewModel("urn:m:deliverable", "Deliverable lifecycle").
+		Phase("assembling", "Assembling").Done().
+		FinalPhase("submitted", "Submitted").
+		Initial("assembling").Transition("assembling", "submitted").
+		MustBuild()
+	snap, err := e.rt.Instantiate(model,
+		resource.Ref{URI: "urn:composite:sota", Type: ResourceType}, "owner", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The interaction: the owner checks the rollup before submitting.
+	r, _ := e.adapter.Rollup("sota")
+	if r.AllCompleted {
+		t.Fatal("components unexpectedly complete")
+	}
+	// Owner finishes the components first, then submits the composite.
+	for _, in := range e.insts {
+		e.rt.Advance(in.ID, "draft", "owner", runtime.AdvanceOptions{})
+		e.rt.Advance(in.ID, "done", "owner", runtime.AdvanceOptions{})
+	}
+	r, _ = e.adapter.Rollup("sota")
+	if !r.AllCompleted {
+		t.Fatal("components not complete")
+	}
+	if _, err := e.rt.Advance(snap.ID, "assembling", "owner", runtime.AdvanceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.rt.Advance(snap.ID, "submitted", "owner", runtime.AdvanceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.rt.Instance(snap.ID)
+	if got.State != runtime.StateCompleted {
+		t.Fatalf("composite lifecycle state = %s", got.State)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	e := newEnv(t)
+	if err := e.adapter.Check(resource.Ref{URI: "urn:composite:sota", Type: ResourceType}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.adapter.Check(resource.Ref{URI: "urn:composite:ghost", Type: ResourceType}); err == nil {
+		t.Fatal("missing composite passed Check")
+	}
+	if e.adapter.Type() != "composite" {
+		t.Fatalf("Type = %q", e.adapter.Type())
+	}
+}

@@ -1,0 +1,265 @@
+package gdocsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/invoke"
+	"github.com/liquidpub/gelee/internal/plugin"
+	"github.com/liquidpub/gelee/internal/resource"
+)
+
+// ResourceType is the type string lifecycle resources use for documents
+// managed by this service.
+const ResourceType = "gdoc"
+
+// Notifier lets the adapter send reviewer notifications through the
+// notification substrate; nil disables the side effect.
+type Notifier interface {
+	Send(to, subject, body string) error
+}
+
+// Adapter bridges Gelee and the document service: it implements
+// resource.Plugin (rendering, existence checks) and hosts the action
+// implementations for the standard action types.
+type Adapter struct {
+	svc      *Service
+	notifier Notifier
+	host     *plugin.Host
+}
+
+// NewAdapter builds the adapter. direct is the embedded callback
+// reporter (nil for HTTP-only deployments); notifier may be nil.
+func NewAdapter(svc *Service, direct invoke.Reporter, notifier Notifier) *Adapter {
+	a := &Adapter{svc: svc, notifier: notifier, host: plugin.NewHost(direct)}
+	a.host.Handle("chr", a.changeAccessRights)
+	a.host.Handle("notify", a.notifyReviewers)
+	a.host.Handle("pdf", a.generatePDF)
+	a.host.Handle("post", a.postOnWebSite)
+	a.host.Handle("subscribe", a.subscribe)
+	return a
+}
+
+// Host exposes the action host (tests tune its callback client).
+func (a *Adapter) Host() *plugin.Host { return a.host }
+
+// Registrations lists the standard action types this adapter implements
+// with its host keys.
+func (a *Adapter) Registrations() []plugin.Registration {
+	return []plugin.Registration{
+		{Type: plugin.ChangeAccessRightsType(), Key: "chr"},
+		{Type: plugin.NotifyReviewersType(), Key: "notify"},
+		{Type: plugin.GeneratePDFType(), Key: "pdf"},
+		{Type: plugin.PostOnWebSiteType(), Key: "post"},
+		{Type: plugin.SubscribeType(), Key: "subscribe"},
+	}
+}
+
+// RegisterActions registers this adapter's implementations under
+// endpointBase (e.g. "local://gdoc/actions" or the HTTP URL of Mux).
+func (a *Adapter) RegisterActions(reg *actionlib.Registry, endpointBase string, protocol actionlib.Protocol) error {
+	return plugin.RegisterAll(reg, ResourceType, endpointBase, protocol, a.Registrations())
+}
+
+// BindLocal attaches the action implementations to a local invoker
+// under endpointBase.
+func (a *Adapter) BindLocal(li *invoke.LocalInvoker, endpointBase string) {
+	a.host.BindLocal(li, endpointBase)
+}
+
+// ---- resource.Plugin --------------------------------------------------------
+
+// Type implements resource.Plugin.
+func (a *Adapter) Type() string { return ResourceType }
+
+// Render implements resource.Plugin for the Fig. 4 widget.
+func (a *Adapter) Render(ref resource.Ref) (resource.Rendering, error) {
+	id := plugin.LastSegment(ref.URI)
+	d, ok := a.svc.Get(id)
+	if !ok {
+		return resource.Rendering{}, fmt.Errorf("gdocsim: no document %q", id)
+	}
+	return resource.Rendering{
+		Title:   d.Title,
+		Summary: fmt.Sprintf("document by %s, %d revision(s), mode %s", d.Owner, len(d.Revs), d.Mode),
+		HTML:    fmt.Sprintf("<article><h1>%s</h1><p>%s</p></article>", d.Title, d.Content),
+		Link:    ref.URI,
+		Status:  fmt.Sprintf("rev %d, %d watcher(s), %d export(s)", len(d.Revs), len(d.Watchers), len(d.Exports)),
+	}, nil
+}
+
+// Check implements resource.Plugin.
+func (a *Adapter) Check(ref resource.Ref) error {
+	if _, ok := a.svc.Get(plugin.LastSegment(ref.URI)); !ok {
+		return fmt.Errorf("gdocsim: no document %q", plugin.LastSegment(ref.URI))
+	}
+	return nil
+}
+
+// ---- action implementations -------------------------------------------------
+
+func (a *Adapter) docID(inv actionlib.Invocation) string {
+	return plugin.LastSegment(inv.ResourceURI)
+}
+
+// changeAccessRights implements the Table II action: the mode parameter
+// drives the coarse audience setting.
+func (a *Adapter) changeAccessRights(inv actionlib.Invocation) (string, error) {
+	mode := inv.Params["mode"]
+	if mode == "" {
+		return "", fmt.Errorf("missing required parameter mode")
+	}
+	if err := a.svc.SetMode(a.docID(inv), mode); err != nil {
+		return "", err
+	}
+	return "access mode set to " + mode, nil
+}
+
+// notifyReviewers grants commenter access to each reviewer and sends a
+// notification ("sending a Google doc for review also requires setting
+// access rights", §I).
+func (a *Adapter) notifyReviewers(inv actionlib.Invocation) (string, error) {
+	reviewers := splitList(inv.Params["reviewers"])
+	if len(reviewers) == 0 {
+		return "", fmt.Errorf("missing required parameter reviewers")
+	}
+	id := a.docID(inv)
+	if err := a.svc.Share(id, reviewers, AccessCommenter); err != nil {
+		return "", err
+	}
+	subject := inv.Params["subject"]
+	if subject == "" {
+		subject = "Please review"
+	}
+	notified := 0
+	if a.notifier != nil {
+		for _, r := range reviewers {
+			if err := a.notifier.Send(r, subject, "Review requested: "+inv.ResourceURI); err == nil {
+				notified++
+			}
+		}
+	}
+	return fmt.Sprintf("shared with %d reviewer(s), %d notification(s) sent", len(reviewers), notified), nil
+}
+
+func (a *Adapter) generatePDF(inv actionlib.Invocation) (string, error) {
+	ex, err := a.svc.ExportPDF(a.docID(inv))
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("PDF of revision %d (%d bytes)", ex.Revision, ex.Bytes), nil
+}
+
+// postOnWebSite delegates publication to the site named by the "site"
+// parameter via the notifier-like publisher; in the embedded wiring the
+// site is a websim service reachable over its own native API, so here
+// we record the publication on the document and report the link.
+func (a *Adapter) postOnWebSite(inv actionlib.Invocation) (string, error) {
+	site := inv.Params["site"]
+	if site == "" {
+		return "", fmt.Errorf("missing required parameter site")
+	}
+	id := a.docID(inv)
+	if _, ok := a.svc.Get(id); !ok {
+		return "", fmt.Errorf("gdocsim: no document %q", id)
+	}
+	// Ensure the published document is world-readable, as the
+	// Publication phase of Fig. 1 implies.
+	if err := a.svc.SetMode(id, "public"); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("posted %s on %s", inv.ResourceURI, site), nil
+}
+
+func (a *Adapter) subscribe(inv actionlib.Invocation) (string, error) {
+	sub := inv.Params["subscriber"]
+	if sub == "" {
+		return "", fmt.Errorf("missing required parameter subscriber")
+	}
+	if err := a.svc.Subscribe(a.docID(inv), sub); err != nil {
+		return "", err
+	}
+	return sub + " subscribed to changes", nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ---- native REST API --------------------------------------------------------
+
+// Mux returns the service's native HTTP API plus the Gelee action
+// endpoints under /actions/ — the shape a real hosted document service
+// integrated with Gelee would expose.
+//
+//	GET    /docs            list ids
+//	POST   /docs            create {id,title,owner,content}
+//	GET    /docs/{id}       fetch
+//	PUT    /docs/{id}       update content {author,content,summary}
+//	POST   /actions/{key}   Gelee invocation endpoint
+func (a *Adapter) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/actions/", http.StripPrefix("/actions", a.host.RESTHandler()))
+	mux.HandleFunc("/docs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, a.svc.List())
+		case http.MethodPost:
+			var req struct{ ID, Title, Owner, Content string }
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			d, err := a.svc.Create(req.ID, req.Title, req.Owner, req.Content)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			w.WriteHeader(http.StatusCreated)
+			writeJSON(w, d)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/docs/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/docs/")
+		switch r.Method {
+		case http.MethodGet:
+			d, ok := a.svc.Get(id)
+			if !ok {
+				http.Error(w, "no such document", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, d)
+		case http.MethodPut:
+			var req struct{ Author, Content, Summary string }
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			rev, err := a.svc.Update(id, req.Author, req.Content, req.Summary)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusForbidden)
+				return
+			}
+			writeJSON(w, rev)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,358 @@
+package gdocsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/plugin/notifysim"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+func service(t *testing.T) (*Service, *vclock.Fake) {
+	t.Helper()
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
+	return NewService(clock), clock
+}
+
+func TestCreateGetUpdate(t *testing.T) {
+	s, clock := service(t)
+	d, err := s.Create("d1", "State of the Art", "alice", "draft v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mode != "private" || d.ACL["alice"] != AccessOwner || len(d.Revs) != 1 {
+		t.Fatalf("created doc = %+v", d)
+	}
+	if _, err := s.Create("d1", "again", "bob", ""); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := s.Create(" ", "x", "bob", ""); err == nil {
+		t.Fatal("blank id accepted")
+	}
+
+	clock.Advance(time.Hour)
+	rev, err := s.Update("d1", "alice", "draft v1 with content", "sections added")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.N != 2 {
+		t.Fatalf("rev = %+v", rev)
+	}
+	got, _ := s.Get("d1")
+	if got.Content != "draft v1 with content" || len(got.Revs) != 2 {
+		t.Fatalf("doc after update = %+v", got)
+	}
+	// Non-writer cannot update.
+	if _, err := s.Update("d1", "eve", "hijack", ""); err == nil {
+		t.Fatal("non-writer update accepted")
+	}
+	if _, err := s.Update("ghost", "alice", "x", ""); err == nil {
+		t.Fatal("update of missing doc accepted")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s, _ := service(t)
+	s.Create("d1", "T", "alice", "c")
+	d, _ := s.Get("d1")
+	d.ACL["eve"] = AccessOwner
+	d.Revs[0].Author = "eve"
+	fresh, _ := s.Get("d1")
+	if fresh.ACL["eve"] == AccessOwner || fresh.Revs[0].Author == "eve" {
+		t.Fatal("Get returned aliased storage")
+	}
+}
+
+func TestModesAndAccess(t *testing.T) {
+	s, _ := service(t)
+	s.Create("d1", "T", "alice", "c")
+	if err := s.SetMode("d1", "interdimensional"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	for _, mode := range Modes {
+		if err := s.SetMode("d1", mode); err != nil {
+			t.Fatalf("SetMode(%s): %v", mode, err)
+		}
+	}
+	// public mode gives strangers read access.
+	if got := s.Access("d1", "stranger"); got != AccessReader {
+		t.Fatalf("stranger access under public = %s", got)
+	}
+	s.SetMode("d1", "private")
+	if got := s.Access("d1", "stranger"); got != AccessNone {
+		t.Fatalf("stranger access under private = %s", got)
+	}
+	// Owner keeps owner rights regardless of mode.
+	if got := s.Access("d1", "alice"); got != AccessOwner {
+		t.Fatalf("owner access = %s", got)
+	}
+	if got := s.Access("ghost", "alice"); got != AccessNone {
+		t.Fatalf("access on missing doc = %s", got)
+	}
+}
+
+func TestShareSubscribeExport(t *testing.T) {
+	s, _ := service(t)
+	s.Create("d1", "T", "alice", "some content")
+	if err := s.Share("d1", []string{"bob", " carol ", ""}, AccessCommenter); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s.Get("d1")
+	if d.ACL["bob"] != AccessCommenter || d.ACL["carol"] != AccessCommenter {
+		t.Fatalf("ACL = %v", d.ACL)
+	}
+	if err := s.Share("d1", []string{"x"}, "superuser"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+
+	s.Subscribe("d1", "bob")
+	s.Subscribe("d1", "bob") // idempotent
+	d, _ = s.Get("d1")
+	if len(d.Watchers) != 1 {
+		t.Fatalf("watchers = %v", d.Watchers)
+	}
+
+	ex, err := s.ExportPDF("d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Revision != 1 || ex.Bytes != 1024+2*len("some content") {
+		t.Fatalf("export = %+v", ex)
+	}
+	if _, err := s.ExportPDF("ghost"); err == nil {
+		t.Fatal("export of missing doc accepted")
+	}
+}
+
+func TestAccessLevelOrdering(t *testing.T) {
+	if !AccessOwner.Covers(AccessWriter) || !AccessWriter.Covers(AccessCommenter) ||
+		!AccessCommenter.Covers(AccessReader) || !AccessReader.Covers(AccessNone) {
+		t.Fatal("level ordering broken")
+	}
+	if AccessReader.Covers(AccessWriter) {
+		t.Fatal("reader covers writer")
+	}
+	if AccessLevel("emperor").Valid() {
+		t.Fatal("unknown level valid")
+	}
+}
+
+func adapterEnv(t *testing.T) (*Adapter, *Service, *notifysim.Service) {
+	t.Helper()
+	svc, _ := service(t)
+	notify := notifysim.NewService(nil)
+	a := NewAdapter(svc, nil, notify)
+	return a, svc, notify
+}
+
+func actionInv(typeURI, docURI string, params map[string]string) actionlib.Invocation {
+	return actionlib.Invocation{
+		ID: "inv-1", TypeURI: typeURI,
+		ResourceURI: docURI, ResourceType: ResourceType,
+		CallbackURI: "callback://inv-1", Params: params,
+	}
+}
+
+func TestAdapterChangeAccessRights(t *testing.T) {
+	a, svc, _ := adapterEnv(t)
+	svc.Create("d42", "Doc", "alice", "c")
+	detail, err := a.changeAccessRights(actionInv("chr", "http://docs/d42", map[string]string{"mode": "reviewers-only"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "reviewers-only") {
+		t.Fatalf("detail = %q", detail)
+	}
+	d, _ := svc.Get("d42")
+	if d.Mode != "reviewers-only" {
+		t.Fatalf("mode = %q", d.Mode)
+	}
+	if _, err := a.changeAccessRights(actionInv("chr", "http://docs/d42", nil)); err == nil {
+		t.Fatal("missing mode accepted")
+	}
+	if _, err := a.changeAccessRights(actionInv("chr", "http://docs/ghost", map[string]string{"mode": "public"})); err == nil {
+		t.Fatal("missing doc accepted")
+	}
+}
+
+func TestAdapterNotifyReviewers(t *testing.T) {
+	a, svc, notify := adapterEnv(t)
+	svc.Create("d42", "Doc", "alice", "c")
+	detail, err := a.notifyReviewers(actionInv("notify", "http://docs/d42",
+		map[string]string{"reviewers": "bob, carol", "subject": "D1.1 review"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "2 reviewer(s)") || !strings.Contains(detail, "2 notification(s)") {
+		t.Fatalf("detail = %q", detail)
+	}
+	// Side effect 1: reviewers became commenters (sending for review
+	// also requires setting access rights, §I).
+	d, _ := svc.Get("d42")
+	if d.ACL["bob"] != AccessCommenter || d.ACL["carol"] != AccessCommenter {
+		t.Fatalf("ACL = %v", d.ACL)
+	}
+	// Side effect 2: notifications delivered.
+	inbox := notify.Inbox("bob")
+	if len(inbox) != 1 || inbox[0].Subject != "D1.1 review" {
+		t.Fatalf("bob inbox = %+v", inbox)
+	}
+	if _, err := a.notifyReviewers(actionInv("notify", "http://docs/d42", nil)); err == nil {
+		t.Fatal("missing reviewers accepted")
+	}
+}
+
+func TestAdapterPDFAndPostAndSubscribe(t *testing.T) {
+	a, svc, _ := adapterEnv(t)
+	svc.Create("d42", "Doc", "alice", "content here")
+
+	detail, err := a.generatePDF(actionInv("pdf", "http://docs/d42", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "PDF of revision 1") {
+		t.Fatalf("detail = %q", detail)
+	}
+
+	detail, err = a.postOnWebSite(actionInv("post", "http://docs/d42",
+		map[string]string{"site": "http://project.liquidpub.org"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "project.liquidpub.org") {
+		t.Fatalf("detail = %q", detail)
+	}
+	// Publication makes the doc public.
+	d, _ := svc.Get("d42")
+	if d.Mode != "public" {
+		t.Fatalf("mode after post = %q", d.Mode)
+	}
+	if _, err := a.postOnWebSite(actionInv("post", "http://docs/d42", nil)); err == nil {
+		t.Fatal("missing site accepted")
+	}
+
+	if _, err := a.subscribe(actionInv("subscribe", "http://docs/d42",
+		map[string]string{"subscriber": "pm"})); err != nil {
+		t.Fatal(err)
+	}
+	d, _ = svc.Get("d42")
+	if len(d.Watchers) != 1 || d.Watchers[0] != "pm" {
+		t.Fatalf("watchers = %v", d.Watchers)
+	}
+	if _, err := a.subscribe(actionInv("subscribe", "http://docs/d42", nil)); err == nil {
+		t.Fatal("missing subscriber accepted")
+	}
+}
+
+func TestAdapterRenderAndCheck(t *testing.T) {
+	a, svc, _ := adapterEnv(t)
+	svc.Create("d42", "State of the Art", "alice", "body")
+	rend, err := a.Render(resource.Ref{URI: "http://docs/d42", Type: ResourceType})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rend.Title != "State of the Art" || !strings.Contains(rend.HTML, "body") {
+		t.Fatalf("rendering = %+v", rend)
+	}
+	if err := a.Check(resource.Ref{URI: "http://docs/d42", Type: ResourceType}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(resource.Ref{URI: "http://docs/ghost", Type: ResourceType}); err == nil {
+		t.Fatal("missing doc passed Check")
+	}
+	if a.Type() != "gdoc" {
+		t.Fatalf("Type = %q", a.Type())
+	}
+}
+
+func TestNativeRESTAPI(t *testing.T) {
+	a, _, _ := adapterEnv(t)
+	srv := httptest.NewServer(a.Mux())
+	defer srv.Close()
+
+	// Create.
+	body, _ := json.Marshal(map[string]string{"ID": "d1", "Title": "T", "Owner": "alice", "Content": "hello"})
+	resp, err := http.Post(srv.URL+"/docs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Duplicate conflicts.
+	resp, _ = http.Post(srv.URL+"/docs", "application/json", bytes.NewReader(body))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// List.
+	resp, _ = http.Get(srv.URL + "/docs")
+	var ids []string
+	json.NewDecoder(resp.Body).Decode(&ids)
+	resp.Body.Close()
+	if len(ids) != 1 || ids[0] != "d1" {
+		t.Fatalf("list = %v", ids)
+	}
+
+	// Update via PUT.
+	up, _ := json.Marshal(map[string]string{"Author": "alice", "Content": "hello v2", "Summary": "edit"})
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/docs/d1", bytes.NewReader(up))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Fetch.
+	resp, _ = http.Get(srv.URL + "/docs/d1")
+	var d Document
+	json.NewDecoder(resp.Body).Decode(&d)
+	resp.Body.Close()
+	if d.Content != "hello v2" || len(d.Revs) != 2 {
+		t.Fatalf("doc = %+v", d)
+	}
+
+	// 404 on missing.
+	resp, _ = http.Get(srv.URL + "/docs/ghost")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Forbidden update.
+	bad, _ := json.Marshal(map[string]string{"Author": "eve", "Content": "x"})
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/docs/d1", bytes.NewReader(bad))
+	resp, _ = http.DefaultClient.Do(req)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("forbidden status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestRegistrationsCoverStandardTypes(t *testing.T) {
+	a, _, _ := adapterEnv(t)
+	regs := a.Registrations()
+	if len(regs) != 5 {
+		t.Fatalf("registrations = %d", len(regs))
+	}
+	reg := actionlib.NewRegistry()
+	if err := a.RegisterActions(reg, "local://gdoc/actions", actionlib.ProtocolLocal); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(reg.TypesFor(ResourceType)); got != 5 {
+		t.Fatalf("TypesFor(gdoc) = %d", got)
+	}
+}

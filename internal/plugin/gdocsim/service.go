@@ -1,0 +1,279 @@
+// Package gdocsim simulates a Google-Docs-like hosted document service:
+// documents with revisions, an ACL model, PDF export, watchers, and a
+// native REST API. It stands in for the real Google Docs API the paper's
+// prototype integrates (§V.B, §VI), preserving the seam the Gelee
+// adapter must bridge: per-document access rights, sharing, export, and
+// change subscription.
+package gdocsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+// AccessLevel orders document rights from none to owner.
+type AccessLevel string
+
+// Access levels, weakest to strongest.
+const (
+	AccessNone      AccessLevel = "none"
+	AccessReader    AccessLevel = "reader"
+	AccessCommenter AccessLevel = "commenter"
+	AccessWriter    AccessLevel = "writer"
+	AccessOwner     AccessLevel = "owner"
+)
+
+var levelRank = map[AccessLevel]int{
+	AccessNone: 0, AccessReader: 1, AccessCommenter: 2, AccessWriter: 3, AccessOwner: 4,
+}
+
+// Valid reports whether l is a known level.
+func (l AccessLevel) Valid() bool { _, ok := levelRank[l]; return ok }
+
+// Covers reports whether l grants at least the rights of other.
+func (l AccessLevel) Covers(other AccessLevel) bool { return levelRank[l] >= levelRank[other] }
+
+// Revision is one saved version of a document.
+type Revision struct {
+	N       int       `json:"n"`
+	Author  string    `json:"author"`
+	Time    time.Time `json:"time"`
+	Summary string    `json:"summary,omitempty"`
+	Bytes   int       `json:"bytes"`
+}
+
+// Export records a generated PDF export.
+type Export struct {
+	Revision int       `json:"revision"`
+	Time     time.Time `json:"time"`
+	Bytes    int       `json:"bytes"`
+}
+
+// Document is a stored doc. Mode is the coarse audience setting the
+// "Change access rights" action drives (private, reviewers-only,
+// consortium, agency, public); ACL holds per-principal grants on top.
+type Document struct {
+	ID       string                 `json:"id"`
+	Title    string                 `json:"title"`
+	Owner    string                 `json:"owner"`
+	Content  string                 `json:"content"`
+	Mode     string                 `json:"mode"`
+	ACL      map[string]AccessLevel `json:"acl"`
+	Watchers []string               `json:"watchers,omitempty"`
+	Revs     []Revision             `json:"revisions"`
+	Exports  []Export               `json:"exports,omitempty"`
+	Activity []string               `json:"activity,omitempty"`
+}
+
+func (d *Document) clone() Document {
+	c := *d
+	c.ACL = make(map[string]AccessLevel, len(d.ACL))
+	for k, v := range d.ACL {
+		c.ACL[k] = v
+	}
+	c.Watchers = append([]string(nil), d.Watchers...)
+	c.Revs = append([]Revision(nil), d.Revs...)
+	c.Exports = append([]Export(nil), d.Exports...)
+	c.Activity = append([]string(nil), d.Activity...)
+	return c
+}
+
+// Modes accepted by SetMode, mirroring the Fig. 1 quality plan stages.
+var Modes = []string{"private", "reviewers-only", "consortium", "agency", "public"}
+
+func validMode(m string) bool {
+	for _, v := range Modes {
+		if v == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Service is the document store. Safe for concurrent use.
+type Service struct {
+	mu    sync.RWMutex
+	docs  map[string]*Document
+	clock vclock.Clock
+}
+
+// NewService returns an empty service stamping times from clock (nil =
+// wall clock).
+func NewService(clock vclock.Clock) *Service {
+	if clock == nil {
+		clock = vclock.System
+	}
+	return &Service{docs: make(map[string]*Document), clock: clock}
+}
+
+// Create adds a document. The owner gets the owner ACL entry; mode
+// starts private.
+func (s *Service) Create(id, title, owner, content string) (Document, error) {
+	if strings.TrimSpace(id) == "" {
+		return Document{}, fmt.Errorf("gdocsim: empty document id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[id]; ok {
+		return Document{}, fmt.Errorf("gdocsim: document %q exists", id)
+	}
+	d := &Document{
+		ID: id, Title: title, Owner: owner, Content: content, Mode: "private",
+		ACL:  map[string]AccessLevel{owner: AccessOwner},
+		Revs: []Revision{{N: 1, Author: owner, Time: s.clock.Now(), Summary: "created", Bytes: len(content)}},
+	}
+	d.Activity = append(d.Activity, "created by "+owner)
+	s.docs[id] = d
+	return d.clone(), nil
+}
+
+// Get returns a copy of the document.
+func (s *Service) Get(id string) (Document, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return Document{}, false
+	}
+	return d.clone(), true
+}
+
+// List returns every document id, sorted.
+func (s *Service) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.docs))
+	for id := range s.docs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Update writes new content as a new revision. The author needs writer
+// rights.
+func (s *Service) Update(id, author, content, summary string) (Revision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return Revision{}, fmt.Errorf("gdocsim: no document %q", id)
+	}
+	if !d.ACL[author].Covers(AccessWriter) {
+		return Revision{}, fmt.Errorf("gdocsim: %s has no write access to %q", author, id)
+	}
+	rev := Revision{N: len(d.Revs) + 1, Author: author, Time: s.clock.Now(), Summary: summary, Bytes: len(content)}
+	d.Content = content
+	d.Revs = append(d.Revs, rev)
+	d.Activity = append(d.Activity, fmt.Sprintf("rev %d by %s", rev.N, author))
+	return rev, nil
+}
+
+// SetMode sets the coarse audience mode — the operation behind the
+// "Change access rights" action for this resource type.
+func (s *Service) SetMode(id, mode string) error {
+	if !validMode(mode) {
+		return fmt.Errorf("gdocsim: unknown access mode %q (want one of %s)", mode, strings.Join(Modes, ", "))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return fmt.Errorf("gdocsim: no document %q", id)
+	}
+	d.Mode = mode
+	d.Activity = append(d.Activity, "access mode set to "+mode)
+	return nil
+}
+
+// Share grants level to each principal.
+func (s *Service) Share(id string, principals []string, level AccessLevel) error {
+	if !level.Valid() {
+		return fmt.Errorf("gdocsim: unknown access level %q", level)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return fmt.Errorf("gdocsim: no document %q", id)
+	}
+	for _, p := range principals {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		d.ACL[p] = level
+		d.Activity = append(d.Activity, fmt.Sprintf("shared with %s as %s", p, level))
+	}
+	return nil
+}
+
+// Subscribe adds a watcher notified on changes.
+func (s *Service) Subscribe(id, principal string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return fmt.Errorf("gdocsim: no document %q", id)
+	}
+	for _, w := range d.Watchers {
+		if w == principal {
+			return nil
+		}
+	}
+	d.Watchers = append(d.Watchers, principal)
+	d.Activity = append(d.Activity, principal+" subscribed")
+	return nil
+}
+
+// ExportPDF renders the current revision as a PDF (simulated: the byte
+// count is deterministic from the content).
+func (s *Service) ExportPDF(id string) (Export, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return Export{}, fmt.Errorf("gdocsim: no document %q", id)
+	}
+	ex := Export{
+		Revision: len(d.Revs),
+		Time:     s.clock.Now(),
+		Bytes:    1024 + 2*len(d.Content), // header + typeset body, deterministic
+	}
+	d.Exports = append(d.Exports, ex)
+	d.Activity = append(d.Activity, fmt.Sprintf("PDF export of rev %d", ex.Revision))
+	return ex, nil
+}
+
+// Access returns the effective level of principal on the document,
+// combining the coarse mode with per-principal ACL entries.
+func (s *Service) Access(id, principal string) AccessLevel {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return AccessNone
+	}
+	acl, ok := d.ACL[principal]
+	if !ok {
+		acl = AccessNone
+	}
+	var fromMode AccessLevel = AccessNone
+	switch d.Mode {
+	case "public":
+		fromMode = AccessReader
+	case "agency", "consortium", "reviewers-only":
+		// Audience modes grant nothing to arbitrary principals; members
+		// receive explicit ACL entries when the mode is applied by the
+		// lifecycle action.
+	}
+	if acl.Covers(fromMode) {
+		return acl
+	}
+	return fromMode
+}

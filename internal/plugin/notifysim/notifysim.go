@@ -1,0 +1,81 @@
+// Package notifysim simulates the e-mail / notification channel the
+// paper's lifecycles use ("today these types of lifecycles ... are
+// mainly executed by hand typically by sending emails", §I): a message
+// service with per-recipient inboxes that adapters use for "Notify
+// reviewers"-style actions, and that tests inspect to verify the
+// notification side effects actually happened.
+package notifysim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+// Message is one delivered notification.
+type Message struct {
+	To      string    `json:"to"`
+	Subject string    `json:"subject"`
+	Body    string    `json:"body"`
+	Time    time.Time `json:"time"`
+}
+
+// Service stores inboxes. Safe for concurrent use.
+type Service struct {
+	mu      sync.RWMutex
+	inboxes map[string][]Message
+	clock   vclock.Clock
+	sent    int
+}
+
+// NewService returns an empty notification service.
+func NewService(clock vclock.Clock) *Service {
+	if clock == nil {
+		clock = vclock.System
+	}
+	return &Service{inboxes: make(map[string][]Message), clock: clock}
+}
+
+// Send delivers a message to the recipient's inbox.
+func (s *Service) Send(to, subject, body string) error {
+	to = strings.TrimSpace(to)
+	if to == "" {
+		return fmt.Errorf("notifysim: empty recipient")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inboxes[to] = append(s.inboxes[to], Message{To: to, Subject: subject, Body: body, Time: s.clock.Now()})
+	s.sent++
+	return nil
+}
+
+// Inbox returns a copy of the recipient's messages in delivery order.
+func (s *Service) Inbox(recipient string) []Message {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Message(nil), s.inboxes[recipient]...)
+}
+
+// Recipients returns everyone who has received at least one message,
+// sorted.
+func (s *Service) Recipients() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.inboxes))
+	for r := range s.inboxes {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sent returns the total number of delivered messages.
+func (s *Service) Sent() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sent
+}

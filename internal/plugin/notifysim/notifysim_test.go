@@ -1,0 +1,57 @@
+package notifysim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+func TestSendAndInbox(t *testing.T) {
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
+	s := NewService(clock)
+	if err := s.Send("alice", "Review D1.1", "please review by Friday"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Minute)
+	if err := s.Send("alice", "Reminder", "ping"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send("bob", "Review D1.1", "please review"); err != nil {
+		t.Fatal(err)
+	}
+
+	inbox := s.Inbox("alice")
+	if len(inbox) != 2 || inbox[0].Subject != "Review D1.1" || inbox[1].Subject != "Reminder" {
+		t.Fatalf("inbox = %+v", inbox)
+	}
+	if !inbox[1].Time.After(inbox[0].Time) {
+		t.Fatal("delivery times not ordered")
+	}
+	if got := s.Inbox("nobody"); len(got) != 0 {
+		t.Fatalf("empty inbox = %+v", got)
+	}
+	if got := s.Recipients(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("recipients = %v", got)
+	}
+	if s.Sent() != 3 {
+		t.Fatalf("sent = %d", s.Sent())
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	s := NewService(nil)
+	if err := s.Send("  ", "x", "y"); err == nil {
+		t.Fatal("blank recipient accepted")
+	}
+}
+
+func TestInboxReturnsCopy(t *testing.T) {
+	s := NewService(nil)
+	s.Send("alice", "a", "b")
+	in := s.Inbox("alice")
+	in[0].Subject = "tampered"
+	if s.Inbox("alice")[0].Subject == "tampered" {
+		t.Fatal("Inbox returned aliased storage")
+	}
+}

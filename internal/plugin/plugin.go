@@ -1,0 +1,206 @@
+// Package plugin provides the adapter framework of §V.B: the scaffolding
+// every resource-type plug-in uses to expose Gelee-invocable action
+// endpoints and to report status back through callback URIs.
+//
+// A plug-in consists of (a) a simulated managing application (its own
+// package, e.g. gdocsim), (b) action implementations written against
+// that application's native API, and (c) registrations that tell the
+// action registry which action types the plug-in implements for its
+// resource type. The Host in this package adapts action implementations
+// to all three invocation transports (REST, SOAP, local) and takes care
+// of the callback protocol, so plug-in authors write one ActionFunc per
+// action.
+package plugin
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/invoke"
+)
+
+// ActionFunc is one action implementation: perform the operation on the
+// resource named by the invocation and return a human-readable detail.
+// Returning an error reports the reserved failed status.
+type ActionFunc func(inv actionlib.Invocation) (detail string, err error)
+
+// Host routes invocations to a plug-in's registered actions and reports
+// terminal status through the appropriate callback channel: HTTP POST
+// for http(s) callback URIs, the direct Reporter for the embedded
+// "callback:/" scheme.
+type Host struct {
+	mu       sync.RWMutex
+	actions  map[string]ActionFunc
+	direct   invoke.Reporter
+	callback *invoke.CallbackClient
+}
+
+// NewHost returns a Host. direct may be nil when the plug-in is only
+// reachable over HTTP (remote deployment); it is required to serve
+// embedded "callback:/" URIs.
+func NewHost(direct invoke.Reporter) *Host {
+	return &Host{
+		actions:  make(map[string]ActionFunc),
+		direct:   direct,
+		callback: &invoke.CallbackClient{},
+	}
+}
+
+// SetCallbackClient overrides the HTTP callback client (tests inject the
+// test server's client).
+func (h *Host) SetCallbackClient(cc *invoke.CallbackClient) { h.callback = cc }
+
+// Handle registers the implementation for an action key — the last path
+// segment of the implementation endpoint (e.g. "chr" for
+// ".../actions/chr").
+func (h *Host) Handle(key string, fn ActionFunc) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.actions[key] = fn
+}
+
+// Keys returns the registered action keys.
+func (h *Host) Keys() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.actions))
+	for k := range h.actions {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (h *Host) action(key string) (ActionFunc, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	fn, ok := h.actions[key]
+	return fn, ok
+}
+
+// run executes the action and reports the terminal status. The paper's
+// §IV.C semantics: the invocation call itself only acknowledges receipt;
+// success/failure travel through the callback URI.
+func (h *Host) run(key string, inv actionlib.Invocation) {
+	fn, ok := h.action(key)
+	var up actionlib.StatusUpdate
+	up.InvocationID = inv.ID
+	if !ok {
+		up.Message = actionlib.StatusFailed
+		up.Detail = fmt.Sprintf("plug-in has no action %q", key)
+	} else if detail, err := fn(inv); err != nil {
+		up.Message = actionlib.StatusFailed
+		up.Detail = err.Error()
+	} else {
+		up.Message = actionlib.StatusCompleted
+		up.Detail = detail
+	}
+	h.report(inv.CallbackURI, up)
+}
+
+// report picks the callback channel from the URI scheme.
+func (h *Host) report(callbackURI string, up actionlib.StatusUpdate) {
+	switch {
+	case strings.HasPrefix(callbackURI, "http://"), strings.HasPrefix(callbackURI, "https://"):
+		// Failures here are the action's problem, not the lifecycle's;
+		// nothing more we can do than drop the update (the execution
+		// stays visibly non-terminal in the monitor).
+		_ = h.callback.Send(callbackURI, up)
+	default:
+		if h.direct != nil {
+			_ = h.direct.Report(up)
+		}
+	}
+}
+
+// RESTHandler returns an http.Handler serving POST /{key} with a
+// WireInvocation JSON body. Mount it under the plug-in's actions path.
+func (h *Host) RESTHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		key := strings.Trim(strings.TrimPrefix(r.URL.Path, "/"), "/")
+		if key == "" {
+			http.Error(w, "missing action key", http.StatusNotFound)
+			return
+		}
+		inv, err := invoke.DecodeInvocation(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Acknowledge receipt, then execute; status goes via callback.
+		w.WriteHeader(http.StatusAccepted)
+		h.run(key, inv)
+	})
+}
+
+// SOAPHandler returns an http.Handler accepting the SOAP envelope form
+// of an invocation at POST /{key}.
+func (h *Host) SOAPHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		key := strings.Trim(strings.TrimPrefix(r.URL.Path, "/"), "/")
+		inv, err := invoke.DecodeSOAPInvocation(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		h.run(key, inv)
+	})
+}
+
+// BindLocal registers every action on a LocalInvoker under
+// prefix + "/" + key endpoints (e.g. "local://gdoc/chr").
+func (h *Host) BindLocal(li *invoke.LocalInvoker, prefix string) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for key, fn := range h.actions {
+		key, fn := key, fn
+		li.Register(prefix+"/"+key, func(inv actionlib.Invocation, _ invoke.Reporter) (string, error) {
+			return fn(inv)
+		})
+	}
+}
+
+// Registration describes one action implementation to register: the
+// shared action type and the plug-in's key for it.
+type Registration struct {
+	Type actionlib.ActionType
+	Key  string
+}
+
+// RegisterAll registers every (type, implementation) pair for the given
+// resource type, with endpoints formed as endpointBase + "/" + key.
+func RegisterAll(reg *actionlib.Registry, resourceType, endpointBase string, protocol actionlib.Protocol, regs []Registration) error {
+	for _, r := range regs {
+		im := actionlib.Implementation{
+			TypeURI:      r.Type.URI,
+			ResourceType: resourceType,
+			Endpoint:     endpointBase + "/" + r.Key,
+			Protocol:     protocol,
+		}
+		if err := reg.Register(r.Type, im); err != nil {
+			return fmt.Errorf("plugin: register %s for %s: %w", r.Type.URI, resourceType, err)
+		}
+	}
+	return nil
+}
+
+// LastSegment extracts the final path segment of a resource URI — the
+// convention the simulated services use as their native object id.
+func LastSegment(uri string) string {
+	uri = strings.TrimRight(uri, "/")
+	if i := strings.LastIndexAny(uri, "/:"); i >= 0 {
+		return uri[i+1:]
+	}
+	return uri
+}

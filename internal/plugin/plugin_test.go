@@ -1,0 +1,258 @@
+package plugin
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/invoke"
+)
+
+type memReporter struct {
+	mu  sync.Mutex
+	ups []actionlib.StatusUpdate
+}
+
+func (m *memReporter) Report(up actionlib.StatusUpdate) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ups = append(m.ups, up)
+	return nil
+}
+
+func (m *memReporter) last(t *testing.T) actionlib.StatusUpdate {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.ups) == 0 {
+		t.Fatal("no status reported")
+	}
+	return m.ups[len(m.ups)-1]
+}
+
+func inv(id, key string) actionlib.Invocation {
+	return actionlib.Invocation{
+		ID: id, TypeURI: "urn:t", ResourceURI: "app://things/x42",
+		CallbackURI: "callback://" + id,
+		Params:      map[string]string{"p": "v"},
+	}
+}
+
+func TestHostRunsActionAndReportsDirect(t *testing.T) {
+	rep := &memReporter{}
+	h := NewHost(rep)
+	h.Handle("ok", func(in actionlib.Invocation) (string, error) { return "did " + in.Params["p"], nil })
+	h.Handle("boom", func(in actionlib.Invocation) (string, error) { return "", errors.New("kaput") })
+
+	h.run("ok", inv("inv-1", "ok"))
+	up := rep.last(t)
+	if up.Message != actionlib.StatusCompleted || up.Detail != "did v" {
+		t.Fatalf("update = %+v", up)
+	}
+	h.run("boom", inv("inv-2", "boom"))
+	up = rep.last(t)
+	if up.Message != actionlib.StatusFailed || up.Detail != "kaput" {
+		t.Fatalf("update = %+v", up)
+	}
+	h.run("missing", inv("inv-3", "missing"))
+	up = rep.last(t)
+	if up.Message != actionlib.StatusFailed {
+		t.Fatalf("unknown key should fail: %+v", up)
+	}
+}
+
+func TestHostRESTHandlerWithHTTPCallback(t *testing.T) {
+	// Full remote round trip: invocation arrives over HTTP, status goes
+	// back to an HTTP callback endpoint.
+	var got actionlib.StatusUpdate
+	done := make(chan struct{})
+	cbSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		up, err := invoke.DecodeStatus(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		got = up
+		close(done)
+	}))
+	defer cbSrv.Close()
+
+	h := NewHost(nil)
+	h.SetCallbackClient(&invoke.CallbackClient{Client: cbSrv.Client()})
+	h.Handle("chr", func(in actionlib.Invocation) (string, error) { return "mode " + in.Params["mode"], nil })
+	actSrv := httptest.NewServer(h.RESTHandler())
+	defer actSrv.Close()
+
+	wire := invoke.WireInvocation{
+		ID: "inv-9", TypeURI: "urn:chr", ResourceURI: "app://d/1",
+		CallbackURI: cbSrv.URL,
+		Params:      map[string]string{"mode": "public"},
+	}
+	body, _ := json.Marshal(wire)
+	resp, err := http.Post(actSrv.URL+"/chr", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", resp.StatusCode)
+	}
+	<-done
+	if got.InvocationID != "inv-9" || got.Message != actionlib.StatusCompleted || got.Detail != "mode public" {
+		t.Fatalf("callback = %+v", got)
+	}
+}
+
+func TestHostRESTHandlerRejectsBadRequests(t *testing.T) {
+	h := NewHost(&memReporter{})
+	srv := httptest.NewServer(h.RESTHandler())
+	defer srv.Close()
+
+	resp, _ := http.Get(srv.URL + "/chr")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, _ = http.Post(srv.URL+"/chr", "application/json", bytes.NewReader([]byte("{")))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, _ = http.Post(srv.URL+"/", "application/json", bytes.NewReader([]byte("{}")))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing key status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHostSOAPHandler(t *testing.T) {
+	rep := &memReporter{}
+	h := NewHost(rep)
+	h.Handle("chr", func(in actionlib.Invocation) (string, error) { return "ok", nil })
+	srv := httptest.NewServer(h.SOAPHandler())
+	defer srv.Close()
+
+	envelope := `<?xml version="1.0"?>
+	<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">
+	  <Body>
+	    <invoke xmlns="urn:gelee:actions">
+	      <invocationId>inv-soap-1</invocationId>
+	      <actionType>urn:chr</actionType>
+	      <resourceUri>app://d/1</resourceUri>
+	      <resourceType>gdoc</resourceType>
+	      <callbackUri>callback://inv-soap-1</callbackUri>
+	      <params><param id="mode">public</param></params>
+	    </invoke>
+	  </Body>
+	</Envelope>`
+	resp, err := http.Post(srv.URL+"/chr", "text/xml", bytes.NewReader([]byte(envelope)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	up := rep.last(t)
+	if up.InvocationID != "inv-soap-1" || up.Message != actionlib.StatusCompleted {
+		t.Fatalf("update = %+v", up)
+	}
+}
+
+func TestBindLocal(t *testing.T) {
+	rep := &memReporter{}
+	h := NewHost(rep)
+	h.Handle("pdf", func(in actionlib.Invocation) (string, error) { return "exported", nil })
+	li := invoke.NewLocalInvoker(rep)
+	h.BindLocal(li, "local://gdoc/actions")
+
+	in := inv("inv-local-1", "pdf")
+	in.Endpoint = "local://gdoc/actions/pdf"
+	in.Protocol = actionlib.ProtocolLocal
+	if err := li.Invoke(in); err != nil {
+		t.Fatal(err)
+	}
+	up := rep.last(t)
+	if up.Message != actionlib.StatusCompleted || up.Detail != "exported" {
+		t.Fatalf("update = %+v", up)
+	}
+}
+
+func TestRegisterAll(t *testing.T) {
+	reg := actionlib.NewRegistry()
+	regs := []Registration{
+		{Type: ChangeAccessRightsType(), Key: "chr"},
+		{Type: GeneratePDFType(), Key: "pdf"},
+	}
+	if err := RegisterAll(reg, "gdoc", "http://plug/actions", actionlib.ProtocolREST, regs); err != nil {
+		t.Fatal(err)
+	}
+	im, err := reg.Resolve(ActionChangeAccessRights, "gdoc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Endpoint != "http://plug/actions/chr" || im.Protocol != actionlib.ProtocolREST {
+		t.Fatalf("impl = %+v", im)
+	}
+	// Second resource type registering the same shared types must work.
+	if err := RegisterAll(reg, "mediawiki", "http://wiki/actions", actionlib.ProtocolREST, regs); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(reg.Implementations(ActionChangeAccessRights)); got != 2 {
+		t.Fatalf("implementations = %d", got)
+	}
+}
+
+func TestLastSegment(t *testing.T) {
+	cases := map[string]string{
+		"http://docs.example.com/docs/d42":  "d42",
+		"http://docs.example.com/docs/d42/": "d42",
+		"svn://host/repo":                   "repo",
+		"urn:gelee:thing":                   "thing",
+		"plain":                             "plain",
+	}
+	for in, want := range cases {
+		if got := LastSegment(in); got != want {
+			t.Errorf("LastSegment(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStdActionTypesValid(t *testing.T) {
+	types := []actionlib.ActionType{
+		ChangeAccessRightsType(), NotifyReviewersType(), GeneratePDFType(),
+		PostOnWebSiteType(), SubscribeType(), TagReleaseType(),
+	}
+	uris := make([]string, 0, len(types))
+	for _, at := range types {
+		if err := at.Validate(); err != nil {
+			t.Errorf("%s: %v", at.URI, err)
+		}
+		uris = append(uris, at.URI)
+	}
+	sort.Strings(uris)
+	for i := 1; i < len(uris); i++ {
+		if uris[i] == uris[i-1] {
+			t.Errorf("duplicate action type URI %q", uris[i])
+		}
+	}
+}
+
+func TestHostKeys(t *testing.T) {
+	h := NewHost(nil)
+	h.Handle("a", func(actionlib.Invocation) (string, error) { return "", nil })
+	h.Handle("b", func(actionlib.Invocation) (string, error) { return "", nil })
+	keys := h.Keys()
+	sort.Strings(keys)
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}

@@ -1,0 +1,105 @@
+package plugin
+
+import (
+	"time"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/core"
+)
+
+// Standard action type URIs — the shared vocabulary of Fig. 1. Each
+// plug-in maps the types it supports to its own implementation; the
+// same lifecycle definition thereby runs against any resource type
+// implementing these types (§IV.C: "it is also possible to define the
+// same lifecycle and the same actions on resources at different types").
+const (
+	ActionChangeAccessRights = "http://www.liquidpub.org/a/chr"
+	ActionNotifyReviewers    = "http://www.liquidpub.org/a/notify"
+	ActionGeneratePDF        = "http://www.liquidpub.org/a/pdf"
+	ActionPostOnWebSite      = "http://www.liquidpub.org/a/post"
+	ActionSubscribe          = "http://www.liquidpub.org/a/subscribe"
+	ActionTagRelease         = "http://www.liquidpub.org/a/tag"
+)
+
+func stdVersion() core.VersionInfo {
+	return core.VersionInfo{Number: "1.0", CreatedBy: "lpAdmin",
+		Created: time.Date(2008, 7, 8, 0, 0, 0, 0, time.UTC)}
+}
+
+// ChangeAccessRightsType is the Table II example: set who may see or
+// edit the resource. The mode vocabulary follows the Fig. 1 quality
+// plan: private, reviewers-only, consortium, agency, public.
+func ChangeAccessRightsType() actionlib.ActionType {
+	return actionlib.ActionType{
+		URI: ActionChangeAccessRights, Name: "Change Access Rights",
+		Version: stdVersion(),
+		Params: []core.Param{
+			{ID: "mode", BindingTime: core.BindAny, Required: true},
+			{ID: "note", BindingTime: core.BindCall},
+		},
+		Metadata: map[string]string{"category": "access"},
+	}
+}
+
+// NotifyReviewersType notifies a comma-separated reviewer list and
+// grants them review access where the managing application supports it.
+func NotifyReviewersType() actionlib.ActionType {
+	return actionlib.ActionType{
+		URI: ActionNotifyReviewers, Name: "Notify Reviewers",
+		Version: stdVersion(),
+		Params: []core.Param{
+			{ID: "reviewers", BindingTime: core.BindAny, Required: true},
+			{ID: "subject", Value: "Please review", BindingTime: core.BindAny},
+		},
+		Metadata: map[string]string{"category": "collaboration"},
+	}
+}
+
+// GeneratePDFType exports the resource in PDF form.
+func GeneratePDFType() actionlib.ActionType {
+	return actionlib.ActionType{
+		URI: ActionGeneratePDF, Name: "Generate PDF",
+		Version:  stdVersion(),
+		Metadata: map[string]string{"category": "export"},
+	}
+}
+
+// PostOnWebSiteType publishes a link to the resource on a project web
+// site.
+func PostOnWebSiteType() actionlib.ActionType {
+	return actionlib.ActionType{
+		URI: ActionPostOnWebSite, Name: "Post On Web Site",
+		Version: stdVersion(),
+		Params: []core.Param{
+			{ID: "site", BindingTime: core.BindAny, Required: true},
+			{ID: "title", BindingTime: core.BindAny},
+		},
+		Metadata: map[string]string{"category": "publication"},
+	}
+}
+
+// SubscribeType subscribes a principal to change notifications
+// (the Google-Docs "subscribe to changes" operation of §IV.C).
+func SubscribeType() actionlib.ActionType {
+	return actionlib.ActionType{
+		URI: ActionSubscribe, Name: "Subscribe To Changes",
+		Version: stdVersion(),
+		Params: []core.Param{
+			{ID: "subscriber", BindingTime: core.BindAny, Required: true},
+		},
+		Metadata: map[string]string{"category": "collaboration"},
+	}
+}
+
+// TagReleaseType marks the current revision of a version-controlled
+// resource with a release tag.
+func TagReleaseType() actionlib.ActionType {
+	return actionlib.ActionType{
+		URI: ActionTagRelease, Name: "Tag Release",
+		Version: stdVersion(),
+		Params: []core.Param{
+			{ID: "tag", BindingTime: core.BindAny, Required: true},
+		},
+		Metadata: map[string]string{"category": "versioning"},
+	}
+}

@@ -1,0 +1,286 @@
+// Package svnsim simulates a Subversion-style version control
+// repository — the "latex over Subversion" alternative of §II.B and the
+// CVS/SVN resource family of §IV.C. Repositories hold commits, tags and
+// an authorization mode; the adapter maps the standard action types onto
+// those native concepts, plus the versioning-specific "Tag Release"
+// action type that only this resource type implements (demonstrating
+// per-type action availability in the Fig. 3 runtime browse).
+package svnsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/invoke"
+	"github.com/liquidpub/gelee/internal/plugin"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+// ResourceType is the lifecycle resource type string for repositories.
+const ResourceType = "svn"
+
+// Commit is one revision.
+type Commit struct {
+	Rev     int       `json:"rev"`
+	Author  string    `json:"author"`
+	Time    time.Time `json:"time"`
+	Message string    `json:"message"`
+	Paths   []string  `json:"paths,omitempty"`
+}
+
+// Tag marks a revision.
+type Tag struct {
+	Name string    `json:"name"`
+	Rev  int       `json:"rev"`
+	Time time.Time `json:"time"`
+}
+
+// Repo is one repository.
+type Repo struct {
+	Name    string   `json:"name"`
+	Commits []Commit `json:"commits"`
+	Tags    []Tag    `json:"tags,omitempty"`
+	Authz   string   `json:"authz"` // access mode string, as set by chr
+}
+
+func (r *Repo) clone() Repo {
+	c := *r
+	c.Commits = append([]Commit(nil), r.Commits...)
+	c.Tags = append([]Tag(nil), r.Tags...)
+	return c
+}
+
+// Service hosts repositories. Safe for concurrent use.
+type Service struct {
+	mu    sync.RWMutex
+	repos map[string]*Repo
+	clock vclock.Clock
+}
+
+// NewService returns an empty service.
+func NewService(clock vclock.Clock) *Service {
+	if clock == nil {
+		clock = vclock.System
+	}
+	return &Service{repos: make(map[string]*Repo), clock: clock}
+}
+
+// CreateRepo adds an empty repository.
+func (s *Service) CreateRepo(name string) (Repo, error) {
+	if strings.TrimSpace(name) == "" {
+		return Repo{}, fmt.Errorf("svnsim: empty repo name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.repos[name]; ok {
+		return Repo{}, fmt.Errorf("svnsim: repo %q exists", name)
+	}
+	r := &Repo{Name: name, Authz: "private"}
+	s.repos[name] = r
+	return r.clone(), nil
+}
+
+// Commitf appends a commit.
+func (s *Service) Commit(name, author, message string, paths ...string) (Commit, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.repos[name]
+	if !ok {
+		return Commit{}, fmt.Errorf("svnsim: no repo %q", name)
+	}
+	c := Commit{Rev: len(r.Commits) + 1, Author: author, Time: s.clock.Now(), Message: message, Paths: paths}
+	r.Commits = append(r.Commits, c)
+	return c, nil
+}
+
+// TagRev tags the head revision.
+func (s *Service) TagRev(name, tag string) (Tag, error) {
+	if strings.TrimSpace(tag) == "" {
+		return Tag{}, fmt.Errorf("svnsim: empty tag")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.repos[name]
+	if !ok {
+		return Tag{}, fmt.Errorf("svnsim: no repo %q", name)
+	}
+	for _, t := range r.Tags {
+		if t.Name == tag {
+			return Tag{}, fmt.Errorf("svnsim: tag %q exists", tag)
+		}
+	}
+	t := Tag{Name: tag, Rev: len(r.Commits), Time: s.clock.Now()}
+	r.Tags = append(r.Tags, t)
+	return t, nil
+}
+
+// SetAuthz records the repository's access mode.
+func (s *Service) SetAuthz(name, mode string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.repos[name]
+	if !ok {
+		return fmt.Errorf("svnsim: no repo %q", name)
+	}
+	r.Authz = mode
+	return nil
+}
+
+// Repo returns a copy of the repository.
+func (s *Service) Repo(name string) (Repo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.repos[name]
+	if !ok {
+		return Repo{}, false
+	}
+	return r.clone(), true
+}
+
+// Names returns every repository name, sorted.
+func (s *Service) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.repos))
+	for n := range s.repos {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Adapter is the SVN plug-in. It implements change-access-rights,
+// generate-PDF (export of the head revision's docs) and the
+// SVN-specific tag-release action, but deliberately NOT notify/post —
+// exercising partial action coverage per resource type.
+type Adapter struct {
+	svc  *Service
+	host *plugin.Host
+}
+
+// NewAdapter builds the adapter.
+func NewAdapter(svc *Service, direct invoke.Reporter) *Adapter {
+	a := &Adapter{svc: svc, host: plugin.NewHost(direct)}
+	a.host.Handle("chr", a.changeAccessRights)
+	a.host.Handle("pdf", a.generatePDF)
+	a.host.Handle("tag", a.tagRelease)
+	return a
+}
+
+// Host exposes the action host.
+func (a *Adapter) Host() *plugin.Host { return a.host }
+
+// Registrations lists the implemented action types.
+func (a *Adapter) Registrations() []plugin.Registration {
+	return []plugin.Registration{
+		{Type: plugin.ChangeAccessRightsType(), Key: "chr"},
+		{Type: plugin.GeneratePDFType(), Key: "pdf"},
+		{Type: plugin.TagReleaseType(), Key: "tag"},
+	}
+}
+
+// RegisterActions registers the implementations under endpointBase.
+func (a *Adapter) RegisterActions(reg *actionlib.Registry, endpointBase string, protocol actionlib.Protocol) error {
+	return plugin.RegisterAll(reg, ResourceType, endpointBase, protocol, a.Registrations())
+}
+
+// BindLocal attaches the implementations to a local invoker.
+func (a *Adapter) BindLocal(li *invoke.LocalInvoker, endpointBase string) {
+	a.host.BindLocal(li, endpointBase)
+}
+
+// Type implements resource.Plugin.
+func (a *Adapter) Type() string { return ResourceType }
+
+// Render implements resource.Plugin.
+func (a *Adapter) Render(ref resource.Ref) (resource.Rendering, error) {
+	name := plugin.LastSegment(ref.URI)
+	r, ok := a.svc.Repo(name)
+	if !ok {
+		return resource.Rendering{}, fmt.Errorf("svnsim: no repo %q", name)
+	}
+	return resource.Rendering{
+		Title:   "svn://" + r.Name,
+		Summary: fmt.Sprintf("repository, %d commit(s), %d tag(s), authz %s", len(r.Commits), len(r.Tags), r.Authz),
+		Link:    ref.URI,
+		Status:  fmt.Sprintf("HEAD r%d", len(r.Commits)),
+	}, nil
+}
+
+// Check implements resource.Plugin.
+func (a *Adapter) Check(ref resource.Ref) error {
+	if _, ok := a.svc.Repo(plugin.LastSegment(ref.URI)); !ok {
+		return fmt.Errorf("svnsim: no repo %q", plugin.LastSegment(ref.URI))
+	}
+	return nil
+}
+
+func (a *Adapter) repoName(inv actionlib.Invocation) string {
+	return plugin.LastSegment(inv.ResourceURI)
+}
+
+func (a *Adapter) changeAccessRights(inv actionlib.Invocation) (string, error) {
+	mode := inv.Params["mode"]
+	if mode == "" {
+		return "", fmt.Errorf("missing required parameter mode")
+	}
+	if err := a.svc.SetAuthz(a.repoName(inv), mode); err != nil {
+		return "", err
+	}
+	return "authz set to " + mode, nil
+}
+
+func (a *Adapter) generatePDF(inv actionlib.Invocation) (string, error) {
+	r, ok := a.svc.Repo(a.repoName(inv))
+	if !ok {
+		return "", fmt.Errorf("svnsim: no repo %q", a.repoName(inv))
+	}
+	if len(r.Commits) == 0 {
+		return "", fmt.Errorf("svnsim: repo %q has no commits to export", r.Name)
+	}
+	return fmt.Sprintf("PDF built from r%d", len(r.Commits)), nil
+}
+
+func (a *Adapter) tagRelease(inv actionlib.Invocation) (string, error) {
+	tag := inv.Params["tag"]
+	if tag == "" {
+		return "", fmt.Errorf("missing required parameter tag")
+	}
+	t, err := a.svc.TagRev(a.repoName(inv), tag)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("tag %s at r%d", t.Name, t.Rev), nil
+}
+
+// Mux serves the native API plus the Gelee action endpoints.
+//
+//	GET  /repos           list names
+//	GET  /repos/{name}    fetch repo
+//	POST /actions/{key}   Gelee invocation endpoint
+func (a *Adapter) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/actions/", http.StripPrefix("/actions", a.host.RESTHandler()))
+	mux.HandleFunc("/repos", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(a.svc.Names())
+	})
+	mux.HandleFunc("/repos/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/repos/")
+		repo, ok := a.svc.Repo(name)
+		if !ok {
+			http.Error(w, "no such repo", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(repo)
+	})
+	return mux
+}

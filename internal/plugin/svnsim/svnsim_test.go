@@ -1,0 +1,190 @@
+package svnsim
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+func env(t *testing.T) (*Adapter, *Service) {
+	t.Helper()
+	svc := NewService(vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC)))
+	return NewAdapter(svc, nil), svc
+}
+
+func inv(uri string, params map[string]string) actionlib.Invocation {
+	return actionlib.Invocation{ID: "inv-1", ResourceURI: uri, ResourceType: ResourceType,
+		CallbackURI: "callback://inv-1", Params: params}
+}
+
+func TestRepoBasics(t *testing.T) {
+	_, svc := env(t)
+	r, err := svc.CreateRepo("liquidpub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Authz != "private" {
+		t.Fatalf("repo = %+v", r)
+	}
+	if _, err := svc.CreateRepo("liquidpub"); err == nil {
+		t.Fatal("duplicate repo accepted")
+	}
+	if _, err := svc.CreateRepo("  "); err == nil {
+		t.Fatal("blank name accepted")
+	}
+
+	c1, err := svc.Commit("liquidpub", "alice", "import deliverable skeleton", "D1.1/main.tex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := svc.Commit("liquidpub", "bob", "add related work", "D1.1/related.tex")
+	if c1.Rev != 1 || c2.Rev != 2 {
+		t.Fatalf("revs = %d, %d", c1.Rev, c2.Rev)
+	}
+	if _, err := svc.Commit("ghost", "alice", ""); err == nil {
+		t.Fatal("commit to missing repo accepted")
+	}
+
+	tag, err := svc.TagRev("liquidpub", "v1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag.Rev != 2 {
+		t.Fatalf("tag = %+v", tag)
+	}
+	if _, err := svc.TagRev("liquidpub", "v1.0"); err == nil {
+		t.Fatal("duplicate tag accepted")
+	}
+	if _, err := svc.TagRev("liquidpub", " "); err == nil {
+		t.Fatal("blank tag accepted")
+	}
+	if got := svc.Names(); len(got) != 1 || got[0] != "liquidpub" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestAdapterActions(t *testing.T) {
+	a, svc := env(t)
+	svc.CreateRepo("liquidpub")
+	svc.Commit("liquidpub", "alice", "initial import")
+
+	detail, err := a.changeAccessRights(inv("svn://host/liquidpub", map[string]string{"mode": "consortium"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "consortium") {
+		t.Fatalf("detail = %q", detail)
+	}
+	r, _ := svc.Repo("liquidpub")
+	if r.Authz != "consortium" {
+		t.Fatalf("authz = %q", r.Authz)
+	}
+	if _, err := a.changeAccessRights(inv("svn://host/liquidpub", nil)); err == nil {
+		t.Fatal("missing mode accepted")
+	}
+
+	detail, err = a.generatePDF(inv("svn://host/liquidpub", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "r1") {
+		t.Fatalf("detail = %q", detail)
+	}
+
+	detail, err = a.tagRelease(inv("svn://host/liquidpub", map[string]string{"tag": "D1.1-final"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "D1.1-final") {
+		t.Fatalf("detail = %q", detail)
+	}
+	if _, err := a.tagRelease(inv("svn://host/liquidpub", nil)); err == nil {
+		t.Fatal("missing tag accepted")
+	}
+}
+
+func TestPDFRequiresCommits(t *testing.T) {
+	a, svc := env(t)
+	svc.CreateRepo("empty")
+	if _, err := a.generatePDF(inv("svn://host/empty", nil)); err == nil {
+		t.Fatal("PDF from empty repo accepted")
+	}
+}
+
+func TestRenderAndCheck(t *testing.T) {
+	a, svc := env(t)
+	svc.CreateRepo("liquidpub")
+	svc.Commit("liquidpub", "alice", "x")
+	rend, err := a.Render(resource.Ref{URI: "svn://host/liquidpub", Type: ResourceType})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rend.Status, "r1") || !strings.Contains(rend.Summary, "repository") {
+		t.Fatalf("rendering = %+v", rend)
+	}
+	if err := a.Check(resource.Ref{URI: "svn://host/ghost", Type: ResourceType}); err == nil {
+		t.Fatal("missing repo passed Check")
+	}
+	if a.Type() != "svn" {
+		t.Fatalf("Type = %q", a.Type())
+	}
+}
+
+func TestPartialActionCoverage(t *testing.T) {
+	// SVN deliberately implements only 3 of the standard types: the
+	// Fig. 3 runtime browse must show fewer actions for svn resources.
+	a, _ := env(t)
+	reg := actionlib.NewRegistry()
+	if err := a.RegisterActions(reg, "local://svn/actions", actionlib.ProtocolLocal); err != nil {
+		t.Fatal(err)
+	}
+	types := reg.TypesFor(ResourceType)
+	if len(types) != 3 {
+		t.Fatalf("TypesFor(svn) = %d, want 3", len(types))
+	}
+	for _, at := range types {
+		if at.URI == "http://www.liquidpub.org/a/notify" || at.URI == "http://www.liquidpub.org/a/post" {
+			t.Fatalf("svn should not implement %s", at.URI)
+		}
+	}
+}
+
+func TestNativeAPI(t *testing.T) {
+	a, svc := env(t)
+	svc.CreateRepo("liquidpub")
+	svc.Commit("liquidpub", "alice", "x")
+	srv := httptest.NewServer(a.Mux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/repos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	json.NewDecoder(resp.Body).Decode(&names)
+	resp.Body.Close()
+	if len(names) != 1 {
+		t.Fatalf("names = %v", names)
+	}
+
+	resp, _ = http.Get(srv.URL + "/repos/liquidpub")
+	var r Repo
+	json.NewDecoder(resp.Body).Decode(&r)
+	resp.Body.Close()
+	if r.Name != "liquidpub" || len(r.Commits) != 1 {
+		t.Fatalf("repo = %+v", r)
+	}
+
+	resp, _ = http.Get(srv.URL + "/repos/ghost")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing repo status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

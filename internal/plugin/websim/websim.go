@@ -1,0 +1,73 @@
+// Package websim simulates the project web site of the Fig. 1
+// Publication phase ("Post on web site"): a minimal CMS holding posts
+// per site, with a native API the post action implementations publish
+// through, and a rendering for monitoring.
+package websim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+// Post is one published entry.
+type Post struct {
+	Site  string    `json:"site"`
+	Title string    `json:"title"`
+	Link  string    `json:"link"`
+	Time  time.Time `json:"time"`
+}
+
+// Service stores posts per site. Safe for concurrent use.
+type Service struct {
+	mu    sync.RWMutex
+	posts map[string][]Post
+	clock vclock.Clock
+}
+
+// NewService returns an empty site service.
+func NewService(clock vclock.Clock) *Service {
+	if clock == nil {
+		clock = vclock.System
+	}
+	return &Service{posts: make(map[string][]Post), clock: clock}
+}
+
+// Publish adds a post to the site.
+func (s *Service) Publish(site, title, link string) (Post, error) {
+	site = strings.TrimSpace(site)
+	if site == "" {
+		return Post{}, fmt.Errorf("websim: empty site")
+	}
+	if strings.TrimSpace(link) == "" {
+		return Post{}, fmt.Errorf("websim: empty link")
+	}
+	p := Post{Site: site, Title: title, Link: link, Time: s.clock.Now()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.posts[site] = append(s.posts[site], p)
+	return p, nil
+}
+
+// Posts returns the site's posts in publication order.
+func (s *Service) Posts(site string) []Post {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Post(nil), s.posts[site]...)
+}
+
+// Sites returns every site with at least one post, sorted.
+func (s *Service) Sites() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.posts))
+	for site := range s.posts {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out
+}

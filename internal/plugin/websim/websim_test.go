@@ -1,0 +1,59 @@
+package websim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+func TestPublishAndQuery(t *testing.T) {
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
+	s := NewService(clock)
+	p, err := s.Publish("project.liquidpub.org", "D1.1 State of the Art", "http://wiki/D1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Title != "D1.1 State of the Art" || p.Link != "http://wiki/D1.1" {
+		t.Fatalf("post = %+v", p)
+	}
+	clock.Advance(time.Hour)
+	if _, err := s.Publish("project.liquidpub.org", "D2.1", "http://wiki/D2.1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Publish("other.site", "x", "http://x"); err != nil {
+		t.Fatal(err)
+	}
+
+	posts := s.Posts("project.liquidpub.org")
+	if len(posts) != 2 || posts[0].Title != "D1.1 State of the Art" {
+		t.Fatalf("posts = %+v", posts)
+	}
+	if got := s.Posts("unknown.site"); len(got) != 0 {
+		t.Fatalf("posts = %+v", got)
+	}
+	sites := s.Sites()
+	if len(sites) != 2 || sites[0] != "other.site" {
+		t.Fatalf("sites = %v", sites)
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	s := NewService(nil)
+	if _, err := s.Publish("", "t", "l"); err == nil {
+		t.Fatal("empty site accepted")
+	}
+	if _, err := s.Publish("site", "t", "  "); err == nil {
+		t.Fatal("empty link accepted")
+	}
+}
+
+func TestPostsReturnsCopy(t *testing.T) {
+	s := NewService(nil)
+	s.Publish("site", "t", "l")
+	ps := s.Posts("site")
+	ps[0].Title = "tampered"
+	if s.Posts("site")[0].Title == "tampered" {
+		t.Fatal("Posts returned aliased storage")
+	}
+}

@@ -1,0 +1,357 @@
+// Package wikisim simulates a MediaWiki installation — the second
+// resource plug-in the paper's prototype ships (§VI: "Resource plug-ins
+// currently include Google Docs and MediaWiki"). Pages carry revisions,
+// MediaWiki-style protection levels, and watchlists; the adapter maps
+// the standard action types onto those native concepts so the *same*
+// lifecycle model runs on wiki pages and Google docs alike.
+package wikisim
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/invoke"
+	"github.com/liquidpub/gelee/internal/plugin"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+// ResourceType is the lifecycle resource type string for wiki pages.
+const ResourceType = "mediawiki"
+
+// Protection is a MediaWiki-style page protection level.
+type Protection string
+
+// Protection levels, weakest to strongest.
+const (
+	ProtectionNone          Protection = "none"          // anyone edits
+	ProtectionAutoconfirmed Protection = "autoconfirmed" // registered users
+	ProtectionSysop         Protection = "sysop"         // admins only
+)
+
+// modeToProtection maps the shared "Change access rights" mode
+// vocabulary onto native protection levels — the adapter's whole reason
+// to exist: "the way this is done is Google Docs-specific" (§I), and
+// wiki-specific here.
+var modeToProtection = map[string]Protection{
+	"private":        ProtectionSysop,
+	"reviewers-only": ProtectionAutoconfirmed,
+	"consortium":     ProtectionAutoconfirmed,
+	"agency":         ProtectionSysop,
+	"public":         ProtectionNone,
+}
+
+// Revision is one page edit.
+type Revision struct {
+	N       int       `json:"n"`
+	Author  string    `json:"author"`
+	Time    time.Time `json:"time"`
+	Comment string    `json:"comment,omitempty"`
+}
+
+// Page is a wiki page.
+type Page struct {
+	Title      string     `json:"title"`
+	Text       string     `json:"text"`
+	Protection Protection `json:"protection"`
+	Watchers   []string   `json:"watchers,omitempty"`
+	Revs       []Revision `json:"revisions"`
+}
+
+func (p *Page) clone() Page {
+	c := *p
+	c.Watchers = append([]string(nil), p.Watchers...)
+	c.Revs = append([]Revision(nil), p.Revs...)
+	return c
+}
+
+// Service is the wiki. Safe for concurrent use.
+type Service struct {
+	mu    sync.RWMutex
+	pages map[string]*Page
+	clock vclock.Clock
+}
+
+// NewService returns an empty wiki.
+func NewService(clock vclock.Clock) *Service {
+	if clock == nil {
+		clock = vclock.System
+	}
+	return &Service{pages: make(map[string]*Page), clock: clock}
+}
+
+// CreatePage adds a page (title is the id, MediaWiki style).
+func (s *Service) CreatePage(title, author, text string) (Page, error) {
+	if strings.TrimSpace(title) == "" {
+		return Page{}, fmt.Errorf("wikisim: empty page title")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pages[title]; ok {
+		return Page{}, fmt.Errorf("wikisim: page %q exists", title)
+	}
+	p := &Page{Title: title, Text: text, Protection: ProtectionNone,
+		Revs: []Revision{{N: 1, Author: author, Time: s.clock.Now(), Comment: "created"}}}
+	s.pages[title] = p
+	return p.clone(), nil
+}
+
+// Page returns a copy of the page.
+func (s *Service) Page(title string) (Page, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[title]
+	if !ok {
+		return Page{}, false
+	}
+	return p.clone(), true
+}
+
+// Edit appends a revision.
+func (s *Service) Edit(title, author, text, comment string) (Revision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[title]
+	if !ok {
+		return Revision{}, fmt.Errorf("wikisim: no page %q", title)
+	}
+	rev := Revision{N: len(p.Revs) + 1, Author: author, Time: s.clock.Now(), Comment: comment}
+	p.Text = text
+	p.Revs = append(p.Revs, rev)
+	return rev, nil
+}
+
+// Protect sets the protection level.
+func (s *Service) Protect(title string, level Protection) error {
+	switch level {
+	case ProtectionNone, ProtectionAutoconfirmed, ProtectionSysop:
+	default:
+		return fmt.Errorf("wikisim: unknown protection %q", level)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[title]
+	if !ok {
+		return fmt.Errorf("wikisim: no page %q", title)
+	}
+	p.Protection = level
+	return nil
+}
+
+// Watch adds a watcher to the page's watchlist.
+func (s *Service) Watch(title, user string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[title]
+	if !ok {
+		return fmt.Errorf("wikisim: no page %q", title)
+	}
+	for _, w := range p.Watchers {
+		if w == user {
+			return nil
+		}
+	}
+	p.Watchers = append(p.Watchers, user)
+	return nil
+}
+
+// Titles returns every page title, sorted.
+func (s *Service) Titles() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.pages))
+	for t := range s.pages {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Notifier delivers watcher/reviewer notifications (see notifysim).
+type Notifier interface {
+	Send(to, subject, body string) error
+}
+
+// Adapter is the MediaWiki plug-in.
+type Adapter struct {
+	svc      *Service
+	notifier Notifier
+	host     *plugin.Host
+}
+
+// NewAdapter builds the adapter; notifier may be nil.
+func NewAdapter(svc *Service, direct invoke.Reporter, notifier Notifier) *Adapter {
+	a := &Adapter{svc: svc, notifier: notifier, host: plugin.NewHost(direct)}
+	a.host.Handle("chr", a.changeAccessRights)
+	a.host.Handle("notify", a.notifyReviewers)
+	a.host.Handle("pdf", a.generatePDF)
+	a.host.Handle("post", a.postOnWebSite)
+	a.host.Handle("subscribe", a.subscribe)
+	return a
+}
+
+// Host exposes the action host.
+func (a *Adapter) Host() *plugin.Host { return a.host }
+
+// Registrations lists the standard types this adapter implements.
+func (a *Adapter) Registrations() []plugin.Registration {
+	return []plugin.Registration{
+		{Type: plugin.ChangeAccessRightsType(), Key: "chr"},
+		{Type: plugin.NotifyReviewersType(), Key: "notify"},
+		{Type: plugin.GeneratePDFType(), Key: "pdf"},
+		{Type: plugin.PostOnWebSiteType(), Key: "post"},
+		{Type: plugin.SubscribeType(), Key: "subscribe"},
+	}
+}
+
+// RegisterActions registers the implementations under endpointBase.
+func (a *Adapter) RegisterActions(reg *actionlib.Registry, endpointBase string, protocol actionlib.Protocol) error {
+	return plugin.RegisterAll(reg, ResourceType, endpointBase, protocol, a.Registrations())
+}
+
+// BindLocal attaches the implementations to a local invoker.
+func (a *Adapter) BindLocal(li *invoke.LocalInvoker, endpointBase string) {
+	a.host.BindLocal(li, endpointBase)
+}
+
+// Type implements resource.Plugin.
+func (a *Adapter) Type() string { return ResourceType }
+
+// Render implements resource.Plugin.
+func (a *Adapter) Render(ref resource.Ref) (resource.Rendering, error) {
+	title := plugin.LastSegment(ref.URI)
+	p, ok := a.svc.Page(title)
+	if !ok {
+		return resource.Rendering{}, fmt.Errorf("wikisim: no page %q", title)
+	}
+	return resource.Rendering{
+		Title:   p.Title,
+		Summary: fmt.Sprintf("wiki page, %d revision(s), protection %s", len(p.Revs), p.Protection),
+		HTML:    fmt.Sprintf("<article><h1>%s</h1><pre>%s</pre></article>", p.Title, p.Text),
+		Link:    ref.URI,
+		Status:  fmt.Sprintf("rev %d, %d watcher(s)", len(p.Revs), len(p.Watchers)),
+	}, nil
+}
+
+// Check implements resource.Plugin.
+func (a *Adapter) Check(ref resource.Ref) error {
+	if _, ok := a.svc.Page(plugin.LastSegment(ref.URI)); !ok {
+		return fmt.Errorf("wikisim: no page %q", plugin.LastSegment(ref.URI))
+	}
+	return nil
+}
+
+func (a *Adapter) pageTitle(inv actionlib.Invocation) string {
+	return plugin.LastSegment(inv.ResourceURI)
+}
+
+func (a *Adapter) changeAccessRights(inv actionlib.Invocation) (string, error) {
+	mode := inv.Params["mode"]
+	level, ok := modeToProtection[mode]
+	if !ok {
+		return "", fmt.Errorf("unknown access mode %q", mode)
+	}
+	if err := a.svc.Protect(a.pageTitle(inv), level); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("protection set to %s (mode %s)", level, mode), nil
+}
+
+func (a *Adapter) notifyReviewers(inv actionlib.Invocation) (string, error) {
+	reviewers := splitList(inv.Params["reviewers"])
+	if len(reviewers) == 0 {
+		return "", fmt.Errorf("missing required parameter reviewers")
+	}
+	title := a.pageTitle(inv)
+	if _, ok := a.svc.Page(title); !ok {
+		return "", fmt.Errorf("wikisim: no page %q", title)
+	}
+	subject := inv.Params["subject"]
+	if subject == "" {
+		subject = "Please review"
+	}
+	notified := 0
+	for _, rv := range reviewers {
+		if err := a.svc.Watch(title, rv); err != nil {
+			return "", err
+		}
+		if a.notifier != nil {
+			if err := a.notifier.Send(rv, subject, "Review requested: "+inv.ResourceURI); err == nil {
+				notified++
+			}
+		}
+	}
+	return fmt.Sprintf("%d reviewer(s) added to watchlist, %d notified", len(reviewers), notified), nil
+}
+
+func (a *Adapter) generatePDF(inv actionlib.Invocation) (string, error) {
+	p, ok := a.svc.Page(a.pageTitle(inv))
+	if !ok {
+		return "", fmt.Errorf("wikisim: no page %q", a.pageTitle(inv))
+	}
+	return fmt.Sprintf("PDF of revision %d (%d bytes)", len(p.Revs), 1024+2*len(p.Text)), nil
+}
+
+func (a *Adapter) postOnWebSite(inv actionlib.Invocation) (string, error) {
+	site := inv.Params["site"]
+	if site == "" {
+		return "", fmt.Errorf("missing required parameter site")
+	}
+	title := a.pageTitle(inv)
+	if err := a.svc.Protect(title, ProtectionNone); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("posted %s on %s", inv.ResourceURI, site), nil
+}
+
+func (a *Adapter) subscribe(inv actionlib.Invocation) (string, error) {
+	sub := inv.Params["subscriber"]
+	if sub == "" {
+		return "", fmt.Errorf("missing required parameter subscriber")
+	}
+	if err := a.svc.Watch(a.pageTitle(inv), sub); err != nil {
+		return "", err
+	}
+	return sub + " added to watchlist", nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// Mux serves the native wiki API plus the Gelee action endpoints.
+//
+//	GET  /pages            list titles
+//	GET  /pages/{title}    fetch page
+//	POST /actions/{key}    Gelee invocation endpoint
+func (a *Adapter) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/actions/", http.StripPrefix("/actions", a.host.RESTHandler()))
+	mux.HandleFunc("/pages", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(a.svc.Titles())
+	})
+	mux.HandleFunc("/pages/", func(w http.ResponseWriter, r *http.Request) {
+		title := strings.TrimPrefix(r.URL.Path, "/pages/")
+		p, ok := a.svc.Page(title)
+		if !ok {
+			http.Error(w, "no such page", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p)
+	})
+	return mux
+}

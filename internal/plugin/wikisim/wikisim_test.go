@@ -1,0 +1,236 @@
+package wikisim
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/plugin/notifysim"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+func env(t *testing.T) (*Adapter, *Service, *notifysim.Service) {
+	t.Helper()
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
+	svc := NewService(clock)
+	notify := notifysim.NewService(clock)
+	return NewAdapter(svc, nil, notify), svc, notify
+}
+
+func inv(uri string, params map[string]string) actionlib.Invocation {
+	return actionlib.Invocation{ID: "inv-1", ResourceURI: uri, ResourceType: ResourceType,
+		CallbackURI: "callback://inv-1", Params: params}
+}
+
+func TestPageLifeBasics(t *testing.T) {
+	_, svc, _ := env(t)
+	p, err := svc.CreatePage("D1.1", "alice", "== Draft ==")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Protection != ProtectionNone || len(p.Revs) != 1 {
+		t.Fatalf("page = %+v", p)
+	}
+	if _, err := svc.CreatePage("D1.1", "bob", ""); err == nil {
+		t.Fatal("duplicate title accepted")
+	}
+	if _, err := svc.CreatePage("", "bob", ""); err == nil {
+		t.Fatal("empty title accepted")
+	}
+	rev, err := svc.Edit("D1.1", "bob", "== Draft v2 ==", "expanded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.N != 2 {
+		t.Fatalf("rev = %+v", rev)
+	}
+	if _, err := svc.Edit("ghost", "bob", "", ""); err == nil {
+		t.Fatal("edit of missing page accepted")
+	}
+	if err := svc.Protect("D1.1", "fortified"); err == nil {
+		t.Fatal("unknown protection accepted")
+	}
+	if got := svc.Titles(); len(got) != 1 || got[0] != "D1.1" {
+		t.Fatalf("titles = %v", got)
+	}
+}
+
+func TestWatchIdempotent(t *testing.T) {
+	_, svc, _ := env(t)
+	svc.CreatePage("P", "a", "")
+	svc.Watch("P", "bob")
+	svc.Watch("P", "bob")
+	p, _ := svc.Page("P")
+	if len(p.Watchers) != 1 {
+		t.Fatalf("watchers = %v", p.Watchers)
+	}
+	if err := svc.Watch("ghost", "bob"); err == nil {
+		t.Fatal("watch on missing page accepted")
+	}
+}
+
+func TestChangeAccessRightsMapsModeToProtection(t *testing.T) {
+	a, svc, _ := env(t)
+	svc.CreatePage("D1.1", "alice", "text")
+	cases := map[string]Protection{
+		"private":        ProtectionSysop,
+		"reviewers-only": ProtectionAutoconfirmed,
+		"consortium":     ProtectionAutoconfirmed,
+		"agency":         ProtectionSysop,
+		"public":         ProtectionNone,
+	}
+	for mode, want := range cases {
+		detail, err := a.changeAccessRights(inv("http://wiki/D1.1", map[string]string{"mode": mode}))
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if !strings.Contains(detail, string(want)) {
+			t.Errorf("detail %q missing protection %s", detail, want)
+		}
+		p, _ := svc.Page("D1.1")
+		if p.Protection != want {
+			t.Errorf("mode %s -> protection %s, want %s", mode, p.Protection, want)
+		}
+	}
+	if _, err := a.changeAccessRights(inv("http://wiki/D1.1", map[string]string{"mode": "nonsense"})); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestNotifyAddsWatchersAndSendsMail(t *testing.T) {
+	a, svc, notify := env(t)
+	svc.CreatePage("D1.1", "alice", "text")
+	detail, err := a.notifyReviewers(inv("http://wiki/D1.1",
+		map[string]string{"reviewers": "bob,carol"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "2 reviewer(s)") {
+		t.Fatalf("detail = %q", detail)
+	}
+	p, _ := svc.Page("D1.1")
+	if len(p.Watchers) != 2 {
+		t.Fatalf("watchers = %v", p.Watchers)
+	}
+	if notify.Sent() != 2 {
+		t.Fatalf("sent = %d", notify.Sent())
+	}
+	if len(notify.Inbox("bob")) != 1 {
+		t.Fatal("bob not notified")
+	}
+	if _, err := a.notifyReviewers(inv("http://wiki/ghost", map[string]string{"reviewers": "x"})); err == nil {
+		t.Fatal("missing page accepted")
+	}
+	if _, err := a.notifyReviewers(inv("http://wiki/D1.1", nil)); err == nil {
+		t.Fatal("missing reviewers accepted")
+	}
+}
+
+func TestPDFPostSubscribe(t *testing.T) {
+	a, svc, _ := env(t)
+	svc.CreatePage("D1.1", "alice", "wiki body")
+
+	detail, err := a.generatePDF(inv("http://wiki/D1.1", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "PDF of revision 1") {
+		t.Fatalf("detail = %q", detail)
+	}
+	if _, err := a.generatePDF(inv("http://wiki/ghost", nil)); err == nil {
+		t.Fatal("missing page accepted")
+	}
+
+	// Publication lifts protection.
+	svc.Protect("D1.1", ProtectionSysop)
+	if _, err := a.postOnWebSite(inv("http://wiki/D1.1", map[string]string{"site": "http://site"})); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := svc.Page("D1.1")
+	if p.Protection != ProtectionNone {
+		t.Fatalf("protection after post = %s", p.Protection)
+	}
+	if _, err := a.postOnWebSite(inv("http://wiki/D1.1", nil)); err == nil {
+		t.Fatal("missing site accepted")
+	}
+
+	if _, err := a.subscribe(inv("http://wiki/D1.1", map[string]string{"subscriber": "pm"})); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = svc.Page("D1.1")
+	if len(p.Watchers) != 1 {
+		t.Fatalf("watchers = %v", p.Watchers)
+	}
+	if _, err := a.subscribe(inv("http://wiki/D1.1", nil)); err == nil {
+		t.Fatal("missing subscriber accepted")
+	}
+}
+
+func TestRenderCheckType(t *testing.T) {
+	a, svc, _ := env(t)
+	svc.CreatePage("D1.1", "alice", "content")
+	rend, err := a.Render(resource.Ref{URI: "http://wiki/D1.1", Type: ResourceType})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rend.Title != "D1.1" || !strings.Contains(rend.Summary, "wiki page") {
+		t.Fatalf("rendering = %+v", rend)
+	}
+	if _, err := a.Render(resource.Ref{URI: "http://wiki/ghost", Type: ResourceType}); err == nil {
+		t.Fatal("missing page rendered")
+	}
+	if err := a.Check(resource.Ref{URI: "http://wiki/D1.1", Type: ResourceType}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Type() != "mediawiki" {
+		t.Fatalf("Type = %q", a.Type())
+	}
+}
+
+func TestNativeAPI(t *testing.T) {
+	a, svc, _ := env(t)
+	svc.CreatePage("D1.1", "alice", "text")
+	srv := httptest.NewServer(a.Mux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/pages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var titles []string
+	json.NewDecoder(resp.Body).Decode(&titles)
+	resp.Body.Close()
+	if len(titles) != 1 || titles[0] != "D1.1" {
+		t.Fatalf("titles = %v", titles)
+	}
+
+	resp, _ = http.Get(srv.URL + "/pages/D1.1")
+	var p Page
+	json.NewDecoder(resp.Body).Decode(&p)
+	resp.Body.Close()
+	if p.Title != "D1.1" {
+		t.Fatalf("page = %+v", p)
+	}
+
+	resp, _ = http.Get(srv.URL + "/pages/ghost")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing page status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestRegistrations(t *testing.T) {
+	a, _, _ := env(t)
+	reg := actionlib.NewRegistry()
+	if err := a.RegisterActions(reg, "local://wiki/actions", actionlib.ProtocolLocal); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(reg.TypesFor(ResourceType)); got != 5 {
+		t.Fatalf("TypesFor(mediawiki) = %d", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package resource implements the resource side of the architecture:
+// the black-box resource reference the lifecycle model manages, and the
+// resource manager that dispatches to resource-type plug-ins.
+//
+// Per §IV.A, "all the model needs to know of the resource is its URI and
+// its type, a string whose main purpose is to denote which is the
+// managing application. If the resource is password-protected, the model
+// will also need login information. No other information is needed."
+// Universality follows: a lifecycle can be instantiated on a URI whose
+// type has no plug-in at all — only rendering and actions degrade, never
+// the lifecycle itself.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Ref identifies a managed resource. Credentials are optional login
+// information forwarded opaquely to action implementations.
+type Ref struct {
+	URI         string            `json:"uri"`
+	Type        string            `json:"type"`
+	Credentials map[string]string `json:"credentials,omitempty"`
+}
+
+// Validate checks that the reference carries the two required facts.
+func (r Ref) Validate() error {
+	if strings.TrimSpace(r.URI) == "" {
+		return errors.New("resource: ref has no URI")
+	}
+	if strings.TrimSpace(r.Type) == "" {
+		return fmt.Errorf("resource: ref %s has no type", r.URI)
+	}
+	return nil
+}
+
+// Clone returns a copy with independent credential storage.
+func (r Ref) Clone() Ref {
+	c := r
+	if r.Credentials != nil {
+		c.Credentials = make(map[string]string, len(r.Credentials))
+		for k, v := range r.Credentials {
+			c.Credentials[k] = v
+		}
+	}
+	return c
+}
+
+// Rendering is what a plug-in returns for transparent display of a
+// resource in the Fig. 4 execution widget: "the interface by which we
+// can render any resource in a transparent way".
+type Rendering struct {
+	Title   string `json:"title"`
+	Summary string `json:"summary,omitempty"`
+	HTML    string `json:"html,omitempty"`
+	Link    string `json:"link,omitempty"`
+	Status  string `json:"status,omitempty"` // plug-in specific, e.g. "rev 7, 3 watchers"
+}
+
+// Plugin is the adapter contract of §V.B. A plug-in serves exactly one
+// resource type; its action implementations are registered separately
+// with the action registry.
+type Plugin interface {
+	// Type returns the resource type string this plug-in serves.
+	Type() string
+	// Render describes the resource for widget display.
+	Render(ref Ref) (Rendering, error)
+	// Check verifies the resource exists / is reachable.
+	Check(ref Ref) error
+}
+
+// ErrNoPlugin is returned when no plug-in serves a resource type.
+var ErrNoPlugin = errors.New("resource: no plug-in for resource type")
+
+// Manager is the resource manager box of Fig. 2: the registry of
+// plug-ins keyed by resource type. Safe for concurrent use.
+type Manager struct {
+	mu      sync.RWMutex
+	plugins map[string]Plugin
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{plugins: make(map[string]Plugin)}
+}
+
+// Register adds a plug-in. Registering a second plug-in for the same
+// type is an error.
+func (m *Manager) Register(p Plugin) error {
+	t := p.Type()
+	if strings.TrimSpace(t) == "" {
+		return errors.New("resource: plug-in reports empty type")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.plugins[t]; ok {
+		return fmt.Errorf("resource: plug-in for type %q already registered", t)
+	}
+	m.plugins[t] = p
+	return nil
+}
+
+// Plugin returns the plug-in serving the given resource type.
+func (m *Manager) Plugin(resourceType string) (Plugin, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	p, ok := m.plugins[resourceType]
+	return p, ok
+}
+
+// Types returns every served resource type, sorted.
+func (m *Manager) Types() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.plugins))
+	for t := range m.plugins {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render dispatches to the plug-in for ref's type. When no plug-in is
+// registered it degrades to a generic rendering (the URI itself) with
+// ErrNoPlugin — callers that only display may ignore the error.
+func (m *Manager) Render(ref Ref) (Rendering, error) {
+	if p, ok := m.Plugin(ref.Type); ok {
+		return p.Render(ref)
+	}
+	return Rendering{Title: ref.URI, Link: ref.URI, Summary: "unmanaged " + ref.Type + " resource"}, ErrNoPlugin
+}
+
+// Check verifies the resource through its plug-in. Unknown types pass:
+// universality means Gelee never refuses to manage a URI.
+func (m *Manager) Check(ref Ref) error {
+	if err := ref.Validate(); err != nil {
+		return err
+	}
+	if p, ok := m.Plugin(ref.Type); ok {
+		return p.Check(ref)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package resource
+
+import (
+	"errors"
+	"testing"
+)
+
+type fakePlugin struct {
+	typ      string
+	rendered int
+	checkErr error
+}
+
+func (p *fakePlugin) Type() string { return p.typ }
+func (p *fakePlugin) Render(ref Ref) (Rendering, error) {
+	p.rendered++
+	return Rendering{Title: "rendered " + ref.URI, Status: "ok"}, nil
+}
+func (p *fakePlugin) Check(ref Ref) error { return p.checkErr }
+
+func TestRefValidate(t *testing.T) {
+	if err := (Ref{URI: "http://x", Type: "gdoc"}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Ref{Type: "gdoc"}).Validate(); err == nil {
+		t.Fatal("missing URI accepted")
+	}
+	if err := (Ref{URI: "http://x"}).Validate(); err == nil {
+		t.Fatal("missing type accepted")
+	}
+}
+
+func TestRefCloneIndependent(t *testing.T) {
+	r := Ref{URI: "u", Type: "t", Credentials: map[string]string{"user": "a"}}
+	c := r.Clone()
+	c.Credentials["user"] = "tampered"
+	if r.Credentials["user"] != "a" {
+		t.Fatal("Clone shares credential map")
+	}
+	// Clone of a credential-less ref must not allocate a map.
+	if (Ref{URI: "u", Type: "t"}).Clone().Credentials != nil {
+		t.Fatal("Clone invented credentials")
+	}
+}
+
+func TestManagerRegisterAndDispatch(t *testing.T) {
+	m := NewManager()
+	p := &fakePlugin{typ: "gdoc"}
+	if err := m.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(&fakePlugin{typ: "gdoc"}); err == nil {
+		t.Fatal("duplicate type registration accepted")
+	}
+	if err := m.Register(&fakePlugin{typ: " "}); err == nil {
+		t.Fatal("empty type registration accepted")
+	}
+
+	rend, err := m.Render(Ref{URI: "http://docs/x", Type: "gdoc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rend.Title != "rendered http://docs/x" || p.rendered != 1 {
+		t.Fatalf("rendering = %+v, calls = %d", rend, p.rendered)
+	}
+	if got := m.Types(); len(got) != 1 || got[0] != "gdoc" {
+		t.Fatalf("Types = %v", got)
+	}
+	if _, ok := m.Plugin("gdoc"); !ok {
+		t.Fatal("Plugin lookup failed")
+	}
+}
+
+func TestRenderWithoutPluginDegrades(t *testing.T) {
+	m := NewManager()
+	rend, err := m.Render(Ref{URI: "http://anything/42", Type: "house-under-construction"})
+	if !errors.Is(err, ErrNoPlugin) {
+		t.Fatalf("err = %v, want ErrNoPlugin", err)
+	}
+	// Universality: the rendering still shows the URI.
+	if rend.Title != "http://anything/42" || rend.Link != "http://anything/42" {
+		t.Fatalf("degraded rendering = %+v", rend)
+	}
+}
+
+func TestCheckUnknownTypePasses(t *testing.T) {
+	m := NewManager()
+	if err := m.Check(Ref{URI: "urn:x", Type: "unknown"}); err != nil {
+		t.Fatalf("unknown type must be manageable: %v", err)
+	}
+	if err := m.Check(Ref{}); err == nil {
+		t.Fatal("invalid ref accepted")
+	}
+}
+
+func TestCheckDelegatesToPlugin(t *testing.T) {
+	m := NewManager()
+	wantErr := errors.New("document not found")
+	m.Register(&fakePlugin{typ: "gdoc", checkErr: wantErr})
+	if err := m.Check(Ref{URI: "u", Type: "gdoc"}); !errors.Is(err, wantErr) {
+		t.Fatalf("Check = %v, want plug-in error", err)
+	}
+}

@@ -1,0 +1,271 @@
+package runtime
+
+import (
+	"fmt"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/core"
+)
+
+// AdvanceOptions carries the optional inputs of a token move.
+type AdvanceOptions struct {
+	// Annotation explains the move; the paper singles annotations out as
+	// the way owners justify not following the standard flow.
+	Annotation string
+	// CallBindings supplies call-stage parameter values per action URI
+	// for the actions of the phase being entered.
+	CallBindings map[string]map[string]string
+}
+
+// Advance moves the instance token to phase toPhase on behalf of actor.
+//
+// Semantics follow §IV.B exactly:
+//   - If the move follows a suggested transition from the token's
+//     position, token owners and instance owners may perform it.
+//   - Any other move is a *deviation*: legal (the model is descriptive,
+//     "the lifecycle owner can at any time move the token to any
+//     phase"), but reserved to instance owners and flagged in history.
+//   - Entering a phase triggers its actions, all dispatched in parallel
+//     with no ordering or transactional guarantee.
+//   - Entering a final phase completes the instance; moving out of a
+//     final phase re-opens it (recorded as a deviation + reopened).
+func (r *Runtime) Advance(instID, toPhase, actor string, opts AdvanceOptions) (Snapshot, error) {
+	r.mu.Lock()
+	in, ok := r.instances[instID]
+	if !ok {
+		r.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, instID)
+	}
+	target, ok := in.model.Phase(toPhase)
+	if !ok {
+		r.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("%w: %q", ErrUnknownPhase, toPhase)
+	}
+
+	from := in.current
+	fromNode := from
+	if fromNode == "" {
+		fromNode = core.Begin
+	}
+	suggested := in.model.Suggests(fromNode, toPhase)
+	if suggested {
+		if !r.policy.CanFollow(actor, instID, toPhase) {
+			r.mu.Unlock()
+			return Snapshot{}, fmt.Errorf("%w: %s may not follow %s -> %s on %s",
+				ErrForbidden, actor, fromNode, toPhase, instID)
+		}
+	} else if !r.policy.CanDrive(actor, instID) {
+		r.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("%w: %s may not deviate to %s on %s (instance owner required)",
+			ErrForbidden, actor, toPhase, instID)
+	}
+
+	// Validate call-stage bindings for the target phase's actions before
+	// mutating anything.
+	for _, call := range target.Actions {
+		vals := opts.CallBindings[call.URI]
+		if len(vals) == 0 {
+			continue
+		}
+		if err := actionlib.CheckStageBindings(r.specFor(call.URI), call, vals, actionlib.StageCall); err != nil {
+			r.mu.Unlock()
+			return Snapshot{}, err
+		}
+	}
+
+	var reopenedEv *Event
+	if in.state == StateCompleted {
+		in.state = StateActive
+		ev := r.record(in, Event{Kind: EventReopened, Actor: actor, Phase: toPhase,
+			Detail: "token moved out of a final phase"})
+		reopenedEv = &ev
+	}
+
+	in.current = toPhase
+	moveEv := r.record(in, Event{
+		Kind: EventPhaseEntered, Actor: actor,
+		Phase: toPhase, FromPhase: from,
+		Detail: opts.Annotation, Deviation: !suggested,
+	})
+
+	var completedEv *Event
+	var dispatches []dispatchItem
+	if target.Final {
+		in.state = StateCompleted
+		in.completedAt = r.clock.Now()
+		ev := r.record(in, Event{Kind: EventCompleted, Actor: actor, Phase: toPhase})
+		completedEv = &ev
+	} else {
+		dispatches = r.prepareDispatches(in, target, opts.CallBindings)
+	}
+	snap := in.snapshot()
+	r.mu.Unlock()
+
+	if reopenedEv != nil {
+		r.observe(instID, *reopenedEv)
+	}
+	r.observe(instID, moveEv)
+	for _, d := range dispatches {
+		r.observe(instID, d.startEv)
+	}
+	if completedEv != nil {
+		r.observe(instID, *completedEv)
+	}
+	r.launch(instID, dispatches)
+	return snap, nil
+}
+
+// dispatchItem pairs a ready invocation with its start event; failed
+// preparations carry err instead.
+type dispatchItem struct {
+	inv     actionlib.Invocation
+	startEv Event
+	prepErr error
+}
+
+// prepareDispatches resolves implementations and parameters for every
+// action of the entered phase. Callers hold r.mu. Preparation failures
+// (no implementation, binding errors) become terminal failed executions
+// immediately; successful preparations are launched by launch().
+func (r *Runtime) prepareDispatches(in *instance, phase *core.Phase, callBindings map[string]map[string]string) []dispatchItem {
+	var items []dispatchItem
+	for _, call := range phase.Actions {
+		r.nextInv++
+		invID := fmt.Sprintf("inv-%06d", r.nextInv)
+		exec := &ActionExecution{
+			InvocationID: invID,
+			ActionURI:    call.URI,
+			ActionName:   call.Name,
+			Phase:        phase.ID,
+			StartedAt:    r.clock.Now(),
+		}
+		in.executions[invID] = exec
+		in.execOrder = append(in.execOrder, invID)
+		r.invIndex[invID] = in.id
+
+		impl, err := r.cfg.Registry.Resolve(call.URI, in.res.Type)
+		var params map[string]string
+		if err == nil {
+			params, err = actionlib.ResolveParams(r.specFor(call.URI), call,
+				in.instBindings[call.URI], callBindings[call.URI])
+		}
+		if err == nil && r.cfg.Invoker == nil {
+			err = fmt.Errorf("runtime: no invoker configured")
+		}
+		if err != nil {
+			exec.DispatchErr = err.Error()
+			exec.Terminal = true
+			exec.LastStatus = actionlib.StatusFailed
+			exec.LastDetail = err.Error()
+			ev := r.record(in, Event{Kind: EventActionStatus, Phase: phase.ID,
+				ActionURI: call.URI, Invocation: invID,
+				Status: actionlib.StatusFailed, Detail: err.Error()})
+			items = append(items, dispatchItem{startEv: ev, prepErr: err})
+			continue
+		}
+
+		callback := r.cfg.CallbackBase
+		if callback == "" {
+			callback = "callback:/" // local scheme for embedded use
+		}
+		inv := actionlib.Invocation{
+			ID:           invID,
+			TypeURI:      call.URI,
+			ActionName:   call.Name,
+			Endpoint:     impl.Endpoint,
+			Protocol:     impl.Protocol,
+			ResourceURI:  in.res.URI,
+			ResourceType: in.res.Type,
+			CallbackURI:  callback + "/" + invID,
+			Params:       params,
+			Credentials:  in.res.Credentials,
+		}
+		ev := r.record(in, Event{Kind: EventActionStarted, Phase: phase.ID,
+			ActionURI: call.URI, Invocation: invID, Detail: call.Name})
+		items = append(items, dispatchItem{inv: inv, startEv: ev})
+	}
+	return items
+}
+
+// launch hands prepared invocations to the invoker — in parallel
+// goroutines by default ("all actions associated to a phase are executed
+// in parallel and anyway in a non-deterministic order", §IV.A), inline
+// when Config.SyncActions is set.
+func (r *Runtime) launch(instID string, items []dispatchItem) {
+	for _, d := range items {
+		if d.prepErr != nil {
+			continue
+		}
+		inv := d.inv
+		if r.cfg.SyncActions {
+			if err := r.cfg.Invoker.Invoke(inv); err != nil {
+				r.failDispatch(instID, inv.ID, err)
+			}
+			continue
+		}
+		r.dispatch.Add(1)
+		go func() {
+			defer r.dispatch.Done()
+			if err := r.cfg.Invoker.Invoke(inv); err != nil {
+				r.failDispatch(instID, inv.ID, err)
+			}
+		}()
+	}
+}
+
+// failDispatch marks an invocation failed when the invoker itself
+// errored (endpoint unreachable, etc.).
+func (r *Runtime) failDispatch(instID, invID string, err error) {
+	r.mu.Lock()
+	in, ok := r.instances[instID]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	exec, ok := in.executions[invID]
+	if !ok || exec.Terminal {
+		r.mu.Unlock()
+		return
+	}
+	exec.DispatchErr = err.Error()
+	exec.Terminal = true
+	exec.LastStatus = actionlib.StatusFailed
+	exec.LastDetail = err.Error()
+	ev := r.record(in, Event{Kind: EventActionStatus, Phase: exec.Phase,
+		ActionURI: exec.ActionURI, Invocation: invID,
+		Status: actionlib.StatusFailed, Detail: err.Error()})
+	r.mu.Unlock()
+	r.observe(instID, ev)
+}
+
+// Report delivers a status message from an action implementation — the
+// callback URI path of §IV.C. Status strings are free-form except the
+// reserved terminal pair; they are recorded, never interpreted.
+// Updates for already-terminal executions are ignored (late duplicate
+// callbacks are expected in a distributed setting).
+func (r *Runtime) Report(up actionlib.StatusUpdate) error {
+	r.mu.Lock()
+	instID, ok := r.invIndex[up.InvocationID]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: invocation %s", ErrNotFound, up.InvocationID)
+	}
+	in := r.instances[instID]
+	exec := in.executions[up.InvocationID]
+	if exec.Terminal {
+		r.mu.Unlock()
+		return nil
+	}
+	exec.LastStatus = up.Message
+	exec.LastDetail = up.Detail
+	exec.Updates++
+	if up.Terminal() {
+		exec.Terminal = true
+	}
+	ev := r.record(in, Event{Kind: EventActionStatus, Phase: exec.Phase,
+		ActionURI: exec.ActionURI, Invocation: up.InvocationID,
+		Status: up.Message, Detail: up.Detail})
+	r.mu.Unlock()
+	r.observe(instID, ev)
+	return nil
+}

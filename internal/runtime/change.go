@@ -1,0 +1,193 @@
+package runtime
+
+import (
+	"fmt"
+
+	"github.com/liquidpub/gelee/internal/core"
+)
+
+// ProposeChange pushes a new model version to a running instance.
+// Per §IV.B: "If designers change a lifecycle model, they can request to
+// propagate the change to running lifecycles. Upon receiving the
+// request, lifecycle owners can accept or reject the change."
+//
+// The proposal is attached to the instance; nothing changes until the
+// owner decides. A second proposal replaces an undecided first one (the
+// designer iterated), which is recorded in history.
+func (r *Runtime) ProposeChange(instID, proposer string, newModel *core.Model, note string) error {
+	if newModel == nil {
+		return fmt.Errorf("runtime: nil model proposed")
+	}
+	if err := newModel.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	in, ok := r.instances[instID]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, instID)
+	}
+	diff := core.DiffModels(in.model, newModel)
+	replaced := in.pending != nil
+	in.pending = &ChangeProposal{
+		ProposedBy: proposer,
+		ProposedAt: r.clock.Now(),
+		Note:       note,
+		NewModel:   newModel.Clone(),
+		Summary:    diff.String(),
+	}
+	detail := diff.String()
+	if replaced {
+		detail += " (replaces an undecided proposal)"
+	}
+	ev := r.record(in, Event{Kind: EventChangeProposed, Actor: proposer, Detail: detail, Phase: in.current})
+	r.mu.Unlock()
+	r.observe(instID, ev)
+	return nil
+}
+
+// AcceptChange applies the pending proposal. landing names the phase the
+// instance should end up in within the modified model; it may be empty
+// when the current phase still exists there ("they can state in which
+// phase the lifecycle instance should end up in the modified model").
+//
+// Migration is state migration only: the token is placed, no actions
+// fire, no transitions are evaluated. If the landing phase is final the
+// instance completes; if the instance was completed and lands on a
+// non-final phase it re-opens.
+func (r *Runtime) AcceptChange(instID, actor, landing string) (Snapshot, error) {
+	r.mu.Lock()
+	in, ok := r.instances[instID]
+	if !ok {
+		r.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, instID)
+	}
+	if !r.policy.CanDrive(actor, instID) {
+		r.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("%w: %s may not migrate %s", ErrForbidden, actor, instID)
+	}
+	if in.pending == nil {
+		r.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("%w on %s", ErrNoPending, instID)
+	}
+	newModel := in.pending.NewModel
+	target := landing
+	if target == "" {
+		target = in.current
+	}
+	if target != "" {
+		if _, ok := newModel.Phase(target); !ok {
+			r.mu.Unlock()
+			return Snapshot{}, fmt.Errorf("%w: %q does not exist in the proposed model (current phase was removed — choose a landing phase)",
+				ErrUnknownPhase, target)
+		}
+	}
+
+	summary := in.pending.Summary
+	in.model = newModel.Clone()
+	in.current = target
+	in.pending = nil
+
+	// Recompute completion from the landing position.
+	wasCompleted := in.state == StateCompleted
+	isFinal := false
+	if target != "" {
+		if p, ok := in.model.Phase(target); ok && p.Final {
+			isFinal = true
+		}
+	}
+	var extra *Event
+	switch {
+	case isFinal && !wasCompleted:
+		in.state = StateCompleted
+		in.completedAt = r.clock.Now()
+		ev := r.record(in, Event{Kind: EventCompleted, Actor: actor, Phase: target,
+			Detail: "completed by migration"})
+		extra = &ev
+	case !isFinal && wasCompleted:
+		in.state = StateActive
+		ev := r.record(in, Event{Kind: EventReopened, Actor: actor, Phase: target,
+			Detail: "re-opened by migration"})
+		extra = &ev
+	}
+
+	detail := summary
+	if landing != "" {
+		detail += fmt.Sprintf("; landed on %q", landing)
+	}
+	ev := r.record(in, Event{Kind: EventChangeApplied, Actor: actor, Phase: in.current, Detail: detail})
+	snap := in.snapshot()
+	r.mu.Unlock()
+	r.observe(instID, ev)
+	if extra != nil {
+		r.observe(instID, *extra)
+	}
+	return snap, nil
+}
+
+// RejectChange discards the pending proposal; the instance keeps its
+// current model (owners "can accept or reject the change").
+func (r *Runtime) RejectChange(instID, actor, note string) error {
+	r.mu.Lock()
+	in, ok := r.instances[instID]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, instID)
+	}
+	if !r.policy.CanDrive(actor, instID) {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s may not decide for %s", ErrForbidden, actor, instID)
+	}
+	if in.pending == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("%w on %s", ErrNoPending, instID)
+	}
+	summary := in.pending.Summary
+	in.pending = nil
+	ev := r.record(in, Event{Kind: EventChangeRejected, Actor: actor, Phase: in.current,
+		Detail: summary + noteSuffix(note)})
+	r.mu.Unlock()
+	r.observe(instID, ev)
+	return nil
+}
+
+func noteSuffix(note string) string {
+	if note == "" {
+		return ""
+	}
+	return "; " + note
+}
+
+// SwitchModel replaces the instance's model directly — the owner-side
+// freedom of §IV.B ("owners can change the lifecycle followed by a
+// resource, in other words they can change the model associated to a
+// lifecycle instance"), without any designer proposal. landing follows
+// the same rules as AcceptChange.
+func (r *Runtime) SwitchModel(instID, actor string, newModel *core.Model, landing string) (Snapshot, error) {
+	if newModel == nil {
+		return Snapshot{}, fmt.Errorf("runtime: nil model")
+	}
+	if err := newModel.Validate(); err != nil {
+		return Snapshot{}, err
+	}
+	r.mu.Lock()
+	in, ok := r.instances[instID]
+	if !ok {
+		r.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, instID)
+	}
+	if !r.policy.CanDrive(actor, instID) {
+		r.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("%w: %s may not switch the model of %s", ErrForbidden, actor, instID)
+	}
+	in.pending = &ChangeProposal{
+		ProposedBy: actor,
+		ProposedAt: r.clock.Now(),
+		NewModel:   newModel.Clone(),
+		Summary:    core.DiffModels(in.model, newModel).String(),
+		Note:       "owner-initiated model switch",
+	}
+	in.modelURI = newModel.URI
+	r.mu.Unlock()
+	return r.AcceptChange(instID, actor, landing)
+}

@@ -1,0 +1,208 @@
+// Package runtime implements the run-time module of the Gelee lifecycle
+// manager (§IV.B, §IV.C and Fig. 2): lifecycle instances, human-driven
+// token movement, action dispatch on phase entry, callback handling, and
+// light-coupled model-change propagation.
+//
+// There is deliberately no workflow engine here. "The engine is the
+// human, who executes the lifecycle instances (i.e., moves the tokens
+// from phase to phase) and, while doing so, initiates the execution of
+// actions." The runtime only reacts to externally driven events; it
+// never decides a transition on its own.
+package runtime
+
+import (
+	"time"
+
+	"github.com/liquidpub/gelee/internal/core"
+	"github.com/liquidpub/gelee/internal/resource"
+)
+
+// State is the lifecycle instance state. An instance stays Active until
+// the token reaches an end phase; because the model is descriptive, the
+// owner may move the token *out* of an end phase again, which re-opens
+// the instance (recorded as a deviation).
+type State string
+
+// Instance states.
+const (
+	StateActive    State = "active"
+	StateCompleted State = "completed"
+)
+
+// EventKind classifies execution-log events.
+type EventKind string
+
+// Event kinds recorded in an instance's history.
+const (
+	EventCreated        EventKind = "created"
+	EventPhaseEntered   EventKind = "phase-entered"
+	EventActionStarted  EventKind = "action-started"
+	EventActionStatus   EventKind = "action-status"
+	EventAnnotated      EventKind = "annotated"
+	EventChangeProposed EventKind = "change-proposed"
+	EventChangeApplied  EventKind = "change-applied"
+	EventChangeRejected EventKind = "change-rejected"
+	EventCompleted      EventKind = "completed"
+	EventReopened       EventKind = "reopened"
+)
+
+// Event is one record in an instance's history. Deviation marks
+// phase-entered events whose move was not a suggested transition —
+// the owner exercising the descriptive model's freedom.
+type Event struct {
+	Seq        int       `json:"seq"`
+	Time       time.Time `json:"time"`
+	Kind       EventKind `json:"kind"`
+	Actor      string    `json:"actor,omitempty"`
+	Phase      string    `json:"phase,omitempty"`
+	FromPhase  string    `json:"from_phase,omitempty"`
+	Detail     string    `json:"detail,omitempty"`
+	Deviation  bool      `json:"deviation,omitempty"`
+	ActionURI  string    `json:"action_uri,omitempty"`
+	Invocation string    `json:"invocation,omitempty"`
+	Status     string    `json:"status,omitempty"`
+}
+
+// ActionExecution tracks one dispatched action invocation and the
+// status messages reported through its callback URI.
+type ActionExecution struct {
+	InvocationID string    `json:"invocation_id"`
+	ActionURI    string    `json:"action_uri"`
+	ActionName   string    `json:"action_name"`
+	Phase        string    `json:"phase"`
+	StartedAt    time.Time `json:"started_at"`
+	LastStatus   string    `json:"last_status,omitempty"`
+	LastDetail   string    `json:"last_detail,omitempty"`
+	Terminal     bool      `json:"terminal"`
+	Updates      int       `json:"updates"`
+	DispatchErr  string    `json:"dispatch_err,omitempty"`
+}
+
+// ChangeProposal is a pending model change pushed by a designer
+// (§IV.B): the instance owner accepts (choosing a landing phase when
+// needed) or rejects it.
+type ChangeProposal struct {
+	ProposedBy string      `json:"proposed_by"`
+	ProposedAt time.Time   `json:"proposed_at"`
+	Note       string      `json:"note,omitempty"`
+	NewModel   *core.Model `json:"new_model"`
+	Summary    string      `json:"summary"` // human-readable core.Diff
+}
+
+// instance is the mutable runtime record; all access goes through the
+// Runtime's lock. Snapshots are handed out to callers.
+type instance struct {
+	id          string
+	model       *core.Model // self-contained copy (light coupling)
+	modelURI    string      // provenance only; never followed at run time
+	res         resource.Ref
+	owner       string
+	state       State
+	current     string // phase id; empty = token still at BEGIN
+	createdAt   time.Time
+	completedAt time.Time
+	// instBindings: action URI -> param id -> value, bound at
+	// instantiation time or later by the owner (still "inst" stage).
+	instBindings map[string]map[string]string
+	events       []Event
+	executions   map[string]*ActionExecution // by invocation id
+	execOrder    []string
+	pending      *ChangeProposal
+	// unresolved: action URIs that had no implementation for the
+	// resource type at instantiation; informational (robustness).
+	unresolved []string
+}
+
+// Snapshot is an immutable copy of an instance's observable state.
+// Model points at the instance's own model copy; treat it as read-only
+// (the runtime never mutates a model in place — migration swaps in a
+// fresh clone, so shared snapshots stay stable).
+type Snapshot struct {
+	ID           string                       `json:"id"`
+	Model        *core.Model                  `json:"-"`
+	ModelURI     string                       `json:"model_uri"`
+	Resource     resource.Ref                 `json:"resource"`
+	Owner        string                       `json:"owner"`
+	State        State                        `json:"state"`
+	Current      string                       `json:"current"`
+	CreatedAt    time.Time                    `json:"created_at"`
+	CompletedAt  time.Time                    `json:"completed_at,omitempty"`
+	Events       []Event                      `json:"events"`
+	Executions   []ActionExecution            `json:"executions"`
+	Pending      *ChangeProposal              `json:"pending,omitempty"`
+	Unresolved   []string                     `json:"unresolved,omitempty"`
+	InstBindings map[string]map[string]string `json:"inst_bindings,omitempty"`
+}
+
+func (in *instance) snapshot() Snapshot {
+	s := Snapshot{
+		ID:          in.id,
+		Model:       in.model,
+		ModelURI:    in.modelURI,
+		Resource:    in.res.Clone(),
+		Owner:       in.owner,
+		State:       in.state,
+		Current:     in.current,
+		CreatedAt:   in.createdAt,
+		CompletedAt: in.completedAt,
+		Events:      append([]Event(nil), in.events...),
+		Unresolved:  append([]string(nil), in.unresolved...),
+	}
+	for _, id := range in.execOrder {
+		s.Executions = append(s.Executions, *in.executions[id])
+	}
+	if in.pending != nil {
+		p := *in.pending
+		s.Pending = &p
+	}
+	if len(in.instBindings) > 0 {
+		s.InstBindings = make(map[string]map[string]string, len(in.instBindings))
+		for uri, vals := range in.instBindings {
+			inner := make(map[string]string, len(vals))
+			for k, v := range vals {
+				inner[k] = v
+			}
+			s.InstBindings[uri] = inner
+		}
+	}
+	return s
+}
+
+// CurrentPhase resolves the snapshot's current phase, nil while the
+// token is still at BEGIN.
+func (s Snapshot) CurrentPhase() *core.Phase {
+	if s.Current == "" {
+		return nil
+	}
+	p, _ := s.Model.Phase(s.Current)
+	return p
+}
+
+// DueAt returns the deadline of the given phase resolved against the
+// instance start, zero when none.
+func (s Snapshot) DueAt(phaseID string) time.Time {
+	p, ok := s.Model.Phase(phaseID)
+	if !ok {
+		return time.Time{}
+	}
+	return p.Deadline.DueAt(s.CreatedAt)
+}
+
+// Late reports whether the instance is active, sitting in a phase with a
+// deadline, and past it at the given instant.
+func (s Snapshot) Late(now time.Time) bool {
+	if s.State != StateActive || s.Current == "" {
+		return false
+	}
+	due := s.DueAt(s.Current)
+	return !due.IsZero() && now.After(due)
+}
+
+// NextSuggested lists the suggested targets from the token's position
+// (initial phases while at BEGIN).
+func (s Snapshot) NextSuggested() []string {
+	if s.Current == "" {
+		return s.Model.InitialPhases()
+	}
+	return s.Model.SuggestedFrom(s.Current)
+}

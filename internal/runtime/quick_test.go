@@ -1,0 +1,275 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/core"
+)
+
+// driveRandomly performs n random operations (suggested moves, free
+// moves, annotations, proposals, accept/reject) against one instance and
+// returns the final snapshot.
+func driveRandomly(t *testing.T, r *rand.Rand, n int) Snapshot {
+	t.Helper()
+	e := newEnv(t)
+	snap := e.instantiate(t)
+	id := snap.ID
+	model := snap.Model
+	phaseIDs := model.PhaseIDs()
+
+	for i := 0; i < n; i++ {
+		switch r.Intn(6) {
+		case 0, 1: // follow a suggested transition when one exists
+			cur, _ := e.rt.Instance(id)
+			next := cur.NextSuggested()
+			if len(next) > 0 {
+				if _, err := e.rt.Advance(id, next[r.Intn(len(next))], "owner", AdvanceOptions{}); err != nil {
+					t.Fatalf("suggested move failed: %v", err)
+				}
+			}
+		case 2: // free move anywhere
+			target := phaseIDs[r.Intn(len(phaseIDs))]
+			if _, err := e.rt.Advance(id, target, "owner", AdvanceOptions{Annotation: "random"}); err != nil {
+				t.Fatalf("free move to %s failed: %v", target, err)
+			}
+		case 3: // annotate
+			if err := e.rt.Annotate(id, "owner", "note"); err != nil {
+				t.Fatal(err)
+			}
+		case 4: // propose a change
+			v2 := model.Clone()
+			v2.Annotations = append(v2.Annotations, "rev")
+			if err := e.rt.ProposeChange(id, "designer", v2, ""); err != nil {
+				t.Fatal(err)
+			}
+		case 5: // decide a pending change if any
+			cur, _ := e.rt.Instance(id)
+			if cur.Pending != nil {
+				if r.Intn(2) == 0 {
+					if _, err := e.rt.AcceptChange(id, "owner", ""); err != nil {
+						t.Fatal(err)
+					}
+				} else if err := e.rt.RejectChange(id, "owner", ""); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	got, ok := e.rt.Instance(id)
+	if !ok {
+		t.Fatal("instance vanished")
+	}
+	return got
+}
+
+// Property: whatever the owner does, the token is always either at
+// BEGIN or on exactly one existing phase, and the state is consistent
+// with the phase's finality.
+func TestQuickTokenAlwaysWellPlaced(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		got := driveRandomly(t, r, 25)
+		if got.Current == "" {
+			return got.State == StateActive
+		}
+		p, ok := got.Model.Phase(got.Current)
+		if !ok {
+			return false
+		}
+		if p.Final != (got.State == StateCompleted) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: event sequence numbers are strictly increasing and start at
+// 1, regardless of operation mix.
+func TestQuickEventSequenceMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		got := driveRandomly(t, r, 20)
+		for i, ev := range got.Events {
+			if ev.Seq != i+1 {
+				return false
+			}
+		}
+		return len(got.Events) >= 1 && got.Events[0].Kind == EventCreated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every phase of a model is reachable by the owner via free
+// moves — the descriptive model never traps the token.
+func TestQuickFreeMovesReachEveryPhase(t *testing.T) {
+	e := newEnv(t)
+	snap := e.instantiate(t)
+	for _, phaseID := range snap.Model.PhaseIDs() {
+		if _, err := e.rt.Advance(snap.ID, phaseID, "owner", AdvanceOptions{Annotation: "tour"}); err != nil {
+			t.Fatalf("free move to %q failed: %v", phaseID, err)
+		}
+		got, _ := e.rt.Instance(snap.ID)
+		if got.Current != phaseID {
+			t.Fatalf("token at %q, want %q", got.Current, phaseID)
+		}
+	}
+}
+
+// Property: the number of action executions equals the number of
+// non-final phase entries times the actions of those phases (every
+// entry dispatches every action exactly once).
+func TestQuickExecutionsMatchPhaseEntries(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		got := driveRandomly(t, r, 20)
+		want := 0
+		for _, ev := range got.Events {
+			if ev.Kind != EventPhaseEntered {
+				continue
+			}
+			// The phase's actions in the model the instance had *at that
+			// time* — proposals in driveRandomly never change actions, so
+			// the current model is authoritative.
+			if p, ok := got.Model.Phase(ev.Phase); ok && !p.Final {
+				want += len(p.Actions)
+			}
+		}
+		return len(got.Executions) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent advances on distinct instances never interfere:
+// each instance ends exactly where its own driver left it.
+func TestConcurrentInstancesIsolated(t *testing.T) {
+	e := newEnv(t)
+	const n = 8
+	ids := make([]string, n)
+	for i := range ids {
+		snap := e.instantiate(t)
+		ids[i] = snap.ID
+	}
+	done := make(chan error, n)
+	targets := []string{"elaboration", "internalreview", "finalassembly", "eureview", "publication"}
+	for i, id := range ids {
+		go func(i int, id string) {
+			var err error
+			for j := 0; j <= i%len(targets); j++ {
+				_, err = e.rt.Advance(id, targets[j], "owner", AdvanceOptions{})
+				if err != nil {
+					break
+				}
+			}
+			done <- err
+		}(i, id)
+	}
+	for range ids {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, id := range ids {
+		got, _ := e.rt.Instance(id)
+		if want := targets[i%len(targets)]; got.Current != want {
+			t.Fatalf("instance %d at %q, want %q", i, got.Current, want)
+		}
+	}
+}
+
+// Property: callbacks for one instance never mutate another.
+func TestCallbackRoutingIsolation(t *testing.T) {
+	e := newEnv(t)
+	e.inv.status = "" // manual callbacks
+	a := e.instantiate(t)
+	b := e.instantiate(t)
+	e.rt.Advance(a.ID, "internalreview", "owner", AdvanceOptions{Annotation: "skip"})
+	e.rt.Advance(b.ID, "internalreview", "owner", AdvanceOptions{Annotation: "skip"})
+
+	ga, _ := e.rt.Instance(a.ID)
+	if err := e.rt.Report(actionlib.StatusUpdate{
+		InvocationID: ga.Executions[0].InvocationID,
+		Message:      actionlib.StatusCompleted,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := e.rt.Instance(b.ID)
+	for _, ex := range gb.Executions {
+		if ex.Terminal {
+			t.Fatalf("callback for %s leaked into %s: %+v", a.ID, b.ID, ex)
+		}
+	}
+}
+
+// Property: a snapshot is immutable — runtime progress after the
+// snapshot never changes it.
+func TestSnapshotImmutableUnderProgress(t *testing.T) {
+	e := newEnv(t)
+	snap := e.instantiate(t)
+	before, _ := e.rt.Instance(snap.ID)
+	eventsBefore := len(before.Events)
+
+	e.rt.Advance(snap.ID, "elaboration", "owner", AdvanceOptions{})
+	e.rt.Advance(snap.ID, "internalreview", "owner", AdvanceOptions{})
+	if len(before.Events) != eventsBefore {
+		t.Fatal("snapshot grew after runtime progress")
+	}
+	if before.Current != "" {
+		t.Fatal("snapshot current phase mutated")
+	}
+}
+
+// genModelForRuntime exercises Instantiate against arbitrary generated
+// models: any model that validates must instantiate.
+func TestQuickAnyValidModelInstantiates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomModelForRuntime(r)
+		e := newEnv(t)
+		snap, err := e.rt.Instantiate(m, wikiRef(), "owner", nil)
+		if err != nil {
+			return false
+		}
+		// And its initial phases are all reachable by a first move.
+		for _, init := range snap.Model.InitialPhases() {
+			if _, err := e.rt.Advance(snap.ID, init, "owner", AdvanceOptions{}); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomModelForRuntime(r *rand.Rand) *core.Model {
+	n := 1 + r.Intn(6)
+	b := core.NewModel("urn:q:m", "Q")
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = string(rune('a' + i))
+		if i == n-1 && n > 1 {
+			b.FinalPhase(ids[i], "F")
+			continue
+		}
+		pb := b.Phase(ids[i], "P"+ids[i])
+		if r.Intn(2) == 0 {
+			pb.Action("http://www.liquidpub.org/a/pdf", "Generate PDF")
+		}
+	}
+	b.Initial(ids[0])
+	for i := 0; i < n; i++ {
+		b.Transition(ids[r.Intn(n)], ids[r.Intn(n)])
+	}
+	return b.MustBuild()
+}

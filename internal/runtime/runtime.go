@@ -1,0 +1,359 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/core"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+// Invoker delivers an action invocation to its implementation endpoint.
+// Implementations may be synchronous (report status before returning)
+// or asynchronous (status arrives later via Runtime.Report). A returned
+// error means the dispatch itself failed; the runtime records it as a
+// failed execution — actions are not guaranteed to succeed and there is
+// no transactional semantic (§IV.C).
+type Invoker interface {
+	Invoke(inv actionlib.Invocation) error
+}
+
+// InvokerFunc adapts a function to the Invoker interface.
+type InvokerFunc func(actionlib.Invocation) error
+
+// Invoke calls f.
+func (f InvokerFunc) Invoke(inv actionlib.Invocation) error { return f(inv) }
+
+// Policy is the permission hook the runtime consults before mutating an
+// instance. The zero-value allowAll policy suits embedded library use;
+// the hosted service wires access.Control.
+type Policy interface {
+	// CanDrive: free moves, annotations, bindings, change accept/reject.
+	CanDrive(actor, instanceID string) bool
+	// CanFollow: moving the token along a suggested transition to target.
+	CanFollow(actor, instanceID, target string) bool
+}
+
+type allowAll struct{}
+
+func (allowAll) CanDrive(string, string) bool          { return true }
+func (allowAll) CanFollow(string, string, string) bool { return true }
+
+// Observer receives every event appended to any instance, synchronously
+// with the mutation that produced it. The facade wires the execution
+// log and the monitor; nil observers are skipped.
+type Observer func(instanceID string, ev Event)
+
+// Config assembles a Runtime.
+type Config struct {
+	Registry *actionlib.Registry // action types and implementations; required
+	Invoker  Invoker             // action dispatch; nil = actions fail to dispatch
+	Clock    vclock.Clock        // nil = wall clock
+	Policy   Policy              // nil = allow everything
+	Observer Observer            // nil = no observer
+	// CallbackBase prefixes invocation callback URIs, e.g.
+	// "http://host/api/v1/callbacks". Empty means "callback://" URIs,
+	// which the local invoker and tests use.
+	CallbackBase string
+	// SyncActions makes Advance dispatch actions inline instead of in
+	// goroutines. Order remains deliberately unspecified either way.
+	SyncActions bool
+}
+
+// Runtime manages every lifecycle instance of a deployment.
+type Runtime struct {
+	mu        sync.RWMutex
+	cfg       Config
+	clock     vclock.Clock
+	policy    Policy
+	instances map[string]*instance
+	order     []string
+	nextInst  int
+	nextInv   int
+	// invIndex maps invocation id -> instance id for callback routing.
+	invIndex map[string]string
+	dispatch sync.WaitGroup
+}
+
+// New builds a Runtime from cfg. Registry is required.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("runtime: Config.Registry is required")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vclock.System
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = allowAll{}
+	}
+	return &Runtime{
+		cfg:       cfg,
+		clock:     clock,
+		policy:    policy,
+		instances: make(map[string]*instance),
+		invIndex:  make(map[string]string),
+	}, nil
+}
+
+// Errors returned by runtime operations.
+var (
+	ErrNotFound      = errors.New("runtime: no such instance")
+	ErrForbidden     = errors.New("runtime: actor lacks the required role")
+	ErrUnknownPhase  = errors.New("runtime: phase not in instance model")
+	ErrNoPending     = errors.New("runtime: no pending model change")
+	ErrAlreadyExists = errors.New("runtime: duplicate")
+)
+
+func (r *Runtime) observe(instID string, ev Event) {
+	if r.cfg.Observer != nil {
+		r.cfg.Observer(instID, ev)
+	}
+}
+
+// record appends an event to the instance; callers hold r.mu.
+func (r *Runtime) record(in *instance, ev Event) Event {
+	ev.Seq = len(in.events) + 1
+	ev.Time = r.clock.Now()
+	in.events = append(in.events, ev)
+	return ev
+}
+
+// Instantiate creates a lifecycle instance of model on the resource ref,
+// owned by owner. The model is deep-copied into the instance: later
+// edits to the caller's model never affect the instance (light
+// coupling). instBindings supplies instantiation-time parameter values
+// per action URI; binding times are enforced.
+//
+// Action types referenced by the model are resolved against the
+// resource type now (§V.B). Unresolvable actions do not block
+// instantiation — the paper's robustness stance — but are reported in
+// the snapshot's Unresolved list and will fail if their phase is
+// entered before a plug-in appears.
+func (r *Runtime) Instantiate(model *core.Model, ref resource.Ref, owner string, instBindings map[string]map[string]string) (Snapshot, error) {
+	if model == nil {
+		return Snapshot{}, errors.New("runtime: nil model")
+	}
+	if err := model.Validate(); err != nil {
+		return Snapshot{}, err
+	}
+	if err := ref.Validate(); err != nil {
+		return Snapshot{}, err
+	}
+	// Enforce instantiation-stage binding times before committing.
+	for _, p := range model.Phases {
+		for _, call := range p.Actions {
+			vals := instBindings[call.URI]
+			if len(vals) == 0 {
+				continue
+			}
+			spec := r.specFor(call.URI)
+			if err := actionlib.CheckStageBindings(spec, call, vals, actionlib.StageInstantiation); err != nil {
+				return Snapshot{}, err
+			}
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextInst++
+	in := &instance{
+		id:           fmt.Sprintf("li-%06d", r.nextInst),
+		model:        model.Clone(),
+		modelURI:     model.URI,
+		res:          ref.Clone(),
+		owner:        owner,
+		state:        StateActive,
+		createdAt:    r.clock.Now(),
+		instBindings: cloneBindings(instBindings),
+		executions:   make(map[string]*ActionExecution),
+	}
+	// Resolve every referenced action type against the resource type.
+	seen := make(map[string]bool)
+	for _, p := range in.model.Phases {
+		for _, call := range p.Actions {
+			if seen[call.URI] {
+				continue
+			}
+			seen[call.URI] = true
+			if _, err := r.cfg.Registry.Resolve(call.URI, ref.Type); err != nil {
+				in.unresolved = append(in.unresolved, call.URI)
+			}
+		}
+	}
+	sort.Strings(in.unresolved)
+	r.instances[in.id] = in
+	r.order = append(r.order, in.id)
+	ev := r.record(in, Event{Kind: EventCreated, Actor: owner,
+		Detail: fmt.Sprintf("model %q on %s (%s)", in.model.Name, ref.URI, ref.Type)})
+	snap := in.snapshot()
+	r.observe(in.id, ev)
+	return snap, nil
+}
+
+func cloneBindings(b map[string]map[string]string) map[string]map[string]string {
+	out := make(map[string]map[string]string, len(b))
+	for uri, vals := range b {
+		inner := make(map[string]string, len(vals))
+		for k, v := range vals {
+			inner[k] = v
+		}
+		out[uri] = inner
+	}
+	return out
+}
+
+// specFor returns the registered action type for uri, nil when unknown.
+func (r *Runtime) specFor(uri string) *actionlib.ActionType {
+	if t, ok := r.cfg.Registry.Type(uri); ok {
+		return &t
+	}
+	return nil
+}
+
+// Instance returns a snapshot of the instance.
+func (r *Runtime) Instance(id string) (Snapshot, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	in, ok := r.instances[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return in.snapshot(), true
+}
+
+// Instances returns snapshots of every instance in creation order.
+func (r *Runtime) Instances() []Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Snapshot, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.instances[id].snapshot())
+	}
+	return out
+}
+
+// ByResource returns snapshots of every instance running on the given
+// URI — several lifecycles on one URI are explicitly legal (§IV.B).
+func (r *Runtime) ByResource(uri string) []Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Snapshot
+	for _, id := range r.order {
+		if in := r.instances[id]; in.res.URI == uri {
+			out = append(out, in.snapshot())
+		}
+	}
+	return out
+}
+
+// ByModelURI returns snapshots of instances created from the model with
+// the given URI (provenance pointer; the instances own their copies).
+func (r *Runtime) ByModelURI(uri string) []Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Snapshot
+	for _, id := range r.order {
+		if in := r.instances[id]; in.modelURI == uri {
+			out = append(out, in.snapshot())
+		}
+	}
+	return out
+}
+
+// Annotate attaches a free-form note to the instance history.
+func (r *Runtime) Annotate(instID, actor, note string) error {
+	r.mu.Lock()
+	in, ok := r.instances[instID]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, instID)
+	}
+	if !r.policy.CanDrive(actor, instID) {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s may not annotate %s", ErrForbidden, actor, instID)
+	}
+	ev := r.record(in, Event{Kind: EventAnnotated, Actor: actor, Detail: note, Phase: in.current})
+	r.mu.Unlock()
+	r.observe(instID, ev)
+	return nil
+}
+
+// BindParams supplies instantiation-stage parameter values for an
+// action after the instance was created ("actions can be configured if
+// necessary", §IV.B). Binding times are enforced.
+func (r *Runtime) BindParams(instID, actor, actionURI string, values map[string]string) error {
+	r.mu.Lock()
+	in, ok := r.instances[instID]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, instID)
+	}
+	if !r.policy.CanDrive(actor, instID) {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s may not configure %s", ErrForbidden, actor, instID)
+	}
+	// Find the call declaration (any phase) to check binding times.
+	var call *core.ActionCall
+	for _, p := range in.model.Phases {
+		for i := range p.Actions {
+			if p.Actions[i].URI == actionURI {
+				call = &p.Actions[i]
+				break
+			}
+		}
+		if call != nil {
+			break
+		}
+	}
+	if call == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("runtime: model of %s references no action %s", instID, actionURI)
+	}
+	spec := r.specFor(actionURI)
+	if err := actionlib.CheckStageBindings(spec, *call, values, actionlib.StageInstantiation); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	if in.instBindings == nil {
+		in.instBindings = make(map[string]map[string]string)
+	}
+	vals := in.instBindings[actionURI]
+	if vals == nil {
+		vals = make(map[string]string)
+		in.instBindings[actionURI] = vals
+	}
+	for k, v := range values {
+		vals[k] = v
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// InFlight reports the number of instances with at least one
+// non-terminal action execution; used by tests and the monitor.
+func (r *Runtime) InFlight(instID string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	in, ok := r.instances[instID]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, ex := range in.executions {
+		if !ex.Terminal && ex.DispatchErr == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitDispatch blocks until every asynchronous action dispatch launched
+// so far has handed its invocation to the Invoker. It does not wait for
+// callbacks — actions complete whenever their implementation reports.
+func (r *Runtime) WaitDispatch() { r.dispatch.Wait() }

@@ -1,0 +1,136 @@
+// Package scenario generates the paper's motivating case study (§II.A):
+// the LiquidPub EU project with its 35 deliverables, the quality-plan
+// lifecycle of Fig. 1, per-deliverable owners, resource types, and
+// deadlines. The examples, integration tests and benchmarks all build on
+// this generator so that the repository exercises the exact workload the
+// paper describes.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/core"
+	"github.com/liquidpub/gelee/internal/plugin"
+	"github.com/liquidpub/gelee/internal/resource"
+)
+
+// QualityPlanURI identifies the Fig. 1 lifecycle model.
+const QualityPlanURI = "urn:gelee:models:eu-deliverable"
+
+// QualityPlan builds the Fig. 1 EU Project deliverable lifecycle:
+//
+//	BEGIN → Elaboration → Internal Review → Final Assembly → EU Review →
+//	Publication → Accepted, with the Internal-Review iteration loop, an
+//	EU-requests-changes loop, and a Rejected terminal node.
+//
+// Actions per phase follow the figure: Internal Review changes access
+// rights and notifies reviewers; Final Assembly generates the PDF and
+// re-scopes access; EU Review re-scopes access and notifies the agency
+// reviewers; Publication posts on the web site and opens access.
+func QualityPlan() *core.Model {
+	return core.NewModel(QualityPlanURI, "EU Project deliverable lifecycle").
+		Version("1.0", "lpAdmin", time.Date(2008, 7, 8, 0, 0, 0, 0, time.UTC)).
+		SuggestTypes("mediawiki", "gdoc").
+		Annotate("LiquidPub quality plan for deliverables").
+		Phase("elaboration", "Elaboration").DueIn(30*24*time.Hour).Done().
+		Phase("internalreview", "Internal Review").
+		Action(plugin.ActionChangeAccessRights, "Change access rights",
+			core.Param{ID: "mode", Value: "reviewers-only", BindingTime: core.BindAny}).
+		Action(plugin.ActionNotifyReviewers, "Notify reviewers",
+			core.Param{ID: "reviewers", BindingTime: core.BindAny, Required: true}).
+		DueIn(40*24*time.Hour).
+		Done().
+		Phase("finalassembly", "Final Assembly").
+		Action(plugin.ActionGeneratePDF, "Generate PDF").
+		Action(plugin.ActionChangeAccessRights, "Change access rights",
+			core.Param{ID: "mode", Value: "consortium", BindingTime: core.BindAny}).
+		DueIn(50*24*time.Hour).
+		Done().
+		Phase("eureview", "EU Review").
+		Action(plugin.ActionChangeAccessRights, "Change access rights",
+			core.Param{ID: "mode", Value: "agency", BindingTime: core.BindAny}).
+		Action(plugin.ActionNotifyReviewers, "Notify reviewers",
+			core.Param{ID: "reviewers", Value: "project-officer@ec.europa.eu", BindingTime: core.BindAny}).
+		DueIn(80*24*time.Hour).
+		Done().
+		Phase("publication", "Publication").
+		Action(plugin.ActionPostOnWebSite, "Post on web site",
+			core.Param{ID: "site", BindingTime: core.BindAny, Required: true}).
+		Action(plugin.ActionChangeAccessRights, "Change access rights",
+			core.Param{ID: "mode", Value: "public", BindingTime: core.BindAny}).
+		Done().
+		FinalPhase("accepted", "Accepted").
+		FinalPhase("rejected", "Rejected").
+		Initial("elaboration").
+		Chain("elaboration", "internalreview", "finalassembly", "eureview", "publication", "accepted").
+		LabeledTransition("internalreview", "elaboration", "revise").
+		LabeledTransition("eureview", "finalassembly", "EU requests changes").
+		Transition("eureview", "rejected").
+		MustBuild()
+}
+
+// Deliverable is one project artifact.
+type Deliverable struct {
+	ID        string
+	Title     string
+	Owner     string // responsible partner member
+	Reviewers string // comma-separated reviewer list
+	Ref       resource.Ref
+}
+
+// Partners are the (synthetic) consortium partners of the LiquidPub
+// case; owners rotate across them.
+var Partners = []string{"unitn", "epfl", "inria", "springer", "unifr"}
+
+// workPackageTitles seed deliverable titles, echoing the paper's
+// examples (state of the art, surveys, platform deliverables).
+var workPackageTitles = []string{
+	"State of the Art", "Requirements Analysis", "Conceptual Model",
+	"Platform Architecture", "Evaluation Plan", "Dissemination Report",
+	"Annual Review Material",
+}
+
+// Deliverables generates n deliverables with rotating owners and
+// resource types (wiki pages and Google docs alternate, echoing the
+// paper's "we don't want different models based on whether the
+// deliverable is done with Google Docs, or latex over Subversion";
+// every seventh deliverable lives in SVN to exercise the third type).
+// The LiquidPub project of the paper has 35 (§II.A).
+func Deliverables(n int) []Deliverable {
+	out := make([]Deliverable, n)
+	for i := 0; i < n; i++ {
+		wp := i/5 + 1
+		id := fmt.Sprintf("D%d.%d", wp, i%5+1)
+		owner := fmt.Sprintf("%s-lead", Partners[i%len(Partners)])
+		reviewer1 := Partners[(i+1)%len(Partners)]
+		reviewer2 := Partners[(i+2)%len(Partners)]
+		var ref resource.Ref
+		switch {
+		case i%7 == 6:
+			ref = resource.Ref{URI: "svn://svn.liquidpub.org/" + id, Type: "svn"}
+		case i%2 == 0:
+			ref = resource.Ref{URI: "http://wiki.liquidpub.org/pages/" + id, Type: "mediawiki"}
+		default:
+			ref = resource.Ref{URI: "http://docs.liquidpub.org/docs/" + id, Type: "gdoc"}
+		}
+		out[i] = Deliverable{
+			ID:        id,
+			Title:     fmt.Sprintf("%s (%s)", workPackageTitles[i%len(workPackageTitles)], id),
+			Owner:     owner,
+			Reviewers: reviewer1 + "-reviewer," + reviewer2 + "-reviewer",
+			Ref:       ref,
+		}
+	}
+	return out
+}
+
+// LiquidPub returns the paper's concrete project: the quality plan and
+// its 35 deliverables.
+func LiquidPub() (*core.Model, []Deliverable) {
+	return QualityPlan(), Deliverables(35)
+}
+
+// HappyPath is the suggested progression of the quality plan from BEGIN
+// to acceptance, used by drivers that walk deliverables forward.
+var HappyPath = []string{"elaboration", "internalreview", "finalassembly", "eureview", "publication", "accepted"}

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/liquidpub/gelee/internal/core"
+	"github.com/liquidpub/gelee/internal/plugin"
+)
+
+func TestQualityPlanIsFig1(t *testing.T) {
+	m := QualityPlan()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.URI != QualityPlanURI {
+		t.Fatalf("uri = %q", m.URI)
+	}
+	// Fig. 1 shape: 5 working phases + 2 terminal nodes.
+	if len(m.Phases) != 7 {
+		t.Fatalf("phases = %d", len(m.Phases))
+	}
+	if got := m.FinalPhases(); len(got) != 2 {
+		t.Fatalf("finals = %v", got)
+	}
+	if got := m.InitialPhases(); len(got) != 1 || got[0] != "elaboration" {
+		t.Fatalf("initial = %v", got)
+	}
+	// Actions per Fig. 1.
+	ir, _ := m.Phase("internalreview")
+	if len(ir.Actions) != 2 || ir.Actions[0].URI != plugin.ActionChangeAccessRights || ir.Actions[1].URI != plugin.ActionNotifyReviewers {
+		t.Fatalf("internal review actions = %+v", ir.Actions)
+	}
+	fa, _ := m.Phase("finalassembly")
+	if len(fa.Actions) != 2 || fa.Actions[0].URI != plugin.ActionGeneratePDF {
+		t.Fatalf("final assembly actions = %+v", fa.Actions)
+	}
+	pub, _ := m.Phase("publication")
+	if len(pub.Actions) != 2 || pub.Actions[0].URI != plugin.ActionPostOnWebSite {
+		t.Fatalf("publication actions = %+v", pub.Actions)
+	}
+	// Loops of Fig. 1.
+	if !m.Suggests("internalreview", "elaboration") {
+		t.Fatal("review iteration loop missing")
+	}
+	if !m.Suggests("eureview", "finalassembly") {
+		t.Fatal("EU-requests-changes loop missing")
+	}
+	if !m.Suggests("eureview", "rejected") {
+		t.Fatal("rejection path missing")
+	}
+	// Elaboration intentionally carries no actions — the "empty phases
+	// are useful for monitoring" point of §IV.A.
+	el, _ := m.Phase("elaboration")
+	if len(el.Actions) != 0 {
+		t.Fatalf("elaboration actions = %+v", el.Actions)
+	}
+	// Lint must be clean: the scenario model is the showcase.
+	for _, issue := range m.Lint() {
+		if issue.Severity == core.Error {
+			t.Errorf("lint error: %s", issue)
+		}
+	}
+}
+
+func TestDeliverablesGeneration(t *testing.T) {
+	dels := Deliverables(35)
+	if len(dels) != 35 {
+		t.Fatalf("deliverables = %d", len(dels))
+	}
+	seenIDs := make(map[string]bool)
+	seenURIs := make(map[string]bool)
+	types := make(map[string]int)
+	for _, d := range dels {
+		if seenIDs[d.ID] {
+			t.Errorf("duplicate deliverable id %q", d.ID)
+		}
+		seenIDs[d.ID] = true
+		if seenURIs[d.Ref.URI] {
+			t.Errorf("duplicate resource URI %q", d.Ref.URI)
+		}
+		seenURIs[d.Ref.URI] = true
+		if err := d.Ref.Validate(); err != nil {
+			t.Errorf("%s: %v", d.ID, err)
+		}
+		if d.Owner == "" || d.Reviewers == "" || d.Title == "" {
+			t.Errorf("%s incomplete: %+v", d.ID, d)
+		}
+		types[d.Ref.Type]++
+	}
+	// Heterogeneity: all three resource types present (§II.B.3).
+	for _, typ := range []string{"mediawiki", "gdoc", "svn"} {
+		if types[typ] == 0 {
+			t.Errorf("no deliverables of type %s", typ)
+		}
+	}
+}
+
+func TestLiquidPub(t *testing.T) {
+	m, dels := LiquidPub()
+	if m == nil || len(dels) != 35 {
+		t.Fatalf("LiquidPub = %v, %d deliverables", m, len(dels))
+	}
+}
+
+func TestHappyPathWalksTheModel(t *testing.T) {
+	m := QualityPlan()
+	from := core.Begin
+	for _, phase := range HappyPath {
+		if !m.Suggests(from, phase) {
+			t.Fatalf("happy path edge %s -> %s not suggested", from, phase)
+		}
+		from = phase
+	}
+	last, _ := m.Phase(HappyPath[len(HappyPath)-1])
+	if !last.Final {
+		t.Fatal("happy path does not end on a terminal node")
+	}
+}
+
+func TestDeliverablesSmallN(t *testing.T) {
+	if got := Deliverables(0); len(got) != 0 {
+		t.Fatalf("Deliverables(0) = %v", got)
+	}
+	one := Deliverables(1)
+	if len(one) != 1 || one[0].ID != "D1.1" {
+		t.Fatalf("Deliverables(1) = %+v", one)
+	}
+}

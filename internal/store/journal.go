@@ -1,0 +1,159 @@
+// Package store implements the data tier of the Gelee architecture
+// (Fig. 2, bottom layer): the repositories for users and roles, resource
+// and action definitions, lifecycle templates, and the execution log.
+//
+// Persistence is an append-only JSONL journal shared by all
+// repositories, replayed on open. The format favors the paper's
+// robustness requirement: a torn final line (crash mid-write) is
+// silently dropped on recovery, and compaction rewrites the journal from
+// the live state. A Store may also be purely in-memory (nil journal),
+// which the tests and the embedded examples use.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Op enumerates journal entry operations.
+type Op string
+
+// Journal operations: repositories use put/delete; logs use append.
+const (
+	OpPut    Op = "put"
+	OpDelete Op = "delete"
+	OpAppend Op = "append"
+)
+
+// Entry is one journal record. Repo names entries so that a single
+// journal serializes every repository's mutations in one total order.
+type Entry struct {
+	Seq  uint64          `json:"seq"`
+	Time time.Time       `json:"ts"`
+	Repo string          `json:"repo"`
+	Op   Op              `json:"op"`
+	ID   string          `json:"id,omitempty"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Journal is an append-only JSONL file. It is safe for concurrent
+// Append calls.
+type Journal struct {
+	path      string
+	f         *os.File
+	w         *bufio.Writer
+	seq       uint64
+	syncEvery bool
+}
+
+// OpenJournal opens (or creates) the journal at path for appending.
+// lastSeq must be the highest sequence number already present (as
+// reported by ReplayJournal); new entries continue from there.
+func OpenJournal(path string, lastSeq uint64, syncEvery bool) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	return &Journal{path: path, f: f, w: bufio.NewWriter(f), seq: lastSeq, syncEvery: syncEvery}, nil
+}
+
+// Append assigns the next sequence number to e, writes it, and flushes.
+// When the journal was opened with syncEvery it also fsyncs, trading
+// throughput for durability.
+func (j *Journal) Append(e Entry) (uint64, error) {
+	j.seq++
+	e.Seq = j.seq
+	line, err := json.Marshal(e)
+	if err != nil {
+		return 0, fmt.Errorf("store: encode journal entry: %w", err)
+	}
+	if _, err := j.w.Write(line); err != nil {
+		return 0, fmt.Errorf("store: write journal entry: %w", err)
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return 0, fmt.Errorf("store: write journal newline: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return 0, fmt.Errorf("store: flush journal: %w", err)
+	}
+	if j.syncEvery {
+		if err := j.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: sync journal: %w", err)
+		}
+	}
+	return e.Seq, nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return fmt.Errorf("store: flush on close: %w", err)
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("store: close journal: %w", err)
+	}
+	return nil
+}
+
+// Seq returns the sequence number of the last appended entry.
+func (j *Journal) Seq() uint64 { return j.seq }
+
+// ErrCorrupt is wrapped by ReplayJournal when it finds a malformed
+// record before the final line of the file.
+var ErrCorrupt = errors.New("store: corrupt journal record")
+
+// ReplayJournal streams every entry of the journal at path through fn in
+// order, returning the count replayed and the highest sequence seen.
+//
+// Recovery semantics: a malformed or truncated *final* line is treated
+// as a torn write and dropped silently. A malformed line followed by
+// more data means real corruption and returns ErrCorrupt (wrapped).
+// A missing file replays zero entries.
+func ReplayJournal(path string, fn func(Entry) error) (n int, lastSeq uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("store: open journal for replay: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReaderSize(f, 1<<16)
+	lineNo := 0
+	for {
+		line, readErr := r.ReadBytes('\n')
+		atEOF := errors.Is(readErr, io.EOF)
+		if readErr != nil && !atEOF {
+			return n, lastSeq, fmt.Errorf("store: read journal: %w", readErr)
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			lineNo++
+			var e Entry
+			if jsonErr := json.Unmarshal(trimmed, &e); jsonErr != nil {
+				if atEOF {
+					return n, lastSeq, nil // torn final write: drop it
+				}
+				return n, lastSeq, fmt.Errorf("%w: line %d: %v", ErrCorrupt, lineNo, jsonErr)
+			}
+			if fnErr := fn(e); fnErr != nil {
+				return n, lastSeq, fnErr
+			}
+			n++
+			if e.Seq > lastSeq {
+				lastSeq = e.Seq
+			}
+		}
+		if atEOF {
+			return n, lastSeq, nil
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LogEntry is one record of the execution log — the audit trail the
+// monitoring cockpit reads (Fig. 2's "Execution log" repository,
+// including model evolution per the figure's caption).
+type LogEntry struct {
+	Seq      uint64          `json:"seq"`
+	Time     time.Time       `json:"ts"`
+	Instance string          `json:"instance,omitempty"`
+	Kind     string          `json:"kind"`
+	Actor    string          `json:"actor,omitempty"`
+	Detail   string          `json:"detail,omitempty"`
+	Data     json.RawMessage `json:"data,omitempty"`
+}
+
+// Log is an append-only, journal-backed event log with per-instance and
+// time-range queries.
+type Log struct {
+	name    string
+	store   *Store
+	mu      sync.RWMutex
+	entries []LogEntry
+	byInst  map[string][]int // instance id -> indexes into entries
+	nextSeq uint64
+}
+
+// NewLog creates and registers an append-only log under name.
+func NewLog(s *Store, name string) (*Log, error) {
+	l := &Log{name: name, store: s, byInst: make(map[string][]int), nextSeq: 1}
+	if err := s.register(name, l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// MustLog is NewLog, panicking on duplicate registration.
+func MustLog(s *Store, name string) *Log {
+	l, err := NewLog(s, name)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Append stamps and stores the entry, returning its sequence number.
+// The entry's Time is set from the store clock if zero.
+func (l *Log) Append(e LogEntry) (uint64, error) {
+	l.mu.Lock()
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	l.mu.Unlock()
+	if e.Time.IsZero() {
+		e.Time = l.store.Now()
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return 0, fmt.Errorf("store: %s: encode log entry: %w", l.name, err)
+	}
+	if err := l.store.append(Entry{Repo: l.name, Op: OpAppend, Data: data}); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	l.append(e)
+	l.mu.Unlock()
+	return e.Seq, nil
+}
+
+// append adds to the in-memory structures; callers hold l.mu.
+func (l *Log) append(e LogEntry) {
+	idx := len(l.entries)
+	l.entries = append(l.entries, e)
+	if e.Instance != "" {
+		l.byInst[e.Instance] = append(l.byInst[e.Instance], idx)
+	}
+	if e.Seq >= l.nextSeq {
+		l.nextSeq = e.Seq + 1
+	}
+}
+
+// ByInstance returns every entry for the given lifecycle instance in
+// append order.
+func (l *Log) ByInstance(id string) []LogEntry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	idxs := l.byInst[id]
+	out := make([]LogEntry, len(idxs))
+	for i, idx := range idxs {
+		out[i] = l.entries[idx]
+	}
+	return out
+}
+
+// Range returns entries with from <= Time < to in append order.
+func (l *Log) Range(from, to time.Time) []LogEntry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []LogEntry
+	for _, e := range l.entries {
+		if !e.Time.Before(from) && e.Time.Before(to) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// All returns a copy of the whole log in append order.
+func (l *Log) All() []LogEntry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]LogEntry(nil), l.entries...)
+}
+
+// Len returns the number of entries.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// applyEntry implements journaled.
+func (l *Log) applyEntry(e Entry) error {
+	if e.Op != OpAppend {
+		return fmt.Errorf("store: %s: replay unknown op %q", l.name, e.Op)
+	}
+	var le LogEntry
+	if err := json.Unmarshal(e.Data, &le); err != nil {
+		return fmt.Errorf("store: %s: replay decode: %w", l.name, err)
+	}
+	l.mu.Lock()
+	l.append(le)
+	l.mu.Unlock()
+	return nil
+}
+
+// snapshotEntries implements journaled: logs are history, so compaction
+// preserves every entry.
+func (l *Log) snapshotEntries() []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Entry, 0, len(l.entries))
+	for _, le := range l.entries {
+		data, err := json.Marshal(le)
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Repo: l.name, Op: OpAppend, Data: data})
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+// journaled is implemented by every repository and log attached to a
+// Store; it lets the store replay journal entries into them and collect
+// snapshot entries for compaction.
+type journaled interface {
+	applyEntry(Entry) error
+	snapshotEntries() []Entry
+}
+
+// Store coordinates a set of named repositories and logs over a single
+// shared journal. Create repositories with NewRepo / NewLog, then call
+// Load once to replay any existing journal, then use the store.
+//
+// A Store created by NewMemory keeps everything in memory only.
+type Store struct {
+	mu          sync.Mutex
+	dir         string
+	journal     *Journal
+	journalSync bool
+	clock       vclock.Clock
+	parts       map[string]journaled
+	loaded      bool
+}
+
+// Options configure Open.
+type Options struct {
+	// SyncEvery makes every append fsync. Slower, durable.
+	SyncEvery bool
+	// Clock stamps journal entries; nil means the wall clock.
+	Clock vclock.Clock
+}
+
+// journalName is the journal file inside a store directory.
+const journalName = "gelee.journal"
+
+// Open creates a persistent store rooted at dir (created if missing).
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = vclock.System
+	}
+	// The journal itself is opened in Load, after replay has determined
+	// the last sequence number.
+	return &Store{
+		dir:         dir,
+		clock:       clock,
+		journalSync: opts.SyncEvery,
+		parts:       make(map[string]journaled),
+	}, nil
+}
+
+// NewMemory returns a store with no persistence.
+func NewMemory() *Store {
+	return &Store{
+		clock:  vclock.System,
+		parts:  make(map[string]journaled),
+		loaded: true,
+	}
+}
+
+// WithClock overrides the store's clock (used by tests and the virtual-
+// time benchmarks). It returns the store for chaining.
+func (s *Store) WithClock(c vclock.Clock) *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = c
+	return s
+}
+
+func (s *Store) register(name string, part journaled) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.parts[name]; ok {
+		return fmt.Errorf("store: repository %q already registered", name)
+	}
+	s.parts[name] = part
+	return nil
+}
+
+// Load replays the journal into every registered repository and opens
+// the journal for appending. It must be called exactly once, after all
+// repositories are created and before any mutation. In-memory stores
+// may skip it.
+func (s *Store) Load() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		s.loaded = true
+		return nil
+	}
+	if s.journal != nil {
+		return fmt.Errorf("store: Load called twice")
+	}
+	path := filepath.Join(s.dir, journalName)
+	_, lastSeq, err := ReplayJournal(path, func(e Entry) error {
+		part, ok := s.parts[e.Repo]
+		if !ok {
+			// Forward compatibility: entries for repositories this
+			// deployment doesn't know are skipped, not fatal.
+			return nil
+		}
+		return part.applyEntry(e)
+	})
+	if err != nil {
+		return err
+	}
+	j, err := OpenJournal(path, lastSeq, s.journalSync)
+	if err != nil {
+		return err
+	}
+	s.journal = j
+	s.loaded = true
+	return nil
+}
+
+// append writes an entry for a repository, stamping the clock time.
+func (s *Store) append(e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.loaded {
+		return fmt.Errorf("store: mutation before Load")
+	}
+	if s.journal == nil {
+		return nil // memory-only
+	}
+	e.Time = s.clock.Now()
+	if _, err := s.journal.Append(e); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Compact rewrites the journal from the live state of every registered
+// repository, dropping superseded entries. The write is atomic: the new
+// journal is built in a temp file and renamed over the old one.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.parts))
+	for name := range s.parts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	tmp := filepath.Join(s.dir, journalName+".compact")
+	j, err := OpenJournal(tmp, 0, false)
+	if err != nil {
+		return err
+	}
+	now := s.clock.Now()
+	for _, name := range names {
+		for _, e := range s.parts[name].snapshotEntries() {
+			e.Time = now
+			if _, err := j.Append(e); err != nil {
+				j.Close()
+				os.Remove(tmp)
+				return err
+			}
+		}
+	}
+	if err := j.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := s.journal.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	path := filepath.Join(s.dir, journalName)
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: swap compacted journal: %w", err)
+	}
+	_, lastSeq, err := ReplayJournal(path, func(Entry) error { return nil })
+	if err != nil {
+		return err
+	}
+	nj, err := OpenJournal(path, lastSeq, s.journalSync)
+	if err != nil {
+		return err
+	}
+	s.journal = nj
+	return nil
+}
+
+// Close flushes and closes the journal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}
+
+// Now exposes the store clock, so higher layers stamp consistently.
+func (s *Store) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock.Now()
+}

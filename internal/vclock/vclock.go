@@ -1,0 +1,61 @@
+// Package vclock provides a minimal clock abstraction so that deadline
+// computation and execution logging are deterministic under test.
+//
+// The runtime, monitor, and store packages take a vclock.Clock instead of
+// calling time.Now directly; production wiring passes System (the wall
+// clock) while tests pass a *Fake that they advance by hand.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+}
+
+// System is the wall clock.
+var System Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// Fake is a manually advanced clock for tests. The zero value starts at
+// the zero time; use NewFake to start at a chosen instant.
+type Fake struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFake returns a Fake clock frozen at start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now returns the fake's current instant.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Advance moves the clock forward by d and returns the new instant.
+// Negative durations move the clock backward; tests use this to simulate
+// clock skew.
+func (f *Fake) Advance(d time.Duration) time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	return f.now
+}
+
+// Set jumps the clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = t
+}

@@ -1,0 +1,82 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSystemClockAdvances(t *testing.T) {
+	a := System.Now()
+	b := System.Now()
+	if b.Before(a) {
+		t.Fatalf("system clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestFakeStartsAtGivenInstant(t *testing.T) {
+	start := time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestFakeAdvance(t *testing.T) {
+	start := time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	got := f.Advance(48 * time.Hour)
+	want := start.Add(48 * time.Hour)
+	if !got.Equal(want) {
+		t.Fatalf("Advance returned %v, want %v", got, want)
+	}
+	if now := f.Now(); !now.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", now, want)
+	}
+}
+
+func TestFakeAdvanceBackward(t *testing.T) {
+	start := time.Date(2009, 2, 1, 12, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	f.Advance(-time.Hour)
+	if now := f.Now(); !now.Equal(start.Add(-time.Hour)) {
+		t.Fatalf("Now() = %v, want one hour before start", now)
+	}
+}
+
+func TestFakeSet(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	target := time.Date(2026, 6, 10, 9, 0, 0, 0, time.UTC)
+	f.Set(target)
+	if now := f.Now(); !now.Equal(target) {
+		t.Fatalf("Now() = %v, want %v", now, target)
+	}
+}
+
+func TestFakeZeroValueUsable(t *testing.T) {
+	var f Fake
+	if !f.Now().IsZero() {
+		t.Fatalf("zero Fake should report zero time, got %v", f.Now())
+	}
+	f.Advance(time.Minute)
+	if f.Now().IsZero() {
+		t.Fatal("Advance on zero Fake had no effect")
+	}
+}
+
+func TestFakeConcurrentAccess(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			f.Advance(time.Millisecond)
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = f.Now()
+	}
+	<-done
+	if got, want := f.Now(), time.Unix(0, 0).Add(time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,285 @@
+// Package wfengine is a deliberately conventional, *prescriptive*
+// workflow engine: the §III.A comparator the paper argues against. It
+// exists so the repository can measure — not merely assert — the cost of
+// rigidity that motivates Gelee's design:
+//
+//   - Transitions are enforced. A move not declared in the deployed
+//     process definition is an error; there are no deviations.
+//   - The engine owns the token: instances start on the initial step
+//     automatically, and only declared transitions advance them.
+//   - Model changes require redeployment and *instance migration*: every
+//     running instance's execution trace is replayed against the new
+//     definition (the dynamic-change approach of the adaptive-workflow
+//     literature the paper cites, [1][2]); instances whose trace is not
+//     compliant are aborted and must restart.
+//
+// The ablation benchmarks (E7) run the same management scenarios through
+// this engine and through the Gelee runtime and report the difference.
+package wfengine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Definition is a rigid process definition: steps and the only allowed
+// transitions between them.
+type Definition struct {
+	ID      string
+	Version int
+	Initial string
+	Final   map[string]bool
+	Next    map[string][]string // step -> allowed successors
+}
+
+// Validate checks the definition is executable.
+func (d *Definition) Validate() error {
+	if d.ID == "" {
+		return errors.New("wfengine: definition has no id")
+	}
+	if d.Initial == "" {
+		return fmt.Errorf("wfengine: definition %s has no initial step", d.ID)
+	}
+	steps := d.steps()
+	if !steps[d.Initial] {
+		return fmt.Errorf("wfengine: initial step %q not declared", d.Initial)
+	}
+	for from, tos := range d.Next {
+		if !steps[from] {
+			return fmt.Errorf("wfengine: transition from undeclared step %q", from)
+		}
+		for _, to := range tos {
+			if !steps[to] {
+				return fmt.Errorf("wfengine: transition to undeclared step %q", to)
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Definition) steps() map[string]bool {
+	out := map[string]bool{d.Initial: true}
+	for from, tos := range d.Next {
+		out[from] = true
+		for _, to := range tos {
+			out[to] = true
+		}
+	}
+	for f := range d.Final {
+		out[f] = true
+	}
+	return out
+}
+
+func (d *Definition) allows(from, to string) bool {
+	for _, t := range d.Next[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Definition) clone() *Definition {
+	c := &Definition{ID: d.ID, Version: d.Version, Initial: d.Initial,
+		Final: make(map[string]bool, len(d.Final)),
+		Next:  make(map[string][]string, len(d.Next))}
+	for k, v := range d.Final {
+		c.Final[k] = v
+	}
+	for k, v := range d.Next {
+		c.Next[k] = append([]string(nil), v...)
+	}
+	return c
+}
+
+// Instance is one running case. Trace records every step entered, in
+// order — the engine's migration currency.
+type Instance struct {
+	ID      string
+	DefID   string
+	Version int
+	Current string
+	Trace   []string
+	Done    bool
+	Aborted bool
+}
+
+// Errors returned by the engine.
+var (
+	ErrNoDefinition = errors.New("wfengine: no such definition")
+	ErrNoInstance   = errors.New("wfengine: no such instance")
+	ErrNotAllowed   = errors.New("wfengine: transition not in the process definition")
+	ErrFinished     = errors.New("wfengine: instance already finished")
+	ErrNonCompliant = errors.New("wfengine: instance trace not compliant with new definition")
+)
+
+// Engine is the prescriptive engine.
+type Engine struct {
+	mu        sync.Mutex
+	defs      map[string]*Definition
+	instances map[string]*Instance
+	nextInst  int
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{defs: make(map[string]*Definition), instances: make(map[string]*Instance)}
+}
+
+// Deploy installs (or re-versions) a definition and returns its version.
+func (e *Engine) Deploy(d Definition) (int, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if old, ok := e.defs[d.ID]; ok {
+		d.Version = old.Version + 1
+	} else {
+		d.Version = 1
+	}
+	e.defs[d.ID] = d.clone()
+	return d.Version, nil
+}
+
+// Start creates an instance; the ENGINE places the token on the initial
+// step (contrast Gelee, where a human makes the first move).
+func (e *Engine) Start(defID string) (*Instance, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.defs[defID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDefinition, defID)
+	}
+	e.nextInst++
+	in := &Instance{
+		ID:      fmt.Sprintf("wf-%06d", e.nextInst),
+		DefID:   defID,
+		Version: d.Version,
+		Current: d.Initial,
+		Trace:   []string{d.Initial},
+		Done:    d.Final[d.Initial],
+	}
+	e.instances[in.ID] = in
+	return snapshot(in), nil
+}
+
+// Complete moves the instance to the next step — allowed only along a
+// declared transition. This is the engine-enforced rigidity Gelee's
+// descriptive model removes.
+func (e *Engine) Complete(instID, to string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	in, ok := e.instances[instID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoInstance, instID)
+	}
+	if in.Done || in.Aborted {
+		return fmt.Errorf("%w: %s", ErrFinished, instID)
+	}
+	d := e.defs[in.DefID]
+	if !d.allows(in.Current, to) {
+		return fmt.Errorf("%w: %s -> %s", ErrNotAllowed, in.Current, to)
+	}
+	in.Current = to
+	in.Trace = append(in.Trace, to)
+	if d.Final[to] {
+		in.Done = true
+	}
+	return nil
+}
+
+// Instance returns a copy of the instance.
+func (e *Engine) Instance(id string) (*Instance, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	in, ok := e.instances[id]
+	if !ok {
+		return nil, false
+	}
+	return snapshot(in), true
+}
+
+// Instances returns copies of every instance of the definition.
+func (e *Engine) Instances(defID string) []*Instance {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []*Instance
+	for _, in := range e.instances {
+		if in.DefID == defID {
+			out = append(out, snapshot(in))
+		}
+	}
+	return out
+}
+
+func snapshot(in *Instance) *Instance {
+	c := *in
+	c.Trace = append([]string(nil), in.Trace...)
+	return &c
+}
+
+// MigrationReport summarizes a redeployment.
+type MigrationReport struct {
+	NewVersion int
+	Migrated   int
+	Aborted    int
+	Replayed   int // total trace steps replayed — the migration cost driver
+}
+
+// Redeploy installs a new version of the definition and migrates every
+// running instance by trace replay: an instance is compliant iff its
+// entire trace is executable in the new definition, step by step. Non-
+// compliant instances are aborted — they must restart from the
+// beginning, losing their progress (the pathology the paper's
+// light-coupling avoids: in Gelee the owner just picks a landing phase).
+func (e *Engine) Redeploy(d Definition) (MigrationReport, error) {
+	if err := d.Validate(); err != nil {
+		return MigrationReport{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old, ok := e.defs[d.ID]
+	if !ok {
+		return MigrationReport{}, fmt.Errorf("%w: %s", ErrNoDefinition, d.ID)
+	}
+	d.Version = old.Version + 1
+	nd := d.clone()
+	e.defs[d.ID] = nd
+
+	rep := MigrationReport{NewVersion: nd.Version}
+	for _, in := range e.instances {
+		if in.DefID != d.ID || in.Done || in.Aborted {
+			continue
+		}
+		if replayable(nd, in.Trace, &rep.Replayed) {
+			in.Version = nd.Version
+			in.Done = nd.Final[in.Current]
+			rep.Migrated++
+		} else {
+			in.Aborted = true
+			rep.Aborted++
+		}
+	}
+	return rep, nil
+}
+
+// replayable checks the trace executes in d from its initial step.
+func replayable(d *Definition, trace []string, counter *int) bool {
+	if len(trace) == 0 {
+		return false
+	}
+	*counter++
+	if trace[0] != d.Initial {
+		return false
+	}
+	for i := 1; i < len(trace); i++ {
+		*counter++
+		if !d.allows(trace[i-1], trace[i]) {
+			return false
+		}
+	}
+	return true
+}

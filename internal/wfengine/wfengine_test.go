@@ -1,0 +1,187 @@
+package wfengine
+
+import (
+	"errors"
+	"testing"
+)
+
+// qualityPlanDef is the Fig. 1 lifecycle as a rigid process definition.
+func qualityPlanDef() Definition {
+	return Definition{
+		ID:      "eu-deliverable",
+		Initial: "elaboration",
+		Final:   map[string]bool{"accepted": true, "rejected": true},
+		Next: map[string][]string{
+			"elaboration":    {"internalreview"},
+			"internalreview": {"elaboration", "finalassembly"},
+			"finalassembly":  {"eureview"},
+			"eureview":       {"publication", "finalassembly", "rejected"},
+			"publication":    {"accepted"},
+		},
+	}
+}
+
+func TestDeployAndStart(t *testing.T) {
+	e := New()
+	v, err := e.Deploy(qualityPlanDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("version = %d", v)
+	}
+	in, err := e.Start("eu-deliverable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ENGINE placed the token; no human involved.
+	if in.Current != "elaboration" || len(in.Trace) != 1 {
+		t.Fatalf("instance = %+v", in)
+	}
+	if _, err := e.Start("ghost"); !errors.Is(err, ErrNoDefinition) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	e := New()
+	if _, err := e.Deploy(Definition{}); err == nil {
+		t.Fatal("no-id definition deployed")
+	}
+	if _, err := e.Deploy(Definition{ID: "x"}); err == nil {
+		t.Fatal("no-initial definition deployed")
+	}
+	minimal := Definition{ID: "x", Initial: "a", Final: map[string]bool{"a": true}}
+	if _, err := e.Deploy(minimal); err != nil {
+		t.Fatalf("minimal single-step definition rejected: %v", err)
+	}
+}
+
+func TestCompleteEnforcesTransitions(t *testing.T) {
+	e := New()
+	e.Deploy(qualityPlanDef())
+	in, _ := e.Start("eu-deliverable")
+
+	if err := e.Complete(in.ID, "internalreview"); err != nil {
+		t.Fatal(err)
+	}
+	// The rigidity under test: skipping ahead is an ERROR here, while in
+	// Gelee it is a recorded deviation.
+	err := e.Complete(in.ID, "publication")
+	if !errors.Is(err, ErrNotAllowed) {
+		t.Fatalf("deviation err = %v, want ErrNotAllowed", err)
+	}
+	// Iteration loop is declared, so it works.
+	if err := e.Complete(in.ID, "elaboration"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Complete("wf-999999", "x"); !errors.Is(err, ErrNoInstance) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompleteToFinalFinishes(t *testing.T) {
+	e := New()
+	e.Deploy(qualityPlanDef())
+	in, _ := e.Start("eu-deliverable")
+	for _, step := range []string{"internalreview", "finalassembly", "eureview", "publication", "accepted"} {
+		if err := e.Complete(in.ID, step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := e.Instance(in.ID)
+	if !got.Done {
+		t.Fatal("instance not done after final step")
+	}
+	if err := e.Complete(in.ID, "elaboration"); !errors.Is(err, ErrFinished) {
+		t.Fatalf("reopening err = %v, want ErrFinished (no reopening in a prescriptive engine)", err)
+	}
+}
+
+func TestRedeployMigratesCompliantInstances(t *testing.T) {
+	e := New()
+	e.Deploy(qualityPlanDef())
+	a, _ := e.Start("eu-deliverable") // stays in elaboration
+	b, _ := e.Start("eu-deliverable")
+	e.Complete(b.ID, "internalreview") // trace includes internalreview
+
+	// New version drops the internal review step entirely.
+	nd := Definition{
+		ID:      "eu-deliverable",
+		Initial: "elaboration",
+		Final:   map[string]bool{"accepted": true, "rejected": true},
+		Next: map[string][]string{
+			"elaboration":   {"finalassembly"},
+			"finalassembly": {"eureview"},
+			"eureview":      {"publication", "rejected"},
+			"publication":   {"accepted"},
+		},
+	}
+	rep, err := e.Redeploy(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NewVersion != 2 {
+		t.Fatalf("version = %d", rep.NewVersion)
+	}
+	// a's trace [elaboration] replays; b's trace includes the removed
+	// step and is aborted — the migration pathology Gelee avoids.
+	if rep.Migrated != 1 || rep.Aborted != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Replayed == 0 {
+		t.Fatal("replay counter not incremented")
+	}
+	ga, _ := e.Instance(a.ID)
+	if ga.Version != 2 || ga.Aborted {
+		t.Fatalf("a = %+v", ga)
+	}
+	gb, _ := e.Instance(b.ID)
+	if !gb.Aborted {
+		t.Fatalf("b = %+v", gb)
+	}
+	// Aborted instances are dead.
+	if err := e.Complete(b.ID, "finalassembly"); !errors.Is(err, ErrFinished) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRedeployUnknownDefinition(t *testing.T) {
+	e := New()
+	if _, err := e.Redeploy(qualityPlanDef()); !errors.Is(err, ErrNoDefinition) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInstancesByDefinition(t *testing.T) {
+	e := New()
+	e.Deploy(qualityPlanDef())
+	e.Start("eu-deliverable")
+	e.Start("eu-deliverable")
+	if got := len(e.Instances("eu-deliverable")); got != 2 {
+		t.Fatalf("instances = %d", got)
+	}
+	if got := len(e.Instances("other")); got != 0 {
+		t.Fatalf("instances = %d", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	e := New()
+	e.Deploy(qualityPlanDef())
+	in, _ := e.Start("eu-deliverable")
+	in.Trace[0] = "tampered"
+	fresh, _ := e.Instance(in.ID)
+	if fresh.Trace[0] == "tampered" {
+		t.Fatal("Start returned aliased trace")
+	}
+}
+
+func TestDeployBumpsVersion(t *testing.T) {
+	e := New()
+	v1, _ := e.Deploy(qualityPlanDef())
+	v2, _ := e.Deploy(qualityPlanDef())
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("versions = %d, %d", v1, v2)
+	}
+}

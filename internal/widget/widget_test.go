@@ -1,0 +1,293 @@
+package widget
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/access"
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/plugin/wikisim"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/runtime"
+	"github.com/liquidpub/gelee/internal/scenario"
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+type env struct {
+	rt    *runtime.Runtime
+	rend  *Renderer
+	acl   *access.Control
+	clock *vclock.Fake
+	inst  runtime.Snapshot
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
+
+	acl := access.NewControl()
+	for _, u := range []string{"owner", "dev", "stakeholder"} {
+		acl.AddUser(access.User{Name: u})
+	}
+
+	wiki := wikisim.NewService(clock)
+	wiki.CreatePage("D1.1", "owner", "= State of the Art =")
+	adapter := wikisim.NewAdapter(wiki, nil, nil)
+	resources := resource.NewManager()
+	if err := resources.Register(adapter); err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := runtime.New(runtime.Config{
+		Registry:    actionlib.NewRegistry(),
+		Invoker:     runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+		Clock:       clock,
+		SyncActions: true,
+		Policy:      aclPolicy{acl},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := rt.Instantiate(scenario.QualityPlan(),
+		resource.Ref{URI: "http://wiki.liquidpub.org/pages/D1.1", Type: "mediawiki"}, "owner", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acl.Grant(access.Grant{User: "owner", Role: access.RoleInstanceOwner, Scope: snap.ID})
+	acl.Grant(access.Grant{User: "dev", Role: access.RoleTokenOwner, Scope: snap.ID, Targets: []string{"internalreview"}})
+
+	return &env{
+		rt:    rt,
+		rend:  New(rt, resources, acl, clock),
+		acl:   acl,
+		clock: clock,
+		inst:  snap,
+	}
+}
+
+type aclPolicy struct{ c *access.Control }
+
+func (p aclPolicy) CanDrive(actor, inst string) bool { return p.c.CanDrive(actor, inst) }
+func (p aclPolicy) CanFollow(actor, inst, target string) bool {
+	return p.c.CanFollow(actor, inst, target)
+}
+
+func TestViewCombinesLifecycleAndResource(t *testing.T) {
+	e := newEnv(t)
+	e.rt.Advance(e.inst.ID, "elaboration", "owner", runtime.AdvanceOptions{})
+
+	v, err := e.rend.View(e.inst.ID, "owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ModelName != "EU Project deliverable lifecycle" || v.Current != "elaboration" {
+		t.Fatalf("view = %+v", v)
+	}
+	// Fig. 4: the resource is rendered next to the lifecycle.
+	if v.Resource.Title != "D1.1" || !strings.Contains(v.Resource.Summary, "wiki page") {
+		t.Fatalf("resource rendering = %+v", v.Resource)
+	}
+	if len(v.Phases) != 7 {
+		t.Fatalf("phases = %d", len(v.Phases))
+	}
+	var current, suggested int
+	for _, p := range v.Phases {
+		if p.Current {
+			current++
+		}
+		if p.Suggested {
+			suggested++
+		}
+	}
+	if current != 1 {
+		t.Fatalf("current markers = %d", current)
+	}
+	if suggested != 1 || v.NextSuggested[0] != "internalreview" {
+		t.Fatalf("suggested = %d, next = %v", suggested, v.NextSuggested)
+	}
+	if !v.CanAdvance || !v.CanDeviate {
+		t.Fatalf("owner controls = advance:%t deviate:%t", v.CanAdvance, v.CanDeviate)
+	}
+}
+
+func TestDifferentUsersDifferentViews(t *testing.T) {
+	// §V.C: "different users could have different views of the same
+	// lifecycle".
+	e := newEnv(t)
+	e.rt.Advance(e.inst.ID, "elaboration", "owner", runtime.AdvanceOptions{})
+
+	owner, err := e.rend.View(e.inst.ID, "owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := e.rend.View(e.inst.ID, "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !owner.CanDeviate {
+		t.Fatal("owner cannot deviate")
+	}
+	if dev.CanDeviate {
+		t.Fatal("token owner can deviate")
+	}
+	if !dev.CanAdvance {
+		t.Fatal("token owner should see the advance control for the granted transition")
+	}
+}
+
+func TestVisibilityEnforcement(t *testing.T) {
+	e := newEnv(t)
+	// Default restricted: stakeholders without a role are refused.
+	if _, err := e.rend.View(e.inst.ID, "stakeholder"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("err = %v, want ErrDenied", err)
+	}
+	if _, err := e.rend.View(e.inst.ID, ""); !errors.Is(err, ErrDenied) {
+		t.Fatalf("anonymous err = %v, want ErrDenied", err)
+	}
+	// Authenticated visibility admits any signed-in user.
+	if err := e.rend.SetVisibility(e.inst.ID, access.VisibilityAuthenticated); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.rend.View(e.inst.ID, "stakeholder"); err != nil {
+		t.Fatalf("authenticated stakeholder refused: %v", err)
+	}
+	if _, err := e.rend.View(e.inst.ID, ""); !errors.Is(err, ErrDenied) {
+		t.Fatal("anonymous admitted at authenticated level")
+	}
+	// Public admits everyone.
+	e.rend.SetVisibility(e.inst.ID, access.VisibilityPublic)
+	if _, err := e.rend.View(e.inst.ID, ""); err != nil {
+		t.Fatalf("anonymous refused at public level: %v", err)
+	}
+	if err := e.rend.SetVisibility(e.inst.ID, "cloaked"); err == nil {
+		t.Fatal("unknown visibility accepted")
+	}
+	// A stakeholder granted a role sees restricted widgets.
+	e.rend.SetVisibility(e.inst.ID, access.VisibilityRestricted)
+	e.acl.Grant(access.Grant{User: "stakeholder", Role: access.RoleTokenOwner, Scope: e.inst.ID})
+	if _, err := e.rend.View(e.inst.ID, "stakeholder"); err != nil {
+		t.Fatalf("role-holding stakeholder refused: %v", err)
+	}
+}
+
+func TestHTMLRendering(t *testing.T) {
+	e := newEnv(t)
+	e.rt.Advance(e.inst.ID, "elaboration", "owner", runtime.AdvanceOptions{})
+	html, err := e.rend.HTML(e.inst.ID, "owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"gelee-widget", "EU Project deliverable lifecycle",
+		"Elaboration", "Internal Review", "class=\"current", "D1.1",
+		"data-to=\"internalreview\"",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML missing %q:\n%s", want, html)
+		}
+	}
+	if _, err := e.rend.HTML("ghost", "owner"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestHTMLEscapesContent(t *testing.T) {
+	clock := vclock.NewFake(time.Unix(0, 0))
+	rt, _ := runtime.New(runtime.Config{
+		Registry: actionlib.NewRegistry(),
+		Invoker:  runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+		Clock:    clock, SyncActions: true,
+	})
+	m := scenario.QualityPlan().Clone()
+	m.Name = `<script>alert("xss")</script>`
+	snap, err := rt.Instantiate(m, resource.Ref{URI: "urn:x", Type: "unknown"}, "o", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rend := New(rt, resource.NewManager(), nil, clock)
+	html, err := rend.HTML(snap.ID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(html, "<script>") {
+		t.Fatal("model name not escaped in widget HTML")
+	}
+}
+
+func TestLateFlagInView(t *testing.T) {
+	e := newEnv(t)
+	e.rt.Advance(e.inst.ID, "elaboration", "owner", runtime.AdvanceOptions{})
+	e.clock.Advance(31 * 24 * time.Hour)
+	v, err := e.rend.View(e.inst.ID, "owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Late {
+		t.Fatal("late flag missing")
+	}
+	html, _ := e.rend.HTML(e.inst.ID, "owner")
+	if !strings.Contains(html, "past deadline") {
+		t.Fatal("late warning missing from HTML")
+	}
+}
+
+func TestPendingChangeShown(t *testing.T) {
+	e := newEnv(t)
+	m2 := scenario.QualityPlan().Clone()
+	m2.Phases = append(m2.Phases, nil)
+	m2.Phases = m2.Phases[:len(m2.Phases)-1]
+	m2.Transitions = append(m2.Transitions, m2.Transitions[0])
+	if err := e.rt.ProposeChange(e.inst.ID, "coordinator", m2, "tweak"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.rend.View(e.inst.ID, "owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pending == "" {
+		t.Fatal("pending change not surfaced")
+	}
+}
+
+func TestFeed(t *testing.T) {
+	e := newEnv(t)
+	e.rt.Advance(e.inst.ID, "elaboration", "owner", runtime.AdvanceOptions{})
+	e.rt.Annotate(e.inst.ID, "owner", "first draft circulating")
+	out, err := e.rend.Feed(e.inst.ID, "owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{"<rss", "<channel>", "<item>", "phase-entered: elaboration", "first draft circulating"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("feed missing %q:\n%s", want, s)
+		}
+	}
+	// Newest first.
+	if strings.Index(s, "annotated") > strings.Index(s, "created") {
+		t.Fatal("feed not newest-first")
+	}
+	if _, err := e.rend.Feed(e.inst.ID, "stakeholder"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("err = %v, want ErrDenied", err)
+	}
+	if _, err := e.rend.Feed("ghost", "owner"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestNilACLMeansOpenWidget(t *testing.T) {
+	e := newEnv(t)
+	open := New(e.rt, nil, nil, e.clock)
+	v, err := open.View(e.inst.ID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.CanAdvance || !v.CanDeviate {
+		t.Fatal("open renderer should grant all controls")
+	}
+	if v.Resource.Title != e.inst.Resource.URI {
+		t.Fatalf("fallback rendering = %+v", v.Resource)
+	}
+}

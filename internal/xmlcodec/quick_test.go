@@ -1,0 +1,151 @@
+package xmlcodec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/core"
+)
+
+// genModel builds a random valid model exercising the full XML surface:
+// random names (including XML-hostile characters), actions, params,
+// binding times, deadlines, labels, annotations.
+func genModel(r *rand.Rand) *core.Model {
+	hostile := []string{"plain", "a<b", "c&d", `"quoted"`, "tab\tchar", "uni-cœde", "  padded  "}
+	pick := func() string { return hostile[r.Intn(len(hostile))] }
+	bindTimes := []core.BindingTime{core.BindDefinition, core.BindInstantiation, core.BindCall, core.BindAny, ""}
+
+	n := 1 + r.Intn(8)
+	m := &core.Model{
+		URI:  fmt.Sprintf("urn:gelee:models:q%d", r.Int63()),
+		Name: "Q " + pick(),
+		Version: core.VersionInfo{
+			Number:    fmt.Sprintf("%d.%d", r.Intn(10), r.Intn(10)),
+			CreatedBy: pick(),
+			Created:   time.Date(2000+r.Intn(10), time.Month(1+r.Intn(12)), 1+r.Intn(28), 0, 0, 0, 0, time.UTC),
+		},
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		m.ResourceTypes = append(m.ResourceTypes, fmt.Sprintf("type-%d", r.Intn(5)))
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		m.Annotations = append(m.Annotations, pick())
+	}
+	final := -1
+	if n > 1 && r.Intn(2) == 0 {
+		final = n - 1
+	}
+	for i := 0; i < n; i++ {
+		p := &core.Phase{ID: fmt.Sprintf("p%d", i), Name: pick(), Final: i == final}
+		if !p.Final {
+			for a := 0; a < r.Intn(3); a++ {
+				act := core.ActionCall{URI: fmt.Sprintf("urn:act:%d", r.Intn(6)), Name: pick()}
+				for q := 0; q < r.Intn(3); q++ {
+					act.Params = append(act.Params, core.Param{
+						ID:          fmt.Sprintf("a%dp%d", a, q),
+						Value:       pick(),
+						BindingTime: bindTimes[r.Intn(len(bindTimes))],
+						Required:    r.Intn(2) == 0,
+					})
+				}
+				p.Actions = append(p.Actions, act)
+			}
+			if r.Intn(3) == 0 {
+				p.Deadline = core.Deadline{Offset: time.Duration(1+r.Intn(200)) * time.Hour}
+			} else if r.Intn(3) == 0 {
+				p.Deadline = core.Deadline{Absolute: time.Date(2009, time.Month(1+r.Intn(12)), 1+r.Intn(28), 0, 0, 0, 0, time.UTC)}
+			}
+			if r.Intn(4) == 0 {
+				p.Note = pick()
+			}
+		}
+		m.Phases = append(m.Phases, p)
+	}
+	m.Transitions = append(m.Transitions, core.Transition{From: core.Begin, To: "p0"})
+	for i := 0; i < n; i++ {
+		m.Transitions = append(m.Transitions, core.Transition{
+			From:  fmt.Sprintf("p%d", r.Intn(n)),
+			To:    fmt.Sprintf("p%d", r.Intn(n)),
+			Label: pick(),
+		})
+	}
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("generator produced invalid model: %v", err))
+	}
+	return m
+}
+
+// Property: marshal → unmarshal → marshal is a fixed point. Values are
+// trimmed on parse, so we compare the *second* and *third* generations
+// (canonical forms), plus fingerprints of generations 2 and 3.
+func TestQuickModelRoundTripStable(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		m := genModel(r)
+		gen1, err := MarshalModel(m)
+		if err != nil {
+			t.Logf("marshal gen1: %v", err)
+			return false
+		}
+		m2, err := UnmarshalModel(gen1)
+		if err != nil {
+			t.Logf("unmarshal gen1: %v\n%s", err, gen1)
+			return false
+		}
+		gen2, err := MarshalModel(m2)
+		if err != nil {
+			return false
+		}
+		m3, err := UnmarshalModel(gen2)
+		if err != nil {
+			t.Logf("unmarshal gen2: %v", err)
+			return false
+		}
+		if m2.Fingerprint() != m3.Fingerprint() {
+			t.Logf("fingerprint drift:\n%s\nvs\n%s", gen1, gen2)
+			return false
+		}
+		gen3, err := MarshalModel(m3)
+		if err != nil {
+			return false
+		}
+		return string(gen2) == string(gen3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: phase count, transition count, and phase ids survive the
+// round trip exactly.
+func TestQuickRoundTripPreservesStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		m := genModel(r)
+		data, err := MarshalModel(m)
+		if err != nil {
+			return false
+		}
+		m2, err := UnmarshalModel(data)
+		if err != nil {
+			return false
+		}
+		if len(m.Phases) != len(m2.Phases) || len(m.Transitions) != len(m2.Transitions) {
+			return false
+		}
+		for i := range m.Phases {
+			if m.Phases[i].ID != m2.Phases[i].ID ||
+				m.Phases[i].Final != m2.Phases[i].Final ||
+				len(m.Phases[i].Actions) != len(m2.Phases[i].Actions) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

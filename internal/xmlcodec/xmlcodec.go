@@ -1,0 +1,393 @@
+// Package xmlcodec implements the XML interchange formats of the paper:
+// the lifecycle definition document of Table I (<process>) and the
+// action type definition document of Table II (<action_type>).
+//
+// The element vocabulary follows the tables verbatim: process, name,
+// version_info/version_number/created_by/creation_date, resource/
+// resource_type, phases_list/phase/action_call/action/parameters/param,
+// transition_list/transition/from/to, and action_type with
+// param[@bindingTime][@required].
+//
+// The codec extends the published vocabulary only where the paper
+// mentions features without printing their XML (deadlines, annotations,
+// terminal nodes, transition labels) and always via optional attributes
+// or elements, so that every document shaped exactly like Table I or
+// Table II parses, and every document we emit is readable by a parser
+// that only knows the tables.
+//
+// Parsing is deliberately forgiving (requirement §II.B.6 — robustness to
+// imprecision): unknown elements are skipped, missing version blocks
+// default to zero values, and unparseable dates degrade to the zero time
+// rather than failing the document. Only violations of the core model's
+// hard rules (reported by core.Model.Validate) reject a document.
+package xmlcodec
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/core"
+)
+
+// DateLayout is the day-precision layout of Table I and II
+// (creation_date 08/07/2008 — day/month/year, the European convention of
+// the authors' EU-project context).
+const DateLayout = "02/01/2006"
+
+// acceptedDateLayouts lists the formats the forgiving parser tries in
+// order.
+var acceptedDateLayouts = []string{DateLayout, "2006-01-02", time.RFC3339}
+
+func parseDate(s string) time.Time {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return time.Time{}
+	}
+	for _, layout := range acceptedDateLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t
+		}
+	}
+	return time.Time{}
+}
+
+func formatDate(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format(DateLayout)
+}
+
+// ---- wire structs: Table I ------------------------------------------------
+
+type xmlProcess struct {
+	XMLName     xml.Name          `xml:"process"`
+	URI         string            `xml:"uri,attr"`
+	Name        string            `xml:"name"`
+	Version     *xmlVersionInfo   `xml:"version_info"`
+	Resource    *xmlResource      `xml:"resource"`
+	Phases      xmlPhasesList     `xml:"phases_list"`
+	Transitions xmlTransitionList `xml:"transition_list"`
+	Annotations []string          `xml:"annotation,omitempty"`
+}
+
+type xmlVersionInfo struct {
+	Number  string `xml:"version_number"`
+	Creator string `xml:"created_by"`
+	Created string `xml:"creation_date"`
+}
+
+type xmlResource struct {
+	Types []string `xml:"resource_type"`
+}
+
+type xmlPhasesList struct {
+	Phases []xmlPhase `xml:"phase"`
+}
+
+type xmlPhase struct {
+	ID       string          `xml:"id,attr"`
+	Final    string          `xml:"final,attr,omitempty"` // extension: "yes" marks a terminal node
+	Name     string          `xml:"name"`
+	Calls    []xmlActionCall `xml:"action_call"`
+	Deadline *xmlDeadline    `xml:"deadline"` // extension
+	Note     string          `xml:"annotation,omitempty"`
+}
+
+type xmlActionCall struct {
+	Actions []xmlAction `xml:"action"`
+}
+
+type xmlAction struct {
+	Name   string        `xml:"name"`
+	URI    string        `xml:"uri"`
+	Params *xmlParamList `xml:"parameters"`
+}
+
+type xmlParamList struct {
+	Params []xmlCallParam `xml:"param"`
+}
+
+type xmlCallParam struct {
+	ID          string `xml:"id,attr"`
+	BindingTime string `xml:"bindingTime,attr,omitempty"` // extension on call params
+	Required    string `xml:"required,attr,omitempty"`    // extension on call params
+	Value       string `xml:",chardata"`
+}
+
+type xmlDeadline struct {
+	Offset string `xml:"offset,attr,omitempty"` // Go duration string
+	Due    string `xml:"due,attr,omitempty"`    // absolute date, DateLayout
+}
+
+type xmlTransitionList struct {
+	Transitions []xmlTransition `xml:"transition"`
+}
+
+type xmlTransition struct {
+	From  string `xml:"from"`
+	To    string `xml:"to"`
+	Label string `xml:"label,omitempty"` // extension: Fig. 1 "+ label" notation
+}
+
+// ---- wire structs: Table II -----------------------------------------------
+
+type xmlActionType struct {
+	XMLName xml.Name        `xml:"action_type"`
+	URI     string          `xml:"uri,attr"`
+	Name    string          `xml:"name"`
+	Version *xmlVersionInfo `xml:"version_info"`
+	Params  *xmlSpecParams  `xml:"parameters"`
+	Meta    []xmlMetaEntry  `xml:"metadata>entry,omitempty"` // extension: §V.B "general metadata"
+}
+
+type xmlSpecParams struct {
+	Params []xmlSpecParam `xml:"param"`
+}
+
+type xmlSpecParam struct {
+	BindingTime string `xml:"bindingTime,attr,omitempty"`
+	Required    string `xml:"required,attr,omitempty"`
+	Name        string `xml:"name"`
+	Value       string `xml:"value"`
+}
+
+type xmlMetaEntry struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// ---- conversions -----------------------------------------------------------
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return ""
+}
+
+func parseYesNo(s string) bool {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "yes", "true", "1":
+		return true
+	}
+	return false
+}
+
+func toXMLVersion(v core.VersionInfo) *xmlVersionInfo {
+	if v == (core.VersionInfo{}) {
+		return nil
+	}
+	return &xmlVersionInfo{Number: v.Number, Creator: v.CreatedBy, Created: formatDate(v.Created)}
+}
+
+func fromXMLVersion(v *xmlVersionInfo) core.VersionInfo {
+	if v == nil {
+		return core.VersionInfo{}
+	}
+	return core.VersionInfo{Number: v.Number, CreatedBy: v.Creator, Created: parseDate(v.Created)}
+}
+
+// MarshalModel renders the model as a Table I <process> document,
+// indented, with the standard XML header.
+func MarshalModel(m *core.Model) ([]byte, error) {
+	doc := xmlProcess{
+		URI:         m.URI,
+		Name:        m.Name,
+		Version:     toXMLVersion(m.Version),
+		Annotations: m.Annotations,
+	}
+	if len(m.ResourceTypes) > 0 {
+		doc.Resource = &xmlResource{Types: m.ResourceTypes}
+	}
+	for _, p := range m.Phases {
+		xp := xmlPhase{ID: p.ID, Name: p.Name, Final: yesNo(p.Final), Note: p.Note}
+		if len(p.Actions) > 0 {
+			call := xmlActionCall{}
+			for _, a := range p.Actions {
+				xa := xmlAction{Name: a.Name, URI: a.URI}
+				if len(a.Params) > 0 {
+					pl := &xmlParamList{}
+					for _, prm := range a.Params {
+						pl.Params = append(pl.Params, xmlCallParam{
+							ID:          prm.ID,
+							Value:       prm.Value,
+							BindingTime: string(prm.BindingTime),
+							Required:    yesNo(prm.Required),
+						})
+					}
+					xa.Params = pl
+				}
+				call.Actions = append(call.Actions, xa)
+			}
+			xp.Calls = []xmlActionCall{call}
+		}
+		if !p.Deadline.IsZero() {
+			xd := &xmlDeadline{}
+			if p.Deadline.Offset != 0 {
+				xd.Offset = p.Deadline.Offset.String()
+			}
+			if !p.Deadline.Absolute.IsZero() {
+				xd.Due = formatDate(p.Deadline.Absolute)
+			}
+			xp.Deadline = xd
+		}
+		doc.Phases.Phases = append(doc.Phases.Phases, xp)
+	}
+	for _, t := range m.Transitions {
+		doc.Transitions.Transitions = append(doc.Transitions.Transitions,
+			xmlTransition{From: t.From, To: t.To, Label: t.Label})
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("xmlcodec: marshal process: %w", err)
+	}
+	return append([]byte(xml.Header), append(out, '\n')...), nil
+}
+
+// UnmarshalModel parses a Table I <process> document into a core model
+// and validates it.
+func UnmarshalModel(data []byte) (*core.Model, error) {
+	var doc xmlProcess
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("xmlcodec: parse process: %w", err)
+	}
+	m := &core.Model{
+		URI:         doc.URI,
+		Name:        strings.TrimSpace(doc.Name),
+		Version:     fromXMLVersion(doc.Version),
+		Annotations: doc.Annotations,
+	}
+	if doc.Resource != nil {
+		for _, t := range doc.Resource.Types {
+			if t = strings.TrimSpace(t); t != "" {
+				m.ResourceTypes = append(m.ResourceTypes, t)
+			}
+		}
+	}
+	for _, xp := range doc.Phases.Phases {
+		p := &core.Phase{
+			ID:    strings.TrimSpace(xp.ID),
+			Name:  strings.TrimSpace(xp.Name),
+			Final: parseYesNo(xp.Final),
+			Note:  strings.TrimSpace(xp.Note),
+		}
+		for _, call := range xp.Calls {
+			for _, xa := range call.Actions {
+				a := core.ActionCall{URI: strings.TrimSpace(xa.URI), Name: strings.TrimSpace(xa.Name)}
+				if xa.Params != nil {
+					for _, prm := range xa.Params.Params {
+						a.Params = append(a.Params, core.Param{
+							ID:          strings.TrimSpace(prm.ID),
+							Value:       strings.TrimSpace(prm.Value),
+							BindingTime: core.BindingTime(strings.TrimSpace(prm.BindingTime)),
+							Required:    parseYesNo(prm.Required),
+						})
+					}
+				}
+				p.Actions = append(p.Actions, a)
+			}
+		}
+		if xp.Deadline != nil {
+			if xp.Deadline.Offset != "" {
+				if d, err := time.ParseDuration(xp.Deadline.Offset); err == nil {
+					p.Deadline.Offset = d
+				}
+			}
+			p.Deadline.Absolute = parseDate(xp.Deadline.Due)
+		}
+		m.Phases = append(m.Phases, p)
+	}
+	for _, xt := range doc.Transitions.Transitions {
+		m.Transitions = append(m.Transitions, core.Transition{
+			From:  strings.TrimSpace(xt.From),
+			To:    strings.TrimSpace(xt.To),
+			Label: strings.TrimSpace(xt.Label),
+		})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("xmlcodec: document parsed but model invalid: %w", err)
+	}
+	return m, nil
+}
+
+// MarshalActionType renders the action type as a Table II <action_type>
+// document.
+func MarshalActionType(t actionlib.ActionType) ([]byte, error) {
+	doc := xmlActionType{
+		URI:     t.URI,
+		Name:    t.Name,
+		Version: toXMLVersion(t.Version),
+	}
+	if len(t.Params) > 0 {
+		sp := &xmlSpecParams{}
+		for _, p := range t.Params {
+			required := ""
+			if p.Required {
+				required = "yes"
+			} else if p.BindingTime != "" || p.ID != "" {
+				required = "no"
+			}
+			sp.Params = append(sp.Params, xmlSpecParam{
+				BindingTime: string(p.BindingTime),
+				Required:    required,
+				Name:        p.ID,
+				Value:       p.Value,
+			})
+		}
+		doc.Params = sp
+	}
+	if len(t.Metadata) > 0 {
+		// Deterministic order for stable documents.
+		keys := make([]string, 0, len(t.Metadata))
+		for k := range t.Metadata {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			doc.Meta = append(doc.Meta, xmlMetaEntry{Key: k, Value: t.Metadata[k]})
+		}
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("xmlcodec: marshal action_type: %w", err)
+	}
+	return append([]byte(xml.Header), append(out, '\n')...), nil
+}
+
+// UnmarshalActionType parses a Table II <action_type> document.
+func UnmarshalActionType(data []byte) (actionlib.ActionType, error) {
+	var doc xmlActionType
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return actionlib.ActionType{}, fmt.Errorf("xmlcodec: parse action_type: %w", err)
+	}
+	t := actionlib.ActionType{
+		URI:     strings.TrimSpace(doc.URI),
+		Name:    strings.TrimSpace(doc.Name),
+		Version: fromXMLVersion(doc.Version),
+	}
+	if doc.Params != nil {
+		for _, p := range doc.Params.Params {
+			t.Params = append(t.Params, core.Param{
+				ID:          strings.TrimSpace(p.Name),
+				Value:       strings.TrimSpace(p.Value),
+				BindingTime: core.BindingTime(strings.TrimSpace(p.BindingTime)),
+				Required:    parseYesNo(p.Required),
+			})
+		}
+	}
+	if len(doc.Meta) > 0 {
+		t.Metadata = make(map[string]string, len(doc.Meta))
+		for _, e := range doc.Meta {
+			t.Metadata[e.Key] = strings.TrimSpace(e.Value)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return actionlib.ActionType{}, fmt.Errorf("xmlcodec: document parsed but action type invalid: %w", err)
+	}
+	return t, nil
+}

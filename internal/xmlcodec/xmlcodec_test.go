@@ -1,0 +1,434 @@
+package xmlcodec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/core"
+)
+
+// tableI is the lifecycle definition XML of the paper's Table I,
+// reproduced with the ellipses filled in with the Fig. 1 content.
+const tableI = `<?xml version="1.0" encoding="UTF-8"?>
+<process uri="urn:gelee:models:eu-deliverable">
+  <name>EU Project deliverable lifecycle</name>
+  <version_info>
+    <version_number>1.0</version_number>
+    <created_by>lpAdmin</created_by>
+    <creation_date>08/07/2008</creation_date>
+  </version_info>
+  <resource>
+    <resource_type>MediaWiki page</resource_type>
+  </resource>
+  <phases_list>
+    <phase id="elaboration">
+      <name>Elaboration</name>
+    </phase>
+    <phase id="internalreview">
+      <name>Internal review</name>
+      <action_call>
+        <action>
+          <name>Change access rights</name>
+          <uri>http://www.liquidpub.org/a/chr</uri>
+          <parameters>
+            <param id="mode">reviewers-only</param>
+          </parameters>
+        </action>
+        <action>
+          <name>Notify reviewers</name>
+          <uri>http://www.liquidpub.org/a/notify</uri>
+          <parameters>
+            <param id="reviewers">alice,bob</param>
+          </parameters>
+        </action>
+      </action_call>
+    </phase>
+    <phase id="finalassembly">
+      <name>Final assembly</name>
+      <action_call>
+        <action>
+          <name>Generate PDF</name>
+          <uri>http://www.liquidpub.org/a/pdf</uri>
+        </action>
+      </action_call>
+    </phase>
+    <phase id="eureview">
+      <name>EU Review</name>
+    </phase>
+    <phase id="publication" final="yes">
+      <name>Publication</name>
+    </phase>
+  </phases_list>
+  <transition_list>
+    <transition>
+      <from>BEGIN</from>
+      <to>elaboration</to>
+    </transition>
+    <transition>
+      <from>elaboration</from>
+      <to>internalreview</to>
+    </transition>
+    <transition>
+      <from>internalreview</from>
+      <to>elaboration</to>
+    </transition>
+    <transition>
+      <from>internalreview</from>
+      <to>finalassembly</to>
+    </transition>
+    <transition>
+      <from>finalassembly</from>
+      <to>eureview</to>
+    </transition>
+    <transition>
+      <from>eureview</from>
+      <to>publication</to>
+    </transition>
+  </transition_list>
+</process>
+`
+
+func TestUnmarshalTableI(t *testing.T) {
+	m, err := UnmarshalModel([]byte(tableI))
+	if err != nil {
+		t.Fatalf("UnmarshalModel(Table I): %v", err)
+	}
+	if m.Name != "EU Project deliverable lifecycle" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	if m.Version.Number != "1.0" || m.Version.CreatedBy != "lpAdmin" {
+		t.Fatalf("version = %+v", m.Version)
+	}
+	want := time.Date(2008, 7, 8, 0, 0, 0, 0, time.UTC)
+	if !m.Version.Created.Equal(want) {
+		t.Fatalf("creation date = %v, want %v (dd/mm/yyyy parse)", m.Version.Created, want)
+	}
+	if len(m.ResourceTypes) != 1 || m.ResourceTypes[0] != "MediaWiki page" {
+		t.Fatalf("resource types = %v", m.ResourceTypes)
+	}
+	if len(m.Phases) != 5 {
+		t.Fatalf("phases = %d, want 5", len(m.Phases))
+	}
+	ir, ok := m.Phase("internalreview")
+	if !ok || len(ir.Actions) != 2 {
+		t.Fatalf("internalreview = %+v, want 2 actions", ir)
+	}
+	if ir.Actions[0].URI != "http://www.liquidpub.org/a/chr" {
+		t.Fatalf("action uri = %q", ir.Actions[0].URI)
+	}
+	p, ok := ir.Actions[0].Param("mode")
+	if !ok || p.Value != "reviewers-only" {
+		t.Fatalf("param mode = %+v", p)
+	}
+	pub, _ := m.Phase("publication")
+	if !pub.Final {
+		t.Fatal("publication should parse as a terminal node")
+	}
+	if got := m.InitialPhases(); len(got) != 1 || got[0] != "elaboration" {
+		t.Fatalf("initial phases = %v", got)
+	}
+	if !m.Suggests("internalreview", "elaboration") {
+		t.Fatal("iteration loop transition lost in parse")
+	}
+}
+
+func TestModelRoundTripPreservesFingerprint(t *testing.T) {
+	m, err := UnmarshalModel([]byte(tableI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MarshalModel(m)
+	if err != nil {
+		t.Fatalf("MarshalModel: %v", err)
+	}
+	m2, err := UnmarshalModel(out)
+	if err != nil {
+		t.Fatalf("re-parse of our own output failed: %v\n%s", err, out)
+	}
+	if m.Fingerprint() != m2.Fingerprint() {
+		t.Fatalf("round trip changed the model:\nfirst:  %d\nsecond: %d\n%s",
+			m.Fingerprint(), m2.Fingerprint(), out)
+	}
+}
+
+func TestMarshalIsSelfContained(t *testing.T) {
+	// §IV.B: "the XML that describes the lifecycle definition is
+	// self-contained". Binding times and required flags written into the
+	// model must survive the document, not require the action registry.
+	m := &core.Model{
+		URI: "urn:x", Name: "X",
+		Phases: []*core.Phase{
+			{ID: "a", Name: "A", Actions: []core.ActionCall{{
+				URI: "urn:act", Name: "Act",
+				Params: []core.Param{{ID: "p", Value: "v", BindingTime: core.BindInstantiation, Required: true}},
+			}}},
+		},
+		Transitions: []core.Transition{{From: core.Begin, To: "a"}},
+	}
+	out, err := MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := UnmarshalModel(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := m2.Phases[0].Actions[0].Param("p")
+	if p.BindingTime != core.BindInstantiation || !p.Required || p.Value != "v" {
+		t.Fatalf("param lost fidelity: %+v\n%s", p, out)
+	}
+}
+
+func TestMarshalDeadlineAndLabels(t *testing.T) {
+	m := &core.Model{
+		URI: "urn:x", Name: "X",
+		Phases: []*core.Phase{
+			{ID: "a", Name: "A", Deadline: core.Deadline{Offset: 72 * time.Hour}},
+			{ID: "b", Name: "B", Deadline: core.Deadline{Absolute: time.Date(2009, 3, 31, 0, 0, 0, 0, time.UTC)}, Final: true},
+		},
+		Transitions: []core.Transition{
+			{From: core.Begin, To: "a"},
+			{From: "a", To: "b", Label: "sign-off"},
+		},
+		Annotations: []string{"quality plan v1"},
+	}
+	out, err := MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := UnmarshalModel(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	a, _ := m2.Phase("a")
+	if a.Deadline.Offset != 72*time.Hour {
+		t.Fatalf("offset deadline = %v", a.Deadline.Offset)
+	}
+	b, _ := m2.Phase("b")
+	if !b.Deadline.Absolute.Equal(time.Date(2009, 3, 31, 0, 0, 0, 0, time.UTC)) {
+		t.Fatalf("absolute deadline = %v", b.Deadline.Absolute)
+	}
+	if m2.Transitions[1].Label != "sign-off" {
+		t.Fatalf("label = %q", m2.Transitions[1].Label)
+	}
+	if len(m2.Annotations) != 1 || m2.Annotations[0] != "quality plan v1" {
+		t.Fatalf("annotations = %v", m2.Annotations)
+	}
+}
+
+func TestUnmarshalToleratesUnknownElements(t *testing.T) {
+	doc := `<process uri="u">
+	  <name>Loose</name>
+	  <some_future_extension>ignored</some_future_extension>
+	  <phases_list>
+	    <phase id="a"><name>A</name><widget-hint color="blue"/></phase>
+	  </phases_list>
+	  <transition_list/>
+	</process>`
+	m, err := UnmarshalModel([]byte(doc))
+	if err != nil {
+		t.Fatalf("forgiving parse failed: %v", err)
+	}
+	if len(m.Phases) != 1 || m.Phases[0].ID != "a" {
+		t.Fatalf("phases = %+v", m.Phases)
+	}
+}
+
+func TestUnmarshalToleratesBadDate(t *testing.T) {
+	doc := `<process uri="u"><name>X</name>
+	  <version_info><version_number>1</version_number><created_by>x</created_by>
+	  <creation_date>sometime in july</creation_date></version_info>
+	  <phases_list><phase id="a"><name>A</name></phase></phases_list>
+	  <transition_list/></process>`
+	m, err := UnmarshalModel([]byte(doc))
+	if err != nil {
+		t.Fatalf("bad date should degrade, not fail: %v", err)
+	}
+	if !m.Version.Created.IsZero() {
+		t.Fatalf("unparseable date should be zero, got %v", m.Version.Created)
+	}
+}
+
+func TestUnmarshalAcceptsISODate(t *testing.T) {
+	doc := `<process uri="u"><name>X</name>
+	  <version_info><version_number>1</version_number><created_by>x</created_by>
+	  <creation_date>2008-07-08</creation_date></version_info>
+	  <phases_list><phase id="a"><name>A</name></phase></phases_list>
+	  <transition_list/></process>`
+	m, err := UnmarshalModel([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Version.Created.Equal(time.Date(2008, 7, 8, 0, 0, 0, 0, time.UTC)) {
+		t.Fatalf("ISO date parse = %v", m.Version.Created)
+	}
+}
+
+func TestUnmarshalRejectsInvalidModel(t *testing.T) {
+	doc := `<process uri="u"><name>Bad</name>
+	  <phases_list>
+	    <phase id="a"><name>A</name></phase>
+	    <phase id="a"><name>A again</name></phase>
+	  </phases_list>
+	  <transition_list/></process>`
+	_, err := UnmarshalModel([]byte(doc))
+	if err == nil {
+		t.Fatal("duplicate phase ids should fail document validation")
+	}
+	if !core.IsValidation(err) {
+		t.Fatalf("err = %v, want wrapped ValidationError", err)
+	}
+}
+
+func TestUnmarshalRejectsMalformedXML(t *testing.T) {
+	if _, err := UnmarshalModel([]byte("<process><name>broken")); err == nil {
+		t.Fatal("malformed XML accepted")
+	}
+}
+
+func TestMarshalEmitsTableIVocabulary(t *testing.T) {
+	m, err := UnmarshalModel([]byte(tableI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, el := range []string{
+		"<process uri=", "<name>", "<version_info>", "<version_number>",
+		"<created_by>", "<creation_date>08/07/2008</creation_date>",
+		"<resource>", "<resource_type>", "<phases_list>", `<phase id=`,
+		"<action_call>", "<action>", "<parameters>", `<param id=`,
+		"<transition_list>", "<transition>", "<from>BEGIN</from>", "<to>",
+	} {
+		if !strings.Contains(s, el) {
+			t.Errorf("output missing Table I element %q:\n%s", el, s)
+		}
+	}
+}
+
+// ---- Table II ---------------------------------------------------------------
+
+// tableII is the action type XML of the paper's Table II with concrete
+// parameter rows.
+const tableII = `<?xml version="1.0" encoding="UTF-8"?>
+<action_type uri="http://www.liquidpub.org/a/chr">
+  <name>Change Access Rights</name>
+  <version_info>
+    <version_number>1.0</version_number>
+    <created_by>lpAdmin</created_by>
+    <creation_date>08/07/2008</creation_date>
+  </version_info>
+  <parameters>
+    <param bindingTime="any" required="yes">
+      <name>mode</name>
+      <value>private</value>
+    </param>
+    <param bindingTime="call" required="no">
+      <name>note</name>
+      <value></value>
+    </param>
+  </parameters>
+</action_type>
+`
+
+func TestUnmarshalTableII(t *testing.T) {
+	at, err := UnmarshalActionType([]byte(tableII))
+	if err != nil {
+		t.Fatalf("UnmarshalActionType: %v", err)
+	}
+	if at.URI != "http://www.liquidpub.org/a/chr" || at.Name != "Change Access Rights" {
+		t.Fatalf("identity = %q %q", at.URI, at.Name)
+	}
+	if at.Version.Number != "1.0" || at.Version.CreatedBy != "lpAdmin" {
+		t.Fatalf("version = %+v", at.Version)
+	}
+	if len(at.Params) != 2 {
+		t.Fatalf("params = %d, want 2", len(at.Params))
+	}
+	mode, ok := at.Param("mode")
+	if !ok || mode.BindingTime != core.BindAny || !mode.Required || mode.Value != "private" {
+		t.Fatalf("mode = %+v", mode)
+	}
+	note, _ := at.Param("note")
+	if note.BindingTime != core.BindCall || note.Required {
+		t.Fatalf("note = %+v", note)
+	}
+}
+
+func TestActionTypeRoundTrip(t *testing.T) {
+	at, err := UnmarshalActionType([]byte(tableII))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at.Metadata = map[string]string{"category": "access", "author": "wp3"}
+	out, err := MarshalActionType(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at2, err := UnmarshalActionType(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if at2.Name != at.Name || at2.URI != at.URI || len(at2.Params) != len(at.Params) {
+		t.Fatalf("round trip lost identity: %+v", at2)
+	}
+	if at2.Metadata["category"] != "access" || at2.Metadata["author"] != "wp3" {
+		t.Fatalf("metadata lost: %v", at2.Metadata)
+	}
+	m1, _ := at.Param("mode")
+	m2, _ := at2.Param("mode")
+	if m1 != m2 {
+		t.Fatalf("mode param drifted: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestActionTypeMarshalEmitsTableIIVocabulary(t *testing.T) {
+	at := actionlib.ActionType{
+		URI: "urn:a", Name: "A",
+		Version: core.VersionInfo{Number: "1.0", CreatedBy: "x", Created: time.Date(2008, 7, 8, 0, 0, 0, 0, time.UTC)},
+		Params:  []core.Param{{ID: "p", Value: "v", BindingTime: core.BindDefinition, Required: true}},
+	}
+	out, err := MarshalActionType(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, el := range []string{
+		`<action_type uri="urn:a">`, "<name>A</name>", "<version_info>",
+		`bindingTime="def"`, `required="yes"`, "<name>p</name>", "<value>v</value>",
+	} {
+		if !strings.Contains(s, el) {
+			t.Errorf("output missing Table II element %q:\n%s", el, s)
+		}
+	}
+}
+
+func TestUnmarshalActionTypeRejectsInvalid(t *testing.T) {
+	if _, err := UnmarshalActionType([]byte(`<action_type uri=""><name>n</name></action_type>`)); err == nil {
+		t.Fatal("action type without URI accepted")
+	}
+	if _, err := UnmarshalActionType([]byte(`<action_type uri="u"><name></name></action_type>`)); err == nil {
+		t.Fatal("action type without name accepted")
+	}
+	if _, err := UnmarshalActionType([]byte("<action_type")); err == nil {
+		t.Fatal("malformed XML accepted")
+	}
+}
+
+func TestDateHelpers(t *testing.T) {
+	if got := formatDate(time.Time{}); got != "" {
+		t.Fatalf("formatDate(zero) = %q", got)
+	}
+	if got := parseDate("  "); !got.IsZero() {
+		t.Fatalf("parseDate(blank) = %v", got)
+	}
+	d := time.Date(2009, 12, 31, 0, 0, 0, 0, time.UTC)
+	if got := parseDate(formatDate(d)); !got.Equal(d) {
+		t.Fatalf("date round trip = %v", got)
+	}
+}

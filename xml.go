@@ -1,0 +1,52 @@
+package gelee
+
+import (
+	"fmt"
+
+	"github.com/liquidpub/gelee/internal/xmlcodec"
+)
+
+// ImportModelXML parses a Table I <process> document and stores it as a
+// model, returning its URI.
+func (s *System) ImportModelXML(actor string, doc []byte) (string, error) {
+	m, err := xmlcodec.UnmarshalModel(doc)
+	if err != nil {
+		return "", err
+	}
+	if err := s.DefineModel(actor, m); err != nil {
+		return "", err
+	}
+	return m.URI, nil
+}
+
+// ExportModelXML renders the stored model as a Table I document.
+func (s *System) ExportModelXML(uri string) ([]byte, error) {
+	m, ok := s.Model(uri)
+	if !ok {
+		return nil, fmt.Errorf("gelee: no model %q", uri)
+	}
+	return xmlcodec.MarshalModel(m)
+}
+
+// ImportActionTypeXML parses a Table II <action_type> document and
+// registers it (without implementations — plug-ins add those).
+func (s *System) ImportActionTypeXML(actor string, doc []byte) (string, error) {
+	at, err := xmlcodec.UnmarshalActionType(doc)
+	if err != nil {
+		return "", err
+	}
+	if err := s.RegisterAction(actor, at); err != nil {
+		return "", err
+	}
+	return at.URI, nil
+}
+
+// ExportActionTypeXML renders a registered action type as a Table II
+// document.
+func (s *System) ExportActionTypeXML(uri string) ([]byte, error) {
+	at, ok := s.Registry.Type(uri)
+	if !ok {
+		return nil, fmt.Errorf("gelee: no action type %q", uri)
+	}
+	return xmlcodec.MarshalActionType(at)
+}

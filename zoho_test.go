@@ -1,0 +1,96 @@
+package gelee
+
+import (
+	"testing"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/plugin"
+	"github.com/liquidpub/gelee/internal/plugin/gdocsim"
+	"github.com/liquidpub/gelee/internal/scenario"
+)
+
+// zohoPlugin wraps a second, independent document service under the
+// "zoho" resource type — the paper's §IV.C point that "the same
+// lifecycle and the same actions" run on "Google Docs and Zoho for
+// documents" by mapping the same action names to different
+// implementations per resource type.
+type zohoPlugin struct{ *gdocsim.Adapter }
+
+func (zohoPlugin) Type() string { return "zoho" }
+
+func TestZohoSecondDocumentService(t *testing.T) {
+	sys := newSystem(t, Options{})
+	model := scenario.QualityPlan()
+	if err := sys.DefineModel("", model); err != nil {
+		t.Fatal(err)
+	}
+
+	// An entirely separate document store playing the Zoho role.
+	zohoSvc := gdocsim.NewService(nil)
+	zohoSvc.Create("Z1", "Zoho Writer Doc", "alice", "zoho draft")
+	adapter := gdocsim.NewAdapter(zohoSvc, sys.Runtime, sys.Sims.Notify)
+	if err := sys.Resources.Register(zohoPlugin{adapter}); err != nil {
+		t.Fatal(err)
+	}
+	// Register the SAME action types for the new resource type, with the
+	// zoho endpoints.
+	if err := plugin.RegisterAll(sys.Registry, "zoho", "local://zoho/actions",
+		actionlib.ProtocolLocal, adapter.Registrations()); err != nil {
+		t.Fatal(err)
+	}
+	adapter.BindLocal(sys.Local, "local://zoho/actions")
+
+	// The unchanged Fig. 1 lifecycle now runs on a zoho document.
+	snap, err := sys.Instantiate(model.URI, Ref{URI: "zoho://writer/Z1", Type: "zoho"}, "alice",
+		map[string]map[string]string{
+			"http://www.liquidpub.org/a/notify": {"reviewers": "bob"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Unresolved) != 0 {
+		t.Fatalf("unresolved actions on zoho: %v", snap.Unresolved)
+	}
+	sys.Advance(snap.ID, "elaboration", "alice", AdvanceOptions{})
+	if _, err := sys.Advance(snap.ID, "internalreview", "alice", AdvanceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sys.Instance(snap.ID)
+	for _, ex := range got.Executions {
+		if !ex.Terminal || ex.LastStatus != "completed" {
+			t.Fatalf("zoho execution %+v", ex)
+		}
+	}
+	// The side effects landed in the zoho store, not the gdoc store.
+	zdoc, _ := zohoSvc.Get("Z1")
+	if zdoc.Mode != "reviewers-only" || zdoc.ACL["bob"] != gdocsim.AccessCommenter {
+		t.Fatalf("zoho doc = mode %q, acl %v", zdoc.Mode, zdoc.ACL)
+	}
+	if got := len(sys.Sims.GDocs.List()); got != 0 {
+		t.Fatalf("gdoc store touched: %d docs", got)
+	}
+	// Fig. 3 runtime browse now lists zoho among the filterable types.
+	if got := len(sys.ActionTypes("zoho")); got != 5 {
+		t.Fatalf("zoho action types = %d", got)
+	}
+	// Both doc types qualify for a lifecycle using the doc actions
+	// (§IV.A applicability).
+	applicable := sys.Registry.Applicability([]string{
+		plugin.ActionChangeAccessRights, plugin.ActionNotifyReviewers,
+	})
+	found := map[string]bool{}
+	for _, rt := range applicable {
+		found[rt] = true
+	}
+	if !found["gdoc"] || !found["zoho"] || !found["mediawiki"] {
+		t.Fatalf("applicability = %v", applicable)
+	}
+	// The zoho resource renders through its own plug-in.
+	rend, err := sys.Resources.Render(Ref{URI: "zoho://writer/Z1", Type: "zoho"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rend.Title != "Zoho Writer Doc" {
+		t.Fatalf("rendering = %+v", rend)
+	}
+}
