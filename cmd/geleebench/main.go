@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub]
+//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store]
 package main
 
 import (
@@ -19,11 +19,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sync"
 	"time"
 
 	"github.com/liquidpub/gelee"
 	"github.com/liquidpub/gelee/internal/core"
 	"github.com/liquidpub/gelee/internal/scenario"
+	"github.com/liquidpub/gelee/internal/store"
 	"github.com/liquidpub/gelee/internal/wfengine"
 	"github.com/liquidpub/gelee/internal/xmlcodec"
 )
@@ -45,6 +47,7 @@ func main() {
 		{"fig4", "Fig. 4 — execution widget", runFig4},
 		{"ablation", "E7 — light coupling vs prescriptive engine", runAblation},
 		{"liquidpub", "E8 — LiquidPub monitoring at scale", runLiquidPub},
+		{"store", "E9 — group-commit journal vs per-append fsync", runStoreEngine},
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -373,6 +376,80 @@ func runLiquidPub() error {
 	fmt.Printf("paper: 35 deliverables, status at a glance, particular attention to delays\n")
 	fmt.Printf("measured: total=%d active=%d completed=%d late=%d by-phase=%v (query %v)\n",
 		sum.Total, sum.Active, sum.Completed, len(late), sum.ByPhase, elapsed.Round(time.Microsecond))
+	return nil
+}
+
+// runStoreEngine measures the data-tier refactor: the same concurrent
+// durable-write workload against the per-append-fsync baseline and the
+// group-commit engine, reporting wall clock and engine counters.
+func runStoreEngine() error {
+	const writers, perWriter = 8, 50
+	type result struct {
+		elapsed time.Duration
+		stats   store.Stats
+	}
+	run := func(opts store.Options) (result, error) {
+		dir, err := os.MkdirTemp("", "gelee-bench-store-*")
+		if err != nil {
+			return result{}, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(dir, opts)
+		if err != nil {
+			return result{}, err
+		}
+		repo := store.MustRepo[map[string]string](st, "bench")
+		if err := st.Load(); err != nil {
+			return result{}, err
+		}
+		val := map[string]string{"phase": "elaboration", "actor": "owner"}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, writers)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					if err := repo.Put(fmt.Sprintf("w%d-k%d", w, i), val); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			st.Close()
+			return result{}, err
+		}
+		elapsed := time.Since(start)
+		stats := st.Stats()
+		if err := st.Close(); err != nil {
+			return result{}, err
+		}
+		return result{elapsed: elapsed, stats: stats}, nil
+	}
+
+	baseline, err := run(store.Options{SyncEveryAppend: true})
+	if err != nil {
+		return err
+	}
+	grouped, err := run(store.Options{Sync: true})
+	if err != nil {
+		return err
+	}
+	n := writers * perWriter
+	fmt.Printf("workload: %d goroutines x %d durable puts = %d entries\n", writers, perWriter, n)
+	fmt.Printf("  per-append fsync: %v (%d fsyncs, %d batches)\n",
+		baseline.elapsed.Round(time.Microsecond), baseline.stats.Engine.Syncs, baseline.stats.Engine.Batches)
+	fmt.Printf("  group commit:     %v (%d fsyncs, %d batches, max batch %d)\n",
+		grouped.elapsed.Round(time.Microsecond), grouped.stats.Engine.Syncs, grouped.stats.Engine.Batches,
+		grouped.stats.Engine.MaxBatch)
+	if grouped.elapsed > 0 {
+		fmt.Printf("  speedup: %.1fx\n", float64(baseline.elapsed)/float64(grouped.elapsed))
+	}
 	return nil
 }
 

@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	geleed [-addr :8085] [-data DIR] [-auth] [-seed]
+//	geleed [-addr :8085] [-data DIR] [-auth] [-seed] [-engine journal|memory]
+//	       [-sync] [-store-shards N] [-journal-flush-interval D] [-journal-flush-batch N]
 //
 // -data enables persistence (empty = in-memory); -auth enforces the
 // §IV.D roles via the X-Gelee-User header; -seed loads the LiquidPub
 // demo project (quality plan + 35 deliverables) so the cockpit has
-// something to show.
+// something to show. The engine flags tune the data tier: -sync makes
+// the journal fsync each group-commit batch, -store-shards sets the
+// repository lock-stripe count, and the flush flags bound the group-
+// commit batching window. GET /api/v1/admin/store reports the
+// resulting engine health and throughput counters.
 package main
 
 import (
@@ -29,12 +34,22 @@ func main() {
 	dataDir := flag.String("data", "", "data directory (empty = in-memory)")
 	auth := flag.Bool("auth", false, "enforce roles via the X-Gelee-User header")
 	seed := flag.Bool("seed", false, "load the LiquidPub demo project")
+	engine := flag.String("engine", "", "storage engine: journal|memory (default: journal when -data is set)")
+	sync := flag.Bool("sync", false, "fsync every group-commit journal batch")
+	shards := flag.Int("store-shards", 0, "repository lock-stripe count (0 = default)")
+	flushInterval := flag.Duration("journal-flush-interval", 0, "group-commit wait to grow a batch (0 = opportunistic)")
+	flushBatch := flag.Int("journal-flush-batch", 0, "max journal entries per group-commit batch (0 = default)")
 	flag.Parse()
 
 	sys, err := gelee.New(gelee.Options{
-		DataDir:         *dataDir,
-		Auth:            *auth,
-		EmbeddedPlugins: true,
+		DataDir:              *dataDir,
+		Engine:               *engine,
+		SyncJournal:          *sync,
+		StoreShards:          *shards,
+		JournalFlushInterval: *flushInterval,
+		JournalFlushBatch:    *flushBatch,
+		Auth:                 *auth,
+		EmbeddedPlugins:      true,
 	})
 	if err != nil {
 		log.Fatalf("geleed: %v", err)
@@ -48,7 +63,9 @@ func main() {
 		log.Printf("seeded LiquidPub demo: %d instances", len(sys.Instances()))
 	}
 
-	log.Printf("gelee lifecycle manager listening on %s (auth=%t, data=%q)", *addr, *auth, *dataDir)
+	stats := sys.StoreStats()
+	log.Printf("gelee lifecycle manager listening on %s (auth=%t, data=%q, engine=%s, shards=%d)",
+		*addr, *auth, *dataDir, stats.Engine.Engine, stats.Shards)
 	log.Printf("try: curl http://localhost%s/api/v1/monitor/summary", *addr)
 	if err := http.ListenAndServe(*addr, sys.HTTPHandler()); err != nil {
 		log.Fatal(err)

@@ -23,6 +23,7 @@ package gelee
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/liquidpub/gelee/internal/access"
 	"github.com/liquidpub/gelee/internal/actionlib"
@@ -88,8 +89,24 @@ const Begin = core.Begin
 type Options struct {
 	// DataDir roots the persistent data tier. Empty means in-memory.
 	DataDir string
-	// SyncJournal fsyncs every journal append.
+	// Engine selects the storage engine: "" (auto — journal when
+	// DataDir is set, memory otherwise), "journal", or "memory".
+	Engine string
+	// SyncJournal makes the journal engine fsync every group-commit
+	// batch: durable writes at a fraction of the per-append cost.
 	SyncJournal bool
+	// SyncEveryAppend fsyncs each journal append individually — the
+	// legacy durability mode, kept as a benchmark baseline.
+	SyncEveryAppend bool
+	// StoreShards overrides the repository lock-stripe count
+	// (0 = store.DefaultShards).
+	StoreShards int
+	// JournalFlushInterval is how long the group-commit writer waits
+	// to grow a batch (0 = opportunistic).
+	JournalFlushInterval time.Duration
+	// JournalFlushBatch caps journal entries per group-commit batch
+	// (0 = store default).
+	JournalFlushBatch int
 	// Clock overrides the wall clock (tests, benchmarks).
 	Clock vclock.Clock
 	// Auth enables role enforcement: every mutation requires an actor
@@ -160,15 +177,36 @@ func New(opts Options) (*System, error) {
 		clock = vclock.System
 	}
 
+	storeOpts := store.Options{
+		Sync:            opts.SyncJournal,
+		SyncEveryAppend: opts.SyncEveryAppend,
+		Shards:          opts.StoreShards,
+		FlushInterval:   opts.JournalFlushInterval,
+		FlushBatch:      opts.JournalFlushBatch,
+		Clock:           clock,
+	}
+	engine := opts.Engine
+	if engine == "" {
+		engine = "memory"
+		if opts.DataDir != "" {
+			engine = "journal"
+		}
+	}
 	var st *store.Store
-	if opts.DataDir == "" {
-		st = store.NewMemory().WithClock(clock)
-	} else {
+	switch engine {
+	case "memory":
+		st = store.New(store.NewMemoryEngine(), storeOpts)
+	case "journal":
+		if opts.DataDir == "" {
+			return nil, errors.New("gelee: journal engine requires DataDir")
+		}
 		var err error
-		st, err = store.Open(opts.DataDir, store.Options{SyncEvery: opts.SyncJournal, Clock: clock})
+		st, err = store.Open(opts.DataDir, storeOpts)
 		if err != nil {
 			return nil, err
 		}
+	default:
+		return nil, fmt.Errorf("gelee: unknown storage engine %q", engine)
 	}
 
 	s := &System{
@@ -353,6 +391,11 @@ func (s *System) Close() error {
 
 // Compact compacts the journal.
 func (s *System) Compact() error { return s.store.Compact() }
+
+// StoreStats reports data-tier health: engine state and throughput
+// counters plus per-repository sizes — the payload of the admin API's
+// GET /api/v1/admin/store.
+func (s *System) StoreStats() store.Stats { return s.store.Stats() }
 
 // Monitor returns the cockpit query engine.
 func (s *System) Monitor() *monitor.Monitor { return s.mon }

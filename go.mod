@@ -1,0 +1,3 @@
+module github.com/liquidpub/gelee
+
+go 1.24

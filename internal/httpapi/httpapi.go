@@ -20,6 +20,7 @@
 //	POST /api/v1/instances/{id}/bindings  inst-stage parameter values
 //	POST /api/v1/instances/{id}/migrate   accept/reject a pending change
 //	POST /api/v1/callbacks/{inv}          action status callback (no auth)
+//	GET  /api/v1/admin/store              data-tier engine stats
 //	GET  /api/v1/monitor/summary|overview|late
 //	GET  /api/v1/monitor/instances/{id}/timeline
 //	GET  /widgets/{id}                    HTML widget (Fig. 4)
@@ -46,6 +47,7 @@ import (
 	"github.com/liquidpub/gelee/internal/monitor"
 	"github.com/liquidpub/gelee/internal/resource"
 	"github.com/liquidpub/gelee/internal/runtime"
+	"github.com/liquidpub/gelee/internal/store"
 	"github.com/liquidpub/gelee/internal/widget"
 	"github.com/liquidpub/gelee/internal/xmlcodec"
 )
@@ -76,6 +78,7 @@ type Backend interface {
 
 	Monitor() *monitor.Monitor
 	Widgets() *widget.Renderer
+	StoreStats() store.Stats
 	UserExists(name string) bool
 }
 
@@ -127,6 +130,10 @@ func (s *Server) routes() {
 
 	// Callbacks are invoked by action implementations, not users.
 	s.mux.HandleFunc("POST /api/v1/callbacks/{inv}", s.handleCallback)
+
+	// Admin: data-tier engine health (group-commit counters, shard
+	// count, per-repository sizes).
+	s.mux.HandleFunc("GET /api/v1/admin/store", s.authed(s.handleStoreStats))
 
 	// Monitoring cockpit.
 	s.mux.HandleFunc("GET /api/v1/monitor/summary", s.handleMonitorSummary)
@@ -523,6 +530,10 @@ func (s *Server) handleCallback(w http.ResponseWriter, r *http.Request) {
 }
 
 // ---- monitoring handlers ---------------------------------------------------------
+
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.b.StoreStats())
+}
 
 func (s *Server) handleMonitorSummary(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.b.Monitor().Summarize())

@@ -603,3 +603,34 @@ func TestCredentialsNeverLeak(t *testing.T) {
 		t.Fatal("resource credentials leaked in the list view")
 	}
 }
+
+func TestAdminStoreStats(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+
+	var stats struct {
+		Engine struct {
+			Engine  string `json:"engine"`
+			State   string `json:"state"`
+			Appends uint64 `json:"appends"`
+		} `json:"engine"`
+		Shards int            `json:"shards"`
+		Repos  map[string]int `json:"repos"`
+	}
+	if code := e.call(t, "GET", "/api/v1/admin/store", "", nil, &stats); code != 200 {
+		t.Fatalf("admin store stats = %d", code)
+	}
+	if stats.Engine.Engine != "memory" || stats.Engine.State != "running" {
+		t.Fatalf("engine = %+v", stats.Engine)
+	}
+	if stats.Shards <= 0 {
+		t.Fatalf("shards = %d", stats.Shards)
+	}
+	if stats.Repos["models"] != 1 {
+		t.Fatalf("repos = %v, want models=1", stats.Repos)
+	}
+	if stats.Engine.Appends == 0 {
+		t.Fatal("defining a model journaled nothing")
+	}
+}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Engine state names reported by EngineStats.State. An engine is
+// running while it accepts appends, draining while a Close flushes the
+// commit queue, and closed afterwards. Draining is first-class so that
+// operators (and the admin endpoint) can observe a shutdown in flight.
+const (
+	StateRunning  = "running"
+	StateDraining = "draining"
+	StateClosed   = "closed"
+)
+
+// ErrClosed is returned by Append once an engine has begun draining.
+var ErrClosed = errors.New("store: engine closed")
+
+// EngineStats is a point-in-time health/throughput snapshot of a
+// storage engine, exposed over the admin API.
+type EngineStats struct {
+	// Engine names the implementation ("journal", "memory").
+	Engine string `json:"engine"`
+	// State is running, draining or closed.
+	State string `json:"state"`
+	// LastSeq is the sequence number of the most recent committed entry.
+	LastSeq uint64 `json:"last_seq"`
+	// Appends counts entries committed since open.
+	Appends uint64 `json:"appends"`
+	// Batches counts group commits; Appends/Batches is the mean batch
+	// size achieved. For the memory engine Batches == Appends.
+	Batches uint64 `json:"batches"`
+	// Syncs counts fsync calls (one per batch in durable mode).
+	Syncs uint64 `json:"syncs"`
+	// MaxBatch is the largest batch committed in one write+fsync.
+	MaxBatch int `json:"max_batch"`
+	// Pending is the number of appends queued but not yet committed.
+	Pending int `json:"pending"`
+}
+
+// Engine is the pluggable persistence layer behind a Store. A Store
+// owns exactly one engine; repositories and logs never talk to it
+// directly. Implementations must be safe for concurrent Append.
+//
+// Lifecycle: construct, Replay once (which also opens the engine for
+// appending), Append/Rewrite freely, Close once. Append blocks until
+// the entry is committed at the engine's durability level, so callers
+// can treat a nil error as "survives a crash" for durable engines.
+type Engine interface {
+	// Replay streams every previously committed entry through fn in
+	// commit order, then opens the engine for appending. It must be
+	// called exactly once, before any Append.
+	Replay(fn func(Entry) error) error
+	// Append assigns the next sequence number to e, commits it, and
+	// returns the assigned sequence once the commit is acknowledged.
+	// onCommit, if non-nil, is invoked exactly once for a successful
+	// append, in commit order with respect to every other append's
+	// onCommit, after durability and before Append returns — this is
+	// how callers keep in-memory state ordered identically to the
+	// journal, so that crash recovery never surfaces a value no live
+	// reader ever observed. onCommit must be fast and must not call
+	// back into the engine.
+	Append(e Entry, onCommit func()) (uint64, error)
+	// Rewrite atomically replaces the engine's contents with entries —
+	// the compaction primitive. Sequence numbering restarts after it.
+	Rewrite(entries []Entry) error
+	// Stats reports engine health and throughput counters.
+	Stats() EngineStats
+	// Close drains pending appends, flushes, and releases resources.
+	// It is idempotent.
+	Close() error
+}
+
+// memEngine is the no-persistence engine: appends only count and
+// sequence. NewMemory stores and the "memory" engine option use it.
+type memEngine struct {
+	seq     atomic.Uint64
+	appends atomic.Uint64
+	closed  atomic.Bool
+}
+
+// NewMemoryEngine returns an Engine that persists nothing — every
+// commit is acknowledged immediately. It backs in-memory stores and is
+// the fallback when no data directory is configured.
+func NewMemoryEngine() Engine { return &memEngine{} }
+
+func (m *memEngine) Replay(fn func(Entry) error) error { return nil }
+
+func (m *memEngine) Append(e Entry, onCommit func()) (uint64, error) {
+	if m.closed.Load() {
+		return 0, ErrClosed
+	}
+	m.appends.Add(1)
+	seq := m.seq.Add(1)
+	if onCommit != nil {
+		onCommit()
+	}
+	return seq, nil
+}
+
+func (m *memEngine) Rewrite(entries []Entry) error {
+	m.seq.Store(uint64(len(entries)))
+	return nil
+}
+
+func (m *memEngine) Stats() EngineStats {
+	state := StateRunning
+	if m.closed.Load() {
+		state = StateClosed
+	}
+	n := m.appends.Load()
+	return EngineStats{
+		Engine:  "memory",
+		State:   state,
+		LastSeq: m.seq.Load(),
+		Appends: n,
+		Batches: n,
+	}
+}
+
+func (m *memEngine) Close() error {
+	m.closed.Store(true)
+	return nil
+}

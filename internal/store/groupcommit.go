@@ -1,0 +1,361 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JournalConfig tunes the journaled engine. The zero value is a valid
+// configuration: opportunistic group commit, no fsync, default batch
+// cap and queue depth.
+type JournalConfig struct {
+	// Dir is the directory holding the journal file.
+	Dir string
+	// Sync fsyncs once per committed batch — durable group commit.
+	Sync bool
+	// SyncEveryAppend commits and fsyncs each append on its own
+	// (forces FlushBatch=1 and Sync). This is the pre-engine baseline,
+	// kept so benchmarks can measure what group commit buys.
+	SyncEveryAppend bool
+	// FlushInterval is how long the writer waits for more appends to
+	// grow a batch once it has at least one. 0 means opportunistic:
+	// commit whatever is queued, never wait.
+	FlushInterval time.Duration
+	// FlushBatch caps entries per batch. 0 means DefaultFlushBatch.
+	FlushBatch int
+	// Queue is the commit-queue capacity. 0 means DefaultQueue.
+	Queue int
+}
+
+// Defaults for JournalConfig zero fields.
+const (
+	DefaultFlushBatch = 128
+	DefaultQueue      = 512
+)
+
+// commitReq is one queued append awaiting group commit.
+type commitReq struct {
+	entry    Entry
+	onCommit func()
+	done     chan commitRes
+}
+
+// commitRes acknowledges a committed (or failed) append.
+type commitRes struct {
+	seq uint64
+	err error
+}
+
+// journalEngine is the default persistent engine: an append-only JSONL
+// journal written by a single background goroutine that batches
+// concurrent appends into one write (+ one fsync in durable mode) —
+// group commit. Appenders block on a per-entry done channel until
+// their batch is on disk.
+type journalEngine struct {
+	cfg  JournalConfig
+	path string
+
+	// mu guards the journal file across batch commits and Rewrite.
+	mu sync.Mutex
+	j  *Journal
+
+	// sendMu lets Close exclude new senders before draining the queue:
+	// senders hold it shared for the enqueue, Close takes it exclusive
+	// to flip closing.
+	sendMu  sync.RWMutex
+	closing bool
+	reqs    chan commitReq
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	state    atomic.Int32 // 0 new, 1 running, 2 draining, 3 closed
+	appends  atomic.Uint64
+	batches  atomic.Uint64
+	syncs    atomic.Uint64
+	maxBatch atomic.Int64
+}
+
+// NewJournalEngine builds (but does not open) a journaled engine; the
+// journal is replayed and opened by Replay.
+func NewJournalEngine(cfg JournalConfig) (Engine, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	if cfg.SyncEveryAppend {
+		cfg.Sync = true
+		cfg.FlushBatch = 1
+		cfg.FlushInterval = 0
+	}
+	if cfg.FlushBatch <= 0 {
+		cfg.FlushBatch = DefaultFlushBatch
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = DefaultQueue
+	}
+	return &journalEngine{
+		cfg:  cfg,
+		path: filepath.Join(cfg.Dir, journalName),
+		reqs: make(chan commitReq, cfg.Queue),
+		quit: make(chan struct{}),
+	}, nil
+}
+
+// Replay implements Engine: stream the journal through fn, truncate
+// away any torn tail so the next append starts on a record boundary,
+// open the journal for appending at the right sequence, and start the
+// commit writer.
+func (e *journalEngine) Replay(fn func(Entry) error) error {
+	_, lastSeq, goodBytes, err := ReplayJournal(e.path, fn)
+	if err != nil {
+		return err
+	}
+	if info, statErr := os.Stat(e.path); statErr == nil && info.Size() > goodBytes {
+		if err := os.Truncate(e.path, goodBytes); err != nil {
+			return fmt.Errorf("store: truncate torn journal tail: %w", err)
+		}
+	}
+	j, err := OpenJournal(e.path, lastSeq)
+	if err != nil {
+		return err
+	}
+	e.j = j
+	e.state.Store(1)
+	e.wg.Add(1)
+	go e.writer()
+	return nil
+}
+
+// Append implements Engine: enqueue and wait for the group commit.
+// The writer goroutine runs onCommit callbacks in journal order, so
+// concurrent writers to the same key apply in exactly the order their
+// entries hit the disk.
+func (e *journalEngine) Append(entry Entry, onCommit func()) (uint64, error) {
+	req := commitReq{entry: entry, onCommit: onCommit, done: make(chan commitRes, 1)}
+	e.sendMu.RLock()
+	if e.closing || e.state.Load() != 1 {
+		e.sendMu.RUnlock()
+		return 0, ErrClosed
+	}
+	e.reqs <- req
+	e.sendMu.RUnlock()
+	res := <-req.done
+	return res.seq, res.err
+}
+
+// writer is the group-commit loop: take one request, opportunistically
+// gather more (bounded by FlushBatch and FlushInterval), commit them
+// with a single write+fsync, acknowledge everyone.
+func (e *journalEngine) writer() {
+	defer e.wg.Done()
+	batch := make([]commitReq, 0, e.cfg.FlushBatch)
+	for {
+		select {
+		case req := <-e.reqs:
+			batch = e.collect(append(batch[:0], req))
+			e.commit(batch)
+		case <-e.quit:
+			// Drain: everything enqueued before Close flipped closing
+			// must still be committed and acknowledged.
+			for {
+				select {
+				case req := <-e.reqs:
+					batch = e.collect(append(batch[:0], req))
+					e.commit(batch)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect grows a batch from the queue. With no FlushInterval it takes
+// what is already queued plus whatever arrives across a couple of
+// scheduler yields — appenders woken by the previous acknowledgement
+// need one scheduling slot to re-enqueue, and without the yield a
+// single-CPU machine would commit batches of one forever. With a
+// FlushInterval it waits up to that long for stragglers, trading
+// latency for bigger batches.
+func (e *journalEngine) collect(batch []commitReq) []commitReq {
+	if e.cfg.FlushInterval <= 0 {
+		yields := 0
+		for len(batch) < e.cfg.FlushBatch {
+			select {
+			case req := <-e.reqs:
+				batch = append(batch, req)
+			default:
+				if yields >= 2 {
+					return batch
+				}
+				yields++
+				runtime.Gosched()
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(e.cfg.FlushInterval)
+	defer timer.Stop()
+	for len(batch) < e.cfg.FlushBatch {
+		select {
+		case req := <-e.reqs:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// commit writes one batch as a unit: every entry into the buffered
+// writer, one flush, one optional fsync, then acknowledgement. A write
+// or sync failure fails the whole batch — no entry is acked as durable
+// unless the batch reached the disk.
+func (e *journalEngine) commit(batch []commitReq) {
+	results := make([]commitRes, len(batch))
+	e.mu.Lock()
+	wrote := false
+	for i, req := range batch {
+		seq, err := e.j.writeEntry(req.entry)
+		results[i] = commitRes{seq: seq, err: err}
+		if err == nil {
+			wrote = true
+		}
+	}
+	var batchErr error
+	if wrote {
+		batchErr = e.j.Flush()
+		if batchErr == nil && e.cfg.Sync {
+			batchErr = e.j.Sync()
+			if batchErr == nil {
+				e.syncs.Add(1)
+			}
+		}
+	}
+	e.mu.Unlock()
+	e.batches.Add(1)
+	if n := int64(len(batch)); n > e.maxBatch.Load() {
+		e.maxBatch.Store(n)
+	}
+	for i, req := range batch {
+		res := results[i]
+		if res.err == nil && batchErr != nil {
+			res = commitRes{err: batchErr}
+		}
+		if res.err == nil {
+			e.appends.Add(1)
+			// Apply in journal order, before acknowledging: memory
+			// never disagrees with what replay would reconstruct.
+			if req.onCommit != nil {
+				req.onCommit()
+			}
+		}
+		req.done <- res
+	}
+}
+
+// Rewrite implements Engine: build the compacted journal in a temp
+// file, fsync it, and atomically rename it over the old one. The
+// engine keeps running; sequence numbering restarts at len(entries).
+func (e *journalEngine) Rewrite(entries []Entry) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tmp := e.path + ".compact"
+	nj, err := OpenJournal(tmp, 0)
+	if err != nil {
+		return err
+	}
+	for _, entry := range entries {
+		if _, err := nj.writeEntry(entry); err != nil {
+			nj.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := nj.Flush(); err != nil {
+		nj.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := nj.Sync(); err != nil {
+		nj.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := nj.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := e.j.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, e.path); err != nil {
+		return fmt.Errorf("store: swap compacted journal: %w", err)
+	}
+	reopened, err := OpenJournal(e.path, uint64(len(entries)))
+	if err != nil {
+		return err
+	}
+	e.j = reopened
+	return nil
+}
+
+// Stats implements Engine.
+func (e *journalEngine) Stats() EngineStats {
+	state := StateRunning
+	switch e.state.Load() {
+	case 2:
+		state = StateDraining
+	case 3:
+		state = StateClosed
+	}
+	var lastSeq uint64
+	e.mu.Lock()
+	if e.j != nil {
+		lastSeq = e.j.Seq()
+	}
+	e.mu.Unlock()
+	return EngineStats{
+		Engine:   "journal",
+		State:    state,
+		LastSeq:  lastSeq,
+		Appends:  e.appends.Load(),
+		Batches:  e.batches.Load(),
+		Syncs:    e.syncs.Load(),
+		MaxBatch: int(e.maxBatch.Load()),
+		Pending:  len(e.reqs),
+	}
+}
+
+// Close implements Engine: refuse new appends, drain the queue (every
+// queued append is still committed and acknowledged), then flush, sync
+// and close the file. Idempotent.
+func (e *journalEngine) Close() error {
+	e.sendMu.Lock()
+	if e.closing {
+		e.sendMu.Unlock()
+		e.wg.Wait()
+		return nil
+	}
+	e.closing = true
+	e.sendMu.Unlock()
+	if e.state.Load() == 0 {
+		// Never replayed/opened: nothing to drain or close.
+		e.state.Store(3)
+		return nil
+	}
+	e.state.Store(2)
+	close(e.quit)
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	err := e.j.Close()
+	e.j = nil
+	e.state.Store(3)
+	return err
+}

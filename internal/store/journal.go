@@ -2,12 +2,26 @@
 // (Fig. 2, bottom layer): the repositories for users and roles, resource
 // and action definitions, lifecycle templates, and the execution log.
 //
-// Persistence is an append-only JSONL journal shared by all
-// repositories, replayed on open. The format favors the paper's
-// robustness requirement: a torn final line (crash mid-write) is
-// silently dropped on recovery, and compaction rewrites the journal from
-// the live state. A Store may also be purely in-memory (nil journal),
-// which the tests and the embedded examples use.
+// The tier is layered. Repositories (Repo, Log) hold typed in-memory
+// state, lock-striped across N shards keyed by resource ID so that
+// concurrent mutations of different resources never contend. Every
+// mutation is journaled through the Store's pluggable Engine before it
+// is applied. The default persistent engine (NewJournalEngine) is an
+// append-only JSONL journal with a group-commit writer: a background
+// goroutine batches concurrent appends into a single write (+ a single
+// fsync in durable mode) and acknowledges each appender through a
+// per-entry done channel — turning N fsyncs into one without giving up
+// the durability contract, since no append is acknowledged before its
+// batch is on disk. Flush interval and batch size are configurable
+// (JournalConfig); the pre-engine per-append-fsync behavior survives as
+// the SyncEveryAppend baseline for benchmarks. An in-memory engine
+// (NewMemoryEngine) backs tests and embedded use.
+//
+// The journal format favors the paper's robustness requirement: a torn
+// final line (crash mid-write, including mid-batch) is silently dropped
+// on recovery, and compaction rewrites the journal from the live state
+// via Engine.Rewrite, atomically. Replay streams the journal back
+// through every registered repository on Load.
 package store
 
 import (
@@ -42,52 +56,92 @@ type Entry struct {
 	Data json.RawMessage `json:"data,omitempty"`
 }
 
-// Journal is an append-only JSONL file. It is safe for concurrent
-// Append calls.
+// Journal is an append-only JSONL file: the write-side primitive the
+// journaled engine builds group commit on. It is not itself
+// goroutine-safe; the engine's single writer goroutine (or its mutex)
+// serializes access.
 type Journal struct {
-	path      string
-	f         *os.File
-	w         *bufio.Writer
-	seq       uint64
-	syncEvery bool
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	seq  uint64
+	err  error // sticky I/O error: once the tail is suspect, stop writing
 }
 
 // OpenJournal opens (or creates) the journal at path for appending.
 // lastSeq must be the highest sequence number already present (as
 // reported by ReplayJournal); new entries continue from there.
-func OpenJournal(path string, lastSeq uint64, syncEvery bool) (*Journal, error) {
+func OpenJournal(path string, lastSeq uint64) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open journal: %w", err)
 	}
-	return &Journal{path: path, f: f, w: bufio.NewWriter(f), seq: lastSeq, syncEvery: syncEvery}, nil
+	return &Journal{path: path, f: f, w: bufio.NewWriter(f), seq: lastSeq}, nil
 }
 
-// Append assigns the next sequence number to e, writes it, and flushes.
-// When the journal was opened with syncEvery it also fsyncs, trading
-// throughput for durability.
-func (j *Journal) Append(e Entry) (uint64, error) {
-	j.seq++
-	e.Seq = j.seq
+// writeEntry assigns the next sequence number to e and writes it into
+// the buffered writer without flushing — batching is the caller's job.
+// An I/O failure is sticky: the journal refuses further writes so a
+// partially written line is never followed by more data (which replay
+// would treat as corruption rather than a torn tail).
+func (j *Journal) writeEntry(e Entry) (uint64, error) {
+	if j.err != nil {
+		return 0, j.err
+	}
+	e.Seq = j.seq + 1
 	line, err := json.Marshal(e)
 	if err != nil {
+		// Nothing reached the file; the sequence is not consumed.
 		return 0, fmt.Errorf("store: encode journal entry: %w", err)
 	}
 	if _, err := j.w.Write(line); err != nil {
-		return 0, fmt.Errorf("store: write journal entry: %w", err)
+		j.err = fmt.Errorf("store: write journal entry: %w", err)
+		return 0, j.err
 	}
 	if err := j.w.WriteByte('\n'); err != nil {
-		return 0, fmt.Errorf("store: write journal newline: %w", err)
+		j.err = fmt.Errorf("store: write journal newline: %w", err)
+		return 0, j.err
+	}
+	j.seq = e.Seq
+	return e.Seq, nil
+}
+
+// Append writes one entry and flushes — the unbatched path, used by
+// tests and one-off writes.
+func (j *Journal) Append(e Entry) (uint64, error) {
+	seq, err := j.writeEntry(e)
+	if err != nil {
+		return 0, err
+	}
+	if err := j.Flush(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// Flush pushes buffered writes to the OS.
+func (j *Journal) Flush() error {
+	if j.err != nil {
+		return j.err
 	}
 	if err := j.w.Flush(); err != nil {
-		return 0, fmt.Errorf("store: flush journal: %w", err)
+		j.err = fmt.Errorf("store: flush journal: %w", err)
+		return j.err
 	}
-	if j.syncEvery {
-		if err := j.f.Sync(); err != nil {
-			return 0, fmt.Errorf("store: sync journal: %w", err)
-		}
+	return nil
+}
+
+// Sync fsyncs the journal file — one call per group-commit batch in
+// durable mode.
+func (j *Journal) Sync() error {
+	if j.err != nil {
+		return j.err
 	}
-	return e.Seq, nil
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("store: sync journal: %w", err)
+		return j.err
+	}
+	return nil
 }
 
 // Close flushes and closes the journal file.
@@ -102,58 +156,74 @@ func (j *Journal) Close() error {
 	return nil
 }
 
-// Seq returns the sequence number of the last appended entry.
+// Seq returns the sequence number of the last written entry.
 func (j *Journal) Seq() uint64 { return j.seq }
 
 // ErrCorrupt is wrapped by ReplayJournal when it finds a malformed
 // record before the final line of the file.
 var ErrCorrupt = errors.New("store: corrupt journal record")
 
-// ReplayJournal streams every entry of the journal at path through fn in
-// order, returning the count replayed and the highest sequence seen.
+// ReplayJournal streams every entry of the journal at path through fn
+// in order, returning the count replayed, the highest sequence seen,
+// and the byte offset where valid data ends.
 //
 // Recovery semantics: a malformed or truncated *final* line is treated
-// as a torn write and dropped silently. A malformed line followed by
-// more data means real corruption and returns ErrCorrupt (wrapped).
-// A missing file replays zero entries.
-func ReplayJournal(path string, fn func(Entry) error) (n int, lastSeq uint64, err error) {
+// as a torn write and dropped silently — this covers both a torn single
+// append and a batch cut short mid-write, since a batch is one
+// contiguous buffered write whose tail is the only damage a crash can
+// do. The returned goodBytes excludes the torn tail; appenders must
+// truncate to it before reopening, or the next append would weld onto
+// the torn line and turn a recoverable tail into mid-file corruption.
+// A malformed line followed by more data means real corruption and
+// returns ErrCorrupt (wrapped). A missing file replays zero entries.
+func ReplayJournal(path string, fn func(Entry) error) (n int, lastSeq uint64, goodBytes int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return 0, 0, nil
+			return 0, 0, 0, nil
 		}
-		return 0, 0, fmt.Errorf("store: open journal for replay: %w", err)
+		return 0, 0, 0, fmt.Errorf("store: open journal for replay: %w", err)
 	}
 	defer f.Close()
 
 	r := bufio.NewReaderSize(f, 1<<16)
 	lineNo := 0
+	offset := int64(0)
 	for {
 		line, readErr := r.ReadBytes('\n')
 		atEOF := errors.Is(readErr, io.EOF)
 		if readErr != nil && !atEOF {
-			return n, lastSeq, fmt.Errorf("store: read journal: %w", readErr)
+			return n, lastSeq, goodBytes, fmt.Errorf("store: read journal: %w", readErr)
 		}
+		offset += int64(len(line))
 		trimmed := bytes.TrimSpace(line)
 		if len(trimmed) > 0 {
 			lineNo++
+			// A record is only valid when newline-terminated: an
+			// unterminated final line — even one that happens to parse —
+			// is a batch cut short before its flush completed, so the
+			// entry was never acknowledged and is dropped.
+			if atEOF && !bytes.HasSuffix(line, []byte{'\n'}) {
+				return n, lastSeq, goodBytes, nil // torn final write: drop it
+			}
 			var e Entry
 			if jsonErr := json.Unmarshal(trimmed, &e); jsonErr != nil {
 				if atEOF {
-					return n, lastSeq, nil // torn final write: drop it
+					return n, lastSeq, goodBytes, nil // torn final write: drop it
 				}
-				return n, lastSeq, fmt.Errorf("%w: line %d: %v", ErrCorrupt, lineNo, jsonErr)
+				return n, lastSeq, goodBytes, fmt.Errorf("%w: line %d: %v", ErrCorrupt, lineNo, jsonErr)
 			}
 			if fnErr := fn(e); fnErr != nil {
-				return n, lastSeq, fnErr
+				return n, lastSeq, goodBytes, fnErr
 			}
 			n++
 			if e.Seq > lastSeq {
 				lastSeq = e.Seq
 			}
 		}
+		goodBytes = offset
 		if atEOF {
-			return n, lastSeq, nil
+			return n, lastSeq, goodBytes, nil
 		}
 	}
 }

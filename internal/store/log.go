@@ -63,12 +63,22 @@ func (l *Log) Append(e LogEntry) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("store: %s: encode log entry: %w", l.name, err)
 	}
-	if err := l.store.append(Entry{Repo: l.name, Op: OpAppend, Data: data}); err != nil {
+	err = l.store.commit(Entry{Repo: l.name, Op: OpAppend, Data: data}, func() {
+		l.mu.Lock()
+		l.append(e)
+		l.mu.Unlock()
+	})
+	if err != nil {
+		// Hand the reserved sequence back when no later append has
+		// claimed the next one, so a transient write failure does not
+		// leave a permanent hole in the audit numbering.
+		l.mu.Lock()
+		if l.nextSeq == e.Seq+1 {
+			l.nextSeq = e.Seq
+		}
+		l.mu.Unlock()
 		return 0, err
 	}
-	l.mu.Lock()
-	l.append(e)
-	l.mu.Unlock()
 	return e.Seq, nil
 }
 
@@ -123,6 +133,9 @@ func (l *Log) Len() int {
 	defer l.mu.RUnlock()
 	return len(l.entries)
 }
+
+// size implements journaled.
+func (l *Log) size() int { return l.Len() }
 
 // applyEntry implements journaled.
 func (l *Log) applyEntry(e Entry) error {

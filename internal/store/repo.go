@@ -3,24 +3,37 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 )
 
-// Repo is a typed, journal-backed key/value repository. T must be JSON
-// (de)serializable; pointers and structs both work. All operations are
-// safe for concurrent use.
-type Repo[T any] struct {
-	name  string
-	store *Store
+// repoShard is one lock stripe of a repository: its own mutex, its own
+// slice of the key space.
+type repoShard[T any] struct {
 	mu    sync.RWMutex
 	items map[string]T
+}
+
+// Repo is a typed, journal-backed key/value repository. T must be JSON
+// (de)serializable; pointers and structs both work. All operations are
+// safe for concurrent use: state is striped across the store's shard
+// count so that writers to different resources never contend on a
+// lock, and the journal write itself rides the engine's group commit.
+type Repo[T any] struct {
+	name   string
+	store  *Store
+	shards []*repoShard[T]
 }
 
 // NewRepo creates and registers a repository under name. It must be
 // called before Store.Load so that replay can find it.
 func NewRepo[T any](s *Store, name string) (*Repo[T], error) {
-	r := &Repo[T]{name: name, store: s, items: make(map[string]T)}
+	n := s.numShards()
+	r := &Repo[T]{name: name, store: s, shards: make([]*repoShard[T], n)}
+	for i := range r.shards {
+		r.shards[i] = &repoShard[T]{items: make(map[string]T)}
+	}
 	if err := s.register(name, r); err != nil {
 		return nil, err
 	}
@@ -37,6 +50,13 @@ func MustRepo[T any](s *Store, name string) *Repo[T] {
 	return r
 }
 
+// shardFor hashes id onto a lock stripe.
+func (r *Repo[T]) shardFor(id string) *repoShard[T] {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return r.shards[h.Sum32()%uint32(len(r.shards))]
+}
+
 // Put stores v under id, overwriting any previous value, and journals
 // the mutation.
 func (r *Repo[T]) Put(id string, v T) error {
@@ -47,91 +67,121 @@ func (r *Repo[T]) Put(id string, v T) error {
 	if err != nil {
 		return fmt.Errorf("store: %s: encode %q: %w", r.name, id, err)
 	}
-	if err := r.store.append(Entry{Repo: r.name, Op: OpPut, ID: id, Data: data}); err != nil {
-		return err
-	}
-	r.mu.Lock()
-	r.items[id] = v
-	r.mu.Unlock()
-	return nil
+	sh := r.shardFor(id)
+	return r.store.commit(Entry{Repo: r.name, Op: OpPut, ID: id, Data: data}, func() {
+		sh.mu.Lock()
+		sh.items[id] = v
+		sh.mu.Unlock()
+	})
 }
 
 // Get returns the value stored under id.
 func (r *Repo[T]) Get(id string) (T, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	v, ok := r.items[id]
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, ok := sh.items[id]
 	return v, ok
 }
 
 // Delete removes id. Deleting a missing id is a no-op (and is not
 // journaled).
 func (r *Repo[T]) Delete(id string) error {
-	r.mu.RLock()
-	_, ok := r.items[id]
-	r.mu.RUnlock()
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	_, ok := sh.items[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil
 	}
-	if err := r.store.append(Entry{Repo: r.name, Op: OpDelete, ID: id}); err != nil {
-		return err
+	return r.store.commit(Entry{Repo: r.name, Op: OpDelete, ID: id}, func() {
+		sh.mu.Lock()
+		delete(sh.items, id)
+		sh.mu.Unlock()
+	})
+}
+
+// ids collects every key across shards, unsorted.
+func (r *Repo[T]) ids() []string {
+	var out []string
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for id := range sh.items {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
-	r.mu.Lock()
-	delete(r.items, id)
-	r.mu.Unlock()
-	return nil
+	return out
 }
 
 // IDs returns all keys, sorted.
 func (r *Repo[T]) IDs() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	ids := make([]string, 0, len(r.items))
-	for id := range r.items {
-		ids = append(ids, id)
-	}
+	ids := r.ids()
 	sort.Strings(ids)
 	return ids
 }
 
+// kv is an (id, value) pair collected from a shard scan.
+type kv[T any] struct {
+	id string
+	v  T
+}
+
+// pairs collects every (id, value) across shards in one pass per
+// shard, sorted by id.
+func (r *Repo[T]) pairs() []kv[T] {
+	var out []kv[T]
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for id, v := range sh.items {
+			out = append(out, kv[T]{id, v})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // List returns all values ordered by id.
 func (r *Repo[T]) List() []T {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	ids := make([]string, 0, len(r.items))
-	for id := range r.items {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	out := make([]T, len(ids))
-	for i, id := range ids {
-		out[i] = r.items[id]
+	pairs := r.pairs()
+	out := make([]T, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.v
 	}
 	return out
 }
 
 // Len returns the number of stored values.
 func (r *Repo[T]) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.items)
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		n += len(sh.items)
+		sh.mu.RUnlock()
+	}
+	return n
 }
+
+// size implements journaled.
+func (r *Repo[T]) size() int { return r.Len() }
 
 // applyEntry implements journaled: replay a mutation during Load.
 func (r *Repo[T]) applyEntry(e Entry) error {
+	sh := r.shardFor(e.ID)
 	switch e.Op {
 	case OpPut:
 		var v T
 		if err := json.Unmarshal(e.Data, &v); err != nil {
 			return fmt.Errorf("store: %s: replay decode %q: %w", r.name, e.ID, err)
 		}
-		r.mu.Lock()
-		r.items[e.ID] = v
-		r.mu.Unlock()
+		sh.mu.Lock()
+		sh.items[e.ID] = v
+		sh.mu.Unlock()
 	case OpDelete:
-		r.mu.Lock()
-		delete(r.items, e.ID)
-		r.mu.Unlock()
+		sh.mu.Lock()
+		delete(sh.items, e.ID)
+		sh.mu.Unlock()
 	default:
 		return fmt.Errorf("store: %s: replay unknown op %q", r.name, e.Op)
 	}
@@ -140,20 +190,14 @@ func (r *Repo[T]) applyEntry(e Entry) error {
 
 // snapshotEntries implements journaled: one put per live item.
 func (r *Repo[T]) snapshotEntries() []Entry {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	ids := make([]string, 0, len(r.items))
-	for id := range r.items {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	out := make([]Entry, 0, len(ids))
-	for _, id := range ids {
-		data, err := json.Marshal(r.items[id])
+	pairs := r.pairs()
+	out := make([]Entry, 0, len(pairs))
+	for _, p := range pairs {
+		data, err := json.Marshal(p.v)
 		if err != nil {
 			continue // unencodable live value: skip from snapshot
 		}
-		out = append(out, Entry{Repo: r.name, Op: OpPut, ID: id, Data: data})
+		out = append(out, Entry{Repo: r.name, Op: OpPut, ID: p.id, Data: data})
 	}
 	return out
 }

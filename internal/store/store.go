@@ -2,8 +2,6 @@ package store
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -12,65 +10,109 @@ import (
 )
 
 // journaled is implemented by every repository and log attached to a
-// Store; it lets the store replay journal entries into them and collect
-// snapshot entries for compaction.
+// Store; it lets the store replay journal entries into them, collect
+// snapshot entries for compaction, and report live sizes for stats.
 type journaled interface {
 	applyEntry(Entry) error
 	snapshotEntries() []Entry
+	size() int
 }
 
 // Store coordinates a set of named repositories and logs over a single
-// shared journal. Create repositories with NewRepo / NewLog, then call
-// Load once to replay any existing journal, then use the store.
+// shared Engine. Create repositories with NewRepo / NewLog, then call
+// Load once to replay any existing state, then use the store.
 //
-// A Store created by NewMemory keeps everything in memory only.
+// Concurrency: mutations from different goroutines proceed in
+// parallel — the store read-lock is shared on the commit path, the
+// engine group-commits, and repositories stripe their own locks per
+// shard. Load, Compact and Close take the lock exclusively.
 type Store struct {
-	mu          sync.Mutex
-	dir         string
-	journal     *Journal
-	journalSync bool
-	clock       vclock.Clock
-	parts       map[string]journaled
-	loaded      bool
+	mu         sync.RWMutex
+	engine     Engine
+	clock      vclock.Clock
+	parts      map[string]journaled
+	shards     int
+	loaded     bool
+	loadCalled bool
+	closed     bool
 }
 
-// Options configure Open.
+// Options configure a Store.
 type Options struct {
-	// SyncEvery makes every append fsync. Slower, durable.
-	SyncEvery bool
+	// Sync makes the engine fsync every group-commit batch: durable,
+	// and far cheaper than per-append fsync under concurrency.
+	Sync bool
+	// SyncEveryAppend commits and fsyncs each append individually —
+	// the pre-engine baseline, kept for comparison benchmarks.
+	SyncEveryAppend bool
+	// Shards is the repository lock-stripe count (default
+	// DefaultShards, minimum 1). More shards, less contention.
+	Shards int
+	// FlushInterval is how long the group-commit writer waits to grow
+	// a batch. 0 = opportunistic (commit whatever is queued).
+	FlushInterval time.Duration
+	// FlushBatch caps journal entries per group-commit batch.
+	FlushBatch int
 	// Clock stamps journal entries; nil means the wall clock.
 	Clock vclock.Clock
 }
 
+// DefaultShards is the repository lock-stripe count when Options.Shards
+// is zero.
+const DefaultShards = 16
+
 // journalName is the journal file inside a store directory.
 const journalName = "gelee.journal"
 
-// Open creates a persistent store rooted at dir (created if missing).
-func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: create dir: %w", err)
-	}
+// Stats is the store-wide health snapshot served by the admin API:
+// engine counters plus per-repository live sizes.
+type Stats struct {
+	Engine EngineStats    `json:"engine"`
+	Shards int            `json:"shards"`
+	Repos  map[string]int `json:"repos"`
+}
+
+// New builds a store on an explicit engine — the pluggable entry point.
+// Load must be called (once) before any mutation.
+func New(engine Engine, opts Options) *Store {
 	clock := opts.Clock
 	if clock == nil {
 		clock = vclock.System
 	}
-	// The journal itself is opened in Load, after replay has determined
-	// the last sequence number.
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
 	return &Store{
-		dir:         dir,
-		clock:       clock,
-		journalSync: opts.SyncEvery,
-		parts:       make(map[string]journaled),
-	}, nil
+		engine: engine,
+		clock:  clock,
+		shards: shards,
+		parts:  make(map[string]journaled),
+	}
 }
 
-// NewMemory returns a store with no persistence.
-func NewMemory() *Store {
-	return &Store{
-		clock:  vclock.System,
-		parts:  make(map[string]journaled),
-		loaded: true,
+// Open creates a persistent store rooted at dir (created if missing),
+// backed by the group-commit journal engine.
+func Open(dir string, opts Options) (*Store, error) {
+	engine, err := NewJournalEngine(JournalConfig{
+		Dir:             dir,
+		Sync:            opts.Sync,
+		SyncEveryAppend: opts.SyncEveryAppend,
+		FlushInterval:   opts.FlushInterval,
+		FlushBatch:      opts.FlushBatch,
+	})
+	if err != nil {
+		return nil, err
 	}
+	return New(engine, opts), nil
+}
+
+// NewMemory returns a store with no persistence, ready for use without
+// Load (calling Load anyway is harmless and replays nothing).
+func NewMemory() *Store {
+	s := New(NewMemoryEngine(), Options{})
+	s.loaded = true
+	return s
 }
 
 // WithClock overrides the store's clock (used by tests and the virtual-
@@ -92,22 +134,21 @@ func (s *Store) register(name string, part journaled) error {
 	return nil
 }
 
-// Load replays the journal into every registered repository and opens
-// the journal for appending. It must be called exactly once, after all
+// numShards reports the lock-stripe count repositories should use.
+func (s *Store) numShards() int { return s.shards }
+
+// Load replays the engine into every registered repository and opens
+// the engine for appending. It must be called exactly once, after all
 // repositories are created and before any mutation. In-memory stores
-// may skip it.
+// created by NewMemory may skip it.
 func (s *Store) Load() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.dir == "" {
-		s.loaded = true
-		return nil
-	}
-	if s.journal != nil {
+	if s.loadCalled {
 		return fmt.Errorf("store: Load called twice")
 	}
-	path := filepath.Join(s.dir, journalName)
-	_, lastSeq, err := ReplayJournal(path, func(e Entry) error {
+	s.loadCalled = true
+	err := s.engine.Replay(func(e Entry) error {
 		part, ok := s.parts[e.Repo]
 		if !ok {
 			// Forward compatibility: entries for repositories this
@@ -119,39 +160,37 @@ func (s *Store) Load() error {
 	if err != nil {
 		return err
 	}
-	j, err := OpenJournal(path, lastSeq, s.journalSync)
-	if err != nil {
-		return err
-	}
-	s.journal = j
 	s.loaded = true
 	return nil
 }
 
-// append writes an entry for a repository, stamping the clock time.
-func (s *Store) append(e Entry) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// commit journals an entry; the engine applies the in-memory mutation
+// via the onCommit hook, in journal order, before acknowledging. The
+// shared read-lock keeps commits concurrent with each other (that
+// concurrency is what feeds the engine's group commit) while excluding
+// Load, Compact and Close.
+func (s *Store) commit(e Entry, apply func()) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.loaded {
 		return fmt.Errorf("store: mutation before Load")
 	}
-	if s.journal == nil {
-		return nil // memory-only
+	if s.closed {
+		return ErrClosed
 	}
 	e.Time = s.clock.Now()
-	if _, err := s.journal.Append(e); err != nil {
-		return err
-	}
-	return nil
+	_, err := s.engine.Append(e, apply)
+	return err
 }
 
-// Compact rewrites the journal from the live state of every registered
-// repository, dropping superseded entries. The write is atomic: the new
-// journal is built in a temp file and renamed over the old one.
+// Compact rewrites the engine's contents from the live state of every
+// registered repository, dropping superseded entries. Commits are
+// excluded for the duration, so no acknowledged write can be lost
+// between snapshot and rewrite.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.journal == nil {
+	if !s.loaded || s.closed {
 		return nil
 	}
 	names := make([]string, 0, len(s.parts))
@@ -160,61 +199,46 @@ func (s *Store) Compact() error {
 	}
 	sort.Strings(names)
 
-	tmp := filepath.Join(s.dir, journalName+".compact")
-	j, err := OpenJournal(tmp, 0, false)
-	if err != nil {
-		return err
-	}
 	now := s.clock.Now()
+	var entries []Entry
 	for _, name := range names {
 		for _, e := range s.parts[name].snapshotEntries() {
 			e.Time = now
-			if _, err := j.Append(e); err != nil {
-				j.Close()
-				os.Remove(tmp)
-				return err
-			}
+			entries = append(entries, e)
 		}
 	}
-	if err := j.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := s.journal.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	path := filepath.Join(s.dir, journalName)
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("store: swap compacted journal: %w", err)
-	}
-	_, lastSeq, err := ReplayJournal(path, func(Entry) error { return nil })
-	if err != nil {
-		return err
-	}
-	nj, err := OpenJournal(path, lastSeq, s.journalSync)
-	if err != nil {
-		return err
-	}
-	s.journal = nj
-	return nil
+	return s.engine.Rewrite(entries)
 }
 
-// Close flushes and closes the journal.
+// Stats reports engine health plus per-repository sizes.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Engine: s.engine.Stats(),
+		Shards: s.shards,
+		Repos:  make(map[string]int, len(s.parts)),
+	}
+	for name, part := range s.parts {
+		st.Repos[name] = part.size()
+	}
+	return st
+}
+
+// Close drains and closes the engine. Idempotent.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.journal == nil {
+	if s.closed {
 		return nil
 	}
-	err := s.journal.Close()
-	s.journal = nil
-	return err
+	s.closed = true
+	return s.engine.Close()
 }
 
 // Now exposes the store clock, so higher layers stamp consistently.
 func (s *Store) Now() time.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.clock.Now()
 }
