@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime/metrics"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/liquidpub/gelee/internal/actionlib"
 	"github.com/liquidpub/gelee/internal/core"
+	rtpkg "github.com/liquidpub/gelee/internal/runtime"
 	"github.com/liquidpub/gelee/internal/scenario"
 	"github.com/liquidpub/gelee/internal/store"
 	"github.com/liquidpub/gelee/internal/vclock"
@@ -453,6 +456,141 @@ func BenchmarkRuntimeAdvance(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchRuntime builds a bare runtime — no facade, no HTTP, no journal,
+// no observer — so the parallel benchmarks measure the runtime's own
+// locking and nothing else. The wall clock is deliberate: the fake
+// clock serializes every event timestamp on its own mutex, which would
+// mask exactly the contention these benchmarks exist to expose.
+func benchRuntime(b *testing.B) *rtpkg.Runtime {
+	b.Helper()
+	rt, err := rtpkg.New(rtpkg.Config{
+		Registry:    actionlib.NewRegistry(),
+		SyncActions: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+// mutexWaitSeconds reads the cumulative time goroutines have spent
+// blocked on sync.Mutex/RWMutex — the hardware-independent measure of
+// lock contention (wall clock on an oversubscribed host measures the
+// scheduler, not the locks).
+func mutexWaitSeconds() float64 {
+	sample := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindFloat64 {
+		return sample[0].Value.Float64()
+	}
+	return 0
+}
+
+// BenchmarkParallelAdvance drives token moves on *disjoint* instances
+// from GOMAXPROCS goroutines against the bare runtime (no HTTP, no
+// journal): the measurement behind the runtime-sharding work. Every
+// goroutine owns its own instances, so with striped instance locks the
+// moves share no lock at all; under a single runtime-wide mutex every
+// move queues. Besides ns/op it reports mutex-wait-ns/op — time spent
+// blocked on locks per move — which exposes the contention even when
+// -cpu exceeds the physical core count. Instances are re-created every
+// 256 moves so the measured cost is a steady short-history Advance,
+// not an ever-growing snapshot copy.
+func BenchmarkParallelAdvance(b *testing.B) {
+	rt := benchRuntime(b)
+	model := scenario.QualityPlan()
+	var next atomic.Int64
+	newInstance := func() string {
+		n := next.Add(1)
+		ref := Ref{URI: fmt.Sprintf("urn:bench:res-%d", n), Type: "mediawiki"}
+		snap, err := rt.Instantiate(model, ref, "owner", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return snap.ID
+	}
+	b.ReportAllocs()
+	wait0 := mutexWaitSeconds()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := newInstance()
+		i := 0
+		for pb.Next() {
+			if i%256 == 255 {
+				id = newInstance()
+			}
+			i++
+			// elaboration has no actions: pure token movement.
+			if _, err := rt.Advance(id, "elaboration", "owner", rtpkg.AdvanceOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric((mutexWaitSeconds()-wait0)*1e9/float64(b.N), "mutex-wait-ns/op")
+}
+
+// BenchmarkByResourceIndexed measures the runtime's by-resource query
+// over a populated deployment: 2048 instances spread across 256
+// resource URIs, 8 instances each. With the secondary index the query
+// touches only the 8 matches; the pre-sharding runtime scanned and
+// deep-copied nothing it returned but still walked all 2048.
+func BenchmarkByResourceIndexed(b *testing.B) {
+	rt := benchRuntime(b)
+	model := scenario.QualityPlan()
+	const uris, perURI = 256, 8
+	for i := 0; i < uris*perURI; i++ {
+		ref := Ref{URI: fmt.Sprintf("urn:bench:res-%d", i%uris), Type: "mediawiki"}
+		if _, err := rt.Instantiate(model, ref, "owner", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := rt.ByResource(fmt.Sprintf("urn:bench:res-%d", i%uris))
+		if len(got) != perURI {
+			b.Fatalf("ByResource = %d instances, want %d", len(got), perURI)
+		}
+	}
+}
+
+// BenchmarkInstanceListing compares the full-snapshot listing (deep
+// copies of every event history) against the summary projection behind
+// GET /api/v1/instances, over 1024 instances with real histories.
+func BenchmarkInstanceListing(b *testing.B) {
+	rt := benchRuntime(b)
+	model := scenario.QualityPlan()
+	for i := 0; i < 1024; i++ {
+		ref := Ref{URI: fmt.Sprintf("urn:bench:res-%d", i), Type: "mediawiki"}
+		snap, err := rt.Instantiate(model, ref, "owner", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j <= i%len(scenario.HappyPath); j++ {
+			if _, err := rt.Advance(snap.ID, scenario.HappyPath[j], "owner", rtpkg.AdvanceOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("instances-full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := rt.Instances(); len(got) != 1024 {
+				b.Fatalf("instances = %d", len(got))
+			}
+		}
+	})
+	b.Run("summaries", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := rt.Summaries(); len(got) != 1024 {
+				b.Fatalf("summaries = %d", len(got))
+			}
+		}
+	})
 }
 
 func BenchmarkModelCloneAndFingerprint(b *testing.B) {

@@ -7,7 +7,13 @@
 //
 // Usage:
 //
-//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store]
+//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store|runtime]
+//	           [-runtime-shards N]
+//
+// The runtime experiment drives disjoint-instance token moves from a
+// growing number of goroutines and compares indexed vs scan-based
+// by-resource queries, then records the measured trajectory in
+// BENCH_runtime.json next to the working directory.
 package main
 
 import (
@@ -19,11 +25,16 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	runtimego "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/liquidpub/gelee"
+	"github.com/liquidpub/gelee/internal/actionlib"
 	"github.com/liquidpub/gelee/internal/core"
+	"github.com/liquidpub/gelee/internal/resource"
+	rtpkg "github.com/liquidpub/gelee/internal/runtime"
 	"github.com/liquidpub/gelee/internal/scenario"
 	"github.com/liquidpub/gelee/internal/store"
 	"github.com/liquidpub/gelee/internal/wfengine"
@@ -32,6 +43,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all", "which experiment to run")
+	flag.IntVar(&runtimeShards, "runtime-shards", 0, "runtime instance-table lock-stripe count for the runtime experiment (0 = default)")
 	flag.Parse()
 
 	experiments := []struct {
@@ -48,6 +60,7 @@ func main() {
 		{"ablation", "E7 — light coupling vs prescriptive engine", runAblation},
 		{"liquidpub", "E8 — LiquidPub monitoring at scale", runLiquidPub},
 		{"store", "E9 — group-commit journal vs per-append fsync", runStoreEngine},
+		{"runtime", "E10 — runtime sharding: disjoint-advance scaling, indexed queries", runRuntimeSharding},
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -461,3 +474,164 @@ func lastSegment(uri string) string {
 	}
 	return uri
 }
+
+// runtimeShards is the -runtime-shards flag value used by the runtime
+// experiment.
+var runtimeShards int
+
+// runRuntimeSharding measures the runtime-sharding refactor on the
+// bare runtime (no HTTP, no journal): throughput of token moves on
+// disjoint instances as goroutines grow, and indexed vs scan-based
+// by-resource queries. Results go to stdout and BENCH_runtime.json —
+// the perf trajectory the CI bench smoke keeps compiling.
+func runRuntimeSharding() error {
+	model := scenario.QualityPlan()
+	newRuntime := func() (*rtpkg.Runtime, error) {
+		return rtpkg.New(rtpkg.Config{
+			Registry:    actionlib.NewRegistry(),
+			SyncActions: true,
+			Shards:      runtimeShards,
+		})
+	}
+	newInstance := func(rt *rtpkg.Runtime, n int64) (string, error) {
+		ref := resource.Ref{URI: fmt.Sprintf("urn:bench:res-%d", n), Type: "mediawiki"}
+		snap, err := rt.Instantiate(model, ref, "owner", nil)
+		if err != nil {
+			return "", err
+		}
+		return snap.ID, nil
+	}
+
+	type point struct {
+		Goroutines int     `json:"goroutines"`
+		Moves      int     `json:"moves"`
+		NsPerOp    int64   `json:"ns_per_op"`
+		OpsPerSec  float64 `json:"ops_per_sec"`
+	}
+	const movesPerG = 10000
+	var points []point
+	var next atomic.Int64
+	for _, g := range []int{1, 2, 4, 8} {
+		rt, err := newRuntime()
+		if err != nil {
+			return err
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, g)
+		start := time.Now()
+		for i := 0; i < g; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				id, err := newInstance(rt, next.Add(1))
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := 0; j < movesPerG; j++ {
+					// Fresh instance every 256 moves: steady
+					// short-history cost, like the Go benchmarks.
+					if j%256 == 255 {
+						if id, err = newInstance(rt, next.Add(1)); err != nil {
+							errs <- err
+							return
+						}
+					}
+					if _, err := rt.Advance(id, "elaboration", "owner", rtpkg.AdvanceOptions{}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		moves := g * movesPerG
+		points = append(points, point{
+			Goroutines: g,
+			Moves:      moves,
+			NsPerOp:    elapsed.Nanoseconds() / int64(moves),
+			OpsPerSec:  float64(moves) / elapsed.Seconds(),
+		})
+	}
+
+	// Query ablation: the same by-resource question answered from the
+	// secondary index vs a full-population scan over snapshots (what
+	// the pre-sharding runtime did).
+	rt, err := newRuntime()
+	if err != nil {
+		return err
+	}
+	const uris, perURI = 256, 8
+	for i := 0; i < uris*perURI; i++ {
+		ref := resource.Ref{URI: fmt.Sprintf("urn:bench:res-%d", i%uris), Type: "mediawiki"}
+		if _, err := rt.Instantiate(model, ref, "owner", nil); err != nil {
+			return err
+		}
+	}
+	const indexedIters = 2000
+	start := time.Now()
+	for i := 0; i < indexedIters; i++ {
+		if got := rt.ByResource(fmt.Sprintf("urn:bench:res-%d", i%uris)); len(got) != perURI {
+			return fmt.Errorf("indexed ByResource returned %d, want %d", len(got), perURI)
+		}
+	}
+	indexedNs := time.Since(start).Nanoseconds() / indexedIters
+	const scanIters = 50
+	start = time.Now()
+	for i := 0; i < scanIters; i++ {
+		uri := fmt.Sprintf("urn:bench:res-%d", i%uris)
+		n := 0
+		for _, snap := range rt.Instances() {
+			if snap.Resource.URI == uri {
+				n++
+			}
+		}
+		if n != perURI {
+			return fmt.Errorf("scan found %d, want %d", n, perURI)
+		}
+	}
+	scanNs := time.Since(start).Nanoseconds() / scanIters
+	stats := rt.RuntimeStats()
+
+	report := struct {
+		Experiment       string      `json:"experiment"`
+		RuntimeShards    int         `json:"runtime_shards"`
+		GOMAXPROCS       int         `json:"gomaxprocs"`
+		ParallelAdvance  []point     `json:"parallel_advance"`
+		ByResourceIdxNs  int64       `json:"by_resource_indexed_ns"`
+		ByResourceScanNs int64       `json:"by_resource_scan_ns"`
+		Stats            rtpkg.Stats `json:"runtime_stats"`
+	}{
+		Experiment:       "runtime-sharding",
+		RuntimeShards:    stats.Shards,
+		GOMAXPROCS:       gomaxprocs(),
+		ParallelAdvance:  points,
+		ByResourceIdxNs:  indexedNs,
+		ByResourceScanNs: scanNs,
+		Stats:            stats,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_runtime.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("paper: hosted service, thousands of instances advanced by independent humans\n")
+	fmt.Printf("measured (shards=%d, GOMAXPROCS=%d):\n", stats.Shards, report.GOMAXPROCS)
+	for _, p := range points {
+		fmt.Printf("  advance x%d goroutines: %d ns/op (%.0f ops/s)\n", p.Goroutines, p.NsPerOp, p.OpsPerSec)
+	}
+	fmt.Printf("  by-resource: indexed %d ns/op vs scan %d ns/op (%.0fx)\n",
+		indexedNs, scanNs, float64(scanNs)/float64(indexedNs))
+	fmt.Printf("  wrote BENCH_runtime.json\n")
+	return nil
+}
+
+func gomaxprocs() int { return runtimego.GOMAXPROCS(0) }

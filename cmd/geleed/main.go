@@ -6,7 +6,8 @@
 // Usage:
 //
 //	geleed [-addr :8085] [-data DIR] [-auth] [-seed] [-engine journal|memory]
-//	       [-sync] [-store-shards N] [-journal-flush-interval D] [-journal-flush-batch N]
+//	       [-sync] [-store-shards N] [-runtime-shards N]
+//	       [-journal-flush-interval D] [-journal-flush-batch N]
 //
 // -data enables persistence (empty = in-memory); -auth enforces the
 // §IV.D roles via the X-Gelee-User header; -seed loads the LiquidPub
@@ -14,8 +15,10 @@
 // something to show. The engine flags tune the data tier: -sync makes
 // the journal fsync each group-commit batch, -store-shards sets the
 // repository lock-stripe count, and the flush flags bound the group-
-// commit batching window. GET /api/v1/admin/store reports the
-// resulting engine health and throughput counters.
+// commit batching window. -runtime-shards stripes the lifecycle
+// runtime's instance table so token moves on different instances
+// never contend. GET /api/v1/admin/store and /api/v1/admin/runtime
+// report the resulting engine and runtime health.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 	engine := flag.String("engine", "", "storage engine: journal|memory (default: journal when -data is set)")
 	sync := flag.Bool("sync", false, "fsync every group-commit journal batch")
 	shards := flag.Int("store-shards", 0, "repository lock-stripe count (0 = default)")
+	rtShards := flag.Int("runtime-shards", 0, "runtime instance-table lock-stripe count (0 = default)")
 	flushInterval := flag.Duration("journal-flush-interval", 0, "group-commit wait to grow a batch (0 = opportunistic)")
 	flushBatch := flag.Int("journal-flush-batch", 0, "max journal entries per group-commit batch (0 = default)")
 	flag.Parse()
@@ -48,6 +52,7 @@ func main() {
 		StoreShards:          *shards,
 		JournalFlushInterval: *flushInterval,
 		JournalFlushBatch:    *flushBatch,
+		RuntimeShards:        *rtShards,
 		Auth:                 *auth,
 		EmbeddedPlugins:      true,
 	})
@@ -64,8 +69,8 @@ func main() {
 	}
 
 	stats := sys.StoreStats()
-	log.Printf("gelee lifecycle manager listening on %s (auth=%t, data=%q, engine=%s, shards=%d)",
-		*addr, *auth, *dataDir, stats.Engine.Engine, stats.Shards)
+	log.Printf("gelee lifecycle manager listening on %s (auth=%t, data=%q, engine=%s, store-shards=%d, runtime-shards=%d)",
+		*addr, *auth, *dataDir, stats.Engine.Engine, stats.Shards, sys.RuntimeStats().Shards)
 	log.Printf("try: curl http://localhost%s/api/v1/monitor/summary", *addr)
 	if err := http.ListenAndServe(*addr, sys.HTTPHandler()); err != nil {
 		log.Fatal(err)

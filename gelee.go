@@ -107,6 +107,10 @@ type Options struct {
 	// JournalFlushBatch caps journal entries per group-commit batch
 	// (0 = store default).
 	JournalFlushBatch int
+	// RuntimeShards overrides the runtime instance-table lock-stripe
+	// count (0 = runtime.DefaultShards). Advances on instances in
+	// different stripes share no lock.
+	RuntimeShards int
 	// Clock overrides the wall clock (tests, benchmarks).
 	Clock vclock.Clock
 	// Auth enables role enforcement: every mutation requires an actor
@@ -272,6 +276,7 @@ func New(opts Options) (*System, error) {
 		Policy:      policy,
 		SyncActions: opts.SyncActions,
 		Observer:    s.logEvent,
+		Shards:      opts.RuntimeShards,
 	})
 	if err != nil {
 		return nil, err
@@ -396,6 +401,11 @@ func (s *System) Compact() error { return s.store.Compact() }
 // counters plus per-repository sizes — the payload of the admin API's
 // GET /api/v1/admin/store.
 func (s *System) StoreStats() store.Stats { return s.store.Stats() }
+
+// RuntimeStats reports runtime health: instance-shard occupancy and
+// secondary-index sizes — the payload of the admin API's
+// GET /api/v1/admin/runtime.
+func (s *System) RuntimeStats() runtime.Stats { return s.Runtime.RuntimeStats() }
 
 // Monitor returns the cockpit query engine.
 func (s *System) Monitor() *monitor.Monitor { return s.mon }
@@ -598,8 +608,13 @@ func (s *System) BindParams(instID, actor, actionURI string, values map[string]s
 // Instance returns a snapshot.
 func (s *System) Instance(id string) (runtime.Snapshot, bool) { return s.Runtime.Instance(id) }
 
-// Instances lists every instance.
+// Instances lists every instance with full histories. For list views
+// over large populations prefer Summaries.
 func (s *System) Instances() []runtime.Snapshot { return s.Runtime.Instances() }
+
+// Summaries lists every instance without copying event histories — the
+// cheap path behind GET /api/v1/instances.
+func (s *System) Summaries() []runtime.Summary { return s.Runtime.Summaries() }
 
 // Report delivers an action status callback.
 func (s *System) Report(up actionlib.StatusUpdate) error { return s.Runtime.Report(up) }

@@ -13,7 +13,7 @@
 //	GET  /api/v1/actions[?resource_type=] browse action library (Fig. 3)
 //	POST /api/v1/actions                  register action type (+impls)
 //	POST /api/v1/instances                instantiate
-//	GET  /api/v1/instances                list
+//	GET  /api/v1/instances                list (summary view, no histories)
 //	GET  /api/v1/instances/{id}           snapshot
 //	POST /api/v1/instances/{id}/advance   move the token
 //	POST /api/v1/instances/{id}/annotations
@@ -21,6 +21,7 @@
 //	POST /api/v1/instances/{id}/migrate   accept/reject a pending change
 //	POST /api/v1/callbacks/{inv}          action status callback (no auth)
 //	GET  /api/v1/admin/store              data-tier engine stats
+//	GET  /api/v1/admin/runtime            runtime shard/index stats
 //	GET  /api/v1/monitor/summary|overview|late
 //	GET  /api/v1/monitor/instances/{id}/timeline
 //	GET  /widgets/{id}                    HTML widget (Fig. 4)
@@ -74,11 +75,13 @@ type Backend interface {
 	RejectChange(instID, actor, note string) error
 	Instance(id string) (runtime.Snapshot, bool)
 	Instances() []runtime.Snapshot
+	Summaries() []runtime.Summary
 	Report(up actionlib.StatusUpdate) error
 
 	Monitor() *monitor.Monitor
 	Widgets() *widget.Renderer
 	StoreStats() store.Stats
+	RuntimeStats() runtime.Stats
 	UserExists(name string) bool
 }
 
@@ -132,8 +135,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/callbacks/{inv}", s.handleCallback)
 
 	// Admin: data-tier engine health (group-commit counters, shard
-	// count, per-repository sizes).
+	// count, per-repository sizes) and runtime health (instance-shard
+	// occupancy, secondary-index sizes).
 	s.mux.HandleFunc("GET /api/v1/admin/store", s.authed(s.handleStoreStats))
+	s.mux.HandleFunc("GET /api/v1/admin/runtime", s.authed(s.handleRuntimeStats))
 
 	// Monitoring cockpit.
 	s.mux.HandleFunc("GET /api/v1/monitor/summary", s.handleMonitorSummary)
@@ -265,6 +270,26 @@ func toInstancePayload(s runtime.Snapshot, full bool) instancePayload {
 		p.Events = s.Events
 		p.Executions = s.Executions
 	}
+	return p
+}
+
+// toSummaryPayload maps a runtime.Summary onto the same wire shape as
+// the snapshot-backed payload with histories omitted.
+func toSummaryPayload(sum runtime.Summary) instancePayload {
+	p := instancePayload{
+		ID:            sum.ID,
+		ModelURI:      sum.ModelURI,
+		ModelName:     sum.ModelName,
+		Resource:      sum.Resource,
+		Owner:         sum.Owner,
+		State:         string(sum.State),
+		Current:       sum.Current,
+		NextSuggested: sum.NextSuggested,
+		Phases:        sum.Phases,
+		Unresolved:    sum.Unresolved,
+		Pending:       sum.Pending,
+	}
+	p.Resource.Credentials = nil // never leak credentials over the API
 	return p
 }
 
@@ -410,10 +435,13 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListInstances(w http.ResponseWriter, r *http.Request) {
-	snaps := s.b.Instances()
-	out := make([]instancePayload, len(snaps))
-	for i, snap := range snaps {
-		out[i] = toInstancePayload(snap, false)
+	// The list view rides the runtime's summary path: no event-history
+	// deep copies, same payload shape as before (histories were always
+	// omitted here).
+	sums := s.b.Summaries()
+	out := make([]instancePayload, len(sums))
+	for i, sum := range sums {
+		out[i] = toSummaryPayload(sum)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -533,6 +561,10 @@ func (s *Server) handleCallback(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.b.StoreStats())
+}
+
+func (s *Server) handleRuntimeStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.b.RuntimeStats())
 }
 
 func (s *Server) handleMonitorSummary(w http.ResponseWriter, r *http.Request) {

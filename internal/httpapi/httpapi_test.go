@@ -634,3 +634,52 @@ func TestAdminStoreStats(t *testing.T) {
 		t.Fatal("defining a model journaled nothing")
 	}
 }
+
+func TestAdminRuntimeStats(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "owner", "text")
+	ref := gelee.Ref{URI: "http://wiki.liquidpub.org/pages/D1.1", Type: "mediawiki"}
+	for i := 0; i < 3; i++ {
+		snap, err := e.sys.Instantiate(model.URI, ref, "owner", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// internalreview carries actions, so the invocation index grows.
+		if _, err := e.sys.Advance(snap.ID, "internalreview", "owner", gelee.AdvanceOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stats struct {
+		Shards       int   `json:"shards"`
+		Instances    int   `json:"instances"`
+		PerShard     []int `json:"per_shard"`
+		Invocations  int   `json:"invocation_index"`
+		ResourceKeys int   `json:"resource_index_keys"`
+		ModelKeys    int   `json:"model_index_keys"`
+	}
+	if code := e.call(t, "GET", "/api/v1/admin/runtime", "", nil, &stats); code != 200 {
+		t.Fatalf("admin runtime stats = %d", code)
+	}
+	if stats.Shards <= 0 || len(stats.PerShard) != stats.Shards {
+		t.Fatalf("shards = %d, per_shard = %v", stats.Shards, stats.PerShard)
+	}
+	if stats.Instances != 3 {
+		t.Fatalf("instances = %d, want 3", stats.Instances)
+	}
+	total := 0
+	for _, n := range stats.PerShard {
+		total += n
+	}
+	if total != stats.Instances {
+		t.Fatalf("per_shard sums to %d, want %d", total, stats.Instances)
+	}
+	if stats.Invocations == 0 {
+		t.Fatal("entering an action phase left the invocation index empty")
+	}
+	if stats.ResourceKeys != 1 || stats.ModelKeys != 1 {
+		t.Fatalf("index keys = %d resources / %d models, want 1/1", stats.ResourceKeys, stats.ModelKeys)
+	}
+}

@@ -29,16 +29,18 @@ type AdvanceOptions struct {
 //     with no ordering or transactional guarantee.
 //   - Entering a final phase completes the instance; moving out of a
 //     final phase re-opens it (recorded as a deviation + reopened).
+//
+// Only the moved instance's lock is held: concurrent Advances on
+// different instances proceed fully in parallel.
 func (r *Runtime) Advance(instID, toPhase, actor string, opts AdvanceOptions) (Snapshot, error) {
-	r.mu.Lock()
-	in, ok := r.instances[instID]
+	in, ok := r.lookup(instID)
 	if !ok {
-		r.mu.Unlock()
 		return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, instID)
 	}
+	in.mu.Lock()
 	target, ok := in.model.Phase(toPhase)
 	if !ok {
-		r.mu.Unlock()
+		in.mu.Unlock()
 		return Snapshot{}, fmt.Errorf("%w: %q", ErrUnknownPhase, toPhase)
 	}
 
@@ -50,12 +52,12 @@ func (r *Runtime) Advance(instID, toPhase, actor string, opts AdvanceOptions) (S
 	suggested := in.model.Suggests(fromNode, toPhase)
 	if suggested {
 		if !r.policy.CanFollow(actor, instID, toPhase) {
-			r.mu.Unlock()
+			in.mu.Unlock()
 			return Snapshot{}, fmt.Errorf("%w: %s may not follow %s -> %s on %s",
 				ErrForbidden, actor, fromNode, toPhase, instID)
 		}
 	} else if !r.policy.CanDrive(actor, instID) {
-		r.mu.Unlock()
+		in.mu.Unlock()
 		return Snapshot{}, fmt.Errorf("%w: %s may not deviate to %s on %s (instance owner required)",
 			ErrForbidden, actor, toPhase, instID)
 	}
@@ -68,7 +70,7 @@ func (r *Runtime) Advance(instID, toPhase, actor string, opts AdvanceOptions) (S
 			continue
 		}
 		if err := actionlib.CheckStageBindings(r.specFor(call.URI), call, vals, actionlib.StageCall); err != nil {
-			r.mu.Unlock()
+			in.mu.Unlock()
 			return Snapshot{}, err
 		}
 	}
@@ -99,7 +101,7 @@ func (r *Runtime) Advance(instID, toPhase, actor string, opts AdvanceOptions) (S
 		dispatches = r.prepareDispatches(in, target, opts.CallBindings)
 	}
 	snap := in.snapshot()
-	r.mu.Unlock()
+	in.mu.Unlock()
 
 	if reopenedEv != nil {
 		r.observe(instID, *reopenedEv)
@@ -124,14 +126,15 @@ type dispatchItem struct {
 }
 
 // prepareDispatches resolves implementations and parameters for every
-// action of the entered phase. Callers hold r.mu. Preparation failures
-// (no implementation, binding errors) become terminal failed executions
-// immediately; successful preparations are launched by launch().
+// action of the entered phase. Callers hold in.mu (the invocation
+// index stripe is locked inside, per the package lock order).
+// Preparation failures (no implementation, binding errors) become
+// terminal failed executions immediately; successful preparations are
+// launched by launch().
 func (r *Runtime) prepareDispatches(in *instance, phase *core.Phase, callBindings map[string]map[string]string) []dispatchItem {
 	var items []dispatchItem
 	for _, call := range phase.Actions {
-		r.nextInv++
-		invID := fmt.Sprintf("inv-%06d", r.nextInv)
+		invID := fmt.Sprintf("inv-%06d", r.nextInv.Add(1))
 		exec := &ActionExecution{
 			InvocationID: invID,
 			ActionURI:    call.URI,
@@ -141,7 +144,10 @@ func (r *Runtime) prepareDispatches(in *instance, phase *core.Phase, callBinding
 		}
 		in.executions[invID] = exec
 		in.execOrder = append(in.execOrder, invID)
-		r.invIndex[invID] = in.id
+		ish := r.invShardFor(invID)
+		ish.mu.Lock()
+		ish.m[invID] = in
+		ish.mu.Unlock()
 
 		impl, err := r.cfg.Registry.Resolve(call.URI, in.res.Type)
 		var params map[string]string
@@ -216,15 +222,14 @@ func (r *Runtime) launch(instID string, items []dispatchItem) {
 // failDispatch marks an invocation failed when the invoker itself
 // errored (endpoint unreachable, etc.).
 func (r *Runtime) failDispatch(instID, invID string, err error) {
-	r.mu.Lock()
-	in, ok := r.instances[instID]
+	in, ok := r.lookup(instID)
 	if !ok {
-		r.mu.Unlock()
 		return
 	}
+	in.mu.Lock()
 	exec, ok := in.executions[invID]
 	if !ok || exec.Terminal {
-		r.mu.Unlock()
+		in.mu.Unlock()
 		return
 	}
 	exec.DispatchErr = err.Error()
@@ -234,7 +239,7 @@ func (r *Runtime) failDispatch(instID, invID string, err error) {
 	ev := r.record(in, Event{Kind: EventActionStatus, Phase: exec.Phase,
 		ActionURI: exec.ActionURI, Invocation: invID,
 		Status: actionlib.StatusFailed, Detail: err.Error()})
-	r.mu.Unlock()
+	in.mu.Unlock()
 	r.observe(instID, ev)
 }
 
@@ -242,18 +247,21 @@ func (r *Runtime) failDispatch(instID, invID string, err error) {
 // callback URI path of §IV.C. Status strings are free-form except the
 // reserved terminal pair; they are recorded, never interpreted.
 // Updates for already-terminal executions are ignored (late duplicate
-// callbacks are expected in a distributed setting).
+// callbacks are expected in a distributed setting). Routing goes
+// through the sharded invocation index straight to the owning
+// instance: no scan, no other instance's lock.
 func (r *Runtime) Report(up actionlib.StatusUpdate) error {
-	r.mu.Lock()
-	instID, ok := r.invIndex[up.InvocationID]
+	ish := r.invShardFor(up.InvocationID)
+	ish.mu.RLock()
+	in, ok := ish.m[up.InvocationID]
+	ish.mu.RUnlock()
 	if !ok {
-		r.mu.Unlock()
 		return fmt.Errorf("%w: invocation %s", ErrNotFound, up.InvocationID)
 	}
-	in := r.instances[instID]
+	in.mu.Lock()
 	exec := in.executions[up.InvocationID]
 	if exec.Terminal {
-		r.mu.Unlock()
+		in.mu.Unlock()
 		return nil
 	}
 	exec.LastStatus = up.Message
@@ -265,7 +273,8 @@ func (r *Runtime) Report(up actionlib.StatusUpdate) error {
 	ev := r.record(in, Event{Kind: EventActionStatus, Phase: exec.Phase,
 		ActionURI: exec.ActionURI, Invocation: up.InvocationID,
 		Status: up.Message, Detail: up.Detail})
-	r.mu.Unlock()
+	instID := in.id
+	in.mu.Unlock()
 	r.observe(instID, ev)
 	return nil
 }

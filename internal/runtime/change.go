@@ -21,12 +21,11 @@ func (r *Runtime) ProposeChange(instID, proposer string, newModel *core.Model, n
 	if err := newModel.Validate(); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	in, ok := r.instances[instID]
+	in, ok := r.lookup(instID)
 	if !ok {
-		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, instID)
 	}
+	in.mu.Lock()
 	diff := core.DiffModels(in.model, newModel)
 	replaced := in.pending != nil
 	in.pending = &ChangeProposal{
@@ -41,7 +40,7 @@ func (r *Runtime) ProposeChange(instID, proposer string, newModel *core.Model, n
 		detail += " (replaces an undecided proposal)"
 	}
 	ev := r.record(in, Event{Kind: EventChangeProposed, Actor: proposer, Detail: detail, Phase: in.current})
-	r.mu.Unlock()
+	in.mu.Unlock()
 	r.observe(instID, ev)
 	return nil
 }
@@ -56,19 +55,35 @@ func (r *Runtime) ProposeChange(instID, proposer string, newModel *core.Model, n
 // instance completes; if the instance was completed and lands on a
 // non-final phase it re-opens.
 func (r *Runtime) AcceptChange(instID, actor, landing string) (Snapshot, error) {
-	r.mu.Lock()
-	in, ok := r.instances[instID]
+	in, ok := r.lookup(instID)
 	if !ok {
-		r.mu.Unlock()
 		return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, instID)
 	}
 	if !r.policy.CanDrive(actor, instID) {
-		r.mu.Unlock()
 		return Snapshot{}, fmt.Errorf("%w: %s may not migrate %s", ErrForbidden, actor, instID)
 	}
+	in.mu.Lock()
+	evs, err := r.applyPendingLocked(in, actor, landing)
+	if err != nil {
+		in.mu.Unlock()
+		return Snapshot{}, err
+	}
+	snap := in.snapshot()
+	in.mu.Unlock()
+	for _, ev := range evs {
+		r.observe(instID, ev)
+	}
+	return snap, nil
+}
+
+// applyPendingLocked applies the instance's pending proposal — the
+// shared migration core of AcceptChange and SwitchModel. Callers hold
+// in.mu. On error nothing is mutated. The returned events are recorded
+// in history; callers deliver them to the observer after unlocking, in
+// order.
+func (r *Runtime) applyPendingLocked(in *instance, actor, landing string) ([]Event, error) {
 	if in.pending == nil {
-		r.mu.Unlock()
-		return Snapshot{}, fmt.Errorf("%w on %s", ErrNoPending, instID)
+		return nil, fmt.Errorf("%w on %s", ErrNoPending, in.id)
 	}
 	newModel := in.pending.NewModel
 	target := landing
@@ -77,8 +92,7 @@ func (r *Runtime) AcceptChange(instID, actor, landing string) (Snapshot, error) 
 	}
 	if target != "" {
 		if _, ok := newModel.Phase(target); !ok {
-			r.mu.Unlock()
-			return Snapshot{}, fmt.Errorf("%w: %q does not exist in the proposed model (current phase was removed — choose a landing phase)",
+			return nil, fmt.Errorf("%w: %q does not exist in the proposed model (current phase was removed — choose a landing phase)",
 				ErrUnknownPhase, target)
 		}
 	}
@@ -116,37 +130,33 @@ func (r *Runtime) AcceptChange(instID, actor, landing string) (Snapshot, error) 
 		detail += fmt.Sprintf("; landed on %q", landing)
 	}
 	ev := r.record(in, Event{Kind: EventChangeApplied, Actor: actor, Phase: in.current, Detail: detail})
-	snap := in.snapshot()
-	r.mu.Unlock()
-	r.observe(instID, ev)
+	evs := []Event{ev}
 	if extra != nil {
-		r.observe(instID, *extra)
+		evs = append(evs, *extra)
 	}
-	return snap, nil
+	return evs, nil
 }
 
 // RejectChange discards the pending proposal; the instance keeps its
 // current model (owners "can accept or reject the change").
 func (r *Runtime) RejectChange(instID, actor, note string) error {
-	r.mu.Lock()
-	in, ok := r.instances[instID]
+	in, ok := r.lookup(instID)
 	if !ok {
-		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, instID)
 	}
 	if !r.policy.CanDrive(actor, instID) {
-		r.mu.Unlock()
 		return fmt.Errorf("%w: %s may not decide for %s", ErrForbidden, actor, instID)
 	}
+	in.mu.Lock()
 	if in.pending == nil {
-		r.mu.Unlock()
+		in.mu.Unlock()
 		return fmt.Errorf("%w on %s", ErrNoPending, instID)
 	}
 	summary := in.pending.Summary
 	in.pending = nil
 	ev := r.record(in, Event{Kind: EventChangeRejected, Actor: actor, Phase: in.current,
 		Detail: summary + noteSuffix(note)})
-	r.mu.Unlock()
+	in.mu.Unlock()
 	r.observe(instID, ev)
 	return nil
 }
@@ -170,16 +180,18 @@ func (r *Runtime) SwitchModel(instID, actor string, newModel *core.Model, landin
 	if err := newModel.Validate(); err != nil {
 		return Snapshot{}, err
 	}
-	r.mu.Lock()
-	in, ok := r.instances[instID]
+	in, ok := r.lookup(instID)
 	if !ok {
-		r.mu.Unlock()
 		return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, instID)
 	}
 	if !r.policy.CanDrive(actor, instID) {
-		r.mu.Unlock()
 		return Snapshot{}, fmt.Errorf("%w: %s may not switch the model of %s", ErrForbidden, actor, instID)
 	}
+	// Install-and-apply happens in one critical section so a failed or
+	// raced switch can neither leave its proposal dangling for a later
+	// AcceptChange nor desynchronize provenance from the model index.
+	in.mu.Lock()
+	prevPending := in.pending
 	in.pending = &ChangeProposal{
 		ProposedBy: actor,
 		ProposedAt: r.clock.Now(),
@@ -187,7 +199,24 @@ func (r *Runtime) SwitchModel(instID, actor string, newModel *core.Model, landin
 		Summary:    core.DiffModels(in.model, newModel).String(),
 		Note:       "owner-initiated model switch",
 	}
-	in.modelURI = newModel.URI
-	r.mu.Unlock()
-	return r.AcceptChange(instID, actor, landing)
+	evs, err := r.applyPendingLocked(in, actor, landing)
+	if err != nil {
+		in.pending = prevPending
+		in.mu.Unlock()
+		return Snapshot{}, err
+	}
+	// The switch applied: move the provenance pointer and keep the
+	// model index in step (index stripes are taken under the instance
+	// lock, per the package lock order).
+	if old := in.modelURI; old != newModel.URI {
+		in.modelURI = newModel.URI
+		r.byModel.remove(old, in)
+		r.byModel.add(newModel.URI, in)
+	}
+	snap := in.snapshot()
+	in.mu.Unlock()
+	for _, ev := range evs {
+		r.observe(instID, ev)
+	}
+	return snap, nil
 }

@@ -301,6 +301,53 @@ func TestSwitchModelOwnerInitiated(t *testing.T) {
 	}
 }
 
+func TestSwitchModelFailureLeavesNoTrace(t *testing.T) {
+	// A switch whose landing cannot be resolved must not change the
+	// model, the provenance pointer, the model index, or leave its
+	// proposal pending for a later unrelated AcceptChange.
+	e := newEnv(t)
+	snap := e.instantiate(t)
+	id := snap.ID
+	e.rt.Advance(id, "elaboration", "owner", AdvanceOptions{})
+
+	survey, err := core.NewModel("urn:gelee:models:journal-survey", "Journal survey lifecycle").
+		Version("1.0", "owner", time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC)).
+		Phase("drafting", "Drafting").Done().
+		FinalPhase("published", "Published").
+		Initial("drafting").
+		Chain("drafting", "published").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Current phase "elaboration" does not exist in survey and no
+	// landing is given: the switch must fail atomically.
+	if _, err := e.rt.SwitchModel(id, "owner", survey, ""); !errors.Is(err, ErrUnknownPhase) {
+		t.Fatalf("switch error = %v, want ErrUnknownPhase", err)
+	}
+	got, _ := e.rt.Instance(id)
+	if got.ModelURI != snap.ModelURI {
+		t.Fatalf("failed switch moved provenance to %q", got.ModelURI)
+	}
+	if got.Current != "elaboration" {
+		t.Fatalf("failed switch moved the token to %q", got.Current)
+	}
+	if got.Pending != nil {
+		t.Fatalf("failed switch left a pending proposal: %+v", got.Pending)
+	}
+	if _, err := e.rt.AcceptChange(id, "owner", ""); !errors.Is(err, ErrNoPending) {
+		t.Fatalf("accept after failed switch = %v, want ErrNoPending", err)
+	}
+	// The model index must still list the instance under its original
+	// model URI, and not under the rejected one.
+	if got := e.rt.ByModelURI(snap.ModelURI); len(got) != 1 || got[0].ID != id {
+		t.Fatalf("ByModelURI(%s) = %d instances after failed switch", snap.ModelURI, len(got))
+	}
+	if got := e.rt.ByModelURI("urn:gelee:models:journal-survey"); len(got) != 0 {
+		t.Fatalf("failed switch indexed the instance under the new model")
+	}
+}
+
 func TestMigrationAtBeginNeedsNoLanding(t *testing.T) {
 	e := newEnv(t)
 	snap := e.instantiate(t) // token still at BEGIN

@@ -1,16 +1,7 @@
-// Package runtime implements the run-time module of the Gelee lifecycle
-// manager (§IV.B, §IV.C and Fig. 2): lifecycle instances, human-driven
-// token movement, action dispatch on phase entry, callback handling, and
-// light-coupled model-change propagation.
-//
-// There is deliberately no workflow engine here. "The engine is the
-// human, who executes the lifecycle instances (i.e., moves the tokens
-// from phase to phase) and, while doing so, initiates the execution of
-// actions." The runtime only reacts to externally driven events; it
-// never decides a transition on its own.
 package runtime
 
 import (
+	"sync"
 	"time"
 
 	"github.com/liquidpub/gelee/internal/core"
@@ -89,17 +80,27 @@ type ChangeProposal struct {
 	Summary    string      `json:"summary"` // human-readable core.Diff
 }
 
-// instance is the mutable runtime record; all access goes through the
-// Runtime's lock. Snapshots are handed out to callers.
+// instance is the mutable runtime record. Fields below mu are guarded
+// by it; the fields above are immutable after Instantiate publishes
+// the instance (modelURI is the one exception — it moves under mu when
+// the owner switches models). Snapshots are handed out to callers.
 type instance struct {
-	id          string
+	id        string
+	seq       int64 // creation order, for stable listings across shards
+	res       resource.Ref
+	owner     string
+	createdAt time.Time
+	// unresolved: action URIs that had no implementation for the
+	// resource type at instantiation; informational (robustness).
+	unresolved []string
+
+	// mu guards every field below, plus modelURI. It is the only lock
+	// held while mutating or deep-copying instance state.
+	mu          sync.Mutex
 	model       *core.Model // self-contained copy (light coupling)
 	modelURI    string      // provenance only; never followed at run time
-	res         resource.Ref
-	owner       string
 	state       State
 	current     string // phase id; empty = token still at BEGIN
-	createdAt   time.Time
 	completedAt time.Time
 	// instBindings: action URI -> param id -> value, bound at
 	// instantiation time or later by the owner (still "inst" stage).
@@ -108,9 +109,6 @@ type instance struct {
 	executions   map[string]*ActionExecution // by invocation id
 	execOrder    []string
 	pending      *ChangeProposal
-	// unresolved: action URIs that had no implementation for the
-	// resource type at instantiation; informational (robustness).
-	unresolved []string
 }
 
 // Snapshot is an immutable copy of an instance's observable state.
@@ -134,6 +132,8 @@ type Snapshot struct {
 	InstBindings map[string]map[string]string `json:"inst_bindings,omitempty"`
 }
 
+// snapshot deep-copies the observable state; callers hold in.mu (or
+// own the instance exclusively, as Instantiate does pre-publication).
 func (in *instance) snapshot() Snapshot {
 	s := Snapshot{
 		ID:          in.id,
@@ -164,6 +164,56 @@ func (in *instance) snapshot() Snapshot {
 			}
 			s.InstBindings[uri] = inner
 		}
+	}
+	return s
+}
+
+// Summary is the lightweight list-view projection of an instance:
+// identity, token position and counts, with no event history, no
+// execution records and no model copy. Building one is O(phases), not
+// O(history) — use it wherever a population is listed.
+type Summary struct {
+	ID            string       `json:"id"`
+	ModelURI      string       `json:"model_uri"`
+	ModelName     string       `json:"model_name"`
+	Resource      resource.Ref `json:"resource"`
+	Owner         string       `json:"owner"`
+	State         State        `json:"state"`
+	Current       string       `json:"current"`
+	CreatedAt     time.Time    `json:"created_at"`
+	CompletedAt   time.Time    `json:"completed_at,omitempty"`
+	NextSuggested []string     `json:"next_suggested"`
+	Phases        []string     `json:"phases"`
+	Events        int          `json:"events"`
+	Executions    int          `json:"executions"`
+	Pending       string       `json:"pending_change,omitempty"`
+	Unresolved    []string     `json:"unresolved,omitempty"`
+}
+
+// summary builds the lightweight projection; callers hold in.mu.
+func (in *instance) summary() Summary {
+	s := Summary{
+		ID:          in.id,
+		ModelURI:    in.modelURI,
+		ModelName:   in.model.Name,
+		Resource:    in.res.Clone(),
+		Owner:       in.owner,
+		State:       in.state,
+		Current:     in.current,
+		CreatedAt:   in.createdAt,
+		CompletedAt: in.completedAt,
+		Phases:      in.model.PhaseIDs(),
+		Events:      len(in.events),
+		Executions:  len(in.execOrder),
+		Unresolved:  append([]string(nil), in.unresolved...),
+	}
+	if in.current == "" {
+		s.NextSuggested = in.model.InitialPhases()
+	} else {
+		s.NextSuggested = in.model.SuggestedFrom(in.current)
+	}
+	if in.pending != nil {
+		s.Pending = in.pending.Summary
 	}
 	return s
 }

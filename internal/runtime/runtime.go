@@ -1,3 +1,50 @@
+// Package runtime implements the run-time module of the Gelee lifecycle
+// manager (§IV.B, §IV.C and Fig. 2): lifecycle instances, human-driven
+// token movement, action dispatch on phase entry, callback handling, and
+// light-coupled model-change propagation.
+//
+// There is deliberately no workflow engine here. "The engine is the
+// human, who executes the lifecycle instances (i.e., moves the tokens
+// from phase to phase) and, while doing so, initiates the execution of
+// actions." The runtime only reacts to externally driven events; it
+// never decides a transition on its own.
+//
+// # Concurrency and locking model
+//
+// The runtime is built for many independent humans advancing many
+// independent instances at once, so there is no runtime-wide lock.
+// State is split across three kinds of locks:
+//
+//   - Shard locks. The instance table is hash-partitioned (instance id
+//     → shard via the shared FNV-1a in internal/shardkey) into
+//     Config.Shards stripes. A shard's RWMutex guards only map
+//     membership — looking up or inserting an *instance pointer. It is
+//     never held across a mutation or a snapshot copy, and instances
+//     are never removed, so a pointer obtained under a shard read-lock
+//     stays valid forever.
+//
+//   - Instance locks. Every instance carries its own mutex guarding
+//     all of its mutable state (token position, state, model, event
+//     history, executions, bindings, pending proposal). All mutation
+//     and all snapshot deep-copies happen under this lock only, so
+//     Advance/Annotate/Report on different instances share no lock at
+//     all.
+//
+//   - Index locks. Secondary indexes — resource URI → instances,
+//     model URI → instances, invocation id → instance — are themselves
+//     striped with their own RWMutexes, so ByResource/ByModelURI and
+//     callback routing are O(matches), not O(all instances).
+//
+// Lock order: an instance lock may be acquired while holding no other
+// lock, and index locks may be acquired while holding an instance
+// lock. Shard and index locks are leaves with respect to each other —
+// no code path holds two of them at once except the read-only Stats
+// walk, and none acquires an instance lock while holding a shard lock.
+// Monotonic counters (instance ids, invocation ids) are atomics.
+//
+// Events observed via Config.Observer are delivered outside every
+// lock; per-instance event order is defined by the Seq stamped under
+// the instance lock, which is gapless and strictly increasing.
 package runtime
 
 import (
@@ -5,10 +52,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/liquidpub/gelee/internal/actionlib"
 	"github.com/liquidpub/gelee/internal/core"
 	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/shardkey"
 	"github.com/liquidpub/gelee/internal/vclock"
 )
 
@@ -48,6 +97,10 @@ func (allowAll) CanFollow(string, string, string) bool { return true }
 // log and the monitor; nil observers are skipped.
 type Observer func(instanceID string, ev Event)
 
+// DefaultShards is the instance-table stripe count when Config.Shards
+// is zero. The same count stripes the secondary indexes.
+const DefaultShards = 16
+
 // Config assembles a Runtime.
 type Config struct {
 	Registry *actionlib.Registry // action types and implementations; required
@@ -62,20 +115,109 @@ type Config struct {
 	// SyncActions makes Advance dispatch actions inline instead of in
 	// goroutines. Order remains deliberately unspecified either way.
 	SyncActions bool
+	// Shards is the instance-table lock-stripe count (0 =
+	// DefaultShards, minimum 1). More shards, less contention.
+	Shards int
+}
+
+// shard is one stripe of the instance table. Its lock guards only map
+// membership; instance state is guarded by each instance's own mutex.
+type shard struct {
+	mu        sync.RWMutex
+	instances map[string]*instance
+}
+
+// uriIndex is a striped secondary index from a URI to the instances
+// carrying it. Entries hold instance pointers so queries never re-hit
+// the instance table.
+type uriIndex struct {
+	shards []*uriIndexShard
+}
+
+type uriIndexShard struct {
+	mu sync.RWMutex
+	m  map[string][]*instance
+}
+
+func newURIIndex(n int) *uriIndex {
+	ix := &uriIndex{shards: make([]*uriIndexShard, n)}
+	for i := range ix.shards {
+		ix.shards[i] = &uriIndexShard{m: make(map[string][]*instance)}
+	}
+	return ix
+}
+
+func (ix *uriIndex) shardFor(uri string) *uriIndexShard {
+	return ix.shards[shardkey.Index(uri, len(ix.shards))]
+}
+
+// add appends in under uri.
+func (ix *uriIndex) add(uri string, in *instance) {
+	sh := ix.shardFor(uri)
+	sh.mu.Lock()
+	sh.m[uri] = append(sh.m[uri], in)
+	sh.mu.Unlock()
+}
+
+// remove drops in from uri's entry (used when an owner switches the
+// model an instance follows).
+func (ix *uriIndex) remove(uri string, in *instance) {
+	sh := ix.shardFor(uri)
+	sh.mu.Lock()
+	list := sh.m[uri]
+	for i, got := range list {
+		if got == in {
+			sh.m[uri] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(sh.m[uri]) == 0 {
+		delete(sh.m, uri)
+	}
+	sh.mu.Unlock()
+}
+
+// get returns a copy of uri's entry so callers iterate without the
+// index lock.
+func (ix *uriIndex) get(uri string) []*instance {
+	sh := ix.shardFor(uri)
+	sh.mu.RLock()
+	out := append([]*instance(nil), sh.m[uri]...)
+	sh.mu.RUnlock()
+	return out
+}
+
+// keys counts distinct URIs across stripes.
+func (ix *uriIndex) keys() int {
+	n := 0
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// invShard is one stripe of the invocation-id → instance index that
+// routes action callbacks.
+type invShard struct {
+	mu sync.RWMutex
+	m  map[string]*instance
 }
 
 // Runtime manages every lifecycle instance of a deployment.
 type Runtime struct {
-	mu        sync.RWMutex
-	cfg       Config
-	clock     vclock.Clock
-	policy    Policy
-	instances map[string]*instance
-	order     []string
-	nextInst  int
-	nextInv   int
-	// invIndex maps invocation id -> instance id for callback routing.
-	invIndex map[string]string
+	cfg    Config
+	clock  vclock.Clock
+	policy Policy
+
+	shards  []*shard    // instance id → stripe
+	inv     []*invShard // invocation id → instance, for callback routing
+	byRes   *uriIndex   // resource URI → instances
+	byModel *uriIndex   // model URI → instances (provenance)
+
+	nextInst atomic.Int64
+	nextInv  atomic.Int64
 	dispatch sync.WaitGroup
 }
 
@@ -92,13 +234,24 @@ func New(cfg Config) (*Runtime, error) {
 	if policy == nil {
 		policy = allowAll{}
 	}
-	return &Runtime{
-		cfg:       cfg,
-		clock:     clock,
-		policy:    policy,
-		instances: make(map[string]*instance),
-		invIndex:  make(map[string]string),
-	}, nil
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	r := &Runtime{
+		cfg:     cfg,
+		clock:   clock,
+		policy:  policy,
+		shards:  make([]*shard, n),
+		inv:     make([]*invShard, n),
+		byRes:   newURIIndex(n),
+		byModel: newURIIndex(n),
+	}
+	for i := 0; i < n; i++ {
+		r.shards[i] = &shard{instances: make(map[string]*instance)}
+		r.inv[i] = &invShard{m: make(map[string]*instance)}
+	}
+	return r, nil
 }
 
 // Errors returned by runtime operations.
@@ -110,13 +263,34 @@ var (
 	ErrAlreadyExists = errors.New("runtime: duplicate")
 )
 
+// shardFor hashes an instance id onto its stripe.
+func (r *Runtime) shardFor(id string) *shard {
+	return r.shards[shardkey.Index(id, len(r.shards))]
+}
+
+// invShardFor hashes an invocation id onto its stripe.
+func (r *Runtime) invShardFor(id string) *invShard {
+	return r.inv[shardkey.Index(id, len(r.inv))]
+}
+
+// lookup resolves an instance pointer. The shard lock is released
+// before the caller takes the instance lock — pointers stay valid
+// because instances are never removed.
+func (r *Runtime) lookup(id string) (*instance, bool) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	in, ok := sh.instances[id]
+	sh.mu.RUnlock()
+	return in, ok
+}
+
 func (r *Runtime) observe(instID string, ev Event) {
 	if r.cfg.Observer != nil {
 		r.cfg.Observer(instID, ev)
 	}
 }
 
-// record appends an event to the instance; callers hold r.mu.
+// record appends an event to the instance; callers hold in.mu.
 func (r *Runtime) record(in *instance, ev Event) Event {
 	ev.Seq = len(in.events) + 1
 	ev.Time = r.clock.Now()
@@ -159,11 +333,10 @@ func (r *Runtime) Instantiate(model *core.Model, ref resource.Ref, owner string,
 		}
 	}
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.nextInst++
+	seq := r.nextInst.Add(1)
 	in := &instance{
-		id:           fmt.Sprintf("li-%06d", r.nextInst),
+		id:           fmt.Sprintf("li-%06d", seq),
+		seq:          seq,
 		model:        model.Clone(),
 		modelURI:     model.URI,
 		res:          ref.Clone(),
@@ -187,11 +360,19 @@ func (r *Runtime) Instantiate(model *core.Model, ref resource.Ref, owner string,
 		}
 	}
 	sort.Strings(in.unresolved)
-	r.instances[in.id] = in
-	r.order = append(r.order, in.id)
+	// Record and snapshot before publication: the instance is still
+	// private, so no lock is needed.
 	ev := r.record(in, Event{Kind: EventCreated, Actor: owner,
 		Detail: fmt.Sprintf("model %q on %s (%s)", in.model.Name, ref.URI, ref.Type)})
 	snap := in.snapshot()
+
+	sh := r.shardFor(in.id)
+	sh.mu.Lock()
+	sh.instances[in.id] = in
+	sh.mu.Unlock()
+	r.byRes.add(in.res.URI, in)
+	r.byModel.add(in.modelURI, in)
+
 	r.observe(in.id, ev)
 	return snap, nil
 }
@@ -218,68 +399,111 @@ func (r *Runtime) specFor(uri string) *actionlib.ActionType {
 
 // Instance returns a snapshot of the instance.
 func (r *Runtime) Instance(id string) (Snapshot, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	in, ok := r.instances[id]
+	in, ok := r.lookup(id)
 	if !ok {
 		return Snapshot{}, false
 	}
-	return in.snapshot(), true
+	in.mu.Lock()
+	snap := in.snapshot()
+	in.mu.Unlock()
+	return snap, true
 }
 
-// Instances returns snapshots of every instance in creation order.
+// collectAll gathers every instance pointer, sorted by creation order.
+// Only shard membership locks are taken, one stripe at a time.
+func (r *Runtime) collectAll() []*instance {
+	var all []*instance
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, in := range sh.instances {
+			all = append(all, in)
+		}
+		sh.mu.RUnlock()
+	}
+	sortBySeq(all)
+	return all
+}
+
+// sortBySeq orders instances by creation sequence; seq is immutable so
+// no lock is needed.
+func sortBySeq(list []*instance) {
+	sort.Slice(list, func(i, j int) bool { return list[i].seq < list[j].seq })
+}
+
+// Instances returns full snapshots of every instance in creation
+// order. Each deep copy is made under that instance's own lock — for
+// dashboards and list views prefer Summaries, which skips the event
+// and execution histories.
 func (r *Runtime) Instances() []Snapshot {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]Snapshot, 0, len(r.order))
-	for _, id := range r.order {
-		out = append(out, r.instances[id].snapshot())
+	all := r.collectAll()
+	out := make([]Snapshot, 0, len(all))
+	for _, in := range all {
+		in.mu.Lock()
+		out = append(out, in.snapshot())
+		in.mu.Unlock()
+	}
+	return out
+}
+
+// Summaries returns a lightweight view of every instance in creation
+// order: identity, token position, state and resource — no event
+// history, no executions, no model copy. This is the cheap path for
+// list endpoints and cockpit overviews over large populations.
+func (r *Runtime) Summaries() []Summary {
+	all := r.collectAll()
+	out := make([]Summary, 0, len(all))
+	for _, in := range all {
+		in.mu.Lock()
+		out = append(out, in.summary())
+		in.mu.Unlock()
+	}
+	return out
+}
+
+// byIndexedURI snapshots the instances an index lists under uri, in
+// creation order. match re-checks the attribute under the instance
+// lock (the model index mutates on owner-initiated switches); a nil
+// match accepts all.
+func (r *Runtime) byIndexedURI(ix *uriIndex, uri string, match func(*instance) bool) []Snapshot {
+	list := ix.get(uri)
+	sortBySeq(list)
+	var out []Snapshot
+	for _, in := range list {
+		in.mu.Lock()
+		if match == nil || match(in) {
+			out = append(out, in.snapshot())
+		}
+		in.mu.Unlock()
 	}
 	return out
 }
 
 // ByResource returns snapshots of every instance running on the given
 // URI — several lifecycles on one URI are explicitly legal (§IV.B).
+// Served from the resource index: O(matches), not O(instances).
 func (r *Runtime) ByResource(uri string) []Snapshot {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	var out []Snapshot
-	for _, id := range r.order {
-		if in := r.instances[id]; in.res.URI == uri {
-			out = append(out, in.snapshot())
-		}
-	}
-	return out
+	return r.byIndexedURI(r.byRes, uri, nil)
 }
 
 // ByModelURI returns snapshots of instances created from the model with
 // the given URI (provenance pointer; the instances own their copies).
+// Served from the model index: O(matches), not O(instances).
 func (r *Runtime) ByModelURI(uri string) []Snapshot {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	var out []Snapshot
-	for _, id := range r.order {
-		if in := r.instances[id]; in.modelURI == uri {
-			out = append(out, in.snapshot())
-		}
-	}
-	return out
+	return r.byIndexedURI(r.byModel, uri, func(in *instance) bool { return in.modelURI == uri })
 }
 
 // Annotate attaches a free-form note to the instance history.
 func (r *Runtime) Annotate(instID, actor, note string) error {
-	r.mu.Lock()
-	in, ok := r.instances[instID]
+	in, ok := r.lookup(instID)
 	if !ok {
-		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, instID)
 	}
 	if !r.policy.CanDrive(actor, instID) {
-		r.mu.Unlock()
 		return fmt.Errorf("%w: %s may not annotate %s", ErrForbidden, actor, instID)
 	}
+	in.mu.Lock()
 	ev := r.record(in, Event{Kind: EventAnnotated, Actor: actor, Detail: note, Phase: in.current})
-	r.mu.Unlock()
+	in.mu.Unlock()
 	r.observe(instID, ev)
 	return nil
 }
@@ -288,16 +512,15 @@ func (r *Runtime) Annotate(instID, actor, note string) error {
 // action after the instance was created ("actions can be configured if
 // necessary", §IV.B). Binding times are enforced.
 func (r *Runtime) BindParams(instID, actor, actionURI string, values map[string]string) error {
-	r.mu.Lock()
-	in, ok := r.instances[instID]
+	in, ok := r.lookup(instID)
 	if !ok {
-		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNotFound, instID)
 	}
 	if !r.policy.CanDrive(actor, instID) {
-		r.mu.Unlock()
 		return fmt.Errorf("%w: %s may not configure %s", ErrForbidden, actor, instID)
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	// Find the call declaration (any phase) to check binding times.
 	var call *core.ActionCall
 	for _, p := range in.model.Phases {
@@ -312,12 +535,10 @@ func (r *Runtime) BindParams(instID, actor, actionURI string, values map[string]
 		}
 	}
 	if call == nil {
-		r.mu.Unlock()
 		return fmt.Errorf("runtime: model of %s references no action %s", instID, actionURI)
 	}
 	spec := r.specFor(actionURI)
 	if err := actionlib.CheckStageBindings(spec, *call, values, actionlib.StageInstantiation); err != nil {
-		r.mu.Unlock()
 		return err
 	}
 	if in.instBindings == nil {
@@ -331,19 +552,18 @@ func (r *Runtime) BindParams(instID, actor, actionURI string, values map[string]
 	for k, v := range values {
 		vals[k] = v
 	}
-	r.mu.Unlock()
 	return nil
 }
 
-// InFlight reports the number of instances with at least one
-// non-terminal action execution; used by tests and the monitor.
+// InFlight reports the number of non-terminal action executions of the
+// instance; used by tests and the monitor.
 func (r *Runtime) InFlight(instID string) int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	in, ok := r.instances[instID]
+	in, ok := r.lookup(instID)
 	if !ok {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	n := 0
 	for _, ex := range in.executions {
 		if !ex.Terminal && ex.DispatchErr == "" {
@@ -351,6 +571,47 @@ func (r *Runtime) InFlight(instID string) int {
 		}
 	}
 	return n
+}
+
+// Stats is the runtime-health payload of GET /api/v1/admin/runtime:
+// shard layout, instance population and secondary-index sizes.
+type Stats struct {
+	// Shards is the configured stripe count.
+	Shards int `json:"shards"`
+	// Instances is the total live instance count.
+	Instances int `json:"instances"`
+	// PerShard lists the instance count of each stripe, in order —
+	// skew here means the id hash is misbehaving.
+	PerShard []int `json:"per_shard"`
+	// Invocations is the size of the invocation→instance callback
+	// routing index (entries are kept for the full audit lifetime).
+	Invocations int `json:"invocation_index"`
+	// ResourceKeys is the number of distinct resource URIs indexed.
+	ResourceKeys int `json:"resource_index_keys"`
+	// ModelKeys is the number of distinct model URIs indexed.
+	ModelKeys int `json:"model_index_keys"`
+}
+
+// RuntimeStats reports shard occupancy and index sizes.
+func (r *Runtime) RuntimeStats() Stats {
+	st := Stats{
+		Shards:   len(r.shards),
+		PerShard: make([]int, len(r.shards)),
+	}
+	for i, sh := range r.shards {
+		sh.mu.RLock()
+		st.PerShard[i] = len(sh.instances)
+		sh.mu.RUnlock()
+		st.Instances += st.PerShard[i]
+	}
+	for _, sh := range r.inv {
+		sh.mu.RLock()
+		st.Invocations += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	st.ResourceKeys = r.byRes.keys()
+	st.ModelKeys = r.byModel.keys()
+	return st
 }
 
 // WaitDispatch blocks until every asynchronous action dispatch launched

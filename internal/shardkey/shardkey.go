@@ -1,0 +1,26 @@
+// Package shardkey is the one hash used to stripe identifier spaces
+// across lock shards — repository keys in internal/store, instance and
+// invocation ids in internal/runtime. It is FNV-1a inlined over the
+// string so that hashing on hot paths (every Get/Put, every token
+// move) costs no allocation, unlike hash/fnv's New32a+Write pair.
+package shardkey
+
+const (
+	offset32 = 2166136261
+	prime32  = 16777619
+)
+
+// Hash returns the 32-bit FNV-1a hash of s. It never allocates.
+func Hash(s string) uint32 {
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// Index maps s onto one of n stripes. n must be positive.
+func Index(s string, n int) int {
+	return int(Hash(s) % uint32(n))
+}

@@ -1,0 +1,51 @@
+package shardkey
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestHashMatchesStdlib pins the inlined loop to hash/fnv: journal
+// replay and shard routing depend on the function staying FNV-1a.
+func TestHashMatchesStdlib(t *testing.T) {
+	cases := []string{"", "a", "li-000001", "inv-000042",
+		"http://wiki.liquidpub.org/pages/D1.1", "模型"}
+	for _, s := range cases {
+		h := fnv.New32a()
+		h.Write([]byte(s))
+		if got, want := Hash(s), h.Sum32(); got != want {
+			t.Errorf("Hash(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestIndexInRange(t *testing.T) {
+	for n := 1; n <= 32; n++ {
+		for i := 0; i < 100; i++ {
+			s := fmt.Sprintf("li-%06d", i)
+			if idx := Index(s, n); idx < 0 || idx >= n {
+				t.Fatalf("Index(%q, %d) = %d out of range", s, n, idx)
+			}
+		}
+	}
+}
+
+func TestIndexSpreads(t *testing.T) {
+	// Sequential instance ids must not all land on one stripe.
+	const n = 16
+	seen := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		seen[Index(fmt.Sprintf("li-%06d", i), n)] = true
+	}
+	if len(seen) < n/2 {
+		t.Fatalf("256 sequential ids hit only %d/%d stripes", len(seen), n)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Hash("li-001234")
+	}
+}

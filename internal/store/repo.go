@@ -3,9 +3,10 @@ package store
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
+
+	"github.com/liquidpub/gelee/internal/shardkey"
 )
 
 // repoShard is one lock stripe of a repository: its own mutex, its own
@@ -50,11 +51,10 @@ func MustRepo[T any](s *Store, name string) *Repo[T] {
 	return r
 }
 
-// shardFor hashes id onto a lock stripe.
+// shardFor hashes id onto a lock stripe. The inlined FNV-1a in
+// shardkey keeps this allocation-free on the per-Get/Put hot path.
 func (r *Repo[T]) shardFor(id string) *repoShard[T] {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return r.shards[h.Sum32()%uint32(len(r.shards))]
+	return r.shards[shardkey.Index(id, len(r.shards))]
 }
 
 // Put stores v under id, overwriting any previous value, and journals
