@@ -7,13 +7,17 @@
 //
 // Usage:
 //
-//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store|runtime]
+//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store|runtime|monitor]
 //	           [-runtime-shards N]
 //
 // The runtime experiment drives disjoint-instance token moves from a
 // growing number of goroutines and compares indexed vs scan-based
 // by-resource queries, then records the measured trajectory in
-// BENCH_runtime.json next to the working directory.
+// BENCH_runtime.json next to the working directory. The monitor
+// experiment measures the copy-free read path — summary-backed cockpit
+// queries and summary-mode Advance vs their snapshot-backed baselines
+// over a 2048-instance × 128-event population — and records the
+// trajectory in BENCH_monitor.json.
 package main
 
 import (
@@ -33,10 +37,12 @@ import (
 	"github.com/liquidpub/gelee"
 	"github.com/liquidpub/gelee/internal/actionlib"
 	"github.com/liquidpub/gelee/internal/core"
+	"github.com/liquidpub/gelee/internal/monitor"
 	"github.com/liquidpub/gelee/internal/resource"
 	rtpkg "github.com/liquidpub/gelee/internal/runtime"
 	"github.com/liquidpub/gelee/internal/scenario"
 	"github.com/liquidpub/gelee/internal/store"
+	"github.com/liquidpub/gelee/internal/vclock"
 	"github.com/liquidpub/gelee/internal/wfengine"
 	"github.com/liquidpub/gelee/internal/xmlcodec"
 )
@@ -61,6 +67,7 @@ func main() {
 		{"liquidpub", "E8 — LiquidPub monitoring at scale", runLiquidPub},
 		{"store", "E9 — group-commit journal vs per-append fsync", runStoreEngine},
 		{"runtime", "E10 — runtime sharding: disjoint-advance scaling, indexed queries", runRuntimeSharding},
+		{"monitor", "E11 — copy-free read path: summary-backed cockpit vs snapshot baseline", runMonitorReadPath},
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -635,3 +642,221 @@ func runRuntimeSharding() error {
 }
 
 func gomaxprocs() int { return runtimego.GOMAXPROCS(0) }
+
+// measure runs fn iters times and reports mean wall clock and mean
+// bytes allocated per call (TotalAlloc delta — a bytes-copied proxy;
+// single-goroutine, so the delta is fn's own).
+func measure(iters int, fn func()) (nsPerOp, bytesPerOp int64) {
+	var before, after runtimego.MemStats
+	runtimego.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtimego.ReadMemStats(&after)
+	return elapsed.Nanoseconds() / int64(iters),
+		int64(after.TotalAlloc-before.TotalAlloc) / int64(iters)
+}
+
+// modePoint is one measured read-path mode.
+type modePoint struct {
+	NsPerOp    int64 `json:"ns_per_op"`
+	BytesPerOp int64 `json:"bytes_per_op"`
+}
+
+// comparison pairs the snapshot-backed baseline with the summary-backed
+// path for one query.
+type comparison struct {
+	Snapshot   modePoint `json:"snapshot_baseline"`
+	Summary    modePoint `json:"summary_backed"`
+	Speedup    float64   `json:"speedup"`
+	BytesRatio float64   `json:"bytes_ratio"`
+}
+
+func compare(snapIters, sumIters int, snap, sum func()) comparison {
+	var c comparison
+	c.Snapshot.NsPerOp, c.Snapshot.BytesPerOp = measure(snapIters, snap)
+	c.Summary.NsPerOp, c.Summary.BytesPerOp = measure(sumIters, sum)
+	if c.Summary.NsPerOp > 0 {
+		c.Speedup = float64(c.Snapshot.NsPerOp) / float64(c.Summary.NsPerOp)
+	}
+	if c.Summary.BytesPerOp > 0 {
+		c.BytesRatio = float64(c.Snapshot.BytesPerOp) / float64(c.Summary.BytesPerOp)
+	}
+	return c
+}
+
+// runMonitorReadPath measures the copy-free read path over the ISSUE's
+// reference population — 2048 instances × 128 events each — comparing
+// the summary-backed cockpit (incremental counters, no history copy)
+// against the snapshot-backed baseline the monitor used before, and
+// snapshot-returning Advance against summary-mode Advance. The
+// baselines below replicate the pre-rewrite cockpit: deep-copy every
+// instance, then rescan events and executions per query.
+func runMonitorReadPath() error {
+	const population = 2048
+	const eventsPerInstance = 128
+
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 9, 0, 0, 0, time.UTC))
+	rt, err := rtpkg.New(rtpkg.Config{
+		Registry:    actionlib.NewRegistry(),
+		Clock:       clock,
+		SyncActions: true,
+	})
+	if err != nil {
+		return err
+	}
+	model := scenario.QualityPlan()
+	ids := make([]string, population)
+	for i := range ids {
+		ref := resource.Ref{URI: fmt.Sprintf("urn:bench:res-%d", i), Type: "mediawiki"}
+		snap, err := rt.Instantiate(model, ref, "owner", nil)
+		if err != nil {
+			return err
+		}
+		ids[i] = snap.ID
+		// created + phase-entered, then annotations up to the target
+		// history length: the cheapest way to a realistic event count.
+		if _, err := rt.Advance(snap.ID, "elaboration", "owner", rtpkg.AdvanceOptions{}); err != nil {
+			return err
+		}
+		for e := 2; e < eventsPerInstance; e++ {
+			if err := rt.Annotate(snap.ID, "owner", "progress note"); err != nil {
+				return err
+			}
+		}
+	}
+	// Day 41: elaboration (due day 30) is overdue, so Late has real work.
+	clock.Advance(41 * 24 * time.Hour)
+	mon := monitor.New(rt, clock)
+
+	report := struct {
+		Experiment        string      `json:"experiment"`
+		Population        int         `json:"population"`
+		EventsPerInstance int         `json:"events_per_instance"`
+		Summarize         comparison  `json:"summarize"`
+		Late              comparison  `json:"late"`
+		Overview          comparison  `json:"overview"`
+		Advance           comparison  `json:"advance"`
+		Stats             rtpkg.Stats `json:"runtime_stats"`
+	}{
+		Experiment:        "monitor-readpath",
+		Population:        rt.Count(),
+		EventsPerInstance: eventsPerInstance,
+	}
+
+	now := clock.Now()
+	report.Summarize = compare(10, 200,
+		func() { snapshotSummarize(rt, now) },
+		func() { mon.Summarize() })
+	report.Late = compare(10, 200,
+		func() { snapshotLate(rt, now) },
+		func() { mon.Late() })
+	report.Overview = compare(10, 200,
+		func() { snapshotOverview(rt, now) },
+		func() { mon.Overview() })
+
+	// Advance response modes, round-robin over the population so each
+	// instance's history stays ≈128 events across the measurement.
+	i := 0
+	report.Advance = compare(2048, 2048,
+		func() {
+			if _, err := rt.Advance(ids[i%population], "elaboration", "owner", rtpkg.AdvanceOptions{}); err != nil {
+				panic(err)
+			}
+			i++
+		},
+		func() {
+			if _, err := rt.AdvanceSummary(ids[i%population], "elaboration", "owner", rtpkg.AdvanceOptions{}); err != nil {
+				panic(err)
+			}
+			i++
+		})
+	report.Stats = rt.RuntimeStats()
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_monitor.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("paper: \"a picture of the status of the lifecycle for each artifact at any given point in time\" (§II.B.4)\n")
+	fmt.Printf("measured (population=%d, ~%d events/instance):\n", report.Population, eventsPerInstance)
+	row := func(name string, c comparison) {
+		fmt.Printf("  %-10s snapshot %8.2fms %8.1fKB/op | summary %8.3fms %8.1fKB/op | %5.1fx faster, %6.1fx fewer bytes\n",
+			name,
+			float64(c.Snapshot.NsPerOp)/1e6, float64(c.Snapshot.BytesPerOp)/1024,
+			float64(c.Summary.NsPerOp)/1e6, float64(c.Summary.BytesPerOp)/1024,
+			c.Speedup, c.BytesRatio)
+	}
+	row("summarize", report.Summarize)
+	row("late", report.Late)
+	row("overview", report.Overview)
+	fmt.Printf("  advance    snapshot %8dns %8.1fKB/op | summary %8dns %8.1fKB/op | %5.1fx faster, %6.1fx fewer bytes\n",
+		report.Advance.Snapshot.NsPerOp, float64(report.Advance.Snapshot.BytesPerOp)/1024,
+		report.Advance.Summary.NsPerOp, float64(report.Advance.Summary.BytesPerOp)/1024,
+		report.Advance.Speedup, report.Advance.BytesRatio)
+	fmt.Printf("  wrote BENCH_monitor.json\n")
+	return nil
+}
+
+// ---- snapshot-backed cockpit baselines (the pre-rewrite algorithms) ----
+
+func snapshotLateRow(s rtpkg.Snapshot, now time.Time) (deviations, failed, pending int) {
+	for _, ev := range s.Events {
+		if ev.Kind == rtpkg.EventPhaseEntered && ev.Deviation {
+			deviations++
+		}
+	}
+	for _, ex := range s.Executions {
+		switch {
+		case ex.Terminal && ex.LastStatus == "failed":
+			failed++
+		case !ex.Terminal:
+			pending++
+		}
+	}
+	return
+}
+
+func snapshotSummarize(rt *rtpkg.Runtime, now time.Time) (total, late, deviations, failed int) {
+	byPhase := make(map[string]int)
+	for _, s := range rt.Instances() {
+		total++
+		if p := s.CurrentPhase(); p != nil {
+			byPhase[p.Name]++
+		}
+		if s.Late(now) {
+			late++
+		}
+		d, f, _ := snapshotLateRow(s, now)
+		deviations += d
+		failed += f
+	}
+	return
+}
+
+func snapshotLate(rt *rtpkg.Runtime, now time.Time) int {
+	n := 0
+	for _, s := range rt.Instances() {
+		if s.Late(now) {
+			d, f, p := snapshotLateRow(s, now)
+			_, _, _ = d, f, p
+			n++
+		}
+	}
+	return n
+}
+
+func snapshotOverview(rt *rtpkg.Runtime, now time.Time) int {
+	n := 0
+	for _, s := range rt.Instances() {
+		d, f, p := snapshotLateRow(s, now)
+		_, _, _ = d, f, p
+		n++
+	}
+	return n
+}

@@ -8,6 +8,7 @@
 //	geleed [-addr :8085] [-data DIR] [-auth] [-seed] [-engine journal|memory]
 //	       [-sync] [-store-shards N] [-runtime-shards N]
 //	       [-journal-flush-interval D] [-journal-flush-batch N]
+//	       [-max-events N] [-invocation-retention D]
 //
 // -data enables persistence (empty = in-memory); -auth enforces the
 // §IV.D roles via the X-Gelee-User header; -seed loads the LiquidPub
@@ -17,8 +18,11 @@
 // repository lock-stripe count, and the flush flags bound the group-
 // commit batching window. -runtime-shards stripes the lifecycle
 // runtime's instance table so token moves on different instances
-// never contend. GET /api/v1/admin/store and /api/v1/admin/runtime
-// report the resulting engine and runtime health.
+// never contend; -max-events ring-truncates each instance's in-memory
+// history (the journal keeps the full record) and -invocation-retention
+// ages terminal callback-routing entries out of the invocation index.
+// GET /api/v1/admin/store and /api/v1/admin/runtime report the
+// resulting engine and runtime health.
 package main
 
 import (
@@ -43,6 +47,8 @@ func main() {
 	rtShards := flag.Int("runtime-shards", 0, "runtime instance-table lock-stripe count (0 = default)")
 	flushInterval := flag.Duration("journal-flush-interval", 0, "group-commit wait to grow a batch (0 = opportunistic)")
 	flushBatch := flag.Int("journal-flush-batch", 0, "max journal entries per group-commit batch (0 = default)")
+	maxEvents := flag.Int("max-events", 0, "max in-memory events per instance, ring-truncated (0 = unbounded)")
+	invRetention := flag.Duration("invocation-retention", 0, "grace window before terminal invocation-index entries are GC'd (0 = keep forever)")
 	flag.Parse()
 
 	sys, err := gelee.New(gelee.Options{
@@ -53,6 +59,8 @@ func main() {
 		JournalFlushInterval: *flushInterval,
 		JournalFlushBatch:    *flushBatch,
 		RuntimeShards:        *rtShards,
+		MaxEventsInMemory:    *maxEvents,
+		InvocationRetention:  *invRetention,
 		Auth:                 *auth,
 		EmbeddedPlugins:      true,
 	})
@@ -65,7 +73,9 @@ func main() {
 		if err := seedLiquidPub(sys); err != nil {
 			log.Fatalf("geleed: seed: %v", err)
 		}
-		log.Printf("seeded LiquidPub demo: %d instances", len(sys.Instances()))
+		// Count sums shard sizes — no per-instance deep copies just to
+		// log a number.
+		log.Printf("seeded LiquidPub demo: %d instances", sys.InstanceCount())
 	}
 
 	stats := sys.StoreStats()

@@ -57,6 +57,14 @@ type (
 	Ref = resource.Ref
 	// Snapshot is the observable state of a lifecycle instance.
 	Snapshot = runtime.Snapshot
+	// Summary is the copy-free list-view projection of an instance:
+	// token position, maintained counters, due-date inputs.
+	Summary = runtime.Summary
+	// MoveResult is the copy-free result of a mutating verb: the
+	// post-move summary plus only the events the call appended.
+	MoveResult = runtime.MoveResult
+	// EventPage is a paged window of an instance's event history.
+	EventPage = runtime.EventPage
 	// AdvanceOptions carries annotation and call-time bindings of a move.
 	AdvanceOptions = runtime.AdvanceOptions
 	// ActionType is a reusable action signature (Table II).
@@ -111,6 +119,16 @@ type Options struct {
 	// count (0 = runtime.DefaultShards). Advances on instances in
 	// different stripes share no lock.
 	RuntimeShards int
+	// MaxEventsInMemory caps each instance's in-memory event history
+	// (0 = unbounded). Old events are ring-truncated once the cap is
+	// exceeded; the journaled execution log keeps the full record, and
+	// cockpit aggregates are unaffected (they come from incremental
+	// counters).
+	MaxEventsInMemory int
+	// InvocationRetention ages invocation→instance callback-routing
+	// entries out of the index once their execution is terminal plus
+	// this grace window (0 = keep forever).
+	InvocationRetention time.Duration
 	// Clock overrides the wall clock (tests, benchmarks).
 	Clock vclock.Clock
 	// Auth enables role enforcement: every mutation requires an actor
@@ -270,13 +288,15 @@ func New(opts Options) (*System, error) {
 		policy = aclPolicy{s.ACL}
 	}
 	rt, err := runtime.New(runtime.Config{
-		Registry:    s.Registry,
-		Invoker:     dispatcher,
-		Clock:       clock,
-		Policy:      policy,
-		SyncActions: opts.SyncActions,
-		Observer:    s.logEvent,
-		Shards:      opts.RuntimeShards,
+		Registry:            s.Registry,
+		Invoker:             dispatcher,
+		Clock:               clock,
+		Policy:              policy,
+		SyncActions:         opts.SyncActions,
+		Observer:            s.logEvent,
+		Shards:              opts.RuntimeShards,
+		MaxEventsInMemory:   opts.MaxEventsInMemory,
+		InvocationRetention: opts.InvocationRetention,
 	})
 	if err != nil {
 		return nil, err
@@ -590,9 +610,17 @@ func (s *System) Instantiate(modelURI string, ref resource.Ref, owner string, bi
 	return snap, nil
 }
 
-// Advance moves the token (see runtime.Runtime.Advance).
+// Advance moves the token and returns a full history snapshot (see
+// runtime.Runtime.Advance). The HTTP tier and other hot callers prefer
+// AdvanceSummary.
 func (s *System) Advance(instID, toPhase, actor string, opts runtime.AdvanceOptions) (runtime.Snapshot, error) {
 	return s.Runtime.Advance(instID, toPhase, actor, opts)
+}
+
+// AdvanceSummary moves the token in the copy-free result mode: the
+// post-move summary plus only the events this move appended.
+func (s *System) AdvanceSummary(instID, toPhase, actor string, opts runtime.AdvanceOptions) (runtime.MoveResult, error) {
+	return s.Runtime.AdvanceSummary(instID, toPhase, actor, opts)
 }
 
 // Annotate attaches a note to the instance history.
@@ -605,15 +633,31 @@ func (s *System) BindParams(instID, actor, actionURI string, values map[string]s
 	return s.Runtime.BindParams(instID, actor, actionURI, values)
 }
 
-// Instance returns a snapshot.
+// Instance returns a snapshot — a full deep copy of the instance's
+// history. For status polls prefer InstanceSummary.
 func (s *System) Instance(id string) (runtime.Snapshot, bool) { return s.Runtime.Instance(id) }
+
+// InstanceSummary returns the copy-free projection of one instance —
+// the path behind SOAP getInstance and status polls.
+func (s *System) InstanceSummary(id string) (runtime.Summary, bool) { return s.Runtime.Summary(id) }
+
+// Events returns a page of one instance's history (Seq > after, at
+// most limit events; limit <= 0 means unbounded) — the path behind
+// GET /api/v1/instances/{id}/timeline.
+func (s *System) Events(id string, after, limit int) (runtime.EventPage, bool) {
+	return s.Runtime.Events(id, after, limit)
+}
 
 // Instances lists every instance with full histories. For list views
 // over large populations prefer Summaries.
 func (s *System) Instances() []runtime.Snapshot { return s.Runtime.Instances() }
 
+// InstanceCount reports the live instance population without copying
+// any instance state.
+func (s *System) InstanceCount() int { return s.Runtime.Count() }
+
 // Summaries lists every instance without copying event histories — the
-// cheap path behind GET /api/v1/instances.
+// cheap path behind GET /api/v1/instances and the cockpit.
 func (s *System) Summaries() []runtime.Summary { return s.Runtime.Summaries() }
 
 // Report delivers an action status callback.
@@ -657,6 +701,12 @@ func (s *System) AcceptChange(instID, actor, landing string) (runtime.Snapshot, 
 	return s.Runtime.AcceptChange(instID, actor, landing)
 }
 
+// AcceptChangeSummary applies a pending change in the copy-free result
+// mode.
+func (s *System) AcceptChangeSummary(instID, actor, landing string) (runtime.MoveResult, error) {
+	return s.Runtime.AcceptChangeSummary(instID, actor, landing)
+}
+
 // RejectChange discards a pending change (owner decision).
 func (s *System) RejectChange(instID, actor, note string) error {
 	return s.Runtime.RejectChange(instID, actor, note)
@@ -666,4 +716,9 @@ func (s *System) RejectChange(instID, actor, note string) error {
 // the resource outright.
 func (s *System) SwitchModel(instID, actor string, m *core.Model, landing string) (runtime.Snapshot, error) {
 	return s.Runtime.SwitchModel(instID, actor, m, landing)
+}
+
+// SwitchModelSummary is SwitchModel in the copy-free result mode.
+func (s *System) SwitchModelSummary(instID, actor string, m *core.Model, landing string) (runtime.MoveResult, error) {
+	return s.Runtime.SwitchModelSummary(instID, actor, m, landing)
 }

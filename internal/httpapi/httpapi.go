@@ -14,11 +14,15 @@
 //	POST /api/v1/actions                  register action type (+impls)
 //	POST /api/v1/instances                instantiate
 //	GET  /api/v1/instances                list (summary view, no histories)
-//	GET  /api/v1/instances/{id}           snapshot
-//	POST /api/v1/instances/{id}/advance   move the token
+//	GET  /api/v1/instances/{id}           snapshot (full history)
+//	GET  /api/v1/instances/{id}/timeline  paged history (?after=S&limit=N)
+//	POST /api/v1/instances/{id}/advance   move the token; responds with the
+//	                                      summary + only the events this move
+//	                                      appended, unless ?full=1
 //	POST /api/v1/instances/{id}/annotations
 //	POST /api/v1/instances/{id}/bindings  inst-stage parameter values
 //	POST /api/v1/instances/{id}/migrate   accept/reject a pending change
+//	                                      (accept honors ?full=1 like advance)
 //	POST /api/v1/callbacks/{inv}          action status callback (no auth)
 //	GET  /api/v1/admin/store              data-tier engine stats
 //	GET  /api/v1/admin/runtime            runtime shard/index stats
@@ -40,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"github.com/liquidpub/gelee/internal/actionlib"
@@ -69,11 +74,14 @@ type Backend interface {
 
 	Instantiate(modelURI string, ref resource.Ref, owner string, bindings map[string]map[string]string) (runtime.Snapshot, error)
 	Advance(instID, toPhase, actor string, opts runtime.AdvanceOptions) (runtime.Snapshot, error)
+	AdvanceSummary(instID, toPhase, actor string, opts runtime.AdvanceOptions) (runtime.MoveResult, error)
 	Annotate(instID, actor, note string) error
 	BindParams(instID, actor, actionURI string, values map[string]string) error
 	AcceptChange(instID, actor, landing string) (runtime.Snapshot, error)
+	AcceptChangeSummary(instID, actor, landing string) (runtime.MoveResult, error)
 	RejectChange(instID, actor, note string) error
 	Instance(id string) (runtime.Snapshot, bool)
+	InstanceSummary(id string) (runtime.Summary, bool)
 	Instances() []runtime.Snapshot
 	Summaries() []runtime.Summary
 	Report(up actionlib.StatusUpdate) error
@@ -126,6 +134,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/instances", s.authed(s.handleInstantiate))
 	s.mux.HandleFunc("GET /api/v1/instances", s.handleListInstances)
 	s.mux.HandleFunc("GET /api/v1/instances/{id}", s.handleGetInstance)
+	s.mux.HandleFunc("GET /api/v1/instances/{id}/timeline", s.handleInstanceTimeline)
 	s.mux.HandleFunc("POST /api/v1/instances/{id}/advance", s.authed(s.handleAdvance))
 	s.mux.HandleFunc("POST /api/v1/instances/{id}/annotations", s.authed(s.handleAnnotate))
 	s.mux.HandleFunc("POST /api/v1/instances/{id}/bindings", s.authed(s.handleBind))
@@ -292,6 +301,19 @@ func toSummaryPayload(sum runtime.Summary) instancePayload {
 	p.Resource.Credentials = nil // never leak credentials over the API
 	return p
 }
+
+// toMovePayload maps a copy-free move result onto the instance wire
+// shape: the summary fields plus only the events the move appended (the
+// executions list is available via GET /instances/{id} or ?full=1).
+func toMovePayload(res runtime.MoveResult) instancePayload {
+	p := toSummaryPayload(res.Summary)
+	p.Events = res.Events
+	return p
+}
+
+// wantFull reports the ?full=1 escape hatch back to the snapshot-backed
+// response shape.
+func wantFull(r *http.Request) bool { return r.URL.Query().Get("full") == "1" }
 
 // ---- design-time handlers ------------------------------------------------------
 
@@ -465,15 +487,28 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	snap, err := s.b.Advance(r.PathValue("id"), req.To, s.user(r), runtime.AdvanceOptions{
+	opts := runtime.AdvanceOptions{
 		Annotation:   req.Annotation,
 		CallBindings: req.Bindings,
-	})
+	}
+	// Default response is the copy-free mode: the post-move summary plus
+	// only the events this move appended. ?full=1 restores the full
+	// history snapshot.
+	if wantFull(r) {
+		snap, err := s.b.Advance(r.PathValue("id"), req.To, s.user(r), opts)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toInstancePayload(snap, true))
+		return
+	}
+	res, err := s.b.AdvanceSummary(r.PathValue("id"), req.To, s.user(r), opts)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toInstancePayload(snap, true))
+	writeJSON(w, http.StatusOK, toMovePayload(res))
 }
 
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
@@ -519,12 +554,21 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	}
 	switch req.Decision {
 	case "accept":
-		snap, err := s.b.AcceptChange(r.PathValue("id"), s.user(r), req.Landing)
+		if wantFull(r) {
+			snap, err := s.b.AcceptChange(r.PathValue("id"), s.user(r), req.Landing)
+			if err != nil {
+				writeError(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, http.StatusOK, toInstancePayload(snap, true))
+			return
+		}
+		res, err := s.b.AcceptChangeSummary(r.PathValue("id"), s.user(r), req.Landing)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, toInstancePayload(snap, true))
+		writeJSON(w, http.StatusOK, toMovePayload(res))
 	case "reject":
 		if err := s.b.RejectChange(r.PathValue("id"), s.user(r), req.Note); err != nil {
 			writeError(w, statusFor(err), err)
@@ -586,6 +630,46 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, tl)
+}
+
+// handleInstanceTimeline serves the paged history window:
+// ?after=<seq> resumes past a cursor, ?limit=<n> bounds the page. It is
+// backed by the runtime's event window, so it copies only the page —
+// no execution slice, no model — and reports when ring truncation cut
+// the requested range.
+func (s *Server) handleInstanceTimeline(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	after, err := queryInt(q.Get("after"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad after: %w", err))
+		return
+	}
+	limit, err := queryInt(q.Get("limit"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit: %w", err))
+		return
+	}
+	page, ok := s.b.Monitor().TimelinePage(r.PathValue("id"), after, limit)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// queryInt parses an optional non-negative integer query value.
+func queryInt(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("must be >= 0, got %d", n)
+	}
+	return n, nil
 }
 
 // ---- widget handlers ----------------------------------------------------------

@@ -369,6 +369,141 @@ func TestCallbackEndpoint(t *testing.T) {
 	resp.Body.Close()
 }
 
+// TestAdvanceResponseModes pins the copy-free default of the advance
+// endpoint — summary fields plus only the appended events — and the
+// ?full=1 escape back to the full history snapshot.
+func TestAdvanceResponseModes(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "o", "x")
+	snap, _ := e.sys.Instantiate(model.URI, gelee.Ref{URI: "http://wiki/D1.1", Type: "mediawiki"}, "owner", nil)
+	e.sys.Advance(snap.ID, "elaboration", "owner", gelee.AdvanceOptions{})
+
+	type advResp struct {
+		instanceJSON
+		Events []struct {
+			Seq  int    `json:"seq"`
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+
+	// Default: summary mode. internalreview dispatches two actions, so
+	// this move appends phase-entered + two action events — and nothing
+	// from the prior history.
+	var out advResp
+	if code := e.call(t, "POST", "/api/v1/instances/"+snap.ID+"/advance", "owner",
+		map[string]any{"to": "internalreview"}, &out); code != 200 {
+		t.Fatalf("advance = %d", code)
+	}
+	if out.Current != "internalreview" || out.State != "active" {
+		t.Fatalf("summary response = %+v", out.instanceJSON)
+	}
+	if len(out.Executions) != 0 {
+		t.Fatalf("summary mode carried %d executions", len(out.Executions))
+	}
+	if len(out.Events) != 3 {
+		t.Fatalf("appended events = %d, want 3 (phase-entered + 2 actions)", len(out.Events))
+	}
+	if out.Events[0].Kind != "phase-entered" {
+		t.Fatalf("first appended = %+v", out.Events[0])
+	}
+	// Seqs continue the instance history (created + phase-entered came
+	// before), proving these are EventsSince(pre-move seq).
+	if out.Events[0].Seq != 3 {
+		t.Fatalf("first appended seq = %d", out.Events[0].Seq)
+	}
+
+	// ?full=1: the old shape, full history and executions.
+	var full advResp
+	if code := e.call(t, "POST", "/api/v1/instances/"+snap.ID+"/advance?full=1", "owner",
+		map[string]any{"to": "finalassembly"}, &full); code != 200 {
+		t.Fatalf("advance full = %d", code)
+	}
+	if len(full.Executions) == 0 {
+		t.Fatal("full mode lost executions")
+	}
+	if len(full.Events) < 6 || full.Events[0].Seq != 1 {
+		t.Fatalf("full mode events = %d starting at %d", len(full.Events), full.Events[0].Seq)
+	}
+}
+
+func TestInstanceTimelinePaging(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "o", "x")
+	snap, _ := e.sys.Instantiate(model.URI, gelee.Ref{URI: "http://wiki/D1.1", Type: "mediawiki"}, "owner", nil)
+	e.sys.Advance(snap.ID, "elaboration", "owner", gelee.AdvanceOptions{})
+	for i := 0; i < 8; i++ {
+		e.sys.Annotate(snap.ID, "owner", "note")
+	}
+
+	type pageResp struct {
+		Entries []struct {
+			Seq int `json:"seq"`
+		} `json:"entries"`
+		Total     int  `json:"total"`
+		OldestSeq int  `json:"oldest_seq"`
+		Truncated bool `json:"truncated"`
+		NextAfter int  `json:"next_after"`
+	}
+	var page pageResp
+	if code := e.call(t, "GET", "/api/v1/instances/"+snap.ID+"/timeline?after=2&limit=3", "", nil, &page); code != 200 {
+		t.Fatalf("timeline = %d", code)
+	}
+	if page.Total != 10 || len(page.Entries) != 3 || page.Entries[0].Seq != 3 || page.NextAfter != 5 {
+		t.Fatalf("page = %+v", page)
+	}
+	// Defaults: whole history.
+	page = pageResp{}
+	e.call(t, "GET", "/api/v1/instances/"+snap.ID+"/timeline", "", nil, &page)
+	if len(page.Entries) != 10 || page.NextAfter != 0 || page.Truncated {
+		t.Fatalf("full page = %+v", page)
+	}
+	// Past the tail.
+	page = pageResp{}
+	e.call(t, "GET", "/api/v1/instances/"+snap.ID+"/timeline?after=50", "", nil, &page)
+	if len(page.Entries) != 0 || page.Total != 10 {
+		t.Fatalf("past-tail page = %+v", page)
+	}
+	// Errors: bad params and a missing instance.
+	if code := e.call(t, "GET", "/api/v1/instances/"+snap.ID+"/timeline?after=-1", "", nil, nil); code != 400 {
+		t.Fatalf("negative after = %d", code)
+	}
+	if code := e.call(t, "GET", "/api/v1/instances/"+snap.ID+"/timeline?limit=x", "", nil, nil); code != 400 {
+		t.Fatalf("bad limit = %d", code)
+	}
+	if code := e.call(t, "GET", "/api/v1/instances/ghost/timeline", "", nil, nil); code != 404 {
+		t.Fatalf("ghost timeline = %d", code)
+	}
+}
+
+func TestAdminRuntimeReadPathCounters(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "o", "x")
+	snap, _ := e.sys.Instantiate(model.URI, gelee.Ref{URI: "http://wiki/D1.1", Type: "mediawiki"}, "owner", nil)
+	e.sys.Advance(snap.ID, "elaboration", "owner", gelee.AdvanceOptions{})
+
+	var stats struct {
+		EventsInMemory  int64 `json:"events_in_memory"`
+		EventsTruncated int64 `json:"events_truncated"`
+		InvocationsGCed int64 `json:"invocation_index_gced"`
+	}
+	if code := e.call(t, "GET", "/api/v1/admin/runtime", "", nil, &stats); code != 200 {
+		t.Fatalf("admin runtime = %d", code)
+	}
+	if stats.EventsInMemory < 2 {
+		t.Fatalf("events_in_memory = %d", stats.EventsInMemory)
+	}
+	if stats.EventsTruncated != 0 || stats.InvocationsGCed != 0 {
+		t.Fatalf("truncated=%d gced=%d on a fresh untruncated system",
+			stats.EventsTruncated, stats.InvocationsGCed)
+	}
+}
+
 func TestMonitorEndpoints(t *testing.T) {
 	e := newEnv(t, false)
 	model := scenario.QualityPlan()

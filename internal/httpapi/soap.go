@@ -59,13 +59,16 @@ type soapFault struct {
 	String string `xml:"faultstring"`
 }
 
-func toSOAPInstance(s runtime.Snapshot) *soapInstance {
+// toSOAPInstance builds the wire view from the lightweight summary:
+// SOAP clients only poll identity, state and suggested moves, so the
+// runtime never deep-copies a history for them.
+func toSOAPInstance(s runtime.Summary) *soapInstance {
 	return &soapInstance{
 		ID:        s.ID,
-		ModelName: s.Model.Name,
+		ModelName: s.ModelName,
 		State:     string(s.State),
 		Current:   s.Current,
-		Suggested: s.NextSuggested(),
+		Suggested: s.NextSuggested,
 	}
 }
 
@@ -107,19 +110,19 @@ func (s *Server) handleSOAP(w http.ResponseWriter, r *http.Request) {
 			soapFaultOut(w, "soap:Client", "missing or unknown actor")
 			return
 		}
-		snap, err := s.b.Advance(op.InstanceID, op.To, actor, runtime.AdvanceOptions{Annotation: op.Annotation})
+		res, err := s.b.AdvanceSummary(op.InstanceID, op.To, actor, runtime.AdvanceOptions{Annotation: op.Annotation})
 		if err != nil {
 			soapFaultOut(w, "soap:Server", err.Error())
 			return
 		}
-		writeSOAP(w, http.StatusOK, soapBodyOut{Instance: toSOAPInstance(snap)})
+		writeSOAP(w, http.StatusOK, soapBodyOut{Instance: toSOAPInstance(res.Summary)})
 	case env.Body.GetInstance != nil:
-		snap, ok := s.b.Instance(env.Body.GetInstance.InstanceID)
+		sum, ok := s.b.InstanceSummary(env.Body.GetInstance.InstanceID)
 		if !ok {
 			soapFaultOut(w, "soap:Server", "no such instance")
 			return
 		}
-		writeSOAP(w, http.StatusOK, soapBodyOut{Instance: toSOAPInstance(snap)})
+		writeSOAP(w, http.StatusOK, soapBodyOut{Instance: toSOAPInstance(sum)})
 	default:
 		soapFaultOut(w, "soap:Client", "unknown operation (want advance or getInstance)")
 	}

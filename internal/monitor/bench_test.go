@@ -1,0 +1,208 @@
+package monitor
+
+// Benchmarks for the summary-backed cockpit over the ISSUE's reference
+// population: 2048 instances × 128 events each. The *SnapshotBaseline
+// variants replicate the pre-rewrite algorithms (deep-copy every
+// instance via Instances(), rescan events and executions per query) so
+// the committed BENCH_monitor.json trajectory and local runs can
+// compare like for like. The population is built once and shared.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/runtime"
+	"github.com/liquidpub/gelee/internal/scenario"
+	"github.com/liquidpub/gelee/internal/vclock"
+)
+
+const (
+	benchPopulation = 2048
+	benchEvents     = 128
+)
+
+var benchOnce struct {
+	sync.Once
+	rt    *runtime.Runtime
+	mon   *Monitor
+	clock *vclock.Fake
+	err   error
+}
+
+// benchEnv lazily builds the shared 2048×128 population: every instance
+// advanced into elaboration (due day 30) and annotated up to 128 events,
+// with the clock at day 41 so the Late view has real work to do.
+func benchEnv(b *testing.B) (*runtime.Runtime, *Monitor, *vclock.Fake) {
+	b.Helper()
+	benchOnce.Do(func() {
+		clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
+		rt, err := runtime.New(runtime.Config{
+			Registry:    actionlib.NewRegistry(),
+			Invoker:     runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+			Clock:       clock,
+			SyncActions: true,
+		})
+		if err != nil {
+			benchOnce.err = err
+			return
+		}
+		model := scenario.QualityPlan()
+		for i := 0; i < benchPopulation; i++ {
+			ref := resource.Ref{URI: fmt.Sprintf("urn:bench:res-%d", i), Type: "mediawiki"}
+			snap, err := rt.Instantiate(model, ref, "owner", nil)
+			if err != nil {
+				benchOnce.err = err
+				return
+			}
+			if _, err := rt.Advance(snap.ID, "elaboration", "owner", runtime.AdvanceOptions{}); err != nil {
+				benchOnce.err = err
+				return
+			}
+			for e := 2; e < benchEvents; e++ {
+				if err := rt.Annotate(snap.ID, "owner", "note"); err != nil {
+					benchOnce.err = err
+					return
+				}
+			}
+		}
+		clock.Advance(41 * 24 * time.Hour)
+		benchOnce.rt = rt
+		benchOnce.clock = clock
+		benchOnce.mon = New(rt, clock)
+	})
+	if benchOnce.err != nil {
+		b.Fatal(benchOnce.err)
+	}
+	return benchOnce.rt, benchOnce.mon, benchOnce.clock
+}
+
+func BenchmarkMonitorSummarize(b *testing.B) {
+	_, mon, _ := benchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := mon.Summarize()
+		if sum.Total != benchPopulation {
+			b.Fatalf("total = %d", sum.Total)
+		}
+	}
+}
+
+func BenchmarkMonitorLate(b *testing.B) {
+	_, mon, _ := benchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		late := mon.Late()
+		if len(late) != benchPopulation {
+			b.Fatalf("late = %d", len(late))
+		}
+	}
+}
+
+func BenchmarkMonitorOverview(b *testing.B) {
+	_, mon, _ := benchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := mon.Overview()
+		if len(rows) != benchPopulation {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// snapshotRowCounts is the pre-rewrite per-row work: scan the deep-
+// copied history and executions for the counters.
+func snapshotRowCounts(s runtime.Snapshot) (dev, failed, pending int) {
+	for _, ev := range s.Events {
+		if ev.Kind == runtime.EventPhaseEntered && ev.Deviation {
+			dev++
+		}
+	}
+	for _, ex := range s.Executions {
+		switch {
+		case ex.Terminal && ex.LastStatus == "failed":
+			failed++
+		case !ex.Terminal:
+			pending++
+		}
+	}
+	return
+}
+
+func BenchmarkMonitorSummarizeSnapshotBaseline(b *testing.B) {
+	rt, _, clock := benchEnv(b)
+	now := clock.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total, late, deviations, failed := 0, 0, 0, 0
+		byPhase := make(map[string]int)
+		for _, s := range rt.Instances() {
+			total++
+			if p := s.CurrentPhase(); p != nil {
+				byPhase[p.Name]++
+			}
+			if s.Late(now) {
+				late++
+			}
+			d, f, _ := snapshotRowCounts(s)
+			deviations += d
+			failed += f
+		}
+		if total != benchPopulation || late != benchPopulation {
+			b.Fatalf("total=%d late=%d", total, late)
+		}
+		_, _ = deviations, failed
+	}
+}
+
+func BenchmarkMonitorLateSnapshotBaseline(b *testing.B) {
+	rt, _, clock := benchEnv(b)
+	now := clock.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, s := range rt.Instances() {
+			if s.Late(now) {
+				snapshotRowCounts(s)
+				n++
+			}
+		}
+		if n != benchPopulation {
+			b.Fatalf("late = %d", n)
+		}
+	}
+}
+
+// BenchmarkTimelinePage measures the paged drill-down against the full
+// timeline read.
+func BenchmarkTimelinePage(b *testing.B) {
+	rt, mon, _ := benchEnv(b)
+	sums := rt.Summaries()
+	id := sums[0].ID
+	b.Run("page-32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			page, ok := mon.TimelinePage(id, 64, 32)
+			if !ok || len(page.Entries) != 32 {
+				b.Fatalf("page = %d entries", len(page.Entries))
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tl, ok := mon.Timeline(id)
+			if !ok || len(tl) != benchEvents {
+				b.Fatalf("timeline = %d entries", len(tl))
+			}
+		}
+	})
+}

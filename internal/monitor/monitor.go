@@ -4,8 +4,17 @@
 // requirements directly: which artifacts are in a given status, which
 // are late, and what happened to each one, at any point in time.
 //
-// The monitor is a pure read-side component: it queries runtime
-// snapshots and derives aggregates; it never mutates lifecycle state.
+// The monitor is a pure read-side component; it never mutates lifecycle
+// state. Since the summary-backed rewrite it is also copy-free on the
+// population-wide views: Overview, Late and Summarize are built from
+// runtime.Summary projections — incrementally maintained counters
+// (deviations, failed steps, pending invocations), token position and
+// the current phase's resolved due date — so a cockpit query is
+// O(population) with small constants, never O(total history), and never
+// deep-copies an event slice, an execution slice or a model. Only the
+// per-instance drill-downs still read history: Timeline pages straight
+// from the runtime's event window (runtime.Events), and PhaseStats
+// replays one instance's retained phase-entered events from a snapshot.
 package monitor
 
 import (
@@ -16,10 +25,13 @@ import (
 	"github.com/liquidpub/gelee/internal/vclock"
 )
 
-// Source supplies instance snapshots — satisfied by *runtime.Runtime.
+// Source supplies instance projections — satisfied by *runtime.Runtime.
+// Summaries feeds the population views; Instance (full snapshot) and
+// Events (paged history window) feed the per-instance drill-downs.
 type Source interface {
-	Instances() []runtime.Snapshot
+	Summaries() []runtime.Summary
 	Instance(id string) (runtime.Snapshot, bool)
+	Events(id string, after, limit int) (runtime.EventPage, bool)
 }
 
 // Monitor is the cockpit query engine.
@@ -55,39 +67,27 @@ type Row struct {
 	HasProposal  bool      `json:"has_proposal"`
 }
 
-func (m *Monitor) row(s runtime.Snapshot, now time.Time) Row {
+// row builds a cockpit line from the summary's maintained counters —
+// no event scan, no execution scan.
+func row(s runtime.Summary, now time.Time) Row {
 	r := Row{
 		InstanceID:   s.ID,
-		ModelName:    s.Model.Name,
+		ModelName:    s.ModelName,
 		ResourceURI:  s.Resource.URI,
 		ResourceType: s.Resource.Type,
 		Owner:        s.Owner,
 		Phase:        s.Current,
+		PhaseName:    s.PhaseName,
 		State:        string(s.State),
-		HasProposal:  s.Pending != nil,
-	}
-	if p := s.CurrentPhase(); p != nil {
-		r.PhaseName = p.Name
-	}
-	if s.Current != "" {
-		r.Due = s.DueAt(s.Current)
+		Due:          s.Due,
+		Deviations:   s.Deviations,
+		FailedSteps:  s.FailedSteps,
+		PendingInvs:  s.PendingInvocations,
+		HasProposal:  s.Pending != "",
 	}
 	if s.Late(now) {
 		r.Late = true
-		r.LateBy = now.Sub(r.Due).Round(time.Minute).String()
-	}
-	for _, ev := range s.Events {
-		if ev.Kind == runtime.EventPhaseEntered && ev.Deviation {
-			r.Deviations++
-		}
-	}
-	for _, ex := range s.Executions {
-		switch {
-		case ex.Terminal && ex.LastStatus == "failed":
-			r.FailedSteps++
-		case !ex.Terminal:
-			r.PendingInvs++
-		}
+		r.LateBy = now.Sub(s.Due).Round(time.Minute).String()
 	}
 	return r
 }
@@ -95,10 +95,10 @@ func (m *Monitor) row(s runtime.Snapshot, now time.Time) Row {
 // Overview returns one row per instance, in creation order.
 func (m *Monitor) Overview() []Row {
 	now := m.clock.Now()
-	snaps := m.src.Instances()
-	rows := make([]Row, len(snaps))
-	for i, s := range snaps {
-		rows[i] = m.row(s, now)
+	sums := m.src.Summaries()
+	rows := make([]Row, len(sums))
+	for i, s := range sums {
+		rows[i] = row(s, now)
 	}
 	return rows
 }
@@ -107,10 +107,14 @@ func (m *Monitor) Overview() []Row {
 // first — requirement §II.B.4: "with particular attention to delays".
 func (m *Monitor) Late() []Row {
 	now := m.clock.Now()
-	var rows []Row
-	for _, s := range m.src.Instances() {
+	sums := m.src.Summaries()
+	// Preallocated at the population bound: late rows are often most of
+	// the population when anyone asks, and append-doubling would copy
+	// the row slice log(n) times.
+	rows := make([]Row, 0, len(sums))
+	for _, s := range sums {
 		if s.Late(now) {
-			rows = append(rows, m.row(s, now))
+			rows = append(rows, row(s, now))
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Due.Before(rows[j].Due) })
@@ -133,11 +137,13 @@ type Summary struct {
 
 // Summarize computes the aggregate over every instance — the "picture of
 // the status of the lifecycle for each artifact at any given point in
-// time" (§II.B.4).
+// time" (§II.B.4). Every number comes from the summaries' maintained
+// counters, so the cost is independent of history length and unaffected
+// by event-history truncation.
 func (m *Monitor) Summarize() Summary {
 	now := m.clock.Now()
 	sum := Summary{ByPhase: make(map[string]int), ByModel: make(map[string]int)}
-	for _, s := range m.src.Instances() {
+	for _, s := range m.src.Summaries() {
 		sum.Total++
 		switch s.State {
 		case runtime.StateActive:
@@ -148,24 +154,20 @@ func (m *Monitor) Summarize() Summary {
 		if s.Current == "" {
 			sum.NotStarted++
 			sum.ByPhase["(not started)"]++
-		} else if p := s.CurrentPhase(); p != nil {
-			sum.ByPhase[p.Name]++
+		} else if s.PhaseName != "" {
+			sum.ByPhase[s.PhaseName]++
+		} else {
+			// Unnamed phases are legal (core only warns); key on the id
+			// so every started instance appears in the breakdown.
+			sum.ByPhase[s.Current]++
 		}
-		sum.ByModel[s.Model.Name]++
+		sum.ByModel[s.ModelName]++
 		if s.Late(now) {
 			sum.Late++
 		}
-		for _, ev := range s.Events {
-			if ev.Kind == runtime.EventPhaseEntered && ev.Deviation {
-				sum.Deviations++
-			}
-		}
-		for _, ex := range s.Executions {
-			if ex.Terminal && ex.LastStatus == "failed" {
-				sum.Failed++
-			}
-		}
-		if s.Pending != nil {
+		sum.Deviations += s.Deviations
+		sum.Failed += s.FailedSteps
+		if s.Pending != "" {
 			sum.Proposals++
 		}
 	}
@@ -184,19 +186,60 @@ type TimelineEntry struct {
 	Status    string    `json:"status,omitempty"`
 }
 
-// Timeline returns the instance history in order, or false when the
-// instance does not exist.
-func (m *Monitor) Timeline(instanceID string) ([]TimelineEntry, bool) {
-	s, ok := m.src.Instance(instanceID)
-	if !ok {
-		return nil, false
-	}
-	out := make([]TimelineEntry, len(s.Events))
-	for i, ev := range s.Events {
+func toEntries(evs []runtime.Event) []TimelineEntry {
+	out := make([]TimelineEntry, len(evs))
+	for i, ev := range evs {
 		out[i] = TimelineEntry{
 			Seq: ev.Seq, Time: ev.Time, Kind: string(ev.Kind), Actor: ev.Actor,
 			Phase: ev.Phase, Detail: ev.Detail, Deviation: ev.Deviation, Status: ev.Status,
 		}
+	}
+	return out
+}
+
+// Timeline returns the instance's full retained history in order, or
+// false when the instance does not exist. For large histories prefer
+// TimelinePage.
+func (m *Monitor) Timeline(instanceID string) ([]TimelineEntry, bool) {
+	page, ok := m.src.Events(instanceID, 0, 0)
+	if !ok {
+		return nil, false
+	}
+	return toEntries(page.Events), true
+}
+
+// TimelinePage is one window of an instance's history view.
+type TimelinePage struct {
+	Entries []TimelineEntry `json:"entries"`
+	// Total is the number of events ever recorded on the instance.
+	Total int `json:"total"`
+	// OldestSeq is the oldest seq still in memory (1 unless truncated,
+	// 0 when the instance has no events).
+	OldestSeq int `json:"oldest_seq"`
+	// Truncated reports that the requested range began before OldestSeq;
+	// the page then starts at the oldest retained event.
+	Truncated bool `json:"truncated"`
+	// NextAfter is the cursor for the following page (pass it as
+	// `after`); 0 when this page reaches the tail.
+	NextAfter int `json:"next_after,omitempty"`
+}
+
+// TimelinePage returns the history window with Seq > after, at most
+// limit entries (limit <= 0 means no bound), paged straight from the
+// runtime's event window — no execution copy, no model copy.
+func (m *Monitor) TimelinePage(instanceID string, after, limit int) (TimelinePage, bool) {
+	page, ok := m.src.Events(instanceID, after, limit)
+	if !ok {
+		return TimelinePage{}, false
+	}
+	out := TimelinePage{
+		Entries:   toEntries(page.Events),
+		Total:     page.Total,
+		OldestSeq: page.OldestSeq,
+		Truncated: page.Truncated,
+	}
+	if n := len(page.Events); n > 0 && page.Events[n-1].Seq < page.Total {
+		out.NextAfter = page.Events[n-1].Seq
 	}
 	return out, true
 }
@@ -204,7 +247,10 @@ func (m *Monitor) Timeline(instanceID string) ([]TimelineEntry, bool) {
 // PhaseStats measures time spent per phase for one instance: entered
 // count and cumulative residence time (ongoing residence counts up to
 // now). Monitoring is a first-class purpose of empty phases (§IV.A), so
-// residency is computed purely from phase-entered events.
+// residency is computed purely from phase-entered events. This is a
+// per-instance drill-down over the retained snapshot history; residence
+// accrued in ring-truncated events is not recoverable here (the
+// journaled execution log keeps the full record).
 func (m *Monitor) PhaseStats(instanceID string) (map[string]time.Duration, bool) {
 	s, ok := m.src.Instance(instanceID)
 	if !ok {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/core"
 	"github.com/liquidpub/gelee/internal/resource"
 	"github.com/liquidpub/gelee/internal/runtime"
 	"github.com/liquidpub/gelee/internal/scenario"
@@ -246,6 +247,156 @@ func TestLiquidPubScale(t *testing.T) {
 	}
 	if len(e.mon.Overview()) != 35 {
 		t.Fatal("overview row count mismatch")
+	}
+}
+
+func TestTimelinePagePaging(t *testing.T) {
+	e := newEnv(t)
+	snaps := e.seed(t, 1)
+	id := snaps[0].ID
+	e.rt.Advance(id, "elaboration", snaps[0].Owner, runtime.AdvanceOptions{})
+	for i := 0; i < 8; i++ {
+		e.rt.Annotate(id, snaps[0].Owner, "note")
+	}
+	// created + phase-entered + 8 annotations = 10 events.
+	page, ok := e.mon.TimelinePage(id, 0, 4)
+	if !ok {
+		t.Fatal("page missing")
+	}
+	if len(page.Entries) != 4 || page.Total != 10 || page.OldestSeq != 1 || page.Truncated {
+		t.Fatalf("page = %+v", page)
+	}
+	if page.NextAfter != 4 {
+		t.Fatalf("next_after = %d", page.NextAfter)
+	}
+	// Follow the cursor to the tail.
+	var got []TimelineEntry
+	got = append(got, page.Entries...)
+	for page.NextAfter != 0 {
+		page, _ = e.mon.TimelinePage(id, page.NextAfter, 4)
+		got = append(got, page.Entries...)
+	}
+	if len(got) != 10 {
+		t.Fatalf("cursor walk collected %d entries", len(got))
+	}
+	for i, en := range got {
+		if en.Seq != i+1 {
+			t.Fatalf("entry %d has seq %d", i, en.Seq)
+		}
+	}
+	// Beyond the tail: empty page, no cursor.
+	page, _ = e.mon.TimelinePage(id, 99, 4)
+	if len(page.Entries) != 0 || page.NextAfter != 0 {
+		t.Fatalf("past-tail page = %+v", page)
+	}
+	// limit <= 0 returns the remainder.
+	page, _ = e.mon.TimelinePage(id, 6, 0)
+	if len(page.Entries) != 4 || page.Entries[0].Seq != 7 {
+		t.Fatalf("unbounded page = %+v", page.Entries)
+	}
+	if _, ok := e.mon.TimelinePage("ghost", 0, 0); ok {
+		t.Fatal("page for missing instance")
+	}
+}
+
+func TestTimelinePageTruncatedPrefix(t *testing.T) {
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
+	rt, err := runtime.New(runtime.Config{
+		Registry:          actionlib.NewRegistry(),
+		Invoker:           runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+		Clock:             clock,
+		SyncActions:       true,
+		MaxEventsInMemory: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := New(rt, clock)
+	snap, err := rt.Instantiate(scenario.QualityPlan(),
+		resource.Ref{URI: "urn:t:1", Type: "mediawiki"}, "owner", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		rt.Annotate(snap.ID, "owner", "note")
+	}
+	page, ok := mon.TimelinePage(snap.ID, 0, 5)
+	if !ok {
+		t.Fatal("page missing")
+	}
+	if !page.Truncated || page.OldestSeq <= 1 {
+		t.Fatalf("truncated read not flagged: %+v", page)
+	}
+	if len(page.Entries) == 0 || page.Entries[0].Seq != page.OldestSeq {
+		t.Fatalf("page does not start at the oldest retained seq: %+v", page)
+	}
+	if page.Total != 31 {
+		t.Fatalf("total = %d", page.Total)
+	}
+	// The cockpit aggregate is unaffected by the truncation.
+	sum := mon.Summarize()
+	if sum.Total != 1 || sum.Deviations != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// TestRowCountersComeFromSummaries pins the cockpit rows to the
+// incrementally maintained counters, including failed and pending
+// executions.
+func TestRowCountersComeFromSummaries(t *testing.T) {
+	e := newEnv(t)
+	snaps := e.seed(t, 1)
+	id := snaps[0].ID
+	// internalreview carries actions with no registered implementations:
+	// immediate terminal failures.
+	e.rt.Advance(id, "internalreview", snaps[0].Owner, runtime.AdvanceOptions{Annotation: "skip ahead"})
+	rows := e.mon.Overview()
+	if rows[0].Deviations != 1 {
+		t.Fatalf("deviations = %d", rows[0].Deviations)
+	}
+	if rows[0].FailedSteps == 0 {
+		t.Fatalf("failed steps = %d", rows[0].FailedSteps)
+	}
+	if rows[0].PendingInvs != 0 {
+		t.Fatalf("pending = %d", rows[0].PendingInvs)
+	}
+	snap, _ := e.rt.Instance(id)
+	if len(snap.Executions) != rows[0].FailedSteps {
+		t.Fatalf("row failed %d != executions %d", rows[0].FailedSteps, len(snap.Executions))
+	}
+}
+
+// TestSummarizeCountsUnnamedPhases guards the Total == NotStarted +
+// sum(ByPhase) invariant when a phase has no display name (legal —
+// validation only warns): such instances are keyed by phase id, not
+// dropped.
+func TestSummarizeCountsUnnamedPhases(t *testing.T) {
+	e := newEnv(t)
+	model, err := core.NewModel("urn:m:unnamed", "Unnamed-phase model").
+		Phase("limbo", "").
+		FinalPhase("done", "Done").
+		Initial("limbo").Transition("limbo", "done").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := e.rt.Instantiate(model, resource.Ref{URI: "urn:r:1", Type: "t"}, "owner", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.rt.Advance(snap.ID, "limbo", "owner", runtime.AdvanceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sum := e.mon.Summarize()
+	if sum.ByPhase["limbo"] != 1 {
+		t.Fatalf("unnamed phase dropped from breakdown: %v", sum.ByPhase)
+	}
+	phaseTotal := 0
+	for _, n := range sum.ByPhase {
+		phaseTotal += n
+	}
+	if phaseTotal != sum.Total {
+		t.Fatalf("phase counts sum to %d, total %d", phaseTotal, sum.Total)
 	}
 }
 

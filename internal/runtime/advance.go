@@ -17,7 +17,20 @@ type AdvanceOptions struct {
 	CallBindings map[string]map[string]string
 }
 
-// Advance moves the instance token to phase toPhase on behalf of actor.
+// MoveResult is the copy-free result mode of the mutating verbs
+// (AdvanceSummary, AcceptChangeSummary, SwitchModelSummary): the
+// post-move summary plus only the events the call itself appended — no
+// history deep copy, no execution slice, no model copy. EventsSince
+// semantics: Events are contiguous and end at Summary.Events, so the
+// first has Seq = Summary.Events - len(Events) + 1.
+type MoveResult struct {
+	Summary Summary `json:"summary"`
+	Events  []Event `json:"events"`
+}
+
+// Advance moves the instance token to phase toPhase on behalf of actor
+// and returns a full history snapshot. The HTTP tier prefers
+// AdvanceSummary, which skips the history deep copy.
 //
 // Semantics follow §IV.B exactly:
 //   - If the move follows a suggested transition from the token's
@@ -33,15 +46,36 @@ type AdvanceOptions struct {
 // Only the moved instance's lock is held: concurrent Advances on
 // different instances proceed fully in parallel.
 func (r *Runtime) Advance(instID, toPhase, actor string, opts AdvanceOptions) (Snapshot, error) {
+	var snap Snapshot
+	err := r.advance(instID, toPhase, actor, opts, func(in *instance, _ []Event) {
+		snap = in.snapshot()
+	})
+	return snap, err
+}
+
+// AdvanceSummary is Advance in the copy-free result mode: the post-move
+// summary plus only the events this call appended.
+func (r *Runtime) AdvanceSummary(instID, toPhase, actor string, opts AdvanceOptions) (MoveResult, error) {
+	var res MoveResult
+	err := r.advance(instID, toPhase, actor, opts, func(in *instance, appended []Event) {
+		res = MoveResult{Summary: in.summary(), Events: appended}
+	})
+	return res, err
+}
+
+// advance is the shared token-move core. project runs under the
+// instance lock after all mutation, with the events this call appended
+// (in seq order, already value copies safe to retain).
+func (r *Runtime) advance(instID, toPhase, actor string, opts AdvanceOptions, project func(*instance, []Event)) error {
 	in, ok := r.lookup(instID)
 	if !ok {
-		return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, instID)
+		return fmt.Errorf("%w: %s", ErrNotFound, instID)
 	}
 	in.mu.Lock()
 	target, ok := in.model.Phase(toPhase)
 	if !ok {
 		in.mu.Unlock()
-		return Snapshot{}, fmt.Errorf("%w: %q", ErrUnknownPhase, toPhase)
+		return fmt.Errorf("%w: %q", ErrUnknownPhase, toPhase)
 	}
 
 	from := in.current
@@ -53,12 +87,12 @@ func (r *Runtime) Advance(instID, toPhase, actor string, opts AdvanceOptions) (S
 	if suggested {
 		if !r.policy.CanFollow(actor, instID, toPhase) {
 			in.mu.Unlock()
-			return Snapshot{}, fmt.Errorf("%w: %s may not follow %s -> %s on %s",
+			return fmt.Errorf("%w: %s may not follow %s -> %s on %s",
 				ErrForbidden, actor, fromNode, toPhase, instID)
 		}
 	} else if !r.policy.CanDrive(actor, instID) {
 		in.mu.Unlock()
-		return Snapshot{}, fmt.Errorf("%w: %s may not deviate to %s on %s (instance owner required)",
+		return fmt.Errorf("%w: %s may not deviate to %s on %s (instance owner required)",
 			ErrForbidden, actor, toPhase, instID)
 	}
 
@@ -71,50 +105,49 @@ func (r *Runtime) Advance(instID, toPhase, actor string, opts AdvanceOptions) (S
 		}
 		if err := actionlib.CheckStageBindings(r.specFor(call.URI), call, vals, actionlib.StageCall); err != nil {
 			in.mu.Unlock()
-			return Snapshot{}, err
+			return err
 		}
 	}
 
-	var reopenedEv *Event
+	// appended collects every event this call records, in seq order —
+	// both the observer feed and the MoveResult projection.
+	var appended []Event
+
 	if in.state == StateCompleted {
 		in.state = StateActive
-		ev := r.record(in, Event{Kind: EventReopened, Actor: actor, Phase: toPhase,
-			Detail: "token moved out of a final phase"})
-		reopenedEv = &ev
+		appended = append(appended, r.record(in, Event{Kind: EventReopened, Actor: actor, Phase: toPhase,
+			Detail: "token moved out of a final phase"}))
 	}
 
 	in.current = toPhase
-	moveEv := r.record(in, Event{
+	if !suggested {
+		in.deviations++
+	}
+	appended = append(appended, r.record(in, Event{
 		Kind: EventPhaseEntered, Actor: actor,
 		Phase: toPhase, FromPhase: from,
 		Detail: opts.Annotation, Deviation: !suggested,
-	})
+	}))
 
-	var completedEv *Event
 	var dispatches []dispatchItem
 	if target.Final {
 		in.state = StateCompleted
 		in.completedAt = r.clock.Now()
-		ev := r.record(in, Event{Kind: EventCompleted, Actor: actor, Phase: toPhase})
-		completedEv = &ev
+		appended = append(appended, r.record(in, Event{Kind: EventCompleted, Actor: actor, Phase: toPhase}))
 	} else {
 		dispatches = r.prepareDispatches(in, target, opts.CallBindings)
+		for _, d := range dispatches {
+			appended = append(appended, d.startEv)
+		}
 	}
-	snap := in.snapshot()
+	project(in, appended)
 	in.mu.Unlock()
 
-	if reopenedEv != nil {
-		r.observe(instID, *reopenedEv)
-	}
-	r.observe(instID, moveEv)
-	for _, d := range dispatches {
-		r.observe(instID, d.startEv)
-	}
-	if completedEv != nil {
-		r.observe(instID, *completedEv)
+	for _, ev := range appended {
+		r.observe(instID, ev)
 	}
 	r.launch(instID, dispatches)
-	return snap, nil
+	return nil
 }
 
 // dispatchItem pairs a ready invocation with its start event; failed
@@ -147,6 +180,9 @@ func (r *Runtime) prepareDispatches(in *instance, phase *core.Phase, callBinding
 		ish := r.invShardFor(invID)
 		ish.mu.Lock()
 		ish.m[invID] = in
+		if r.cfg.InvocationRetention > 0 {
+			r.sweepInvShardLocked(ish, r.clock.Now())
+		}
 		ish.mu.Unlock()
 
 		impl, err := r.cfg.Registry.Resolve(call.URI, in.res.Type)
@@ -163,12 +199,15 @@ func (r *Runtime) prepareDispatches(in *instance, phase *core.Phase, callBinding
 			exec.Terminal = true
 			exec.LastStatus = actionlib.StatusFailed
 			exec.LastDetail = err.Error()
+			in.failedSteps++
+			r.invRetire(invID) // terminal from birth: GC clock starts now
 			ev := r.record(in, Event{Kind: EventActionStatus, Phase: phase.ID,
 				ActionURI: call.URI, Invocation: invID,
 				Status: actionlib.StatusFailed, Detail: err.Error()})
 			items = append(items, dispatchItem{startEv: ev, prepErr: err})
 			continue
 		}
+		in.pendingInvs++
 
 		callback := r.cfg.CallbackBase
 		if callback == "" {
@@ -236,10 +275,13 @@ func (r *Runtime) failDispatch(instID, invID string, err error) {
 	exec.Terminal = true
 	exec.LastStatus = actionlib.StatusFailed
 	exec.LastDetail = err.Error()
+	in.pendingInvs--
+	in.failedSteps++
 	ev := r.record(in, Event{Kind: EventActionStatus, Phase: exec.Phase,
 		ActionURI: exec.ActionURI, Invocation: invID,
 		Status: actionlib.StatusFailed, Detail: err.Error()})
 	in.mu.Unlock()
+	r.invRetire(invID)
 	r.observe(instID, ev)
 }
 
@@ -269,12 +311,19 @@ func (r *Runtime) Report(up actionlib.StatusUpdate) error {
 	exec.Updates++
 	if up.Terminal() {
 		exec.Terminal = true
+		in.pendingInvs--
+		if up.Message == actionlib.StatusFailed {
+			in.failedSteps++
+		}
 	}
 	ev := r.record(in, Event{Kind: EventActionStatus, Phase: exec.Phase,
 		ActionURI: exec.ActionURI, Invocation: up.InvocationID,
 		Status: up.Message, Detail: up.Detail})
 	instID := in.id
 	in.mu.Unlock()
+	if up.Terminal() {
+		r.invRetire(up.InvocationID)
+	}
 	r.observe(instID, ev)
 	return nil
 }

@@ -1,0 +1,104 @@
+package runtime
+
+// Benchmarks for the copy-free read path: Advance result modes over
+// instances with realistic (~128-event) histories, and the paged event
+// accessor. The cockpit-side benchmarks live in internal/monitor.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/resource"
+)
+
+// benchPopulation builds a runtime with n instances, each carrying
+// ~events history entries (created + phase-entered + annotations).
+func benchPopulation(b *testing.B, n, events int, mutate func(*Config)) (*Runtime, []string) {
+	b.Helper()
+	cfg := Config{Registry: actionlib.NewRegistry(), SyncActions: true}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := stressModel()
+	ids := make([]string, n)
+	for i := range ids {
+		ref := resource.Ref{URI: fmt.Sprintf("urn:bench:res-%d", i), Type: "stress"}
+		snap, err := rt.Instantiate(model, ref, "owner", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = snap.ID
+		if _, err := rt.Advance(snap.ID, "draft", "owner", AdvanceOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		for e := 2; e < events; e++ {
+			if err := rt.Annotate(snap.ID, "owner", "note"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return rt, ids
+}
+
+// BenchmarkAdvance compares the two Advance result modes over a
+// population whose instances carry 128-event histories: the snapshot
+// mode deep-copies the whole history per move, the summary mode copies
+// only the events the move appended. Moves round-robin over 512
+// instances so histories stay ≈128 events across the run.
+func BenchmarkAdvance(b *testing.B) {
+	const population, events = 512, 128
+	modes := []struct {
+		name string
+		move func(rt *Runtime, id string) error
+	}{
+		{"snapshot", func(rt *Runtime, id string) error {
+			_, err := rt.Advance(id, "draft", "owner", AdvanceOptions{})
+			return err
+		}},
+		{"summary", func(rt *Runtime, id string) error {
+			_, err := rt.AdvanceSummary(id, "draft", "owner", AdvanceOptions{})
+			return err
+		}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			rt, ids := benchPopulation(b, population, events, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := mode.move(rt, ids[i%population]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEventsPage measures the paged history read against the full
+// snapshot a timeline endpoint used to need.
+func BenchmarkEventsPage(b *testing.B) {
+	rt, ids := benchPopulation(b, 16, 128, nil)
+	b.Run("page-32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			page, ok := rt.Events(ids[i%len(ids)], 64, 32)
+			if !ok || len(page.Events) != 32 {
+				b.Fatalf("page = %d events", len(page.Events))
+			}
+		}
+	})
+	b.Run("snapshot-full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap, ok := rt.Instance(ids[i%len(ids)])
+			if !ok || len(snap.Events) == 0 {
+				b.Fatal("snapshot missing")
+			}
+		}
+	})
+}

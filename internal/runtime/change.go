@@ -55,25 +55,45 @@ func (r *Runtime) ProposeChange(instID, proposer string, newModel *core.Model, n
 // instance completes; if the instance was completed and lands on a
 // non-final phase it re-opens.
 func (r *Runtime) AcceptChange(instID, actor, landing string) (Snapshot, error) {
+	var snap Snapshot
+	err := r.acceptChange(instID, actor, landing, func(in *instance, _ []Event) {
+		snap = in.snapshot()
+	})
+	return snap, err
+}
+
+// AcceptChangeSummary is AcceptChange in the copy-free result mode: the
+// post-migration summary plus only the events this call appended.
+func (r *Runtime) AcceptChangeSummary(instID, actor, landing string) (MoveResult, error) {
+	var res MoveResult
+	err := r.acceptChange(instID, actor, landing, func(in *instance, appended []Event) {
+		res = MoveResult{Summary: in.summary(), Events: appended}
+	})
+	return res, err
+}
+
+// acceptChange is the shared migration entry point; project runs under
+// the instance lock after a successful apply, with the appended events.
+func (r *Runtime) acceptChange(instID, actor, landing string, project func(*instance, []Event)) error {
 	in, ok := r.lookup(instID)
 	if !ok {
-		return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, instID)
+		return fmt.Errorf("%w: %s", ErrNotFound, instID)
 	}
 	if !r.policy.CanDrive(actor, instID) {
-		return Snapshot{}, fmt.Errorf("%w: %s may not migrate %s", ErrForbidden, actor, instID)
+		return fmt.Errorf("%w: %s may not migrate %s", ErrForbidden, actor, instID)
 	}
 	in.mu.Lock()
 	evs, err := r.applyPendingLocked(in, actor, landing)
 	if err != nil {
 		in.mu.Unlock()
-		return Snapshot{}, err
+		return err
 	}
-	snap := in.snapshot()
+	project(in, evs)
 	in.mu.Unlock()
 	for _, ev := range evs {
 		r.observe(instID, ev)
 	}
-	return snap, nil
+	return nil
 }
 
 // applyPendingLocked applies the instance's pending proposal — the
@@ -99,10 +119,19 @@ func (r *Runtime) applyPendingLocked(in *instance, actor, landing string) ([]Eve
 
 	summary := in.pending.Summary
 	in.model = newModel.Clone()
+	in.mcache = buildModelCache(in.model)
 	in.current = target
 	in.pending = nil
 
-	// Recompute completion from the landing position.
+	detail := summary
+	if landing != "" {
+		detail += fmt.Sprintf("; landed on %q", landing)
+	}
+	evs := []Event{r.record(in, Event{Kind: EventChangeApplied, Actor: actor, Phase: in.current, Detail: detail})}
+
+	// Recompute completion from the landing position. Recorded after the
+	// change-applied event so history seq order matches observer order
+	// (and MoveResult.Events stays contiguous in seq order).
 	wasCompleted := in.state == StateCompleted
 	isFinal := false
 	if target != "" {
@@ -110,29 +139,16 @@ func (r *Runtime) applyPendingLocked(in *instance, actor, landing string) ([]Eve
 			isFinal = true
 		}
 	}
-	var extra *Event
 	switch {
 	case isFinal && !wasCompleted:
 		in.state = StateCompleted
 		in.completedAt = r.clock.Now()
-		ev := r.record(in, Event{Kind: EventCompleted, Actor: actor, Phase: target,
-			Detail: "completed by migration"})
-		extra = &ev
+		evs = append(evs, r.record(in, Event{Kind: EventCompleted, Actor: actor, Phase: target,
+			Detail: "completed by migration"}))
 	case !isFinal && wasCompleted:
 		in.state = StateActive
-		ev := r.record(in, Event{Kind: EventReopened, Actor: actor, Phase: target,
-			Detail: "re-opened by migration"})
-		extra = &ev
-	}
-
-	detail := summary
-	if landing != "" {
-		detail += fmt.Sprintf("; landed on %q", landing)
-	}
-	ev := r.record(in, Event{Kind: EventChangeApplied, Actor: actor, Phase: in.current, Detail: detail})
-	evs := []Event{ev}
-	if extra != nil {
-		evs = append(evs, *extra)
+		evs = append(evs, r.record(in, Event{Kind: EventReopened, Actor: actor, Phase: target,
+			Detail: "re-opened by migration"}))
 	}
 	return evs, nil
 }
@@ -174,18 +190,38 @@ func noteSuffix(note string) string {
 // lifecycle instance"), without any designer proposal. landing follows
 // the same rules as AcceptChange.
 func (r *Runtime) SwitchModel(instID, actor string, newModel *core.Model, landing string) (Snapshot, error) {
+	var snap Snapshot
+	err := r.switchModel(instID, actor, newModel, landing, func(in *instance, _ []Event) {
+		snap = in.snapshot()
+	})
+	return snap, err
+}
+
+// SwitchModelSummary is SwitchModel in the copy-free result mode: the
+// post-switch summary plus only the events this call appended.
+func (r *Runtime) SwitchModelSummary(instID, actor string, newModel *core.Model, landing string) (MoveResult, error) {
+	var res MoveResult
+	err := r.switchModel(instID, actor, newModel, landing, func(in *instance, appended []Event) {
+		res = MoveResult{Summary: in.summary(), Events: appended}
+	})
+	return res, err
+}
+
+// switchModel is the shared owner-switch core; project runs under the
+// instance lock after a successful apply, with the appended events.
+func (r *Runtime) switchModel(instID, actor string, newModel *core.Model, landing string, project func(*instance, []Event)) error {
 	if newModel == nil {
-		return Snapshot{}, fmt.Errorf("runtime: nil model")
+		return fmt.Errorf("runtime: nil model")
 	}
 	if err := newModel.Validate(); err != nil {
-		return Snapshot{}, err
+		return err
 	}
 	in, ok := r.lookup(instID)
 	if !ok {
-		return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, instID)
+		return fmt.Errorf("%w: %s", ErrNotFound, instID)
 	}
 	if !r.policy.CanDrive(actor, instID) {
-		return Snapshot{}, fmt.Errorf("%w: %s may not switch the model of %s", ErrForbidden, actor, instID)
+		return fmt.Errorf("%w: %s may not switch the model of %s", ErrForbidden, actor, instID)
 	}
 	// Install-and-apply happens in one critical section so a failed or
 	// raced switch can neither leave its proposal dangling for a later
@@ -203,7 +239,7 @@ func (r *Runtime) SwitchModel(instID, actor string, newModel *core.Model, landin
 	if err != nil {
 		in.pending = prevPending
 		in.mu.Unlock()
-		return Snapshot{}, err
+		return err
 	}
 	// The switch applied: move the provenance pointer and keep the
 	// model index in step (index stripes are taken under the instance
@@ -213,10 +249,10 @@ func (r *Runtime) SwitchModel(instID, actor string, newModel *core.Model, landin
 		r.byModel.remove(old, in)
 		r.byModel.add(newModel.URI, in)
 	}
-	snap := in.snapshot()
+	project(in, evs)
 	in.mu.Unlock()
 	for _, ev := range evs {
 		r.observe(instID, ev)
 	}
-	return snap, nil
+	return nil
 }

@@ -1,0 +1,57 @@
+package runtime
+
+// EventPage is a window of one instance's event history, served without
+// copying anything beyond the requested page — the backing store of the
+// HTTP tier's paged timeline.
+type EventPage struct {
+	// Events is the page, in ascending Seq order. Empty when the cursor
+	// is at or past the tail.
+	Events []Event `json:"events"`
+	// Total is the number of events ever recorded (the tail Seq),
+	// including any truncated out of memory.
+	Total int `json:"total"`
+	// OldestSeq is the Seq of the oldest event still in memory — 1 when
+	// nothing was truncated, 0 when the instance has no events at all.
+	OldestSeq int `json:"oldest_seq"`
+	// Truncated reports that the requested range began before OldestSeq:
+	// the returned page starts at the oldest retained event, and the
+	// caller must consult the journaled execution log for the prefix.
+	Truncated bool `json:"truncated"`
+}
+
+// Events returns a page of the instance's history: events with
+// Seq > after, at most limit of them (limit <= 0 means no bound). When
+// ring truncation has dropped part of the requested range, the page
+// starts at the oldest retained event and Truncated is set. The second
+// return is false when the instance does not exist.
+func (r *Runtime) Events(id string, after, limit int) (EventPage, bool) {
+	in, ok := r.lookup(id)
+	if !ok {
+		return EventPage{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	page := EventPage{Total: in.eventSeq}
+	if len(in.events) > 0 {
+		page.OldestSeq = in.truncatedEvs + 1
+	}
+	if after < 0 {
+		after = 0
+	}
+	if after < in.truncatedEvs {
+		// Part of the requested range was truncated away; resume at the
+		// oldest event still retained and say so.
+		page.Truncated = true
+		after = in.truncatedEvs
+	}
+	idx := after - in.truncatedEvs // index of the first wanted event
+	if idx >= len(in.events) {
+		return page, true
+	}
+	end := len(in.events)
+	if limit > 0 && idx+limit < end {
+		end = idx + limit
+	}
+	page.Events = append([]Event(nil), in.events[idx:end]...)
+	return page, true
+}

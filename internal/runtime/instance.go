@@ -98,6 +98,7 @@ type instance struct {
 	// held while mutating or deep-copying instance state.
 	mu          sync.Mutex
 	model       *core.Model // self-contained copy (light coupling)
+	mcache      modelCache  // slices derived from model, rebuilt on swap
 	modelURI    string      // provenance only; never followed at run time
 	state       State
 	current     string // phase id; empty = token still at BEGIN
@@ -106,9 +107,21 @@ type instance struct {
 	// instantiation time or later by the owner (still "inst" stage).
 	instBindings map[string]map[string]string
 	events       []Event
-	executions   map[string]*ActionExecution // by invocation id
-	execOrder    []string
-	pending      *ChangeProposal
+	// eventSeq is the Seq of the most recent event ever recorded; it
+	// keeps numbering gapless when ring truncation drops old events.
+	eventSeq int
+	// truncatedEvs counts events dropped from the front of the in-memory
+	// history (Config.MaxEventsInMemory); the retained window covers
+	// seqs [truncatedEvs+1 .. eventSeq].
+	truncatedEvs int
+	// Incremental counters, maintained at mutation time so summaries and
+	// the cockpit never need to rescan the history or the executions.
+	deviations  int                         // phase-entered events flagged Deviation
+	failedSteps int                         // terminal executions whose last status is failed
+	pendingInvs int                         // executions not yet terminal
+	executions  map[string]*ActionExecution // by invocation id
+	execOrder   []string
+	pending     *ChangeProposal
 }
 
 // Snapshot is an immutable copy of an instance's observable state.
@@ -130,6 +143,30 @@ type Snapshot struct {
 	Pending      *ChangeProposal              `json:"pending,omitempty"`
 	Unresolved   []string                     `json:"unresolved,omitempty"`
 	InstBindings map[string]map[string]string `json:"inst_bindings,omitempty"`
+}
+
+// modelCache holds the slices a summary needs that would otherwise be
+// re-derived from the model on every listing — phase ids, initial
+// phases and suggested targets per phase. It is rebuilt whenever a new
+// model is installed (instantiation, migration, owner switch) and its
+// slices are handed out to summaries without copying, so they must be
+// treated as read-only, like Snapshot.Model.
+type modelCache struct {
+	phaseIDs  []string
+	initial   []string
+	suggested map[string][]string // phase id -> suggested targets
+}
+
+func buildModelCache(m *core.Model) modelCache {
+	c := modelCache{
+		phaseIDs:  m.PhaseIDs(),
+		initial:   m.InitialPhases(),
+		suggested: make(map[string][]string, len(m.Phases)),
+	}
+	for _, p := range m.Phases {
+		c.suggested[p.ID] = m.SuggestedFrom(p.ID)
+	}
+	return c
 }
 
 // snapshot deep-copies the observable state; callers hold in.mu (or
@@ -169,53 +206,88 @@ func (in *instance) snapshot() Snapshot {
 }
 
 // Summary is the lightweight list-view projection of an instance:
-// identity, token position and counts, with no event history, no
-// execution records and no model copy. Building one is O(phases), not
-// O(history) — use it wherever a population is listed.
+// identity, token position, incrementally maintained counters and the
+// current phase's due-date inputs — no event history, no execution
+// records and no model copy. Building one is O(1) in history length,
+// and the counters make it sufficient for every cockpit aggregate: use
+// it wherever a population is listed. The NextSuggested, Phases and
+// Unresolved slices are shared with the runtime's internal caches —
+// treat them as read-only, like Snapshot.Model.
 type Summary struct {
-	ID            string       `json:"id"`
-	ModelURI      string       `json:"model_uri"`
-	ModelName     string       `json:"model_name"`
-	Resource      resource.Ref `json:"resource"`
-	Owner         string       `json:"owner"`
-	State         State        `json:"state"`
-	Current       string       `json:"current"`
-	CreatedAt     time.Time    `json:"created_at"`
-	CompletedAt   time.Time    `json:"completed_at,omitempty"`
-	NextSuggested []string     `json:"next_suggested"`
-	Phases        []string     `json:"phases"`
-	Events        int          `json:"events"`
-	Executions    int          `json:"executions"`
-	Pending       string       `json:"pending_change,omitempty"`
-	Unresolved    []string     `json:"unresolved,omitempty"`
+	ID        string       `json:"id"`
+	ModelURI  string       `json:"model_uri"`
+	ModelName string       `json:"model_name"`
+	Resource  resource.Ref `json:"resource"`
+	Owner     string       `json:"owner"`
+	State     State        `json:"state"`
+	Current   string       `json:"current"`
+	// PhaseName is the display name of the current phase ("" at BEGIN).
+	PhaseName   string    `json:"phase_name,omitempty"`
+	CreatedAt   time.Time `json:"created_at"`
+	CompletedAt time.Time `json:"completed_at,omitempty"`
+	// Due is the current phase's deadline resolved against the instance
+	// start; zero when the phase carries none or the token is at BEGIN.
+	Due           time.Time `json:"due,omitempty"`
+	NextSuggested []string  `json:"next_suggested"`
+	Phases        []string  `json:"phases"`
+	// Events counts every event ever recorded, including any truncated
+	// out of memory; TruncatedEvents says how many of those were dropped.
+	Events          int `json:"events"`
+	TruncatedEvents int `json:"truncated_events,omitempty"`
+	Executions      int `json:"executions"`
+	// Incremental counters (see the package doc's read-path section).
+	Deviations         int      `json:"deviations"`
+	FailedSteps        int      `json:"failed_steps"`
+	PendingInvocations int      `json:"pending_invocations"`
+	Pending            string   `json:"pending_change,omitempty"`
+	Unresolved         []string `json:"unresolved,omitempty"`
 }
 
-// summary builds the lightweight projection; callers hold in.mu.
+// summary builds the lightweight projection; callers hold in.mu. The
+// NextSuggested, Phases and Unresolved slices are shared from the
+// instance's model cache, not copied — treat them as read-only, the
+// same contract as Snapshot.Model (the runtime never mutates them in
+// place; model swaps rebuild a fresh cache).
 func (in *instance) summary() Summary {
 	s := Summary{
-		ID:          in.id,
-		ModelURI:    in.modelURI,
-		ModelName:   in.model.Name,
-		Resource:    in.res.Clone(),
-		Owner:       in.owner,
-		State:       in.state,
-		Current:     in.current,
-		CreatedAt:   in.createdAt,
-		CompletedAt: in.completedAt,
-		Phases:      in.model.PhaseIDs(),
-		Events:      len(in.events),
-		Executions:  len(in.execOrder),
-		Unresolved:  append([]string(nil), in.unresolved...),
+		ID:                 in.id,
+		ModelURI:           in.modelURI,
+		ModelName:          in.model.Name,
+		Resource:           in.res.Clone(),
+		Owner:              in.owner,
+		State:              in.state,
+		Current:            in.current,
+		CreatedAt:          in.createdAt,
+		CompletedAt:        in.completedAt,
+		Phases:             in.mcache.phaseIDs,
+		Events:             in.eventSeq,
+		TruncatedEvents:    in.truncatedEvs,
+		Executions:         len(in.execOrder),
+		Deviations:         in.deviations,
+		FailedSteps:        in.failedSteps,
+		PendingInvocations: in.pendingInvs,
+		Unresolved:         in.unresolved,
 	}
 	if in.current == "" {
-		s.NextSuggested = in.model.InitialPhases()
+		s.NextSuggested = in.mcache.initial
 	} else {
-		s.NextSuggested = in.model.SuggestedFrom(in.current)
+		s.NextSuggested = in.mcache.suggested[in.current]
+		if p, ok := in.model.Phase(in.current); ok {
+			s.PhaseName = p.Name
+			s.Due = p.Deadline.DueAt(in.createdAt)
+		}
 	}
 	if in.pending != nil {
 		s.Pending = in.pending.Summary
 	}
 	return s
+}
+
+// Late reports whether the summarized instance is active, sitting in a
+// phase with a deadline, and past it at the given instant — the same
+// predicate as Snapshot.Late, answered without a model copy.
+func (s Summary) Late(now time.Time) bool {
+	return s.State == StateActive && s.Current != "" && !s.Due.IsZero() && now.After(s.Due)
 }
 
 // CurrentPhase resolves the snapshot's current phase, nil while the

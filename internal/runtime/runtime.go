@@ -45,6 +45,39 @@
 // Events observed via Config.Observer are delivered outside every
 // lock; per-instance event order is defined by the Seq stamped under
 // the instance lock, which is gapless and strictly increasing.
+//
+// # Read path: what is O(1), what still copies
+//
+// Every mutation maintains per-instance counters (deviations, failed
+// steps, pending invocations, total events) under the instance lock, so
+// the cheap projections never rescan history:
+//
+//   - Summary / Summaries: O(phases) per instance — counters, token
+//     position and the current phase's resolved due date, with no event
+//     slice, no execution slice and no model copy. The monitoring
+//     cockpit's Overview/Late/Summarize run entirely on summaries.
+//   - MoveResult (AdvanceSummary, AcceptChangeSummary,
+//     SwitchModelSummary): the post-move summary plus only the events
+//     that call appended — the copy-free response mode of the HTTP tier.
+//   - Events: a paged window of one instance's history, copying only
+//     the requested page.
+//   - Count / RuntimeStats: shard-membership reads only.
+//
+// Snapshot / Instances still deep-copy the full event and execution
+// history plus bindings; they remain the right call for audit views and
+// tests, not for per-request or per-population hot paths.
+//
+// # History truncation
+//
+// Histories grow without bound by default. Setting
+// Config.MaxEventsInMemory ring-truncates each instance's in-memory
+// history: once it exceeds the cap by 25% the oldest events are
+// dropped back down to the cap (amortizing the copy), so an instance
+// retains between MaxEventsInMemory and 1.25×MaxEventsInMemory events.
+// Seq numbering stays gapless — Events reports the oldest retained seq
+// and flags reads that begin before it — and because aggregates come
+// from the incremental counters, truncation never changes a Summary or
+// a cockpit aggregate. The journaled execution log keeps full history.
 package runtime
 
 import (
@@ -53,6 +86,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/liquidpub/gelee/internal/actionlib"
 	"github.com/liquidpub/gelee/internal/core"
@@ -118,6 +152,14 @@ type Config struct {
 	// Shards is the instance-table lock-stripe count (0 =
 	// DefaultShards, minimum 1). More shards, less contention.
 	Shards int
+	// MaxEventsInMemory caps each instance's in-memory event history
+	// (0 = unbounded). See the package doc's truncation section.
+	MaxEventsInMemory int
+	// InvocationRetention is the grace window a terminal invocation's
+	// callback-routing entry stays in the index for late duplicate
+	// callbacks; after it the entry is garbage-collected. 0 keeps
+	// entries for the full audit lifetime (the pre-GC behavior).
+	InvocationRetention time.Duration
 }
 
 // shard is one stripe of the instance table. Its lock guards only map
@@ -199,10 +241,20 @@ func (ix *uriIndex) keys() int {
 }
 
 // invShard is one stripe of the invocation-id → instance index that
-// routes action callbacks.
+// routes action callbacks. exp queues terminal invocations for GC once
+// their grace window passes; entries are appended under the shard lock
+// with a monotone clock, so the queue is expiry-ordered.
 type invShard struct {
-	mu sync.RWMutex
-	m  map[string]*instance
+	mu  sync.RWMutex
+	m   map[string]*instance
+	exp []invExpiry
+}
+
+// invExpiry marks a terminal invocation's index entry for removal at
+// the given instant.
+type invExpiry struct {
+	id string
+	at time.Time
 }
 
 // Runtime manages every lifecycle instance of a deployment.
@@ -219,6 +271,11 @@ type Runtime struct {
 	nextInst atomic.Int64
 	nextInv  atomic.Int64
 	dispatch sync.WaitGroup
+
+	// Read-path health counters for the admin endpoint.
+	totalEvents     atomic.Int64 // events ever recorded across instances
+	truncatedEvents atomic.Int64 // events dropped by ring truncation
+	invGCed         atomic.Int64 // invocation-index entries garbage-collected
 }
 
 // New builds a Runtime from cfg. Registry is required.
@@ -290,12 +347,83 @@ func (r *Runtime) observe(instID string, ev Event) {
 	}
 }
 
-// record appends an event to the instance; callers hold in.mu.
+// record appends an event to the instance; callers hold in.mu. When
+// Config.MaxEventsInMemory is set the in-memory history is ring-
+// truncated: once it exceeds the cap by 25% the oldest events are cut
+// back down to the cap, amortizing the copy. Seq numbering is derived
+// from in.eventSeq, not the slice length, so it stays gapless across
+// truncation.
 func (r *Runtime) record(in *instance, ev Event) Event {
-	ev.Seq = len(in.events) + 1
+	in.eventSeq++
+	ev.Seq = in.eventSeq
 	ev.Time = r.clock.Now()
 	in.events = append(in.events, ev)
+	r.totalEvents.Add(1)
+	if max := r.cfg.MaxEventsInMemory; max > 0 && len(in.events) > max+max/4 {
+		drop := len(in.events) - max
+		kept := make([]Event, max)
+		copy(kept, in.events[drop:])
+		in.events = kept
+		in.truncatedEvs += drop
+		r.truncatedEvents.Add(int64(drop))
+	}
 	return ev
+}
+
+// invRetire schedules the invocation's callback-routing entry for GC
+// once the grace window passes; a no-op when retention is disabled.
+// Expired entries of the same stripe are swept on the way, so the index
+// reclaims itself under normal mutation traffic with no sweeper
+// goroutine. Safe to call with or without the owning instance's lock
+// (index locks come after instance locks in the package lock order).
+func (r *Runtime) invRetire(invID string) {
+	ret := r.cfg.InvocationRetention
+	if ret <= 0 {
+		return
+	}
+	now := r.clock.Now()
+	sh := r.invShardFor(invID)
+	sh.mu.Lock()
+	sh.exp = append(sh.exp, invExpiry{id: invID, at: now.Add(ret)})
+	r.sweepInvShardLocked(sh, now)
+	sh.mu.Unlock()
+}
+
+// sweepInvShardLocked drops the stripe's expired entries; callers hold
+// sh.mu. The expiry queue is append-ordered by a monotone clock, so the
+// scan stops at the first live entry.
+func (r *Runtime) sweepInvShardLocked(sh *invShard, now time.Time) int {
+	n := 0
+	for _, e := range sh.exp {
+		if e.at.After(now) {
+			break
+		}
+		delete(sh.m, e.id)
+		n++
+	}
+	if n > 0 {
+		sh.exp = append(sh.exp[:0], sh.exp[n:]...)
+		r.invGCed.Add(int64(n))
+	}
+	return n
+}
+
+// SweepInvocations drops every invocation-index entry whose grace
+// window has passed and reports how many were reclaimed. Sweeps also
+// piggyback on mutations touching each stripe; call this only for
+// prompt reclamation (an idle deployment, a periodic admin tick).
+func (r *Runtime) SweepInvocations() int {
+	if r.cfg.InvocationRetention <= 0 {
+		return 0
+	}
+	now := r.clock.Now()
+	n := 0
+	for _, sh := range r.inv {
+		sh.mu.Lock()
+		n += r.sweepInvShardLocked(sh, now)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Instantiate creates a lifecycle instance of model on the resource ref,
@@ -338,6 +466,7 @@ func (r *Runtime) Instantiate(model *core.Model, ref resource.Ref, owner string,
 		id:           fmt.Sprintf("li-%06d", seq),
 		seq:          seq,
 		model:        model.Clone(),
+		mcache:       buildModelCache(model),
 		modelURI:     model.URI,
 		res:          ref.Clone(),
 		owner:        owner,
@@ -397,7 +526,8 @@ func (r *Runtime) specFor(uri string) *actionlib.ActionType {
 	return nil
 }
 
-// Instance returns a snapshot of the instance.
+// Instance returns a snapshot of the instance — a full deep copy of
+// its history; prefer Summary for status polls.
 func (r *Runtime) Instance(id string) (Snapshot, bool) {
 	in, ok := r.lookup(id)
 	if !ok {
@@ -407,6 +537,31 @@ func (r *Runtime) Instance(id string) (Snapshot, bool) {
 	snap := in.snapshot()
 	in.mu.Unlock()
 	return snap, true
+}
+
+// Summary returns the lightweight projection of one instance: token
+// position, counters and due-date inputs, with no history copy.
+func (r *Runtime) Summary(id string) (Summary, bool) {
+	in, ok := r.lookup(id)
+	if !ok {
+		return Summary{}, false
+	}
+	in.mu.Lock()
+	sum := in.summary()
+	in.mu.Unlock()
+	return sum, true
+}
+
+// Count reports the live instance population — the sum of shard sizes,
+// with no instance lock and no copying.
+func (r *Runtime) Count() int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		n += len(sh.instances)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // collectAll gathers every instance pointer, sorted by creation order.
@@ -583,13 +738,23 @@ type Stats struct {
 	// PerShard lists the instance count of each stripe, in order —
 	// skew here means the id hash is misbehaving.
 	PerShard []int `json:"per_shard"`
-	// Invocations is the size of the invocation→instance callback
-	// routing index (entries are kept for the full audit lifetime).
+	// Invocations is the live size of the invocation→instance callback
+	// routing index (kept forever unless Config.InvocationRetention
+	// ages terminal entries out).
 	Invocations int `json:"invocation_index"`
+	// InvocationsGCed counts index entries aged out after their
+	// execution turned terminal plus the grace window.
+	InvocationsGCed int64 `json:"invocation_index_gced"`
 	// ResourceKeys is the number of distinct resource URIs indexed.
 	ResourceKeys int `json:"resource_index_keys"`
 	// ModelKeys is the number of distinct model URIs indexed.
 	ModelKeys int `json:"model_index_keys"`
+	// EventsInMemory is the total event count currently retained across
+	// all instance histories; EventsTruncated counts events dropped by
+	// Config.MaxEventsInMemory ring truncation (the journaled execution
+	// log still has them).
+	EventsInMemory  int64 `json:"events_in_memory"`
+	EventsTruncated int64 `json:"events_truncated"`
 }
 
 // RuntimeStats reports shard occupancy and index sizes.
@@ -611,6 +776,9 @@ func (r *Runtime) RuntimeStats() Stats {
 	}
 	st.ResourceKeys = r.byRes.keys()
 	st.ModelKeys = r.byModel.keys()
+	st.InvocationsGCed = r.invGCed.Load()
+	st.EventsTruncated = r.truncatedEvents.Load()
+	st.EventsInMemory = r.totalEvents.Load() - st.EventsTruncated
 	return st
 }
 

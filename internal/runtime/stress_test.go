@@ -181,7 +181,11 @@ func TestStressConcurrentMutations(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Every event history must be gapless and strictly ordered.
+	// Every event history must be gapless and strictly ordered, and
+	// every incrementally maintained counter must equal a recount from
+	// the full history — the acceptance check that concurrent
+	// Advance/Report/Annotate across shards never desynchronizes the
+	// copy-free read path from the audit record.
 	snaps := rt.Instances()
 	if len(snaps) != workers*perWorker {
 		t.Fatalf("instances = %d, want %d", len(snaps), workers*perWorker)
@@ -201,6 +205,31 @@ func TestStressConcurrentMutations(t *testing.T) {
 			if !ex.Terminal {
 				t.Fatalf("%s: execution %s not terminal after drain", s.ID, ex.InvocationID)
 			}
+		}
+		sum, ok := rt.Summary(s.ID)
+		if !ok {
+			t.Fatalf("%s: summary missing", s.ID)
+		}
+		var dev, failed, pending int
+		for _, ev := range s.Events {
+			if ev.Kind == EventPhaseEntered && ev.Deviation {
+				dev++
+			}
+		}
+		for _, ex := range s.Executions {
+			switch {
+			case ex.Terminal && ex.LastStatus == actionlib.StatusFailed:
+				failed++
+			case !ex.Terminal:
+				pending++
+			}
+		}
+		if sum.Deviations != dev || sum.FailedSteps != failed || sum.PendingInvocations != pending {
+			t.Fatalf("%s: counters (dev=%d fail=%d pend=%d) != recount (dev=%d fail=%d pend=%d)",
+				s.ID, sum.Deviations, sum.FailedSteps, sum.PendingInvocations, dev, failed, pending)
+		}
+		if sum.Events != len(s.Events) {
+			t.Fatalf("%s: summary events %d != history length %d", s.ID, sum.Events, len(s.Events))
 		}
 	}
 
