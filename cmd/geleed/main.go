@@ -9,6 +9,7 @@
 //	       [-sync] [-store-shards N] [-runtime-shards N]
 //	       [-journal-flush-interval D] [-journal-flush-batch N]
 //	       [-max-events N] [-invocation-retention D]
+//	       [-persist-instances=true|false]
 //
 // -data enables persistence (empty = in-memory); -auth enforces the
 // §IV.D roles via the X-Gelee-User header; -seed loads the LiquidPub
@@ -21,8 +22,13 @@
 // never contend; -max-events ring-truncates each instance's in-memory
 // history (the journal keeps the full record) and -invocation-retention
 // ages terminal callback-routing entries out of the invocation index.
-// GET /api/v1/admin/store and /api/v1/admin/runtime report the
-// resulting engine and runtime health.
+// -persist-instances (on by default) writes every lifecycle-instance
+// mutation through a dedicated instance journal under DIR/instances
+// and replays it on start, so a restarted geleed recovers every token
+// position, history, execution and pending change; the recovered
+// counts are logged at startup. GET /api/v1/admin/store and
+// /api/v1/admin/runtime report the resulting engine, runtime and
+// persistence health.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/liquidpub/gelee"
 	"github.com/liquidpub/gelee/internal/scenario"
@@ -49,6 +56,7 @@ func main() {
 	flushBatch := flag.Int("journal-flush-batch", 0, "max journal entries per group-commit batch (0 = default)")
 	maxEvents := flag.Int("max-events", 0, "max in-memory events per instance, ring-truncated (0 = unbounded)")
 	invRetention := flag.Duration("invocation-retention", 0, "grace window before terminal invocation-index entries are GC'd (0 = keep forever)")
+	persist := flag.Bool("persist-instances", true, "journal lifecycle-instance mutations and replay them on start")
 	flag.Parse()
 
 	sys, err := gelee.New(gelee.Options{
@@ -61,6 +69,7 @@ func main() {
 		RuntimeShards:        *rtShards,
 		MaxEventsInMemory:    *maxEvents,
 		InvocationRetention:  *invRetention,
+		PersistInstances:     *persist,
 		Auth:                 *auth,
 		EmbeddedPlugins:      true,
 	})
@@ -69,13 +78,25 @@ func main() {
 	}
 	defer sys.Close()
 
+	if *persist {
+		rec := sys.RecoveryStats()
+		log.Printf("instance recovery: %d instances, %d events, %d executions from %d journal records (%v)",
+			rec.Instances, rec.Events, rec.Executions, rec.Records, rec.Elapsed.Round(time.Microsecond))
+	}
+
 	if *seed {
-		if err := seedLiquidPub(sys); err != nil {
-			log.Fatalf("geleed: seed: %v", err)
+		// A recovered population means the demo was already seeded in a
+		// previous life; re-seeding would duplicate all 35 deliverables.
+		if n := sys.InstanceCount(); n > 0 {
+			log.Printf("skipping seed: %d instances recovered from the journal", n)
+		} else {
+			if err := seedLiquidPub(sys); err != nil {
+				log.Fatalf("geleed: seed: %v", err)
+			}
+			// Count sums shard sizes — no per-instance deep copies just
+			// to log a number.
+			log.Printf("seeded LiquidPub demo: %d instances", sys.InstanceCount())
 		}
-		// Count sums shard sizes — no per-instance deep copies just to
-		// log a number.
-		log.Printf("seeded LiquidPub demo: %d instances", sys.InstanceCount())
 	}
 
 	stats := sys.StoreStats()

@@ -21,8 +21,11 @@
 package gelee
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"github.com/liquidpub/gelee/internal/access"
@@ -129,6 +132,15 @@ type Options struct {
 	// entries out of the index once their execution is terminal plus
 	// this grace window (0 = keep forever).
 	InvocationRetention time.Duration
+	// PersistInstances makes lifecycle instances durable: every
+	// instance mutation is written through to a dedicated instance
+	// journal (under DataDir/instances with the journal engine, a
+	// no-op sink with the memory engine) before it is acknowledged,
+	// and on open the journal is replayed — token positions, event
+	// histories, executions, pending changes, secondary indexes and
+	// incremental counters all come back. Without it instances live
+	// only in RAM, the paper's original data-tier split.
+	PersistInstances bool
 	// Clock overrides the wall clock (tests, benchmarks).
 	Clock vclock.Clock
 	// Auth enables role enforcement: every mutation requires an actor
@@ -169,6 +181,7 @@ type System struct {
 	users     *store.Repo[access.User]
 	grants    *store.Repo[access.Grant]
 	execLog   *store.Log
+	instances *store.Instances // nil unless Options.PersistInstances
 
 	Registry  *actionlib.Registry
 	Resources *resource.Manager
@@ -246,6 +259,22 @@ func New(opts Options) (*System, error) {
 	s.users = store.MustRepo[access.User](st, "users")
 	s.grants = store.MustRepo[access.Grant](st, "grants")
 	s.execLog = store.MustLog(st, "execlog")
+	if opts.PersistInstances {
+		// The instance collection runs on its own engine (its own
+		// journal file under DataDir/instances) so instance writes
+		// never order an instance lock against the definitions store's
+		// commit lock; see store.Instances.
+		if engine == "journal" {
+			coll, err := store.OpenInstances(filepath.Join(opts.DataDir, "instances"),
+				opts.SyncJournal || opts.SyncEveryAppend)
+			if err != nil {
+				return nil, err
+			}
+			s.instances = coll
+		} else {
+			s.instances = store.NewInstances(store.NewMemoryEngine())
+		}
+	}
 	if err := st.Load(); err != nil {
 		return nil, err
 	}
@@ -287,6 +316,10 @@ func New(opts Options) (*System, error) {
 	if opts.Auth {
 		policy = aclPolicy{s.ACL}
 	}
+	var sink runtime.Journal
+	if s.instances != nil {
+		sink = instanceSink{s.instances}
+	}
 	rt, err := runtime.New(runtime.Config{
 		Registry:            s.Registry,
 		Invoker:             dispatcher,
@@ -297,11 +330,25 @@ func New(opts Options) (*System, error) {
 		Shards:              opts.RuntimeShards,
 		MaxEventsInMemory:   opts.MaxEventsInMemory,
 		InvocationRetention: opts.InvocationRetention,
+		Journal:             sink,
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.Runtime = rt
+
+	// Replay the instance journal into the fresh runtime — token
+	// positions, histories, executions, pending changes, indexes and
+	// counters all rebuild — then open it for write-through appends.
+	// Replay happens before anything can mutate the runtime and applies
+	// records directly, so no event is re-observed into the execution
+	// log and no action is re-dispatched.
+	if s.instances != nil {
+		if err := s.instances.Replay(rt.ApplyJournal); err != nil {
+			return nil, fmt.Errorf("gelee: replay instance journal: %w", err)
+		}
+		rt.FinishRecovery()
+	}
 
 	if opts.EmbeddedPlugins {
 		if err := s.wireEmbeddedPlugins(); err != nil {
@@ -309,7 +356,10 @@ func New(opts Options) (*System, error) {
 		}
 	}
 
-	s.mon = monitor.New(rt, clock)
+	// The monitor reads through the System, not the bare runtime, so
+	// its timeline pages get the log-backed backfill of Events and its
+	// phase stats the incremental counters.
+	s.mon = monitor.New(s, clock)
 	var aclForWidgets *access.Control
 	if opts.Auth {
 		aclForWidgets = s.ACL
@@ -382,15 +432,36 @@ func (p aclPolicy) CanFollow(actor, inst, target string) bool {
 	return p.c.CanFollow(actor, inst, target)
 }
 
+// instanceSink adapts the store's instance collection to the runtime's
+// Journal seam: marshal the typed record, append it durably under the
+// instance's key. Record is called under the mutated instance's lock,
+// which is what gives the journal per-instance mutation order.
+type instanceSink struct{ coll *store.Instances }
+
+func (s instanceSink) Record(rec *runtime.JournalRecord) error {
+	data, err := rec.Encode()
+	if err != nil {
+		return fmt.Errorf("gelee: encode instance record: %w", err)
+	}
+	return s.coll.Append(rec.Instance, data)
+}
+
 // logEvent mirrors every runtime event into the persistent execution
-// log (Fig. 2 data tier).
+// log (Fig. 2 data tier). Data carries the full typed event, which is
+// what lets the timeline backfill ring-truncated history from the log;
+// Kind/Actor/Detail stay as the human-readable audit columns. The
+// event is encoded with the runtime's codec — this runs synchronously
+// on every mutation, where a reflection marshal would cost more than
+// the mutation itself.
 func (s *System) logEvent(instID string, ev runtime.Event) {
+	data := ev.AppendJSON(nil)
 	_, _ = s.execLog.Append(store.LogEntry{
 		Time:     ev.Time,
 		Instance: instID,
 		Kind:     string(ev.Kind),
 		Actor:    ev.Actor,
 		Detail:   eventDetail(ev),
+		Data:     data,
 	})
 }
 
@@ -408,19 +479,34 @@ func eventDetail(ev runtime.Event) string {
 	return d
 }
 
-// Close flushes and closes the data tier.
+// Close flushes and closes the data tier, the instance journal
+// included. Every mutation acknowledged before Close is durable.
 func (s *System) Close() error {
 	s.Runtime.WaitDispatch()
-	return s.store.Close()
+	err := s.store.Close()
+	if s.instances != nil {
+		if ierr := s.instances.Close(); err == nil {
+			err = ierr
+		}
+	}
+	return err
 }
 
 // Compact compacts the journal.
 func (s *System) Compact() error { return s.store.Compact() }
 
 // StoreStats reports data-tier health: engine state and throughput
-// counters plus per-repository sizes — the payload of the admin API's
-// GET /api/v1/admin/store.
-func (s *System) StoreStats() store.Stats { return s.store.Stats() }
+// counters plus per-repository sizes, and — when instances are
+// persisted — the instance journal's own engine counters. The payload
+// of the admin API's GET /api/v1/admin/store.
+func (s *System) StoreStats() store.Stats {
+	st := s.store.Stats()
+	if s.instances != nil {
+		es := s.instances.Stats()
+		st.Instances = &es
+	}
+	return st
+}
 
 // RuntimeStats reports runtime health: instance-shard occupancy and
 // secondary-index sizes — the payload of the admin API's
@@ -643,9 +729,72 @@ func (s *System) InstanceSummary(id string) (runtime.Summary, bool) { return s.R
 
 // Events returns a page of one instance's history (Seq > after, at
 // most limit events; limit <= 0 means unbounded) — the path behind
-// GET /api/v1/instances/{id}/timeline.
+// GET /api/v1/instances/{id}/timeline. When ring truncation has
+// dropped part of the requested range from memory, the missing prefix
+// is read back from the journaled execution log and stitched in front
+// of the retained window, so the full record stays addressable; the
+// page's Backfilled count says how much came from the log.
 func (s *System) Events(id string, after, limit int) (runtime.EventPage, bool) {
-	return s.Runtime.Events(id, after, limit)
+	page, ok := s.Runtime.Events(id, after, limit)
+	if !ok || !page.Truncated {
+		return page, ok
+	}
+	old := s.backfillEvents(id, after+1, page.OldestSeq-1)
+	if len(old) == 0 {
+		return page, ok
+	}
+	merged := append(old, page.Events...)
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	backfilled := len(old)
+	if backfilled > len(merged) {
+		backfilled = len(merged)
+	}
+	page.Events = merged
+	page.Backfilled = backfilled
+	// Still truncated only if the log itself was missing the head of
+	// the requested range (entries from before events were mirrored).
+	page.Truncated = merged[0].Seq != after+1
+	return page, true
+}
+
+// backfillEvents reads the typed events mirrored into the execution
+// log for one instance, keeping seqs in [from, to], in seq order.
+// Entries without a typed mirror (written before the mirror existed)
+// are skipped. The scan streams the instance's log entries in append
+// order and stops as soon as the range is fully collected, so a page
+// read costs O(events before the page's end), not O(total history);
+// only when mirrors are missing does it scan to the log's tail.
+func (s *System) backfillEvents(id string, from, to int) []runtime.Event {
+	if from > to {
+		return nil
+	}
+	want := to - from + 1
+	out := make([]runtime.Event, 0, want)
+	s.execLog.ScanInstance(id, func(le store.LogEntry) bool {
+		if len(le.Data) == 0 {
+			return true
+		}
+		var ev runtime.Event
+		if err := json.Unmarshal(le.Data, &ev); err != nil || ev.Seq == 0 {
+			return true
+		}
+		if ev.Seq >= from && ev.Seq <= to {
+			out = append(out, ev)
+		}
+		return len(out) < want
+	})
+	// The log is appended outside the instance lock, so near-ties can
+	// land out of order; seqs are authoritative.
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// PhaseStats returns one instance's per-phase entered counts and
+// residence times, maintained incrementally and truncation-proof.
+func (s *System) PhaseStats(id string, now time.Time) (map[string]runtime.PhaseStat, bool) {
+	return s.Runtime.PhaseStats(id, now)
 }
 
 // Instances lists every instance with full histories. For list views
@@ -659,6 +808,20 @@ func (s *System) InstanceCount() int { return s.Runtime.Count() }
 // Summaries lists every instance without copying event histories — the
 // cheap path behind GET /api/v1/instances and the cockpit.
 func (s *System) Summaries() []runtime.Summary { return s.Runtime.Summaries() }
+
+// SummariesPage returns one cursor window of the population summary
+// view (creation seq > after, at most limit) — the paged mode of
+// GET /api/v1/instances.
+func (s *System) SummariesPage(after int64, limit int) runtime.SummaryPage {
+	return s.Runtime.SummariesPage(after, limit)
+}
+
+// RecoveryStats reports what the startup instance-journal replay
+// rebuilt; zeros when PersistInstances is off or the journal was
+// empty.
+func (s *System) RecoveryStats() runtime.RecoveryStats {
+	return s.Runtime.RuntimeStats().Persistence.Recovered
+}
 
 // Report delivers an action status callback.
 func (s *System) Report(up actionlib.StatusUpdate) error { return s.Runtime.Report(up) }

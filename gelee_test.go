@@ -308,7 +308,8 @@ func TestPersistenceAcrossRestart(t *testing.T) {
 		t.Fatalf("execution log = %d entries, want %d", sys2.ExecutionLog().Len(), logLen)
 	}
 	// Per Fig. 2 the data tier holds definitions and logs, not live
-	// instances — a fresh runtime starts empty.
+	// instances — without Options.PersistInstances a fresh runtime
+	// starts empty (restart_test.go covers the durable-instances mode).
 	if got := len(sys2.Instances()); got != 0 {
 		t.Fatalf("instances after restart = %d, want 0 (paper's data tier)", got)
 	}

@@ -13,9 +13,15 @@
 //	GET  /api/v1/actions[?resource_type=] browse action library (Fig. 3)
 //	POST /api/v1/actions                  register action type (+impls)
 //	POST /api/v1/instances                instantiate
-//	GET  /api/v1/instances                list (summary view, no histories)
+//	GET  /api/v1/instances                list (summary view, no histories);
+//	                                      ?after=SEQ&limit=N pages by creation
+//	                                      seq and wraps the page in
+//	                                      {instances, total, next_after}
 //	GET  /api/v1/instances/{id}           snapshot (full history)
-//	GET  /api/v1/instances/{id}/timeline  paged history (?after=S&limit=N)
+//	GET  /api/v1/instances/{id}/timeline  paged history (?after=S&limit=N);
+//	                                      pages older than the in-memory ring
+//	                                      are backfilled from the journaled
+//	                                      execution log
 //	POST /api/v1/instances/{id}/advance   move the token; responds with the
 //	                                      summary + only the events this move
 //	                                      appended, unless ?full=1
@@ -84,6 +90,7 @@ type Backend interface {
 	InstanceSummary(id string) (runtime.Summary, bool)
 	Instances() []runtime.Snapshot
 	Summaries() []runtime.Summary
+	SummariesPage(after int64, limit int) runtime.SummaryPage
 	Report(up actionlib.StatusUpdate) error
 
 	Monitor() *monitor.Monitor
@@ -459,11 +466,38 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleListInstances(w http.ResponseWriter, r *http.Request) {
 	// The list view rides the runtime's summary path: no event-history
 	// deep copies, same payload shape as before (histories were always
-	// omitted here).
-	sums := s.b.Summaries()
-	out := make([]instancePayload, len(sums))
-	for i, sum := range sums {
-		out[i] = toSummaryPayload(sum)
+	// omitted here). With ?after= or ?limit= it switches to cursor
+	// paging by creation seq — the population twin of the per-instance
+	// timeline paging — and wraps the page in an envelope carrying the
+	// next cursor.
+	q := r.URL.Query()
+	if q.Get("after") == "" && q.Get("limit") == "" {
+		sums := s.b.Summaries()
+		out := make([]instancePayload, len(sums))
+		for i, sum := range sums {
+			out[i] = toSummaryPayload(sum)
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	after, err := queryInt64(q.Get("after"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad after: %w", err))
+		return
+	}
+	limit, err := queryInt(q.Get("limit"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit: %w", err))
+		return
+	}
+	page := s.b.SummariesPage(after, limit)
+	out := struct {
+		Instances []instancePayload `json:"instances"`
+		Total     int               `json:"total"`
+		NextAfter int64             `json:"next_after,omitempty"`
+	}{Instances: make([]instancePayload, len(page.Summaries)), Total: page.Total, NextAfter: page.NextAfter}
+	for i, sum := range page.Summaries {
+		out.Instances[i] = toSummaryPayload(sum)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -659,10 +693,20 @@ func (s *Server) handleInstanceTimeline(w http.ResponseWriter, r *http.Request) 
 
 // queryInt parses an optional non-negative integer query value.
 func queryInt(s string) (int, error) {
+	n, err := queryInt64(s)
+	if err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// queryInt64 parses an optional non-negative int64 query value (the
+// creation-seq cursor of the population paging).
+func queryInt64(s string) (int64, error) {
 	if s == "" {
 		return 0, nil
 	}
-	n, err := strconv.Atoi(s)
+	n, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
 		return 0, err
 	}

@@ -818,3 +818,194 @@ func TestAdminRuntimeStats(t *testing.T) {
 		t.Fatalf("index keys = %d resources / %d models, want 1/1", stats.ResourceKeys, stats.ModelKeys)
 	}
 }
+
+// TestInstanceListPaging walks GET /api/v1/instances with the
+// creation-seq cursor and expects the paged envelope to tile the flat
+// listing exactly.
+func TestInstanceListPaging(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "o", "x")
+	const n = 7
+	for i := 0; i < n; i++ {
+		if _, err := e.sys.Instantiate(model.URI, gelee.Ref{URI: "http://wiki/D1.1", Type: "mediawiki"}, "owner", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var flat []instanceJSON
+	if code := e.call(t, "GET", "/api/v1/instances", "", nil, &flat); code != 200 {
+		t.Fatalf("flat list = %d", code)
+	}
+	if len(flat) != n {
+		t.Fatalf("flat list has %d instances", len(flat))
+	}
+
+	type pageResp struct {
+		Instances []instanceJSON `json:"instances"`
+		Total     int            `json:"total"`
+		NextAfter int64          `json:"next_after"`
+	}
+	var walked []string
+	after := int64(0)
+	pages := 0
+	for {
+		var page pageResp
+		path := fmt.Sprintf("/api/v1/instances?after=%d&limit=3", after)
+		if code := e.call(t, "GET", path, "", nil, &page); code != 200 {
+			t.Fatalf("paged list = %d", code)
+		}
+		if page.Total != n {
+			t.Fatalf("total = %d, want %d", page.Total, n)
+		}
+		for _, in := range page.Instances {
+			walked = append(walked, in.ID)
+		}
+		pages++
+		if page.NextAfter == 0 {
+			break
+		}
+		after = page.NextAfter
+	}
+	if pages != 3 || len(walked) != n {
+		t.Fatalf("walked %d pages, %d instances", pages, len(walked))
+	}
+	for i := range flat {
+		if walked[i] != flat[i].ID {
+			t.Fatalf("page order diverged at %d: %s vs %s", i, walked[i], flat[i].ID)
+		}
+	}
+	// Bad cursors are rejected.
+	if code := e.call(t, "GET", "/api/v1/instances?after=-1", "", nil, nil); code != 400 {
+		t.Fatalf("negative cursor = %d", code)
+	}
+	if code := e.call(t, "GET", "/api/v1/instances?limit=x", "", nil, nil); code != 400 {
+		t.Fatalf("bad limit = %d", code)
+	}
+}
+
+// TestAdminPersistenceStats: the admin endpoints surface the
+// durability seam — runtime recovery counters and the instance
+// journal's engine stats.
+func TestAdminPersistenceStats(t *testing.T) {
+	dir := t.TempDir()
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 9, 0, 0, 0, time.UTC))
+	mk := func() *env {
+		sys, err := gelee.New(gelee.Options{
+			DataDir: dir, Clock: clock, EmbeddedPlugins: true,
+			SyncActions: true, PersistInstances: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(sys.HTTPHandler())
+		t.Cleanup(func() { srv.Close(); sys.Close() })
+		return &env{sys: sys, srv: srv, clock: clock}
+	}
+	e := mk()
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "o", "x")
+	snap, err := e.sys.Instantiate(model.URI, gelee.Ref{URI: "http://wiki/D1.1", Type: "mediawiki"}, "owner", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.sys.Advance(snap.ID, "elaboration", "owner", gelee.AdvanceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	type persistence struct {
+		Enabled   bool  `json:"enabled"`
+		Records   int64 `json:"journal_records"`
+		Errors    int64 `json:"journal_errors"`
+		Recovered struct {
+			Instances int   `json:"instances"`
+			Records   int64 `json:"records"`
+		} `json:"recovered"`
+	}
+	var stats struct {
+		Persistence persistence `json:"persistence"`
+	}
+	if code := e.call(t, "GET", "/api/v1/admin/runtime", "", nil, &stats); code != 200 {
+		t.Fatalf("admin runtime = %d", code)
+	}
+	if !stats.Persistence.Enabled || stats.Persistence.Records < 2 || stats.Persistence.Errors != 0 {
+		t.Fatalf("persistence stats = %+v", stats.Persistence)
+	}
+	var ss struct {
+		Instances *struct {
+			Engine  string `json:"engine"`
+			Appends uint64 `json:"appends"`
+		} `json:"instances"`
+	}
+	if code := e.call(t, "GET", "/api/v1/admin/store", "", nil, &ss); code != 200 {
+		t.Fatalf("admin store = %d", code)
+	}
+	if ss.Instances == nil || ss.Instances.Appends < 2 {
+		t.Fatalf("store instance stats = %+v", ss.Instances)
+	}
+	e.sys.Close()
+	e.srv.Close()
+
+	// After a restart the recovery section reports the rebuilt state.
+	e2 := mk()
+	var stats2 struct {
+		Persistence persistence `json:"persistence"`
+	}
+	if code := e2.call(t, "GET", "/api/v1/admin/runtime", "", nil, &stats2); code != 200 {
+		t.Fatalf("admin runtime after restart = %d", code)
+	}
+	if stats2.Persistence.Recovered.Instances != 1 || stats2.Persistence.Recovered.Records < 2 {
+		t.Fatalf("recovered stats = %+v", stats2.Persistence)
+	}
+}
+
+// TestTimelineBackfillOverAPI: the timeline endpoint serves pages
+// older than the in-memory ring from the journaled execution log.
+func TestTimelineBackfillOverAPI(t *testing.T) {
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 9, 0, 0, 0, time.UTC))
+	sys, err := gelee.New(gelee.Options{
+		Clock: clock, EmbeddedPlugins: true, SyncActions: true,
+		MaxEventsInMemory: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sys.HTTPHandler())
+	t.Cleanup(func() { srv.Close(); sys.Close() })
+	e := &env{sys: sys, srv: srv, clock: clock}
+
+	model := scenario.QualityPlan()
+	sys.DefineModel("", model)
+	sys.Sims.Wiki.CreatePage("D1.1", "o", "x")
+	snap, err := sys.Instantiate(model.URI, gelee.Ref{URI: "http://wiki/D1.1", Type: "mediawiki"}, "owner", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const notes = 30
+	for i := 0; i < notes; i++ {
+		if err := sys.Annotate(snap.ID, "owner", fmt.Sprintf("note %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var page struct {
+		Entries []struct {
+			Seq int `json:"seq"`
+		} `json:"entries"`
+		Total      int  `json:"total"`
+		Truncated  bool `json:"truncated"`
+		Backfilled int  `json:"backfilled"`
+	}
+	if code := e.call(t, "GET", "/api/v1/instances/"+snap.ID+"/timeline?limit=12", "", nil, &page); code != 200 {
+		t.Fatalf("timeline = %d", code)
+	}
+	if page.Truncated || page.Backfilled == 0 {
+		t.Fatalf("page not backfilled: %+v", page)
+	}
+	if len(page.Entries) != 12 || page.Entries[0].Seq != 1 {
+		t.Fatalf("backfilled page shape: %+v", page)
+	}
+	if page.Total != notes+1 {
+		t.Fatalf("total = %d, want %d", page.Total, notes+1)
+	}
+}

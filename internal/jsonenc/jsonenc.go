@@ -1,0 +1,59 @@
+// Package jsonenc provides allocation-free append-style JSON encoding
+// helpers for the hand-rolled fast paths of the journal codecs. The
+// reflection-based encoding/json.Marshal costs ~2µs per journal entry
+// on the write path — more than the token move it persists — so the
+// hot, fixed-shape records (store.Entry, runtime.JournalRecord) are
+// encoded by hand and these helpers keep the string/time handling in
+// one audited place. Decoding stays encoding/json everywhere: the fast
+// encoders only ever have to produce JSON the standard decoder reads
+// back to an equal value, which is what their equivalence tests pin.
+package jsonenc
+
+import "time"
+
+const hexDigits = "0123456789abcdef"
+
+// AppendString appends s as a JSON string literal — quoted, with the
+// quote, backslash and control characters escaped. Valid UTF-8 passes
+// through verbatim (JSON strings are UTF-8); invalid UTF-8 is passed
+// through as well, which encoding/json's decoder tolerates (it
+// replaces the bad bytes with U+FFFD, exactly as its own encoder
+// would have).
+func AppendString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		buf = append(buf, s[start:i]...)
+		switch c {
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		case '\r':
+			buf = append(buf, '\\', 'r')
+		case '\t':
+			buf = append(buf, '\\', 't')
+		default:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+		}
+		start = i + 1
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+// AppendTime appends t as a quoted RFC 3339 timestamp with nanosecond
+// precision — the same layout time.Time.MarshalJSON produces, minus
+// its year-range check (journal timestamps come from clocks, not user
+// input).
+func AppendTime(buf []byte, t time.Time) []byte {
+	buf = append(buf, '"')
+	buf = t.AppendFormat(buf, time.RFC3339Nano)
+	return append(buf, '"')
+}

@@ -1,0 +1,56 @@
+package jsonenc
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestAppendStringMatchesStdlib pins the contract: whatever the fast
+// encoder emits, the standard decoder reads back as the original
+// string.
+func TestAppendStringMatchesStdlib(t *testing.T) {
+	cases := []string{
+		"",
+		"plain",
+		`with "quotes" and \backslashes\`,
+		"tabs\tnewlines\nreturns\r",
+		"control \x00\x01\x1f bytes",
+		"unicode: héllo wörld — 東京 🗼",
+		"mixed \"q\" \n \x02 ü",
+	}
+	for _, s := range cases {
+		out := AppendString(nil, s)
+		var got string
+		if err := json.Unmarshal(out, &got); err != nil {
+			t.Fatalf("decode %q output %s: %v", s, out, err)
+		}
+		if got != s {
+			t.Fatalf("round trip of %q = %q", s, got)
+		}
+	}
+}
+
+func TestAppendTimeMatchesStdlib(t *testing.T) {
+	for _, tt := range []time.Time{
+		time.Date(2009, 2, 1, 9, 0, 0, 0, time.UTC),
+		time.Date(2026, 7, 29, 13, 45, 6, 123456789, time.FixedZone("CET", 3600)),
+		time.Time{},
+	} {
+		want, err := json.Marshal(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := AppendTime(nil, tt)
+		if string(got) != string(want) {
+			t.Fatalf("AppendTime(%v) = %s, want %s", tt, got, want)
+		}
+		var back time.Time
+		if err := json.Unmarshal(got, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(tt) {
+			t.Fatalf("round trip of %v = %v", tt, back)
+		}
+	}
+}

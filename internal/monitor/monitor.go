@@ -25,13 +25,16 @@ import (
 	"github.com/liquidpub/gelee/internal/vclock"
 )
 
-// Source supplies instance projections — satisfied by *runtime.Runtime.
-// Summaries feeds the population views; Instance (full snapshot) and
-// Events (paged history window) feed the per-instance drill-downs.
+// Source supplies instance projections — satisfied by *runtime.Runtime
+// and by *gelee.System (whose Events stitches ring-truncated history
+// back in from the journaled execution log). Summaries feeds the
+// population views; Events (paged history window) and PhaseStats (the
+// incrementally maintained per-phase counters) feed the per-instance
+// drill-downs.
 type Source interface {
 	Summaries() []runtime.Summary
-	Instance(id string) (runtime.Snapshot, bool)
 	Events(id string, after, limit int) (runtime.EventPage, bool)
+	PhaseStats(id string, now time.Time) (map[string]runtime.PhaseStat, bool)
 }
 
 // Monitor is the cockpit query engine.
@@ -216,9 +219,13 @@ type TimelinePage struct {
 	// OldestSeq is the oldest seq still in memory (1 unless truncated,
 	// 0 when the instance has no events).
 	OldestSeq int `json:"oldest_seq"`
-	// Truncated reports that the requested range began before OldestSeq;
-	// the page then starts at the oldest retained event.
+	// Truncated reports that the requested range began before OldestSeq
+	// and could not be served, not even from the execution-log
+	// backfill; the page then starts at the oldest event available.
 	Truncated bool `json:"truncated"`
+	// Backfilled counts entries of this page read back from the
+	// journaled execution log rather than the in-memory ring.
+	Backfilled int `json:"backfilled,omitempty"`
 	// NextAfter is the cursor for the following page (pass it as
 	// `after`); 0 when this page reaches the tail.
 	NextAfter int `json:"next_after,omitempty"`
@@ -233,10 +240,11 @@ func (m *Monitor) TimelinePage(instanceID string, after, limit int) (TimelinePag
 		return TimelinePage{}, false
 	}
 	out := TimelinePage{
-		Entries:   toEntries(page.Events),
-		Total:     page.Total,
-		OldestSeq: page.OldestSeq,
-		Truncated: page.Truncated,
+		Entries:    toEntries(page.Events),
+		Total:      page.Total,
+		OldestSeq:  page.OldestSeq,
+		Truncated:  page.Truncated,
+		Backfilled: page.Backfilled,
 	}
 	if n := len(page.Events); n > 0 && page.Events[n-1].Seq < page.Total {
 		out.NextAfter = page.Events[n-1].Seq
@@ -244,34 +252,29 @@ func (m *Monitor) TimelinePage(instanceID string, after, limit int) (TimelinePag
 	return out, true
 }
 
-// PhaseStats measures time spent per phase for one instance: entered
-// count and cumulative residence time (ongoing residence counts up to
-// now). Monitoring is a first-class purpose of empty phases (§IV.A), so
-// residency is computed purely from phase-entered events. This is a
-// per-instance drill-down over the retained snapshot history; residence
-// accrued in ring-truncated events is not recoverable here (the
-// journaled execution log keeps the full record).
+// PhaseStats measures time spent per phase for one instance:
+// cumulative residence time, with ongoing residence counted up to now
+// (or to completion for completed instances). Monitoring is a
+// first-class purpose of empty phases (§IV.A). Since the incremental
+// rewrite the numbers come from counters the runtime maintains at
+// mutation time — O(phases), no event rescan — so they cover the full
+// history even when ring truncation has dropped old events from
+// memory, and they are rebuilt on journal replay like every other
+// counter. PhaseBreakdown adds the entered counts.
 func (m *Monitor) PhaseStats(instanceID string) (map[string]time.Duration, bool) {
-	s, ok := m.src.Instance(instanceID)
+	stats, ok := m.PhaseBreakdown(instanceID)
 	if !ok {
 		return nil, false
 	}
-	out := make(map[string]time.Duration)
-	var lastPhase string
-	var lastTime time.Time
-	for _, ev := range s.Events {
-		if ev.Kind != runtime.EventPhaseEntered {
-			continue
-		}
-		if lastPhase != "" {
-			out[lastPhase] += ev.Time.Sub(lastTime)
-		}
-		lastPhase, lastTime = ev.Phase, ev.Time
-	}
-	if lastPhase != "" && s.State == runtime.StateActive {
-		out[lastPhase] += m.clock.Now().Sub(lastTime)
-	} else if lastPhase != "" && !s.CompletedAt.IsZero() {
-		out[lastPhase] += s.CompletedAt.Sub(lastTime)
+	out := make(map[string]time.Duration, len(stats))
+	for p, s := range stats {
+		out[p] = s.Residence
 	}
 	return out, true
+}
+
+// PhaseBreakdown is PhaseStats with entered counts: how many times the
+// token entered each phase and the cumulative residence per phase.
+func (m *Monitor) PhaseBreakdown(instanceID string) (map[string]runtime.PhaseStat, bool) {
+	return m.src.PhaseStats(instanceID, m.clock.Now())
 }

@@ -414,3 +414,63 @@ func TestRowResourceIdentity(t *testing.T) {
 	}
 	_ = snap
 }
+
+// TestPhaseStatsSurviveTruncation: the per-phase counters come from
+// the runtime's incrementally maintained stats, so ring-truncating the
+// in-memory history changes nothing — the old event-replay
+// implementation would have lost the truncated residence.
+func TestPhaseStatsSurviveTruncation(t *testing.T) {
+	clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
+	rt, err := runtime.New(runtime.Config{
+		Registry:          actionlib.NewRegistry(),
+		Invoker:           runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+		Clock:             clock,
+		SyncActions:       true,
+		MaxEventsInMemory: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := New(rt, clock)
+	model := scenario.QualityPlan()
+	snap, err := rt.Instantiate(model, scenario.Deliverables(1)[0].Ref, "owner", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Advance(snap.ID, "elaboration", "owner", runtime.AdvanceOptions{})
+	clock.Advance(48 * time.Hour)
+	rt.Advance(snap.ID, "internalreview", "owner", runtime.AdvanceOptions{})
+	clock.Advance(24 * time.Hour)
+	rt.Advance(snap.ID, "elaboration", "owner", runtime.AdvanceOptions{})
+	clock.Advance(6 * time.Hour)
+	// Flood the ring so the early phase-entered events are truncated out.
+	for i := 0; i < 20; i++ {
+		if err := rt.Annotate(snap.ID, "owner", "note"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if page, _ := rt.Events(snap.ID, 0, 0); page.OldestSeq <= 1 {
+		t.Fatal("test did not exercise truncation")
+	}
+
+	stats, ok := mon.PhaseStats(snap.ID)
+	if !ok {
+		t.Fatal("stats missing")
+	}
+	if stats["elaboration"] != 54*time.Hour {
+		t.Fatalf("elaboration residence = %v, want 54h", stats["elaboration"])
+	}
+	if stats["internalreview"] != 24*time.Hour {
+		t.Fatalf("internalreview residence = %v, want 24h", stats["internalreview"])
+	}
+	full, ok := mon.PhaseBreakdown(snap.ID)
+	if !ok {
+		t.Fatal("breakdown missing")
+	}
+	if full["elaboration"].Entered != 2 || full["internalreview"].Entered != 1 {
+		t.Fatalf("entered counts = %+v", full)
+	}
+	if _, ok := mon.PhaseBreakdown("ghost"); ok {
+		t.Fatal("breakdown for missing instance")
+	}
+}

@@ -119,10 +119,10 @@ func (r *Runtime) advance(instID, toPhase, actor string, opts AdvanceOptions, pr
 			Detail: "token moved out of a final phase"}))
 	}
 
+	// The deviation counter is maintained by the shared event applier
+	// (applyRecorded) off the event's Deviation flag, so live mutation
+	// and journal replay count identically.
 	in.current = toPhase
-	if !suggested {
-		in.deviations++
-	}
 	appended = append(appended, r.record(in, Event{
 		Kind: EventPhaseEntered, Actor: actor,
 		Phase: toPhase, FromPhase: from,
@@ -139,6 +139,18 @@ func (r *Runtime) advance(instID, toPhase, actor string, opts AdvanceOptions, pr
 		for _, d := range dispatches {
 			appended = append(appended, d.startEv)
 		}
+	}
+
+	rec := &JournalRecord{Op: RecAdvance, Instance: instID, To: toPhase, Events: appended}
+	rec.mirrorState(in)
+	for _, d := range dispatches {
+		rec.Executions = append(rec.Executions, *in.executions[d.startEv.Invocation])
+	}
+	if err := r.journalLocked(rec); err != nil {
+		// Fail-forward: the in-memory move stands, but the un-journaled
+		// mutation is not observed and its actions are not dispatched.
+		in.mu.Unlock()
+		return err
 	}
 	project(in, appended)
 	in.mu.Unlock()
@@ -280,8 +292,18 @@ func (r *Runtime) failDispatch(instID, invID string, err error) {
 	ev := r.record(in, Event{Kind: EventActionStatus, Phase: exec.Phase,
 		ActionURI: exec.ActionURI, Invocation: invID,
 		Status: actionlib.StatusFailed, Detail: err.Error()})
+	jerr := r.journalLocked(&JournalRecord{
+		Op: RecDispatchFail, Instance: instID, Invocation: invID,
+		Detail: err.Error(), Events: []Event{ev},
+	})
 	in.mu.Unlock()
+	// The execution is terminal in memory either way, so its index
+	// entry must start its GC grace window even when the journal append
+	// failed (fail-forward suppresses only observer delivery).
 	r.invRetire(invID)
+	if jerr != nil {
+		return
+	}
 	r.observe(instID, ev)
 }
 
@@ -320,9 +342,20 @@ func (r *Runtime) Report(up actionlib.StatusUpdate) error {
 		ActionURI: exec.ActionURI, Invocation: up.InvocationID,
 		Status: up.Message, Detail: up.Detail})
 	instID := in.id
+	jerr := r.journalLocked(&JournalRecord{
+		Op: RecReport, Instance: instID, Invocation: up.InvocationID,
+		Status: up.Message, Detail: up.Detail, Terminal: up.Terminal(),
+		Events: []Event{ev},
+	})
 	in.mu.Unlock()
 	if up.Terminal() {
+		// Terminal in memory even on a journal error: the index entry's
+		// GC grace window starts now regardless (fail-forward suppresses
+		// only observer delivery).
 		r.invRetire(up.InvocationID)
+	}
+	if jerr != nil {
+		return jerr
 	}
 	r.observe(instID, ev)
 	return nil

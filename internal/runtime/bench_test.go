@@ -10,6 +10,7 @@ import (
 
 	"github.com/liquidpub/gelee/internal/actionlib"
 	"github.com/liquidpub/gelee/internal/resource"
+	"github.com/liquidpub/gelee/internal/store"
 )
 
 // benchPopulation builds a runtime with n instances, each carrying
@@ -101,4 +102,74 @@ func BenchmarkEventsPage(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPersistAdvance measures the write-through cost of the
+// durability seam: token moves with no journal, with the record codec
+// feeding an in-memory sink (encode-only), and with the real on-disk
+// flush-combining instance journal.
+func BenchmarkPersistAdvance(b *testing.B) {
+	modes := []struct {
+		name string
+		sink func(b *testing.B) Journal
+	}{
+		{"ram", func(*testing.B) Journal { return nil }},
+		{"encode-only", func(*testing.B) Journal {
+			return JournalFunc(func(rec *JournalRecord) error {
+				_, err := rec.Encode()
+				return err
+			})
+		}},
+		{"journal", func(b *testing.B) Journal {
+			coll, err := store.OpenInstances(b.TempDir(), false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := coll.Replay(func(string, []byte) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { coll.Close() })
+			return storeSink{coll}
+		}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			sink := mode.sink(b)
+			rt, ids := benchPopulation(b, 64, 2, func(cfg *Config) { cfg.Journal = sink })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.AdvanceSummary(ids[i%len(ids)], "draft", "owner", AdvanceOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJournalReplay measures recovery throughput: rebuilding a
+// runtime from a captured journal (records already in memory, so this
+// is decode+apply, the CPU side of a restart).
+func BenchmarkJournalReplay(b *testing.B) {
+	sink := &captureSink{}
+	rt, ids := benchPopulation(b, 64, 16, func(cfg *Config) { cfg.Journal = sink })
+	for _, id := range ids {
+		if _, err := rt.AdvanceSummary(id, "draft", "owner", AdvanceOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	records := int64(len(sink.recs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt2, err := New(Config{Registry: actionlib.NewRegistry(), SyncActions: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := sink.replayInto(b, rt2)
+		if rec.Records != records {
+			b.Fatalf("replayed %d records, want %d", rec.Records, records)
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N), "records")
 }

@@ -40,6 +40,15 @@ func (r *Runtime) ProposeChange(instID, proposer string, newModel *core.Model, n
 		detail += " (replaces an undecided proposal)"
 	}
 	ev := r.record(in, Event{Kind: EventChangeProposed, Actor: proposer, Detail: detail, Phase: in.current})
+	if err := r.journalLocked(&JournalRecord{
+		Op: RecPropose, Instance: instID,
+		Proposer: proposer, ProposedAt: in.pending.ProposedAt, Note: note,
+		Model: in.pending.NewModel, DiffSummary: in.pending.Summary,
+		Events: []Event{ev},
+	}); err != nil {
+		in.mu.Unlock()
+		return err
+	}
 	in.mu.Unlock()
 	r.observe(instID, ev)
 	return nil
@@ -85,6 +94,12 @@ func (r *Runtime) acceptChange(instID, actor, landing string, project func(*inst
 	in.mu.Lock()
 	evs, err := r.applyPendingLocked(in, actor, landing)
 	if err != nil {
+		in.mu.Unlock()
+		return err
+	}
+	rec := &JournalRecord{Op: RecAccept, Instance: instID, Landing: landing, Events: evs}
+	rec.mirrorState(in)
+	if err := r.journalLocked(rec); err != nil {
 		in.mu.Unlock()
 		return err
 	}
@@ -172,6 +187,10 @@ func (r *Runtime) RejectChange(instID, actor, note string) error {
 	in.pending = nil
 	ev := r.record(in, Event{Kind: EventChangeRejected, Actor: actor, Phase: in.current,
 		Detail: summary + noteSuffix(note)})
+	if err := r.journalLocked(&JournalRecord{Op: RecReject, Instance: instID, Events: []Event{ev}}); err != nil {
+		in.mu.Unlock()
+		return err
+	}
 	in.mu.Unlock()
 	r.observe(instID, ev)
 	return nil
@@ -248,6 +267,16 @@ func (r *Runtime) switchModel(instID, actor string, newModel *core.Model, landin
 		in.modelURI = newModel.URI
 		r.byModel.remove(old, in)
 		r.byModel.add(newModel.URI, in)
+	}
+	rec := &JournalRecord{
+		Op: RecSwitch, Instance: instID, Landing: landing,
+		Proposer: actor, Model: in.model, ModelURI: in.modelURI,
+		Events: evs,
+	}
+	rec.mirrorState(in)
+	if err := r.journalLocked(rec); err != nil {
+		in.mu.Unlock()
+		return err
 	}
 	project(in, evs)
 	in.mu.Unlock()

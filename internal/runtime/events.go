@@ -13,10 +13,16 @@ type EventPage struct {
 	// OldestSeq is the Seq of the oldest event still in memory — 1 when
 	// nothing was truncated, 0 when the instance has no events at all.
 	OldestSeq int `json:"oldest_seq"`
-	// Truncated reports that the requested range began before OldestSeq:
-	// the returned page starts at the oldest retained event, and the
-	// caller must consult the journaled execution log for the prefix.
+	// Truncated reports that the requested range began before OldestSeq
+	// and part of it could not be served: the returned page starts at
+	// the oldest event available. The facade's log-backed timeline
+	// clears this flag when it backfills the ring-truncated prefix from
+	// the journaled execution log.
 	Truncated bool `json:"truncated"`
+	// Backfilled counts events in this page that were read back from
+	// the journaled execution log rather than the in-memory ring (0 on
+	// pages served straight from the runtime).
+	Backfilled int `json:"backfilled,omitempty"`
 }
 
 // Events returns a page of the instance's history: events with

@@ -122,6 +122,28 @@ type instance struct {
 	executions  map[string]*ActionExecution // by invocation id
 	execOrder   []string
 	pending     *ChangeProposal
+	// Per-phase stats, maintained on every phase-entered event (and so
+	// rebuilt on replay): entered counts, completed residence, and the
+	// phase currently accruing residence since residSince. Truncation-
+	// proof, unlike an event rescan. Lazily allocated together.
+	phaseEntered   map[string]int
+	phaseResidence map[string]time.Duration
+	residPhase     string
+	residSince     time.Time
+}
+
+// notePhaseEntered maintains the per-phase stats on a phase-entered
+// event; callers hold in.mu (or own the instance exclusively).
+func (in *instance) notePhaseEntered(phase string, at time.Time) {
+	if in.phaseEntered == nil {
+		in.phaseEntered = make(map[string]int)
+		in.phaseResidence = make(map[string]time.Duration)
+	}
+	in.phaseEntered[phase]++
+	if in.residPhase != "" {
+		in.phaseResidence[in.residPhase] += at.Sub(in.residSince)
+	}
+	in.residPhase, in.residSince = phase, at
 }
 
 // Snapshot is an immutable copy of an instance's observable state.
@@ -214,7 +236,10 @@ func (in *instance) snapshot() Snapshot {
 // Unresolved slices are shared with the runtime's internal caches —
 // treat them as read-only, like Snapshot.Model.
 type Summary struct {
-	ID        string       `json:"id"`
+	ID string `json:"id"`
+	// Seq is the instance's creation sequence — the cursor of the
+	// population paging (SummariesPage).
+	Seq       int64        `json:"seq"`
 	ModelURI  string       `json:"model_uri"`
 	ModelName string       `json:"model_name"`
 	Resource  resource.Ref `json:"resource"`
@@ -251,6 +276,7 @@ type Summary struct {
 func (in *instance) summary() Summary {
 	s := Summary{
 		ID:                 in.id,
+		Seq:                in.seq,
 		ModelURI:           in.modelURI,
 		ModelName:          in.model.Name,
 		Resource:           in.res.Clone(),

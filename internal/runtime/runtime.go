@@ -77,7 +77,48 @@
 // Seq numbering stays gapless — Events reports the oldest retained seq
 // and flags reads that begin before it — and because aggregates come
 // from the incremental counters, truncation never changes a Summary or
-// a cockpit aggregate. The journaled execution log keeps full history.
+// a cockpit aggregate. The journaled execution log keeps full history
+// (the facade backfills truncated timeline pages from it).
+//
+// # Durability model
+//
+// Instances live in RAM. Wiring Config.Journal makes them durable:
+// every mutating verb — Instantiate, Advance, Annotate, BindParams,
+// Report, a failed dispatch, ProposeChange, Accept/RejectChange,
+// SwitchModel — emits exactly one typed JournalRecord through the sink
+// before the mutation is acknowledged to the caller.
+//
+// What is journaled: the record carries the mutation's identity, the
+// events it appended (already stamped with their gapless Seq and
+// Time), and whatever replay cannot re-derive — the created
+// executions of an Advance, the proposed model of a change, the
+// post-move token-state mirrors (State/Current/CompletedAt). Policy
+// decisions, action dispatch and observer delivery are NOT journaled;
+// they are side effects of the first life only.
+//
+// Ordering: records are emitted while the mutated instance's lock is
+// held, so the journal's per-instance record order is exactly the
+// order a live reader could have observed — and because the sink only
+// acknowledges durable records, no reader ever observes state that a
+// crash could take back. Cross-instance order in the journal is
+// arbitrary, as instances share no state.
+//
+// Replay: on restart, stream every record through ApplyJournal (single
+// goroutine, journal order) and close with FinishRecovery. Replay
+// rebuilds everything the live path maintains: token positions, event
+// histories (ring truncation applied with the new config), executions,
+// pending proposals, the resource/model/invocation indexes, the
+// monotonic id counters, and every incremental counter — deviations,
+// failed steps, pending invocations, per-phase entered/residence
+// stats. Events flow through the same applier (applyRecorded) live and
+// on replay, which is what makes the rebuilt counters equal by
+// construction rather than by re-derivation.
+//
+// Failure semantics are fail-forward: if the sink errors, the
+// in-memory mutation stands (Instantiate excepted — it journals before
+// publication and aborts cleanly), the caller gets the error, observer
+// delivery and dispatch are suppressed, and the append-error counter
+// surfaces on the admin endpoint. See journal.go.
 package runtime
 
 import (
@@ -160,6 +201,11 @@ type Config struct {
 	// callbacks; after it the entry is garbage-collected. 0 keeps
 	// entries for the full audit lifetime (the pre-GC behavior).
 	InvocationRetention time.Duration
+	// Journal is the persistence sink for instance mutation records
+	// (nil = instances live only in RAM). Every mutation emits one
+	// typed record through it, under the mutated instance's lock; see
+	// the package doc's durability section.
+	Journal Journal
 }
 
 // shard is one stripe of the instance table. Its lock guards only map
@@ -276,6 +322,15 @@ type Runtime struct {
 	totalEvents     atomic.Int64 // events ever recorded across instances
 	truncatedEvents atomic.Int64 // events dropped by ring truncation
 	invGCed         atomic.Int64 // invocation-index entries garbage-collected
+
+	// Persistence counters (see journal.go). recoveryStart and recovery
+	// are written only during single-threaded replay, before the
+	// runtime serves traffic.
+	journalAppends   atomic.Int64 // records accepted by the Journal sink
+	journalErrors    atomic.Int64 // records the sink failed to persist
+	recoveredRecords atomic.Int64 // records applied by ApplyJournal
+	recoveryStart    time.Time
+	recovery         RecoveryStats
 }
 
 // New builds a Runtime from cfg. Registry is required.
@@ -347,18 +402,37 @@ func (r *Runtime) observe(instID string, ev Event) {
 	}
 }
 
-// record appends an event to the instance; callers hold in.mu. When
-// Config.MaxEventsInMemory is set the in-memory history is ring-
-// truncated: once it exceeds the cap by 25% the oldest events are cut
-// back down to the cap, amortizing the copy. Seq numbering is derived
-// from in.eventSeq, not the slice length, so it stays gapless across
-// truncation.
+// record stamps and appends an event to the instance; callers hold
+// in.mu. Seq numbering is derived from in.eventSeq, not the slice
+// length, so it stays gapless across ring truncation.
 func (r *Runtime) record(in *instance, ev Event) Event {
-	in.eventSeq++
-	ev.Seq = in.eventSeq
+	ev.Seq = in.eventSeq + 1
 	ev.Time = r.clock.Now()
+	r.applyRecorded(in, ev)
+	return ev
+}
+
+// applyRecorded appends an already-stamped event and maintains every
+// event-derived counter — event totals, deviations, the per-phase
+// entered/residence stats — plus the ring truncation. It is the one
+// place an event enters an instance, shared by the live record() path
+// and journal replay, which is what makes replayed counters equal the
+// live ones by construction. When Config.MaxEventsInMemory is set the
+// in-memory history is ring-truncated: once it exceeds the cap by 25%
+// the oldest events are cut back down to the cap, amortizing the copy.
+// Callers hold in.mu (or own the instance exclusively).
+func (r *Runtime) applyRecorded(in *instance, ev Event) {
+	if ev.Seq > in.eventSeq {
+		in.eventSeq = ev.Seq
+	}
 	in.events = append(in.events, ev)
 	r.totalEvents.Add(1)
+	if ev.Kind == EventPhaseEntered {
+		if ev.Deviation {
+			in.deviations++
+		}
+		in.notePhaseEntered(ev.Phase, ev.Time)
+	}
 	if max := r.cfg.MaxEventsInMemory; max > 0 && len(in.events) > max+max/4 {
 		drop := len(in.events) - max
 		kept := make([]Event, max)
@@ -367,7 +441,6 @@ func (r *Runtime) record(in *instance, ev Event) Event {
 		in.truncatedEvs += drop
 		r.truncatedEvents.Add(int64(drop))
 	}
-	return ev
 }
 
 // invRetire schedules the invocation's callback-routing entry for GC
@@ -495,6 +568,25 @@ func (r *Runtime) Instantiate(model *core.Model, ref resource.Ref, owner string,
 		Detail: fmt.Sprintf("model %q on %s (%s)", in.model.Name, ref.URI, ref.Type)})
 	snap := in.snapshot()
 
+	// Journal before publication: a failed append aborts cleanly — the
+	// instance was never visible, so nothing needs rolling back.
+	if err := r.journalLocked(&JournalRecord{
+		Op:         RecInstantiate,
+		Instance:   in.id,
+		Seq:        seq,
+		Model:      in.model,
+		ModelURI:   in.modelURI,
+		Resource:   &in.res,
+		Owner:      owner,
+		CreatedAt:  in.createdAt,
+		Unresolved: in.unresolved,
+		Bindings:   in.instBindings,
+		Events:     []Event{ev},
+	}); err != nil {
+		r.totalEvents.Add(-1)
+		return Snapshot{}, err
+	}
+
 	sh := r.shardFor(in.id)
 	sh.mu.Lock()
 	sh.instances[in.id] = in
@@ -615,6 +707,83 @@ func (r *Runtime) Summaries() []Summary {
 	return out
 }
 
+// SummaryPage is one cursor window of the population's summary view,
+// mirroring the per-instance timeline paging: summaries in creation
+// order with Seq > after.
+type SummaryPage struct {
+	Summaries []Summary `json:"summaries"`
+	// Total is the live instance population.
+	Total int `json:"total"`
+	// NextAfter is the cursor for the following page (pass it as
+	// `after`); 0 when this page reaches the tail.
+	NextAfter int64 `json:"next_after,omitempty"`
+}
+
+// SummariesPage returns the summaries of instances with creation
+// sequence > after, at most limit of them (limit <= 0 means no bound),
+// in creation order. Cursor paging keeps very large populations
+// listable without materializing every summary per call: only the
+// page's instances are locked and projected.
+func (r *Runtime) SummariesPage(after int64, limit int) SummaryPage {
+	all := r.collectAll()
+	page := SummaryPage{Total: len(all)}
+	start := sort.Search(len(all), func(i int) bool { return all[i].seq > after })
+	end := len(all)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	if start >= end {
+		return page
+	}
+	page.Summaries = make([]Summary, 0, end-start)
+	for _, in := range all[start:end] {
+		in.mu.Lock()
+		page.Summaries = append(page.Summaries, in.summary())
+		in.mu.Unlock()
+	}
+	if end < len(all) {
+		page.NextAfter = all[end-1].seq
+	}
+	return page
+}
+
+// PhaseStat is the incrementally maintained per-phase drill-down of
+// one instance: how many times the token entered the phase and the
+// cumulative residence time spent there.
+type PhaseStat struct {
+	Entered   int           `json:"entered"`
+	Residence time.Duration `json:"residence"`
+}
+
+// PhaseStats returns the per-phase entered counts and residence times
+// of one instance, with the current phase's open residence counted up
+// to now (or to completion for completed instances). The counters are
+// maintained at mutation time and rebuilt on replay, so — unlike an
+// event rescan — they survive ring truncation of the in-memory
+// history. The second return is false when the instance is unknown.
+func (r *Runtime) PhaseStats(id string, now time.Time) (map[string]PhaseStat, bool) {
+	in, ok := r.lookup(id)
+	if !ok {
+		return nil, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]PhaseStat, len(in.phaseEntered))
+	for p, n := range in.phaseEntered {
+		out[p] = PhaseStat{Entered: n, Residence: in.phaseResidence[p]}
+	}
+	if in.residPhase != "" {
+		end := now
+		if in.state != StateActive && !in.completedAt.IsZero() {
+			end = in.completedAt
+		}
+		ps := out[in.residPhase]
+		ps.Residence += end.Sub(in.residSince)
+		out[in.residPhase] = ps
+	}
+	return out, true
+}
+
 // byIndexedURI snapshots the instances an index lists under uri, in
 // creation order. match re-checks the attribute under the instance
 // lock (the model index mutates on owner-initiated switches); a nil
@@ -658,6 +827,10 @@ func (r *Runtime) Annotate(instID, actor, note string) error {
 	}
 	in.mu.Lock()
 	ev := r.record(in, Event{Kind: EventAnnotated, Actor: actor, Detail: note, Phase: in.current})
+	if err := r.journalLocked(&JournalRecord{Op: RecAnnotate, Instance: instID, Events: []Event{ev}}); err != nil {
+		in.mu.Unlock()
+		return err
+	}
 	in.mu.Unlock()
 	r.observe(instID, ev)
 	return nil
@@ -707,7 +880,10 @@ func (r *Runtime) BindParams(instID, actor, actionURI string, values map[string]
 	for k, v := range values {
 		vals[k] = v
 	}
-	return nil
+	return r.journalLocked(&JournalRecord{
+		Op: RecBind, Instance: instID,
+		Bindings: map[string]map[string]string{actionURI: values},
+	})
 }
 
 // InFlight reports the number of non-terminal action executions of the
@@ -755,6 +931,23 @@ type Stats struct {
 	// log still has them).
 	EventsInMemory  int64 `json:"events_in_memory"`
 	EventsTruncated int64 `json:"events_truncated"`
+	// Persistence reports the durability seam: write-through counters
+	// and what the last replay recovered.
+	Persistence PersistenceStats `json:"persistence"`
+}
+
+// PersistenceStats is the durability section of the admin runtime
+// payload: whether a journal sink is wired, how many records it has
+// accepted or failed, and what the startup replay recovered.
+type PersistenceStats struct {
+	Enabled bool `json:"enabled"`
+	// Records/RecordErrors count mutation records the Journal sink
+	// accepted / failed since start (failures are fail-forward: memory
+	// kept the mutation, durability was lost — see journal.go).
+	Records      int64 `json:"journal_records"`
+	RecordErrors int64 `json:"journal_errors"`
+	// Recovered is what the startup replay rebuilt.
+	Recovered RecoveryStats `json:"recovered"`
 }
 
 // RuntimeStats reports shard occupancy and index sizes.
@@ -779,6 +972,12 @@ func (r *Runtime) RuntimeStats() Stats {
 	st.InvocationsGCed = r.invGCed.Load()
 	st.EventsTruncated = r.truncatedEvents.Load()
 	st.EventsInMemory = r.totalEvents.Load() - st.EventsTruncated
+	st.Persistence = PersistenceStats{
+		Enabled:      r.cfg.Journal != nil,
+		Records:      r.journalAppends.Load(),
+		RecordErrors: r.journalErrors.Load(),
+		Recovered:    r.recovery,
+	}
 	return st
 }
 

@@ -1,0 +1,241 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// instancesRepo is the Entry.Repo name framing instance records.
+const instancesRepo = "instances"
+
+// Instances is the lifecycle-instance collection of the data tier: an
+// append-only feed of opaque, typed mutation records keyed by instance
+// id, framed as journal entries in the same JSONL format (and with the
+// same torn-tail recovery) as every other journal. The runtime owns
+// the record schema (runtime.JournalRecord); this type owns the entry
+// framing/codec, the replay streaming, and the write path.
+//
+// The collection runs on its own journal file — not as a part of the
+// definitions Store. Two reasons. First, instance records are emitted
+// while the mutated instance's lock is held; routing them through
+// Store.commit would order that lock against the store-wide commit
+// lock that Compact takes exclusively, a lock-order inversion waiting
+// to deadlock. Second, instance history is replayed streaming and then
+// discarded — unlike repositories and logs it keeps no in-memory
+// copy, so stop-the-world Compact has nothing to rewrite it from.
+// Compacting the instance journal is a segment-rotation problem and
+// joins that roadmap item; until then the journal grows append-only,
+// like the execution log already does.
+//
+// The default disk write path (OpenInstances) is a flush-combining
+// appender rather than the group-commit Engine: writers encode into
+// the shared buffered writer under a mutex, yield once so concurrent
+// appenders can join, and the first writer back claims one flush (+
+// one fsync in durable mode) covering everyone — the group-commit
+// batching effect without the channel round trips, which on small
+// records cost more than the write itself. The Engine's per-entry
+// onCommit ordering is not needed here because the runtime applies
+// its in-memory mutation itself, under the instance lock, before the
+// append. NewInstances still accepts any Engine for the in-memory
+// mode and future multi-backend deployments.
+//
+// Lifecycle: construct, Replay exactly once (which opens the journal
+// for appending), Append freely, Close once. Append returns only once
+// the record is durable at the configured level — write(2)-deep by
+// default (survives a killed process), fsync-deep with sync — which is
+// the write-through contract the runtime's Journal sink relies on.
+type Instances struct {
+	engine Engine // generic mode; nil when running the journal fast path
+
+	// Journal fast path. mu guards j, flushedSeq and closed; opened is
+	// atomic so Stats can read it without the lock.
+	path   string
+	sync   bool
+	mu     sync.Mutex
+	j      *Journal
+	opened atomic.Bool
+	closed bool
+
+	flushedSeq uint64
+	appends    atomic.Uint64
+	flushes    atomic.Uint64
+	syncs      atomic.Uint64
+	maxBatch   atomic.Int64
+	replayed   atomic.Int64
+}
+
+// NewInstances wraps a generic Engine as the instance collection — the
+// in-memory mode and the seam for alternative backends.
+func NewInstances(engine Engine) *Instances {
+	return &Instances{engine: engine}
+}
+
+// OpenInstances builds the instance collection on its own journal file
+// under dir (created if missing), using the flush-combining write
+// path. sync upgrades durability from write(2) per append to one
+// fsync per combined flush.
+func OpenInstances(dir string, sync bool) (*Instances, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create instances dir: %w", err)
+	}
+	return &Instances{path: filepath.Join(dir, journalName), sync: sync}, nil
+}
+
+// Replay streams every previously committed record through fn in
+// commit order — per-instance, that is mutation order — then opens the
+// collection for appending. Like Engine.Replay it must be called
+// exactly once, before any Append, truncates a torn tail so the next
+// append starts on a record boundary, and treats a missing file as
+// empty.
+func (c *Instances) Replay(fn func(id string, data []byte) error) error {
+	apply := func(e Entry) error {
+		if e.Op != OpAppend {
+			return fmt.Errorf("store: %s: replay unknown op %q", instancesRepo, e.Op)
+		}
+		c.replayed.Add(1)
+		return fn(e.ID, e.Data)
+	}
+	if c.engine != nil {
+		return c.engine.Replay(apply)
+	}
+	_, lastSeq, goodBytes, err := ReplayJournal(c.path, apply)
+	if err != nil {
+		return err
+	}
+	if info, statErr := os.Stat(c.path); statErr == nil && info.Size() > goodBytes {
+		if err := os.Truncate(c.path, goodBytes); err != nil {
+			return fmt.Errorf("store: truncate torn instance journal tail: %w", err)
+		}
+	}
+	j, err := OpenJournal(c.path, lastSeq)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.j = j
+	c.flushedSeq = lastSeq
+	c.mu.Unlock()
+	c.opened.Store(true)
+	return nil
+}
+
+// Replayed reports how many records the startup replay streamed.
+func (c *Instances) Replayed() int64 { return c.replayed.Load() }
+
+// Append commits one mutation record for the given instance and
+// returns once it is durable. On the journal fast path the record is
+// written under the mutex, then — after one scheduler yield that lets
+// concurrent appenders add theirs — the first appender back claims a
+// single flush (+fsync when durable) covering every record written so
+// far; later claimants see their sequence already flushed and return
+// without a syscall.
+func (c *Instances) Append(id string, data []byte) error {
+	if id == "" {
+		return fmt.Errorf("store: %s: empty instance id", instancesRepo)
+	}
+	if c.engine != nil {
+		_, err := c.engine.Append(Entry{Repo: instancesRepo, Op: OpAppend, ID: id, Data: data}, nil)
+		return err
+	}
+	c.mu.Lock()
+	if c.closed || c.j == nil {
+		c.mu.Unlock()
+		if !c.opened.Load() {
+			return fmt.Errorf("store: %s: append before Replay", instancesRepo)
+		}
+		return ErrClosed
+	}
+	seq, err := c.j.writeEntry(Entry{Repo: instancesRepo, Op: OpAppend, ID: id, Data: data})
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.appends.Add(1)
+	runtime.Gosched() // let concurrent appenders join this flush
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.flushedSeq >= seq {
+		// A concurrent appender's flush (or Close's final flush)
+		// covered us.
+		return nil
+	}
+	if c.closed || c.j == nil {
+		return ErrClosed
+	}
+	if err := c.j.Flush(); err != nil {
+		return err
+	}
+	if c.sync {
+		if err := c.j.Sync(); err != nil {
+			return err
+		}
+		c.syncs.Add(1)
+	}
+	if batch := int64(c.j.Seq() - c.flushedSeq); batch > c.maxBatch.Load() {
+		c.maxBatch.Store(batch)
+	}
+	c.flushedSeq = c.j.Seq()
+	c.flushes.Add(1)
+	return nil
+}
+
+// Stats reports the collection's health in the engine-stats shape the
+// admin endpoint already speaks: appends, combined flushes as batches,
+// fsyncs, and the largest combined batch.
+func (c *Instances) Stats() EngineStats {
+	if c.engine != nil {
+		return c.engine.Stats()
+	}
+	st := EngineStats{
+		Engine:   "instances-journal",
+		State:    StateRunning,
+		Appends:  c.appends.Load(),
+		Batches:  c.flushes.Load(),
+		Syncs:    c.syncs.Load(),
+		MaxBatch: int(c.maxBatch.Load()),
+	}
+	if !c.opened.Load() {
+		st.State = StateClosed
+	}
+	c.mu.Lock()
+	if c.j != nil {
+		st.LastSeq = c.j.Seq()
+	}
+	if c.closed {
+		st.State = StateClosed
+	}
+	c.mu.Unlock()
+	return st
+}
+
+// Close flushes and closes the journal. Every Append acknowledged
+// before Close stays durable; Close is idempotent.
+func (c *Instances) Close() error {
+	if c.engine != nil {
+		return c.engine.Close()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.j == nil {
+		c.closed = true
+		return nil
+	}
+	c.closed = true
+	seq := c.j.Seq()
+	err := c.j.Flush()
+	if err == nil && c.sync {
+		err = c.j.Sync()
+	}
+	if closeErr := c.j.Close(); err == nil {
+		err = closeErr
+	}
+	if err == nil {
+		c.flushedSeq = seq // in-flight appenders' records made it out
+	}
+	c.j = nil
+	return err
+}

@@ -21,7 +21,17 @@
 // final line (crash mid-write, including mid-batch) is silently dropped
 // on recovery, and compaction rewrites the journal from the live state
 // via Engine.Rewrite, atomically. Replay streams the journal back
-// through every registered repository on Load.
+// through every registered repository on Load. Journal lines are
+// encoded by a hand-rolled codec (appendEntry) — the reflection-based
+// marshal cost more than the write it framed — while replay keeps
+// decoding with encoding/json.
+//
+// Lifecycle instances have their own collection, Instances: the same
+// JSONL entry format and torn-tail recovery on a dedicated journal
+// file, written through a flush-combining appender instead of the
+// group-commit engine (see the Instances doc for why), streamed back
+// through the runtime's replay on open and then discarded rather than
+// held in memory.
 package store
 
 import (
@@ -32,7 +42,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"time"
+
+	"github.com/liquidpub/gelee/internal/jsonenc"
 )
 
 // Op enumerates journal entry operations.
@@ -65,7 +78,8 @@ type Journal struct {
 	f    *os.File
 	w    *bufio.Writer
 	seq  uint64
-	err  error // sticky I/O error: once the tail is suspect, stop writing
+	buf  []byte // line-encoding scratch, reused across writeEntry calls
+	err  error  // sticky I/O error: once the tail is suspect, stop writing
 }
 
 // OpenJournal opens (or creates) the journal at path for appending.
@@ -81,6 +95,10 @@ func OpenJournal(path string, lastSeq uint64) (*Journal, error) {
 
 // writeEntry assigns the next sequence number to e and writes it into
 // the buffered writer without flushing — batching is the caller's job.
+// The line is encoded by hand (appendEntry): the reflection-based
+// json.Marshal costs more than the rest of the append path combined,
+// and the entry shape is fixed. Replay still decodes with
+// encoding/json; the codec equivalence test pins the round trip.
 // An I/O failure is sticky: the journal refuses further writes so a
 // partially written line is never followed by more data (which replay
 // would treat as corruption rather than a torn tail).
@@ -89,21 +107,39 @@ func (j *Journal) writeEntry(e Entry) (uint64, error) {
 		return 0, j.err
 	}
 	e.Seq = j.seq + 1
-	line, err := json.Marshal(e)
-	if err != nil {
-		// Nothing reached the file; the sequence is not consumed.
-		return 0, fmt.Errorf("store: encode journal entry: %w", err)
-	}
-	if _, err := j.w.Write(line); err != nil {
+	j.buf = appendEntry(j.buf[:0], e)
+	if _, err := j.w.Write(j.buf); err != nil {
 		j.err = fmt.Errorf("store: write journal entry: %w", err)
-		return 0, j.err
-	}
-	if err := j.w.WriteByte('\n'); err != nil {
-		j.err = fmt.Errorf("store: write journal newline: %w", err)
 		return 0, j.err
 	}
 	j.seq = e.Seq
 	return e.Seq, nil
+}
+
+// appendEntry encodes e as one newline-terminated JSONL record,
+// matching the field layout of Entry's json tags (zero times are
+// omitted: a missing ts decodes to the zero time). Data must already
+// be valid JSON — it always is, coming from a codec or json.Marshal.
+func appendEntry(buf []byte, e Entry) []byte {
+	buf = append(buf, `{"seq":`...)
+	buf = strconv.AppendUint(buf, e.Seq, 10)
+	if !e.Time.IsZero() {
+		buf = append(buf, `,"ts":`...)
+		buf = jsonenc.AppendTime(buf, e.Time)
+	}
+	buf = append(buf, `,"repo":`...)
+	buf = jsonenc.AppendString(buf, e.Repo)
+	buf = append(buf, `,"op":`...)
+	buf = jsonenc.AppendString(buf, string(e.Op))
+	if e.ID != "" {
+		buf = append(buf, `,"id":`...)
+		buf = jsonenc.AppendString(buf, e.ID)
+	}
+	if len(e.Data) > 0 {
+		buf = append(buf, `,"data":`...)
+		buf = append(buf, e.Data...)
+	}
+	return append(buf, '}', '\n')
 }
 
 // Append writes one entry and flushes — the unbatched path, used by

@@ -107,6 +107,22 @@ func (l *Log) ByInstance(id string) []LogEntry {
 	return out
 }
 
+// ScanInstance streams the given instance's entries through fn in
+// append order, stopping early when fn returns false. Unlike
+// ByInstance it copies nothing up front — the right call for bounded
+// reads over long histories (the timeline backfill). fn runs under the
+// log's read lock and must not call back into the log; the entry's
+// Data is shared, not copied, and must be treated as read-only.
+func (l *Log) ScanInstance(id string, fn func(LogEntry) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, idx := range l.byInst[id] {
+		if !fn(l.entries[idx]) {
+			return
+		}
+	}
+}
+
 // Range returns entries with from <= Time < to in append order.
 func (l *Log) Range(from, to time.Time) []LogEntry {
 	l.mu.RLock()

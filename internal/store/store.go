@@ -70,6 +70,10 @@ type Stats struct {
 	Engine EngineStats    `json:"engine"`
 	Shards int            `json:"shards"`
 	Repos  map[string]int `json:"repos"`
+	// Instances carries the instance collection's engine counters when
+	// the deployment persists lifecycle instances (it runs on its own
+	// engine, see Instances); nil otherwise. Filled by the facade.
+	Instances *EngineStats `json:"instances,omitempty"`
 }
 
 // New builds a store on an explicit engine — the pluggable entry point.
