@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store|runtime|monitor|persist]
+//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store|runtime|monitor|persist|segments]
 //	           [-runtime-shards N]
 //
 // The runtime experiment drives disjoint-instance token moves from a
@@ -69,6 +69,7 @@ func main() {
 		{"runtime", "E10 — runtime sharding: disjoint-advance scaling, indexed queries", runRuntimeSharding},
 		{"monitor", "E11 — copy-free read path: summary-backed cockpit vs snapshot baseline", runMonitorReadPath},
 		{"persist", "E12 — durable runtime: write-through overhead + replay throughput", runPersist},
+		{"segments", "E13 — segmented journal: bounded restart replay via snapshot folding", runSegments},
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -885,7 +886,7 @@ func runPersist() error {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	coll, err := store.OpenInstances(dir, false)
+	coll, err := store.OpenInstances(dir, store.InstancesOptions{})
 	if err != nil {
 		return err
 	}
@@ -915,7 +916,7 @@ func runPersist() error {
 
 	// Replay: reopen the journal into a fresh runtime and measure the
 	// rebuild — what a geleed restart pays before serving.
-	coll2, err := store.OpenInstances(dir, false)
+	coll2, err := store.OpenInstances(dir, store.InstancesOptions{})
 	if err != nil {
 		return err
 	}
@@ -979,6 +980,171 @@ func runPersist() error {
 		rec.Instances, rec.Events, rec.Executions, rec.Records,
 		time.Duration(replayNs).Round(time.Microsecond), recPerSec)
 	fmt.Printf("  wrote BENCH_persist.json\n")
+	return nil
+}
+
+// runSegments measures what segment rotation + snapshot folding buys:
+// restart replay cost as history grows, with and without folding. The
+// same workload — a fixed population advanced round after round — runs
+// against two instance journals with identical segment rotation; one
+// folds sealed segments into per-instance snapshot records after each
+// round, the other lets them accumulate (the pre-folding behavior).
+// Without folding the records replayed on restart grow linearly with
+// total history; with folding they stay bounded at roughly the live
+// population plus the unfolded tail. Results go to stdout and
+// BENCH_segments.json.
+func runSegments() error {
+	const (
+		population    = 64
+		movesPerRound = 2000
+		rounds        = 6
+		segmentMax    = 64 << 10
+	)
+	model := scenario.QualityPlan()
+
+	type point struct {
+		Round        int   `json:"round"`
+		TotalRecords int64 `json:"total_records"` // cumulative history ever journaled
+		Replayed     int64 `json:"replayed"`      // records streamed on restart
+		Snapshot     int   `json:"snapshot_entries"`
+		Tail         int   `json:"tail_entries"`
+		Skipped      int   `json:"skipped_entries"`
+		ReplayNs     int64 `json:"replay_ns"`
+	}
+
+	run := func(fold bool) ([]point, error) {
+		dir, err := os.MkdirTemp("", "gelee-bench-segments-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		var points []point
+		var total int64
+		for round := 0; round < rounds; round++ {
+			coll, err := store.OpenInstances(dir, store.InstancesOptions{SegmentMaxBytes: segmentMax})
+			if err != nil {
+				return nil, err
+			}
+			sink := rtpkg.JournalFunc(func(rec *rtpkg.JournalRecord) error {
+				data, err := rec.Encode()
+				if err != nil {
+					return err
+				}
+				return coll.Append(rec.Instance, data)
+			})
+			rt, err := rtpkg.New(rtpkg.Config{
+				Registry:    actionlib.NewRegistry(),
+				SyncActions: true,
+				Journal:     sink,
+			})
+			if err != nil {
+				return nil, err
+			}
+			replayStart := time.Now()
+			if err := coll.ReplayParallel(gomaxprocs(), rt.ApplyJournal); err != nil {
+				return nil, err
+			}
+			replayNs := time.Since(replayStart).Nanoseconds()
+			rec := rt.FinishRecovery()
+			rs := coll.ReplayStats()
+			if round > 0 {
+				if rec.Instances != population {
+					return nil, fmt.Errorf("round %d recovered %d instances, want %d", round, rec.Instances, population)
+				}
+				points = append(points, point{
+					Round:        round,
+					TotalRecords: total,
+					Replayed:     rec.Records,
+					Snapshot:     rs.SnapshotEntries,
+					Tail:         rs.TailEntries,
+					Skipped:      rs.SkippedEntries,
+					ReplayNs:     replayNs,
+				})
+			}
+
+			var ids []string
+			if round == 0 {
+				for i := 0; i < population; i++ {
+					ref := resource.Ref{URI: fmt.Sprintf("urn:seg:res-%d", i), Type: "mediawiki"}
+					snap, err := rt.Instantiate(model, ref, "owner", nil)
+					if err != nil {
+						return nil, err
+					}
+					ids = append(ids, snap.ID)
+					total++
+				}
+			} else {
+				for _, sum := range rt.Summaries() {
+					ids = append(ids, sum.ID)
+				}
+			}
+			for i := 0; i < movesPerRound; i++ {
+				if _, err := rt.AdvanceSummary(ids[i%population], "elaboration", "owner", rtpkg.AdvanceOptions{}); err != nil {
+					return nil, err
+				}
+				total++
+			}
+			if fold {
+				coll.SetSnapshotSource(rt.EmitSnapshots)
+				if err := coll.Compact(); err != nil {
+					return nil, err
+				}
+			}
+			if err := coll.Close(); err != nil {
+				return nil, err
+			}
+		}
+		return points, nil
+	}
+
+	folded, err := run(true)
+	if err != nil {
+		return err
+	}
+	unfolded, err := run(false)
+	if err != nil {
+		return err
+	}
+
+	report := struct {
+		Experiment    string  `json:"experiment"`
+		Population    int     `json:"population"`
+		MovesPerRound int     `json:"moves_per_round"`
+		SegmentBytes  int     `json:"segment_max_bytes"`
+		GOMAXPROCS    int     `json:"gomaxprocs"`
+		Folded        []point `json:"folded"`
+		Unfolded      []point `json:"unfolded"`
+	}{
+		Experiment:    "segments",
+		Population:    population,
+		MovesPerRound: movesPerRound,
+		SegmentBytes:  segmentMax,
+		GOMAXPROCS:    gomaxprocs(),
+		Folded:        folded,
+		Unfolded:      unfolded,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_segments.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("paper: a hosted service must restart fast no matter how much history it has accumulated\n")
+	fmt.Printf("measured (%d instances, %d moves/round, %d-byte segments):\n", population, movesPerRound, segmentMax)
+	fmt.Printf("  %-6s %14s | folded %9s %8s | unfolded %9s %8s\n",
+		"round", "total records", "replayed", "ms", "replayed", "ms")
+	for i := range folded {
+		f, u := folded[i], unfolded[i]
+		fmt.Printf("  %-6d %14d | %16d %8.1f | %18d %8.1f\n",
+			f.Round, u.TotalRecords, f.Replayed, float64(f.ReplayNs)/1e6, u.Replayed, float64(u.ReplayNs)/1e6)
+	}
+	if n := len(folded); n >= 2 {
+		fmt.Printf("  folded replay bounded: %d -> %d records; unfolded grew %d -> %d\n",
+			folded[0].Replayed, folded[n-1].Replayed, unfolded[0].Replayed, unfolded[n-1].Replayed)
+	}
+	fmt.Printf("  wrote BENCH_segments.json\n")
 	return nil
 }
 

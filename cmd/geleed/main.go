@@ -8,6 +8,7 @@
 //	geleed [-addr :8085] [-data DIR] [-auth] [-seed] [-engine journal|memory]
 //	       [-sync] [-store-shards N] [-runtime-shards N]
 //	       [-journal-flush-interval D] [-journal-flush-batch N]
+//	       [-segment-max-bytes N] [-snapshot-every N]
 //	       [-max-events N] [-invocation-retention D]
 //	       [-persist-instances=true|false]
 //
@@ -24,10 +25,16 @@
 // ages terminal callback-routing entries out of the invocation index.
 // -persist-instances (on by default) writes every lifecycle-instance
 // mutation through a dedicated instance journal under DIR/instances
-// and replays it on start, so a restarted geleed recovers every token
-// position, history, execution and pending change; the recovered
-// counts are logged at startup. GET /api/v1/admin/store and
-// /api/v1/admin/runtime report the resulting engine, runtime and
+// and replays it on start — sharded across GOMAXPROCS appliers — so a
+// restarted geleed recovers every token position, history, execution
+// and pending change; the recovered counts are logged at startup.
+// -segment-max-bytes (64 MiB by default) rotates each journal's
+// active segment at that size; sealed segments are folded into
+// snapshots in the background, which bounds restart replay to
+// snapshot + tail instead of all history, without ever blocking
+// writers. -snapshot-every folds only once that many sealed segments
+// accumulate. GET /api/v1/admin/store and /api/v1/admin/runtime
+// report the resulting engine, rotation/fold, replay, runtime and
 // persistence health.
 package main
 
@@ -54,6 +61,8 @@ func main() {
 	rtShards := flag.Int("runtime-shards", 0, "runtime instance-table lock-stripe count (0 = default)")
 	flushInterval := flag.Duration("journal-flush-interval", 0, "group-commit wait to grow a batch (0 = opportunistic)")
 	flushBatch := flag.Int("journal-flush-batch", 0, "max journal entries per group-commit batch (0 = default)")
+	segmentMax := flag.Int64("segment-max-bytes", 64<<20, "rotate journal segments past this size; folded into snapshots in the background (0 = no rotation)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "fold once this many sealed segments accumulate (0 = every rotation)")
 	maxEvents := flag.Int("max-events", 0, "max in-memory events per instance, ring-truncated (0 = unbounded)")
 	invRetention := flag.Duration("invocation-retention", 0, "grace window before terminal invocation-index entries are GC'd (0 = keep forever)")
 	persist := flag.Bool("persist-instances", true, "journal lifecycle-instance mutations and replay them on start")
@@ -66,6 +75,8 @@ func main() {
 		StoreShards:          *shards,
 		JournalFlushInterval: *flushInterval,
 		JournalFlushBatch:    *flushBatch,
+		SegmentMaxBytes:      *segmentMax,
+		SnapshotEvery:        *snapshotEvery,
 		RuntimeShards:        *rtShards,
 		MaxEventsInMemory:    *maxEvents,
 		InvocationRetention:  *invRetention,
@@ -82,6 +93,10 @@ func main() {
 		rec := sys.RecoveryStats()
 		log.Printf("instance recovery: %d instances, %d events, %d executions from %d journal records (%v)",
 			rec.Instances, rec.Events, rec.Executions, rec.Records, rec.Elapsed.Round(time.Microsecond))
+		if inst := sys.StoreStats().Instances; inst != nil {
+			log.Printf("instance journal: replayed %d snapshot + %d tail records (%d folded skipped) over %d tail segments",
+				inst.Replay.SnapshotEntries, inst.Replay.TailEntries, inst.Replay.SkippedEntries, inst.Replay.Segments)
+		}
 	}
 
 	if *seed {

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	stdruntime "runtime"
 	"sort"
 	"time"
 
@@ -118,6 +119,18 @@ type Options struct {
 	// JournalFlushBatch caps journal entries per group-commit batch
 	// (0 = store default).
 	JournalFlushBatch int
+	// SegmentMaxBytes seals a journal's active segment once it grows
+	// past this size and rotates to a fresh one — an O(1) rename under
+	// the appender lock, so writers never wait on compaction. Sealed
+	// segments are folded into snapshots by a background folder, which
+	// is what keeps restart replay O(snapshot + tail) instead of
+	// O(all history). Applies to both the definitions journal and the
+	// instance journal; 0 disables automatic rotation (Compact still
+	// seals and folds on demand).
+	SegmentMaxBytes int64
+	// SnapshotEvery folds once this many sealed segments accumulate
+	// (0 = fold on every rotation).
+	SnapshotEvery int
 	// RuntimeShards overrides the runtime instance-table lock-stripe
 	// count (0 = runtime.DefaultShards). Advances on instances in
 	// different stripes share no lock.
@@ -218,6 +231,8 @@ func New(opts Options) (*System, error) {
 		Shards:          opts.StoreShards,
 		FlushInterval:   opts.JournalFlushInterval,
 		FlushBatch:      opts.JournalFlushBatch,
+		SegmentMaxBytes: opts.SegmentMaxBytes,
+		SnapshotEvery:   opts.SnapshotEvery,
 		Clock:           clock,
 	}
 	engine := opts.Engine
@@ -266,7 +281,11 @@ func New(opts Options) (*System, error) {
 		// commit lock; see store.Instances.
 		if engine == "journal" {
 			coll, err := store.OpenInstances(filepath.Join(opts.DataDir, "instances"),
-				opts.SyncJournal || opts.SyncEveryAppend)
+				store.InstancesOptions{
+					Sync:            opts.SyncJournal || opts.SyncEveryAppend,
+					SegmentMaxBytes: opts.SegmentMaxBytes,
+					SnapshotEvery:   opts.SnapshotEvery,
+				})
 			if err != nil {
 				return nil, err
 			}
@@ -340,14 +359,20 @@ func New(opts Options) (*System, error) {
 	// Replay the instance journal into the fresh runtime — token
 	// positions, histories, executions, pending changes, indexes and
 	// counters all rebuild — then open it for write-through appends.
-	// Replay happens before anything can mutate the runtime and applies
-	// records directly, so no event is re-observed into the execution
-	// log and no action is re-dispatched.
+	// Replay streams the newest snapshot plus unfolded tail segments,
+	// sharded by instance id across GOMAXPROCS appliers (records of
+	// different instances are independent). It happens before anything
+	// can mutate the runtime and applies records directly, so no event
+	// is re-observed into the execution log and no action is
+	// re-dispatched. Once recovered, the runtime becomes the journal's
+	// snapshot source: folding asks it for per-instance RecSnapshot
+	// images so sealed segments can be deleted.
 	if s.instances != nil {
-		if err := s.instances.Replay(rt.ApplyJournal); err != nil {
+		if err := s.instances.ReplayParallel(stdruntime.GOMAXPROCS(0), rt.ApplyJournal); err != nil {
 			return nil, fmt.Errorf("gelee: replay instance journal: %w", err)
 		}
 		rt.FinishRecovery()
+		s.instances.SetSnapshotSource(rt.EmitSnapshots)
 	}
 
 	if opts.EmbeddedPlugins {
@@ -492,8 +517,22 @@ func (s *System) Close() error {
 	return err
 }
 
-// Compact compacts the journal.
-func (s *System) Compact() error { return s.store.Compact() }
+// Compact compacts the data tier without stopping writers: each
+// journal's active segment is sealed and every sealed segment is
+// folded into a snapshot — the definitions journal from the live
+// repository state, the instance journal from per-instance RecSnapshot
+// images — after which restart replay reads only the snapshots plus
+// whatever has been appended since. Mutations proceed for the whole
+// duration.
+func (s *System) Compact() error {
+	if err := s.store.Compact(); err != nil {
+		return err
+	}
+	if s.instances != nil {
+		return s.instances.Compact()
+	}
+	return nil
+}
 
 // StoreStats reports data-tier health: engine state and throughput
 // counters plus per-repository sizes, and — when instances are

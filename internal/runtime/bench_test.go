@@ -121,7 +121,7 @@ func BenchmarkPersistAdvance(b *testing.B) {
 			})
 		}},
 		{"journal", func(b *testing.B) Journal {
-			coll, err := store.OpenInstances(b.TempDir(), false)
+			coll, err := store.OpenInstances(b.TempDir(), store.InstancesOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -45,7 +45,11 @@ func (f JournalFunc) Record(rec *JournalRecord) error { return f(rec) }
 // RecordOp names the mutation a JournalRecord captures.
 type RecordOp string
 
-// Journal record operations, one per mutating verb.
+// Journal record operations, one per mutating verb — plus RecSnapshot,
+// the record snapshot folding emits: not a mutation but a full
+// replayable image of one instance, captured under its lock by
+// EmitSnapshots and applied by replay in place of every folded record
+// (see snapshot.go).
 const (
 	RecInstantiate  RecordOp = "instantiate"
 	RecAdvance      RecordOp = "advance"
@@ -57,6 +61,7 @@ const (
 	RecAccept       RecordOp = "accept"
 	RecReject       RecordOp = "reject"
 	RecSwitch       RecordOp = "switch"
+	RecSnapshot     RecordOp = "snapshot"
 )
 
 // JournalRecord is one journaled instance mutation: the operation, the
@@ -106,6 +111,24 @@ type JournalRecord struct {
 	Current     string    `json:"current,omitempty"`
 	CompletedAt time.Time `json:"completed_at,omitempty"`
 	ModelURI    string    `json:"model_uri,omitempty"` // switch: new provenance
+
+	// snapshot (RecSnapshot) only: the counter and ring state a full
+	// image needs beyond the fields above — everything ApplyJournal
+	// would otherwise have re-derived from the folded records. Events
+	// carries the retained in-memory ring; EventSeq the total events
+	// ever recorded (numbering stays gapless past truncation);
+	// Deviations the counter an event rescan could no longer rebuild
+	// once the ring dropped old phase-entered events. Pending carries a
+	// change proposal awaiting the owner's decision; the phase-stat
+	// fields mirror the incrementally maintained per-phase drill-down.
+	EventSeq       int                      `json:"event_seq,omitempty"`
+	TruncatedEvs   int                      `json:"truncated_events,omitempty"`
+	Deviations     int                      `json:"deviations,omitempty"`
+	Pending        *ChangeProposal          `json:"pending,omitempty"`
+	PhaseEntered   map[string]int           `json:"phase_entered,omitempty"`
+	PhaseResidence map[string]time.Duration `json:"phase_residence,omitempty"`
+	ResidPhase     string                   `json:"resid_phase,omitempty"`
+	ResidSince     time.Time                `json:"resid_since,omitempty"`
 }
 
 // journalLocked emits a record through the configured sink; callers
@@ -141,12 +164,18 @@ func (rec *JournalRecord) mirrorState(in *instance) {
 
 // ---- replay --------------------------------------------------------------------
 
-// ApplyJournal applies one persisted mutation record during recovery.
-// It must be called from a single goroutine, in journal order, before
-// the runtime serves any live mutation; FinishRecovery closes the
-// replay and fixes the recovery stats. Records are applied without
-// policy checks, action dispatch or observer delivery — the side
-// effects already happened in the previous life of the process.
+// ApplyJournal applies one persisted record during recovery — a
+// mutation record, or the RecSnapshot image folding wrote. Records of
+// one instance must arrive in journal order (snapshot first, then
+// unfolded tail records — exactly what store.Instances.Replay
+// streams), before the runtime serves any live mutation;
+// FinishRecovery closes the replay and fixes the recovery stats.
+// Calls for *different* instances may run concurrently — the sharded
+// replay (store.Instances.ReplayParallel) relies on it: shared
+// structures are guarded by their own shard/index locks or atomics.
+// Records are applied without policy checks, action dispatch or
+// observer delivery — the side effects already happened in the
+// previous life of the process.
 func (r *Runtime) ApplyJournal(id string, data []byte) error {
 	var rec JournalRecord
 	if err := json.Unmarshal(data, &rec); err != nil {
@@ -155,12 +184,13 @@ func (r *Runtime) ApplyJournal(id string, data []byte) error {
 	if rec.Instance == "" {
 		rec.Instance = id
 	}
-	if r.recoveryStart.IsZero() {
-		r.recoveryStart = time.Now()
-	}
+	r.recoveryOnce.Do(func() { r.recoveryStart = time.Now() })
 	r.recoveredRecords.Add(1)
-	if rec.Op == RecInstantiate {
+	switch rec.Op {
+	case RecInstantiate:
 		return r.replayInstantiate(&rec)
+	case RecSnapshot:
+		return r.replaySnapshot(&rec)
 	}
 	in, ok := r.lookup(rec.Instance)
 	if !ok {
@@ -254,27 +284,35 @@ func (r *Runtime) replayAdvance(in *instance, rec *JournalRecord) error {
 		if _, dup := in.executions[ex.InvocationID]; dup {
 			return fmt.Errorf("runtime: replay duplicate execution %s on %s", ex.InvocationID, in.id)
 		}
-		exp := &ex
-		in.executions[ex.InvocationID] = exp
-		in.execOrder = append(in.execOrder, ex.InvocationID)
-		switch {
-		case ex.Terminal && ex.LastStatus == actionlib.StatusFailed:
-			in.failedSteps++
-		case !ex.Terminal && ex.DispatchErr == "":
-			in.pendingInvs++
-		}
-		ish := r.invShardFor(ex.InvocationID)
-		ish.mu.Lock()
-		ish.m[ex.InvocationID] = in
-		ish.mu.Unlock()
-		bumpAtLeast(&r.nextInv, invSeq(ex.InvocationID))
-		if ex.Terminal {
-			// The GC grace window restarts at replay time; a no-op when
-			// retention is disabled.
-			r.invRetire(ex.InvocationID)
-		}
+		r.registerExecution(in, &ex)
 	}
 	return nil
+}
+
+// registerExecution installs one replayed execution on in — ordered
+// map entry, the failed/pending counters, the callback-routing index,
+// the invocation id counter, and retirement scheduling for terminal
+// ones (the GC grace window restarts at replay time; a no-op when
+// retention is disabled). Shared by record replay (replayAdvance) and
+// snapshot replay so the two can never drift. Callers hold in.mu (or
+// own the instance exclusively).
+func (r *Runtime) registerExecution(in *instance, ex *ActionExecution) {
+	in.executions[ex.InvocationID] = ex
+	in.execOrder = append(in.execOrder, ex.InvocationID)
+	switch {
+	case ex.Terminal && ex.LastStatus == actionlib.StatusFailed:
+		in.failedSteps++
+	case !ex.Terminal && ex.DispatchErr == "":
+		in.pendingInvs++
+	}
+	ish := r.invShardFor(ex.InvocationID)
+	ish.mu.Lock()
+	ish.m[ex.InvocationID] = in
+	ish.mu.Unlock()
+	bumpAtLeast(&r.nextInv, invSeq(ex.InvocationID))
+	if ex.Terminal {
+		r.invRetire(ex.InvocationID)
+	}
 }
 
 func (r *Runtime) replayBind(in *instance, rec *JournalRecord) {

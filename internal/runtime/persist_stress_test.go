@@ -36,7 +36,7 @@ func (s storeSink) Record(rec *JournalRecord) error {
 func TestStressPersistCrashRecovery(t *testing.T) {
 	const workers, perWorker, rounds = 8, 3, 12
 	dir := t.TempDir()
-	coll, err := store.OpenInstances(dir, false)
+	coll, err := store.OpenInstances(dir, store.InstancesOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestStressPersistCrashRecovery(t *testing.T) {
 	}
 	f.Close()
 
-	coll2, err := store.OpenInstances(dir, false)
+	coll2, err := store.OpenInstances(dir, store.InstancesOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

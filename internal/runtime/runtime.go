@@ -318,17 +318,27 @@ type Runtime struct {
 	nextInv  atomic.Int64
 	dispatch sync.WaitGroup
 
+	// instPub spans Instantiate's journal-append + shard-publish window
+	// (held shared). EmitSnapshots takes it exclusively as a barrier
+	// before walking the shards, so a fold can never capture a journal
+	// boundary that covers an instantiate record whose instance is not
+	// yet visible in the shard maps — the record would be folded away
+	// with no snapshot standing in for it. See snapshot.go.
+	instPub sync.RWMutex
+
 	// Read-path health counters for the admin endpoint.
 	totalEvents     atomic.Int64 // events ever recorded across instances
 	truncatedEvents atomic.Int64 // events dropped by ring truncation
 	invGCed         atomic.Int64 // invocation-index entries garbage-collected
 
-	// Persistence counters (see journal.go). recoveryStart and recovery
-	// are written only during single-threaded replay, before the
-	// runtime serves traffic.
+	// Persistence counters (see journal.go). recoveryStart is written
+	// once (recoveryOnce makes that safe under parallel replay);
+	// recovery is written by FinishRecovery after the appliers join,
+	// before the runtime serves traffic.
 	journalAppends   atomic.Int64 // records accepted by the Journal sink
 	journalErrors    atomic.Int64 // records the sink failed to persist
 	recoveredRecords atomic.Int64 // records applied by ApplyJournal
+	recoveryOnce     sync.Once
 	recoveryStart    time.Time
 	recovery         RecoveryStats
 }
@@ -569,7 +579,11 @@ func (r *Runtime) Instantiate(model *core.Model, ref resource.Ref, owner string,
 	snap := in.snapshot()
 
 	// Journal before publication: a failed append aborts cleanly — the
-	// instance was never visible, so nothing needs rolling back.
+	// instance was never visible, so nothing needs rolling back. The
+	// shared instPub lock keeps the append→publish window atomic with
+	// respect to snapshot folding (see snapshot.go).
+	r.instPub.RLock()
+	defer r.instPub.RUnlock()
 	if err := r.journalLocked(&JournalRecord{
 		Op:         RecInstantiate,
 		Instance:   in.id,

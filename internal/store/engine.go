@@ -38,6 +38,23 @@ type EngineStats struct {
 	MaxBatch int `json:"max_batch"`
 	// Pending is the number of appends queued but not yet committed.
 	Pending int `json:"pending"`
+
+	// Segment-rotation and snapshot-folding counters (zero for engines
+	// without segments, like the memory engine).
+	//
+	// SealedSegments is the count of sealed segments not yet folded;
+	// Rotations counts seals since open, Folds successful snapshot
+	// folds, FoldErrors failed fold attempts, FoldedSegments segments
+	// deleted by folds, and SnapshotEntries the size of the newest
+	// snapshot. Replay reports what this open streamed — its
+	// SnapshotEntries+TailEntries sum is the bounded restart cost.
+	SealedSegments  int         `json:"sealed_segments,omitempty"`
+	Rotations       uint64      `json:"rotations,omitempty"`
+	Folds           uint64      `json:"folds,omitempty"`
+	FoldErrors      uint64      `json:"fold_errors,omitempty"`
+	FoldedSegments  uint64      `json:"folded_segments,omitempty"`
+	SnapshotEntries int64       `json:"snapshot_entries,omitempty"`
+	Replay          ReplayStats `json:"replay"`
 }
 
 // Engine is the pluggable persistence layer behind a Store. A Store
@@ -45,7 +62,7 @@ type EngineStats struct {
 // directly. Implementations must be safe for concurrent Append.
 //
 // Lifecycle: construct, Replay once (which also opens the engine for
-// appending), Append/Rewrite freely, Close once. Append blocks until
+// appending), Append/Seal/Fold freely, Close once. Append blocks until
 // the entry is committed at the engine's durability level, so callers
 // can treat a nil error as "survives a crash" for durable engines.
 type Engine interface {
@@ -56,16 +73,26 @@ type Engine interface {
 	// Append assigns the next sequence number to e, commits it, and
 	// returns the assigned sequence once the commit is acknowledged.
 	// onCommit, if non-nil, is invoked exactly once for a successful
-	// append, in commit order with respect to every other append's
-	// onCommit, after durability and before Append returns — this is
-	// how callers keep in-memory state ordered identically to the
-	// journal, so that crash recovery never surfaces a value no live
-	// reader ever observed. onCommit must be fast and must not call
-	// back into the engine.
-	Append(e Entry, onCommit func()) (uint64, error)
-	// Rewrite atomically replaces the engine's contents with entries —
-	// the compaction primitive. Sequence numbering restarts after it.
-	Rewrite(entries []Entry) error
+	// append with the assigned sequence, in commit order with respect
+	// to every other append's onCommit, after durability and before
+	// Append returns — this is how callers keep in-memory state ordered
+	// identically to the journal, so that crash recovery never surfaces
+	// a value no live reader ever observed (the sequence is what lets
+	// them record fold boundaries). onCommit must be fast and must not
+	// call back into the engine.
+	Append(e Entry, onCommit func(seq uint64)) (uint64, error)
+	// Seal finishes the active journal segment so a following Fold can
+	// compact it — an O(1) rename/create under the appender lock that
+	// never blocks concurrent appends for more than that. A no-op when
+	// the active segment is empty or the engine has no segments.
+	Seal() error
+	// Fold compacts every segment sealed before the call into a
+	// snapshot of the live state and deletes them — the compaction
+	// primitive, safe to run while appends proceed. build is invoked
+	// once, after the fold boundary is fixed, and must return the full
+	// live-entry image (see Store.foldImage); engines without segments
+	// ignore it. Callers serialize folds.
+	Fold(build func() []Entry) error
 	// Stats reports engine health and throughput counters.
 	Stats() EngineStats
 	// Close drains pending appends, flushes, and releases resources.
@@ -88,22 +115,24 @@ func NewMemoryEngine() Engine { return &memEngine{} }
 
 func (m *memEngine) Replay(fn func(Entry) error) error { return nil }
 
-func (m *memEngine) Append(e Entry, onCommit func()) (uint64, error) {
+func (m *memEngine) Append(e Entry, onCommit func(uint64)) (uint64, error) {
 	if m.closed.Load() {
 		return 0, ErrClosed
 	}
 	m.appends.Add(1)
 	seq := m.seq.Add(1)
 	if onCommit != nil {
-		onCommit()
+		onCommit(seq)
 	}
 	return seq, nil
 }
 
-func (m *memEngine) Rewrite(entries []Entry) error {
-	m.seq.Store(uint64(len(entries)))
-	return nil
-}
+// Seal implements Engine: nothing persisted, nothing to seal.
+func (m *memEngine) Seal() error { return nil }
+
+// Fold implements Engine: nothing persisted, nothing to fold. build is
+// not invoked — there is no snapshot to write its image into.
+func (m *memEngine) Fold(func() []Entry) error { return nil }
 
 func (m *memEngine) Stats() EngineStats {
 	state := StateRunning

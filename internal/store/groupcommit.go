@@ -12,9 +12,9 @@ import (
 
 // JournalConfig tunes the journaled engine. The zero value is a valid
 // configuration: opportunistic group commit, no fsync, default batch
-// cap and queue depth.
+// cap and queue depth, no segment rotation.
 type JournalConfig struct {
-	// Dir is the directory holding the journal file.
+	// Dir is the directory holding the journal segments.
 	Dir string
 	// Sync fsyncs once per committed batch — durable group commit.
 	Sync bool
@@ -30,6 +30,17 @@ type JournalConfig struct {
 	FlushBatch int
 	// Queue is the commit-queue capacity. 0 means DefaultQueue.
 	Queue int
+	// SegmentMaxBytes seals the active segment once it grows past this
+	// size, rotating to a fresh one under the appender lock. 0 disables
+	// automatic rotation (Seal still rotates on demand).
+	SegmentMaxBytes int64
+	// SnapshotEvery triggers OnSeal once this many sealed segments
+	// await folding (0 = every seal).
+	SnapshotEvery int
+	// OnSeal, if non-nil, is invoked from its own goroutine after a
+	// rotation leaves at least SnapshotEvery sealed segments unfolded —
+	// the hook the Store's background folder hangs off.
+	OnSeal func()
 }
 
 // Defaults for JournalConfig zero fields.
@@ -41,7 +52,7 @@ const (
 // commitReq is one queued append awaiting group commit.
 type commitReq struct {
 	entry    Entry
-	onCommit func()
+	onCommit func(uint64)
 	done     chan commitRes
 }
 
@@ -51,18 +62,25 @@ type commitRes struct {
 	err error
 }
 
-// journalEngine is the default persistent engine: an append-only JSONL
-// journal written by a single background goroutine that batches
-// concurrent appends into one write (+ one fsync in durable mode) —
-// group commit. Appenders block on a per-entry done channel until
-// their batch is on disk.
+// journalEngine is the default persistent engine: a segmented
+// append-only JSONL journal written by a single background goroutine
+// that batches concurrent appends into one write (+ one fsync in
+// durable mode) — group commit. Appenders block on a per-entry done
+// channel until their batch is on disk. The active segment rotates at
+// SegmentMaxBytes; Fold compacts sealed segments into a snapshot while
+// appends proceed (see the package doc's segment section).
 type journalEngine struct {
-	cfg  JournalConfig
-	path string
+	cfg JournalConfig
 
-	// mu guards the journal file across batch commits and Rewrite.
+	// mu guards the active journal across batch commits and seals.
 	mu sync.Mutex
 	j  *Journal
+	sf *segFiles
+
+	// foldMu serializes folds; never held with mu except for the brief
+	// boundary reads inside Fold.
+	foldMu sync.Mutex
+	replay ReplayStats
 
 	// sendMu lets Close exclude new senders before draining the queue:
 	// senders hold it shared for the enqueue, Close takes it exclusive
@@ -97,33 +115,36 @@ func NewJournalEngine(cfg JournalConfig) (Engine, error) {
 	if cfg.Queue <= 0 {
 		cfg.Queue = DefaultQueue
 	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 1
+	}
 	return &journalEngine{
 		cfg:  cfg,
-		path: filepath.Join(cfg.Dir, journalName),
 		reqs: make(chan commitReq, cfg.Queue),
 		quit: make(chan struct{}),
 	}, nil
 }
 
-// Replay implements Engine: stream the journal through fn, truncate
-// away any torn tail so the next append starts on a record boundary,
-// open the journal for appending at the right sequence, and start the
-// commit writer.
+// Replay implements Engine: stream the newest snapshot, the uncovered
+// sealed segments and the active file through fn (skipping folded
+// duplicates), truncate away any torn active tail so the next append
+// starts on a record boundary, open the active segment for appending
+// at the right sequence, and start the commit writer.
 func (e *journalEngine) Replay(fn func(Entry) error) error {
-	_, lastSeq, goodBytes, err := ReplayJournal(e.path, fn)
+	sr, err := replaySegmented(e.cfg.Dir, func(en Entry) string { return en.Repo }, fn)
 	if err != nil {
 		return err
 	}
-	if info, statErr := os.Stat(e.path); statErr == nil && info.Size() > goodBytes {
-		if err := os.Truncate(e.path, goodBytes); err != nil {
-			return fmt.Errorf("store: truncate torn journal tail: %w", err)
-		}
+	if err := truncateTorn(e.cfg.Dir, sr.activeGood); err != nil {
+		return err
 	}
-	j, err := OpenJournal(e.path, lastSeq)
+	j, err := OpenJournal(filepath.Join(e.cfg.Dir, journalName), sr.lastSeq)
 	if err != nil {
 		return err
 	}
 	e.j = j
+	e.sf = newSegFiles(e.cfg.Dir, sr.state)
+	e.replay = sr.stats
 	e.state.Store(1)
 	e.wg.Add(1)
 	go e.writer()
@@ -134,7 +155,7 @@ func (e *journalEngine) Replay(fn func(Entry) error) error {
 // The writer goroutine runs onCommit callbacks in journal order, so
 // concurrent writers to the same key apply in exactly the order their
 // entries hit the disk.
-func (e *journalEngine) Append(entry Entry, onCommit func()) (uint64, error) {
+func (e *journalEngine) Append(entry Entry, onCommit func(uint64)) (uint64, error) {
 	req := commitReq{entry: entry, onCommit: onCommit, done: make(chan commitRes, 1)}
 	e.sendMu.RLock()
 	if e.closing || e.state.Load() != 1 {
@@ -212,9 +233,20 @@ func (e *journalEngine) collect(batch []commitReq) []commitReq {
 }
 
 // commit writes one batch as a unit: every entry into the buffered
-// writer, one flush, one optional fsync, then acknowledgement. A write
-// or sync failure fails the whole batch — no entry is acked as durable
-// unless the batch reached the disk.
+// writer, one flush, one optional fsync, the onCommit applications,
+// then acknowledgement. A write or sync failure fails the whole batch
+// — no entry is acked as durable unless the batch reached the disk.
+// After a durable batch the active segment is rotated if it outgrew
+// SegmentMaxBytes.
+//
+// The onCommit callbacks run inside the same e.mu critical section as
+// the seal decision, deliberately: a segment must never be sealed
+// while it contains entries whose in-memory application is still
+// pending, or a fold racing in between would capture a live image (and
+// fold boundaries) missing them and then delete the only copy —
+// silently losing durable writes on the next restart. Holding e.mu
+// through the applies makes "sealed implies applied" an invariant for
+// every seal path (rotation here, manual Seal, Compact).
 func (e *journalEngine) commit(batch []commitReq) {
 	results := make([]commitRes, len(batch))
 	e.mu.Lock()
@@ -236,6 +268,17 @@ func (e *journalEngine) commit(batch []commitReq) {
 			}
 		}
 	}
+	if batchErr == nil {
+		// Apply in journal order, before acknowledging (memory never
+		// disagrees with what replay would reconstruct) and before any
+		// seal can cover these entries (see above).
+		for i, req := range batch {
+			if results[i].err == nil && req.onCommit != nil {
+				req.onCommit(results[i].seq)
+			}
+		}
+		e.maybeRotateLocked()
+	}
 	e.mu.Unlock()
 	e.batches.Add(1)
 	if n := int64(len(batch)); n > e.maxBatch.Load() {
@@ -248,61 +291,71 @@ func (e *journalEngine) commit(batch []commitReq) {
 		}
 		if res.err == nil {
 			e.appends.Add(1)
-			// Apply in journal order, before acknowledging: memory
-			// never disagrees with what replay would reconstruct.
-			if req.onCommit != nil {
-				req.onCommit()
-			}
 		}
 		req.done <- res
 	}
 }
 
-// Rewrite implements Engine: build the compacted journal in a temp
-// file, fsync it, and atomically rename it over the old one. The
-// engine keeps running; sequence numbering restarts at len(entries).
-func (e *journalEngine) Rewrite(entries []Entry) error {
+// maybeRotateLocked seals the active segment when it outgrew the
+// configured bound and pokes the fold hook; callers hold e.mu. Seal
+// failures are sticky on the journal and surface on the next commit.
+func (e *journalEngine) maybeRotateLocked() {
+	if e.cfg.SegmentMaxBytes <= 0 || e.j.Size() < e.cfg.SegmentMaxBytes {
+		return
+	}
+	nj, err := e.sf.seal(e.j)
+	e.j = nj
+	if err != nil {
+		return
+	}
+	if e.cfg.OnSeal != nil && e.sf.sealedCount() >= uint64(e.cfg.SnapshotEvery) {
+		go e.cfg.OnSeal()
+	}
+}
+
+// Seal implements Engine: rotate the active segment now (a no-op when
+// it is empty). Appends block only for the rename/create itself.
+func (e *journalEngine) Seal() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	tmp := e.path + ".compact"
-	nj, err := OpenJournal(tmp, 0)
-	if err != nil {
-		return err
+	if e.state.Load() != 1 || e.j == nil {
+		return ErrClosed
 	}
-	for _, entry := range entries {
-		if _, err := nj.writeEntry(entry); err != nil {
-			nj.Close()
-			os.Remove(tmp)
-			return err
+	nj, err := e.sf.seal(e.j)
+	e.j = nj
+	return err
+}
+
+// Fold implements Engine: fix the fold boundary (every segment sealed
+// so far), capture the live image via build, write it to a new
+// snapshot and delete the folded segments. Appends — and further seals
+// — proceed concurrently: the image is captured after the boundary, so
+// it is a superset of everything folded, and replay skips the overlap
+// via the per-bucket boundary seqs stamped on snapshot entries.
+func (e *journalEngine) Fold(build func() []Entry) error {
+	e.foldMu.Lock()
+	defer e.foldMu.Unlock()
+	if e.state.Load() != 1 {
+		return ErrClosed
+	}
+	e.mu.Lock()
+	covers := e.sf.sealedHi
+	var hwm uint64
+	if e.j != nil {
+		hwm = e.j.Seq()
+	}
+	e.mu.Unlock()
+	return e.sf.fold(covers, hwm, func(sj *Journal) error {
+		if build == nil {
+			return nil
 		}
-	}
-	if err := nj.Flush(); err != nil {
-		nj.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := nj.Sync(); err != nil {
-		nj.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := nj.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := e.j.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, e.path); err != nil {
-		return fmt.Errorf("store: swap compacted journal: %w", err)
-	}
-	reopened, err := OpenJournal(e.path, uint64(len(entries)))
-	if err != nil {
-		return err
-	}
-	e.j = reopened
-	return nil
+		for _, entry := range build() {
+			if err := sj.writeRaw(entry); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // Stats implements Engine.
@@ -314,22 +367,24 @@ func (e *journalEngine) Stats() EngineStats {
 	case 3:
 		state = StateClosed
 	}
-	var lastSeq uint64
-	e.mu.Lock()
-	if e.j != nil {
-		lastSeq = e.j.Seq()
-	}
-	e.mu.Unlock()
-	return EngineStats{
+	st := EngineStats{
 		Engine:   "journal",
 		State:    state,
-		LastSeq:  lastSeq,
 		Appends:  e.appends.Load(),
 		Batches:  e.batches.Load(),
 		Syncs:    e.syncs.Load(),
 		MaxBatch: int(e.maxBatch.Load()),
 		Pending:  len(e.reqs),
 	}
+	e.mu.Lock()
+	if e.j != nil {
+		st.LastSeq = e.j.Seq()
+	}
+	e.mu.Unlock()
+	if e.sf != nil {
+		e.sf.statsInto(&st, e.replay)
+	}
+	return st
 }
 
 // Close implements Engine: refuse new appends, drain the queue (every
@@ -352,6 +407,10 @@ func (e *journalEngine) Close() error {
 	e.state.Store(2)
 	close(e.quit)
 	e.wg.Wait()
+	// An in-flight Fold may still be writing its snapshot; let it
+	// finish before the file handles go away underneath it.
+	e.foldMu.Lock()
+	defer e.foldMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	err := e.j.Close()

@@ -15,7 +15,7 @@ import (
 // the replay to stream them back in order with their ids.
 func TestInstancesRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	c, err := OpenInstances(dir, false)
+	c, err := OpenInstances(dir, InstancesOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestInstancesRoundTrip(t *testing.T) {
 		t.Fatal("second close not idempotent:", err)
 	}
 
-	c2, err := OpenInstances(dir, false)
+	c2, err := OpenInstances(dir, InstancesOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestInstancesRoundTrip(t *testing.T) {
 // and expects replay to drop it silently and keep appending cleanly.
 func TestInstancesTornTail(t *testing.T) {
 	dir := t.TempDir()
-	c, err := OpenInstances(dir, false)
+	c, err := OpenInstances(dir, InstancesOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestInstancesTornTail(t *testing.T) {
 	}
 	f.Close()
 
-	c2, err := OpenInstances(dir, false)
+	c2, err := OpenInstances(dir, InstancesOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestInstancesTornTail(t *testing.T) {
 	if err := c2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	c3, err := OpenInstances(dir, false)
+	c3, err := OpenInstances(dir, InstancesOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestInstancesTornTail(t *testing.T) {
 
 // TestInstancesAppendBeforeReplay pins the lifecycle contract.
 func TestInstancesAppendBeforeReplay(t *testing.T) {
-	c, err := OpenInstances(t.TempDir(), false)
+	c, err := OpenInstances(t.TempDir(), InstancesOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestInstancesAppendBeforeReplay(t *testing.T) {
 // and flushes were combined.
 func TestInstancesConcurrentAppend(t *testing.T) {
 	dir := t.TempDir()
-	c, err := OpenInstances(dir, false)
+	c, err := OpenInstances(dir, InstancesOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestInstancesConcurrentAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c2, err := OpenInstances(dir, false)
+	c2, err := OpenInstances(dir, InstancesOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

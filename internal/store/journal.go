@@ -6,32 +6,68 @@
 // state, lock-striped across N shards keyed by resource ID so that
 // concurrent mutations of different resources never contend. Every
 // mutation is journaled through the Store's pluggable Engine before it
-// is applied. The default persistent engine (NewJournalEngine) is an
-// append-only JSONL journal with a group-commit writer: a background
-// goroutine batches concurrent appends into a single write (+ a single
-// fsync in durable mode) and acknowledges each appender through a
-// per-entry done channel — turning N fsyncs into one without giving up
-// the durability contract, since no append is acknowledged before its
-// batch is on disk. Flush interval and batch size are configurable
-// (JournalConfig); the pre-engine per-append-fsync behavior survives as
-// the SyncEveryAppend baseline for benchmarks. An in-memory engine
-// (NewMemoryEngine) backs tests and embedded use.
+// is applied. The default persistent engine (NewJournalEngine) is a
+// segmented append-only JSONL journal with a group-commit writer: a
+// background goroutine batches concurrent appends into a single write
+// (+ a single fsync in durable mode) and acknowledges each appender
+// through a per-entry done channel — turning N fsyncs into one without
+// giving up the durability contract, since no append is acknowledged
+// before its batch is on disk. An in-memory engine (NewMemoryEngine)
+// backs tests and embedded use.
 //
-// The journal format favors the paper's robustness requirement: a torn
-// final line (crash mid-write, including mid-batch) is silently dropped
-// on recovery, and compaction rewrites the journal from the live state
-// via Engine.Rewrite, atomically. Replay streams the journal back
-// through every registered repository on Load. Journal lines are
-// encoded by a hand-rolled codec (appendEntry) — the reflection-based
-// marshal cost more than the write it framed — while replay keeps
-// decoding with encoding/json.
+// # Segments, snapshots, and folding
+//
+// A journal directory holds one generation of a segmented log:
+//
+//	gelee.journal          active segment — all appends land here
+//	journal.NNNNNN.jsonl   sealed segments, immutable, NNNNNN ascending
+//	snapshot.NNNNNN.jsonl  snapshot folding the state of segments 1..NNNNNN
+//	snapshot.*.jsonl.tmp   in-progress fold — ignored and removed on open
+//
+// When the active segment exceeds SegmentMaxBytes (or on demand) it is
+// sealed: flushed, fsynced, renamed to the next sealed name and
+// replaced with a fresh active file — an O(1) rename/create under the
+// appender lock, so writers never block on compaction. A background
+// folder then compacts sealed segments into a snapshot of the live
+// state (repositories contribute their last-writer-wins image, logs
+// their full history, the instance collection typed per-instance
+// snapshot records) and deletes the folded segments. Restart replay is
+// therefore O(snapshot + tail segments), not O(all history ever
+// written): Load streams the newest snapshot, then the uncovered
+// sealed segments in order, then the active file.
+//
+// Snapshot entries record a fold boundary in their Seq field — the
+// journal sequence up to which their bucket (a repository name, or an
+// instance id) is already captured. Tail entries at or below that
+// boundary are skipped on replay; this is what makes folding safe for
+// non-idempotent buckets (logs, instance records) while writers keep
+// appending mid-fold. Store.Compact survives as seal-then-fold, so
+// compaction no longer excludes writers.
+//
+// # Recovery invariants
+//
+// A torn final line in the active file or in a sealed segment (a crash
+// mid-write, including mid-batch) is dropped silently — such entries
+// were never acknowledged. The active file's torn tail is truncated
+// before reopening so appends land on a record boundary. A malformed
+// line *followed by more data* is real corruption and fails the open,
+// as does a torn snapshot — snapshots are fsynced before the atomic
+// rename that publishes them, so a damaged one means the disk lied. A
+// fold deletes nothing until the new snapshot is durably installed;
+// every crash window leaves either the old or the new generation
+// intact, and the next open's directory scan removes the leftovers
+// (temp files, superseded snapshots, already-folded segments).
+//
+// Journal lines are encoded by a hand-rolled codec (appendEntry) — the
+// reflection-based marshal cost more than the write it framed — while
+// replay keeps decoding with encoding/json.
 //
 // Lifecycle instances have their own collection, Instances: the same
-// JSONL entry format and torn-tail recovery on a dedicated journal
-// file, written through a flush-combining appender instead of the
-// group-commit engine (see the Instances doc for why), streamed back
-// through the runtime's replay on open and then discarded rather than
-// held in memory.
+// entry framing, segment rotation and snapshot folding on a dedicated
+// journal directory, written through a flush-combining appender
+// instead of the group-commit engine (see the Instances doc for why),
+// streamed back through the runtime's replay on open — sharded across
+// parallel appliers — and then discarded rather than held in memory.
 package store
 
 import (
@@ -78,6 +114,8 @@ type Journal struct {
 	f    *os.File
 	w    *bufio.Writer
 	seq  uint64
+	size int64  // bytes in the file including unflushed writes
+	raw  int64  // entries written via writeRaw (snapshot files)
 	buf  []byte // line-encoding scratch, reused across writeEntry calls
 	err  error  // sticky I/O error: once the tail is suspect, stop writing
 }
@@ -90,7 +128,11 @@ func OpenJournal(path string, lastSeq uint64) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open journal: %w", err)
 	}
-	return &Journal{path: path, f: f, w: bufio.NewWriter(f), seq: lastSeq}, nil
+	size := int64(0)
+	if info, err := f.Stat(); err == nil {
+		size = info.Size()
+	}
+	return &Journal{path: path, f: f, w: bufio.NewWriter(f), seq: lastSeq, size: size}, nil
 }
 
 // writeEntry assigns the next sequence number to e and writes it into
@@ -108,13 +150,40 @@ func (j *Journal) writeEntry(e Entry) (uint64, error) {
 	}
 	e.Seq = j.seq + 1
 	j.buf = appendEntry(j.buf[:0], e)
-	if _, err := j.w.Write(j.buf); err != nil {
+	n, err := j.w.Write(j.buf)
+	j.size += int64(n)
+	if err != nil {
 		j.err = fmt.Errorf("store: write journal entry: %w", err)
 		return 0, j.err
 	}
 	j.seq = e.Seq
 	return e.Seq, nil
 }
+
+// writeRaw writes e preserving its caller-assigned Seq — the snapshot
+// write path, where Seq carries a fold boundary rather than the next
+// append number. Like writeEntry it buffers without flushing.
+func (j *Journal) writeRaw(e Entry) error {
+	if j.err != nil {
+		return j.err
+	}
+	j.buf = appendEntry(j.buf[:0], e)
+	n, err := j.w.Write(j.buf)
+	j.size += int64(n)
+	if err != nil {
+		j.err = fmt.Errorf("store: write snapshot entry: %w", err)
+		return j.err
+	}
+	j.raw++
+	return nil
+}
+
+// Size reports the file's byte length including unflushed writes — the
+// rotation trigger input.
+func (j *Journal) Size() int64 { return j.size }
+
+// Raw reports how many entries writeRaw has written.
+func (j *Journal) Raw() int64 { return j.raw }
 
 // appendEntry encodes e as one newline-terminated JSONL record,
 // matching the field layout of Entry's json tags (zero times are

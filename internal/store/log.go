@@ -29,6 +29,12 @@ type Log struct {
 	entries []LogEntry
 	byInst  map[string][]int // instance id -> indexes into entries
 	nextSeq uint64
+	// appliedSeq is the journal sequence of the newest entry applied to
+	// the in-memory state — the log's fold boundary. Logs are appended,
+	// never overwritten, so replaying a folded entry again would double
+	// history; the boundary lets replay skip exactly the tail entries a
+	// snapshot already contains.
+	appliedSeq uint64
 }
 
 // NewLog creates and registers an append-only log under name.
@@ -63,9 +69,12 @@ func (l *Log) Append(e LogEntry) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("store: %s: encode log entry: %w", l.name, err)
 	}
-	err = l.store.commit(Entry{Repo: l.name, Op: OpAppend, Data: data}, func() {
+	err = l.store.commit(Entry{Repo: l.name, Op: OpAppend, Data: data}, func(seq uint64) {
 		l.mu.Lock()
 		l.append(e)
+		if seq > l.appliedSeq {
+			l.appliedSeq = seq
+		}
 		l.mu.Unlock()
 	})
 	if err != nil {
@@ -164,13 +173,18 @@ func (l *Log) applyEntry(e Entry) error {
 	}
 	l.mu.Lock()
 	l.append(le)
+	if e.Seq > l.appliedSeq {
+		l.appliedSeq = e.Seq
+	}
 	l.mu.Unlock()
 	return nil
 }
 
-// snapshotEntries implements journaled: logs are history, so compaction
-// preserves every entry.
-func (l *Log) snapshotEntries() []Entry {
+// foldEntries implements journaled: logs are history, so the fold
+// image preserves every entry. The boundary is the journal seq of the
+// newest applied entry, captured under the same lock as the image so
+// the two are exactly consistent.
+func (l *Log) foldEntries() ([]Entry, uint64) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	out := make([]Entry, 0, len(l.entries))
@@ -181,5 +195,5 @@ func (l *Log) snapshotEntries() []Entry {
 		}
 		out = append(out, Entry{Repo: l.name, Op: OpAppend, Data: data})
 	}
-	return out
+	return out, l.appliedSeq
 }

@@ -68,7 +68,7 @@ func (r *Repo[T]) Put(id string, v T) error {
 		return fmt.Errorf("store: %s: encode %q: %w", r.name, id, err)
 	}
 	sh := r.shardFor(id)
-	return r.store.commit(Entry{Repo: r.name, Op: OpPut, ID: id, Data: data}, func() {
+	return r.store.commit(Entry{Repo: r.name, Op: OpPut, ID: id, Data: data}, func(uint64) {
 		sh.mu.Lock()
 		sh.items[id] = v
 		sh.mu.Unlock()
@@ -94,7 +94,7 @@ func (r *Repo[T]) Delete(id string) error {
 	if !ok {
 		return nil
 	}
-	return r.store.commit(Entry{Repo: r.name, Op: OpDelete, ID: id}, func() {
+	return r.store.commit(Entry{Repo: r.name, Op: OpDelete, ID: id}, func(uint64) {
 		sh.mu.Lock()
 		delete(sh.items, id)
 		sh.mu.Unlock()
@@ -188,8 +188,12 @@ func (r *Repo[T]) applyEntry(e Entry) error {
 	return nil
 }
 
-// snapshotEntries implements journaled: one put per live item.
-func (r *Repo[T]) snapshotEntries() []Entry {
+// foldEntries implements journaled: one put per live item, boundary 0.
+// Repositories are keyed last-writer-wins, so replaying a folded tail
+// entry over the fold image converges to the same value — no skip
+// needed, which also spares the repo from tracking applied seqs across
+// its lock stripes.
+func (r *Repo[T]) foldEntries() ([]Entry, uint64) {
 	pairs := r.pairs()
 	out := make([]Entry, 0, len(pairs))
 	for _, p := range pairs {
@@ -199,5 +203,5 @@ func (r *Repo[T]) snapshotEntries() []Entry {
 		}
 		out = append(out, Entry{Repo: r.name, Op: OpPut, ID: p.id, Data: data})
 	}
-	return out
+	return out, 0
 }

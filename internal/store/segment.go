@@ -1,0 +1,448 @@
+package store
+
+// Segmented-journal machinery shared by the journaled engine and the
+// instance collection: file naming, directory scanning/cleanup, the
+// seal (rotate) and fold (snapshot) primitives, and the replay driver
+// that streams "newest snapshot, then tail segments, then the active
+// file" while skipping records the snapshot already covers.
+//
+// File layout inside a journal directory:
+//
+//	gelee.journal          the active segment — all appends go here
+//	journal.NNNNNN.jsonl   sealed segments, immutable, NNNNNN ascending
+//	snapshot.NNNNNN.jsonl  the snapshot folding segments 1..NNNNNN
+//	snapshot.*.jsonl.tmp   an in-progress fold (ignored and removed)
+//
+// Sealing renames the active file to the next sealed name and creates
+// a fresh active — an O(1) operation under the appender lock, so
+// writers never wait on compaction. Folding writes a new snapshot to a
+// temp file, fsyncs, renames it into place, and only then deletes the
+// segments it covers (and any older snapshot); every crash window
+// leaves either the old or the new generation fully intact.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// opSeqMark is the snapshot-internal high-water-mark entry: the first
+// line of every snapshot, carrying the journal sequence current when
+// the fold began. Without it, a snapshot whose entries all carry
+// boundary 0 (a repositories-only store, fully folded) would lose the
+// sequence high-water mark and numbering would restart after reopen.
+// The replay driver consumes it; callers never see it.
+const opSeqMark Op = "seq-hwm"
+
+// sealedName returns the file name of sealed segment n.
+func sealedName(n uint64) string { return fmt.Sprintf("journal.%06d.jsonl", n) }
+
+// snapName returns the file name of the snapshot folding segments 1..n.
+func snapName(n uint64) string { return fmt.Sprintf("snapshot.%06d.jsonl", n) }
+
+// parseNumbered extracts NNNNNN from prefix+NNNNNN+".jsonl" names.
+func parseNumbered(name, prefix string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, prefix)
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".jsonl")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// segState is the on-disk generation a directory scan found: the
+// newest snapshot and the sealed segments it does not cover.
+type segState struct {
+	snapNum  uint64 // newest snapshot number, 0 = none
+	snapPath string // "" when snapNum is 0
+	sealed   []uint64
+}
+
+// scanSegments inventories dir and removes stale files: in-progress
+// snapshot temp files (a fold that never completed), snapshots older
+// than the newest, and sealed segments a snapshot already covers (a
+// fold that crashed between rename and delete). The survivors are the
+// exact replay set.
+func scanSegments(dir string) (segState, error) {
+	var st segState
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return st, nil
+		}
+		return st, fmt.Errorf("store: scan journal dir: %w", err)
+	}
+	var snaps, sealed []uint64
+	for _, de := range names {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, "snapshot.") {
+			os.Remove(filepath.Join(dir, name)) // partial fold: never renamed, never valid
+			continue
+		}
+		if n, ok := parseNumbered(name, "snapshot."); ok {
+			snaps = append(snaps, n)
+			continue
+		}
+		if n, ok := parseNumbered(name, "journal."); ok {
+			sealed = append(sealed, n)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(sealed, func(i, j int) bool { return sealed[i] < sealed[j] })
+	if len(snaps) > 0 {
+		st.snapNum = snaps[len(snaps)-1]
+		st.snapPath = filepath.Join(dir, snapName(st.snapNum))
+		for _, n := range snaps[:len(snaps)-1] {
+			os.Remove(filepath.Join(dir, snapName(n)))
+		}
+	}
+	for _, n := range sealed {
+		if n <= st.snapNum {
+			os.Remove(filepath.Join(dir, sealedName(n))) // folded, delete crashed mid-cleanup
+			continue
+		}
+		st.sealed = append(st.sealed, n)
+	}
+	return st, nil
+}
+
+// ReplayStats reports what one open streamed: how many entries came
+// from the snapshot, how many from unfolded tail segments (sealed +
+// active), and how many tail entries were skipped because the snapshot
+// already covered them. SnapshotEntries+TailEntries is the bounded
+// restart cost the fold buys — it stops growing with total history.
+type ReplayStats struct {
+	SnapshotEntries int `json:"snapshot_entries"`
+	TailEntries     int `json:"tail_entries"`
+	SkippedEntries  int `json:"skipped_entries"`
+	// Segments is the number of sealed tail segments replayed.
+	Segments int `json:"segments"`
+}
+
+// segReplay is the full result of a segmented replay.
+type segReplay struct {
+	stats      ReplayStats
+	lastSeq    uint64
+	activeGood int64 // byte offset where the active file's valid data ends
+	state      segState
+}
+
+// replaySegmented streams the directory's journal generation through
+// fn: the newest snapshot first, then every uncovered sealed segment
+// in order, then the active file. key buckets entries for the fold
+// boundary (Entry.Repo for the store journal, Entry.ID for the
+// instance journal): a snapshot entry's Seq records the journal
+// sequence its bucket's state covers, and tail entries at or below
+// that boundary are skipped — they were folded into the snapshot, and
+// for non-idempotent buckets (logs, instance records) re-applying them
+// would double history.
+//
+// Torn tails: a torn final line in the active file OR in a sealed
+// segment is dropped silently — in both cases it is a batch cut short
+// by a crash whose entries were never acknowledged (a sealed segment
+// can carry one when the crash hit the active file and a later life
+// sealed it, or when rename happened but the tail had never been
+// acked). A torn tail in a *snapshot* is real corruption — snapshots
+// are renamed into place only after a successful fsync — and fails the
+// replay rather than silently dropping folded state.
+func replaySegmented(dir string, key func(Entry) string, fn func(Entry) error) (segReplay, error) {
+	var out segReplay
+	st, err := scanSegments(dir)
+	if err != nil {
+		return out, err
+	}
+	out.state = st
+	bounds := make(map[string]uint64)
+	note := func(seq uint64) {
+		if seq > out.lastSeq {
+			out.lastSeq = seq
+		}
+	}
+	if st.snapPath != "" {
+		_, lastSeq, good, err := ReplayJournal(st.snapPath, func(e Entry) error {
+			if e.Op == opSeqMark {
+				note(e.Seq)
+				return nil
+			}
+			if k := key(e); e.Seq > bounds[k] {
+				bounds[k] = e.Seq
+			}
+			out.stats.SnapshotEntries++
+			return fn(e)
+		})
+		if err != nil {
+			return out, err
+		}
+		note(lastSeq)
+		if info, statErr := os.Stat(st.snapPath); statErr == nil && info.Size() > good {
+			return out, fmt.Errorf("%w: torn snapshot %s", ErrCorrupt, snapName(st.snapNum))
+		}
+	}
+	tail := func(e Entry) error {
+		if e.Seq <= bounds[key(e)] {
+			out.stats.SkippedEntries++
+			return nil
+		}
+		out.stats.TailEntries++
+		return fn(e)
+	}
+	for _, n := range st.sealed {
+		_, lastSeq, _, err := ReplayJournal(filepath.Join(dir, sealedName(n)), tail)
+		if err != nil {
+			return out, err
+		}
+		note(lastSeq)
+		out.stats.Segments++
+	}
+	_, lastSeq, good, err := ReplayJournal(filepath.Join(dir, journalName), tail)
+	if err != nil {
+		return out, err
+	}
+	note(lastSeq)
+	out.activeGood = good
+	return out, nil
+}
+
+// truncateTorn cuts the active file back to its last valid record
+// boundary so the next append never welds onto a torn line.
+func truncateTorn(dir string, goodBytes int64) error {
+	path := filepath.Join(dir, journalName)
+	if info, err := os.Stat(path); err == nil && info.Size() > goodBytes {
+		if err := os.Truncate(path, goodBytes); err != nil {
+			return fmt.Errorf("store: truncate torn journal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates inside it survive
+// a crash. Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// segFiles tracks a directory's segment generation for a live appender
+// and owns the seal and fold primitives. sealedHi is guarded by the
+// owner's appender lock (seals happen under it); the remaining fields
+// are atomics so stats and folds read them lock-free. Folds must be
+// serialized by the owner (one fold at a time).
+type segFiles struct {
+	dir      string
+	sealedHi uint64        // highest sealed segment on disk (appender lock)
+	snapNum  atomic.Uint64 // segments <= snapNum are folded into the snapshot
+
+	rotations   atomic.Uint64
+	folds       atomic.Uint64
+	foldErrors  atomic.Uint64
+	foldedSegs  atomic.Uint64
+	snapEntries atomic.Int64 // entries in the newest snapshot
+}
+
+// newSegFiles adopts the generation a scan found.
+func newSegFiles(dir string, st segState) *segFiles {
+	sf := &segFiles{dir: dir}
+	sf.snapNum.Store(st.snapNum)
+	sf.sealedHi = st.snapNum
+	if n := len(st.sealed); n > 0 {
+		sf.sealedHi = st.sealed[n-1]
+	}
+	return sf
+}
+
+// sealedCount reports how many sealed segments await folding; callers
+// hold the appender lock (or accept a stale read for stats).
+func (sf *segFiles) sealedCount() uint64 {
+	hi := atomic.LoadUint64(&sf.sealedHi)
+	if sn := sf.snapNum.Load(); hi > sn {
+		return hi - sn
+	}
+	return 0
+}
+
+// seal finishes the active journal j: flush, fsync, close, rename to
+// the next sealed segment name, and open a fresh active file that
+// continues the sequence. The caller holds the appender lock; an empty
+// active file is a no-op (no zero-length segment churn). Returns the
+// journal to append to next (j itself when nothing was sealed).
+func (sf *segFiles) seal(j *Journal) (*Journal, error) {
+	if j.Size() == 0 {
+		return j, nil
+	}
+	if err := j.Flush(); err != nil {
+		return j, err
+	}
+	if err := j.Sync(); err != nil {
+		return j, err
+	}
+	seq := j.Seq()
+	if err := j.Close(); err != nil {
+		return j, fmt.Errorf("store: close active segment: %w", err)
+	}
+	active := filepath.Join(sf.dir, journalName)
+	next := atomic.LoadUint64(&sf.sealedHi) + 1
+	if err := os.Rename(active, filepath.Join(sf.dir, sealedName(next))); err != nil {
+		return j, fmt.Errorf("store: seal segment: %w", err)
+	}
+	nj, err := OpenJournal(active, seq)
+	if err != nil {
+		return j, err
+	}
+	syncDir(sf.dir)
+	atomic.StoreUint64(&sf.sealedHi, next)
+	sf.rotations.Add(1)
+	return nj, nil
+}
+
+// fold writes a snapshot covering segments 1..covers and deletes them
+// (plus any older snapshot). write receives the open snapshot journal
+// and must write every snapshot entry through Journal.writeRaw; the
+// file is flushed, fsynced and atomically renamed into place before
+// anything is deleted. covers and hwm (the journal's current last
+// sequence, preserved across the fold via the opSeqMark header) must
+// be sampled under the appender lock before the caller captures its
+// live image, so the image is a superset of everything in the folded
+// segments; the caller serializes folds. A covers at or below the
+// current snapshot is a no-op.
+func (sf *segFiles) fold(covers, hwm uint64, write func(*Journal) error) error {
+	prev := sf.snapNum.Load()
+	if covers <= prev {
+		return nil
+	}
+	final := filepath.Join(sf.dir, snapName(covers))
+	tmp := final + ".tmp"
+	os.Remove(tmp)
+	sj, err := OpenJournal(tmp, 0)
+	if err != nil {
+		sf.foldErrors.Add(1)
+		return err
+	}
+	fail := func(err error) error {
+		sj.Close()
+		os.Remove(tmp)
+		sf.foldErrors.Add(1)
+		return err
+	}
+	if err := sj.writeRaw(Entry{Seq: hwm, Op: opSeqMark}); err != nil {
+		return fail(err)
+	}
+	if err := write(sj); err != nil {
+		return fail(err)
+	}
+	entries := sj.Raw() - 1 // exclude the opSeqMark header
+	if err := sj.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := sj.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := sj.Close(); err != nil {
+		os.Remove(tmp)
+		sf.foldErrors.Add(1)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		sf.foldErrors.Add(1)
+		return fmt.Errorf("store: install snapshot: %w", err)
+	}
+	syncDir(sf.dir)
+	// The new snapshot is durable; everything it covers can go. A crash
+	// in this window leaves stale files that the next scan removes.
+	sf.snapNum.Store(covers)
+	for n := prev + 1; n <= covers; n++ {
+		if os.Remove(filepath.Join(sf.dir, sealedName(n))) == nil {
+			sf.foldedSegs.Add(1)
+		}
+	}
+	if prev > 0 {
+		os.Remove(filepath.Join(sf.dir, snapName(prev)))
+	}
+	sf.folds.Add(1)
+	sf.snapEntries.Store(entries)
+	return nil
+}
+
+// folder is the shared background-compaction loop: seals poke it
+// (coalesced to one pending request), it runs the owner's fold until
+// stopped. Both the Store and the Instances collection hang theirs off
+// the rotation path.
+type folder struct {
+	ch      chan struct{}
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+}
+
+func newFolder() *folder {
+	return &folder{ch: make(chan struct{}, 1), quit: make(chan struct{})}
+}
+
+// start launches the loop (once; later calls are no-ops). fold errors
+// are the owner's to count — typically via segFiles.foldErrors — and
+// are retried on the next poke.
+func (f *folder) start(fold func()) {
+	if !f.started.CompareAndSwap(false, true) {
+		return
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			select {
+			case <-f.ch:
+				fold()
+			case <-f.quit:
+				return
+			}
+		}
+	}()
+}
+
+// poke requests a fold; free to call from any goroutine, never blocks.
+func (f *folder) poke() {
+	select {
+	case f.ch <- struct{}{}:
+	default:
+	}
+}
+
+// running reports whether the loop was started (and not stopped) —
+// the owner's gate for scheduling folds at all.
+func (f *folder) running() bool { return f.started.Load() }
+
+// stop terminates the loop and waits for an in-flight fold to finish.
+// Idempotent via the started flag; safe when start never ran.
+func (f *folder) stop() {
+	if !f.started.CompareAndSwap(true, false) {
+		return
+	}
+	close(f.quit)
+	f.wg.Wait()
+}
+
+// statsInto copies the rotation/fold counters into an EngineStats.
+func (sf *segFiles) statsInto(st *EngineStats, replay ReplayStats) {
+	st.SealedSegments = int(sf.sealedCount())
+	st.Rotations = sf.rotations.Load()
+	st.Folds = sf.folds.Load()
+	st.FoldErrors = sf.foldErrors.Load()
+	st.FoldedSegments = sf.foldedSegs.Load()
+	st.SnapshotEntries = sf.snapEntries.Load()
+	st.Replay = replay
+}

@@ -10,11 +10,19 @@ import (
 )
 
 // journaled is implemented by every repository and log attached to a
-// Store; it lets the store replay journal entries into them, collect
-// snapshot entries for compaction, and report live sizes for stats.
+// Store; it lets the store replay journal entries into them, capture
+// fold images for snapshot compaction, and report live sizes for
+// stats.
 type journaled interface {
 	applyEntry(Entry) error
-	snapshotEntries() []Entry
+	// foldEntries returns the live-entry image plus the fold boundary:
+	// the journal sequence of the newest entry the image reflects.
+	// Replay skips tail entries at or below the boundary. Idempotent
+	// parts (keyed repositories, where re-applying per-key history
+	// converges) report boundary 0 and are never skipped; append-only
+	// parts (logs) must report their real boundary or folding would
+	// double their history.
+	foldEntries() ([]Entry, uint64)
 	size() int
 }
 
@@ -25,7 +33,9 @@ type journaled interface {
 // Concurrency: mutations from different goroutines proceed in
 // parallel — the store read-lock is shared on the commit path, the
 // engine group-commits, and repositories stripe their own locks per
-// shard. Load, Compact and Close take the lock exclusively.
+// shard. Load and Close take the lock exclusively. Compact holds it
+// shared: compaction is seal-then-fold on the segmented journal and
+// runs concurrently with writers (see the package doc).
 type Store struct {
 	mu         sync.RWMutex
 	engine     Engine
@@ -35,6 +45,10 @@ type Store struct {
 	loaded     bool
 	loadCalled bool
 	closed     bool
+
+	// Background folder, started by Load; the engine's OnSeal (wired
+	// by Open) pokes it on every qualifying rotation.
+	folds *folder
 }
 
 // Options configure a Store.
@@ -53,6 +67,15 @@ type Options struct {
 	FlushInterval time.Duration
 	// FlushBatch caps journal entries per group-commit batch.
 	FlushBatch int
+	// SegmentMaxBytes rotates the journal's active segment once it
+	// grows past this size; sealed segments are folded into a snapshot
+	// by a background folder so restart replay stays bounded. 0
+	// disables automatic rotation (Compact still seals and folds on
+	// demand).
+	SegmentMaxBytes int64
+	// SnapshotEvery folds once this many sealed segments accumulate
+	// (0 = every rotation).
+	SnapshotEvery int
 	// Clock stamps journal entries; nil means the wall clock.
 	Clock vclock.Clock
 }
@@ -61,7 +84,9 @@ type Options struct {
 // is zero.
 const DefaultShards = 16
 
-// journalName is the journal file inside a store directory.
+// journalName is the active journal segment inside a journal directory
+// (also the whole journal in pre-segmentation deployments, which makes
+// old data directories open unchanged).
 const journalName = "gelee.journal"
 
 // Stats is the store-wide health snapshot served by the admin API:
@@ -92,23 +117,31 @@ func New(engine Engine, opts Options) *Store {
 		clock:  clock,
 		shards: shards,
 		parts:  make(map[string]journaled),
+		folds:  newFolder(),
 	}
 }
 
 // Open creates a persistent store rooted at dir (created if missing),
-// backed by the group-commit journal engine.
+// backed by the group-commit journal engine. With SegmentMaxBytes set
+// the journal rotates and a background folder compacts sealed segments
+// into snapshots without excluding writers.
 func Open(dir string, opts Options) (*Store, error) {
+	s := New(nil, opts)
 	engine, err := NewJournalEngine(JournalConfig{
 		Dir:             dir,
 		Sync:            opts.Sync,
 		SyncEveryAppend: opts.SyncEveryAppend,
 		FlushInterval:   opts.FlushInterval,
 		FlushBatch:      opts.FlushBatch,
+		SegmentMaxBytes: opts.SegmentMaxBytes,
+		SnapshotEvery:   opts.SnapshotEvery,
+		OnSeal:          s.scheduleFold,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return New(engine, opts), nil
+	s.engine = engine
+	return s, nil
 }
 
 // NewMemory returns a store with no persistence, ready for use without
@@ -165,15 +198,22 @@ func (s *Store) Load() error {
 		return err
 	}
 	s.loaded = true
+	// Fold errors are counted on the engine stats (FoldErrors); the
+	// journal keeps growing until a later fold succeeds, so no data is
+	// ever at risk.
+	s.folds.start(func() { s.fold() })
 	return nil
 }
+
+// scheduleFold pokes the background folder — the engine's OnSeal hook.
+func (s *Store) scheduleFold() { s.folds.poke() }
 
 // commit journals an entry; the engine applies the in-memory mutation
 // via the onCommit hook, in journal order, before acknowledging. The
 // shared read-lock keeps commits concurrent with each other (that
 // concurrency is what feeds the engine's group commit) while excluding
-// Load, Compact and Close.
-func (s *Store) commit(e Entry, apply func()) error {
+// Load and Close.
+func (s *Store) commit(e Entry, apply func(seq uint64)) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if !s.loaded {
@@ -187,16 +227,42 @@ func (s *Store) commit(e Entry, apply func()) error {
 	return err
 }
 
-// Compact rewrites the engine's contents from the live state of every
-// registered repository, dropping superseded entries. Commits are
-// excluded for the duration, so no acknowledged write can be lost
-// between snapshot and rewrite.
+// Compact compacts the journal without stopping writers: the active
+// segment is sealed (O(1) under the appender lock), then every sealed
+// segment is folded into a snapshot of the live state and deleted.
+// Unlike the pre-segmentation rewrite, commits proceed for the whole
+// duration — the store lock is held shared — and no acknowledged write
+// can be lost: the fold boundary is fixed before the live image is
+// captured, so the snapshot is a superset of everything it replaces,
+// and replay skips the overlap.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	if !s.loaded || s.closed {
+		s.mu.RUnlock()
+		return nil
+	}
+	err := s.engine.Seal()
+	s.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return s.fold()
+}
+
+// fold runs one snapshot fold over everything sealed so far.
+func (s *Store) fold() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.loaded || s.closed {
 		return nil
 	}
+	return s.engine.Fold(s.foldImage)
+}
+
+// foldImage captures the live-entry image of every registered part —
+// each under its own locks only, so writers are never excluded — with
+// per-part fold boundaries stamped into Entry.Seq (see journaled).
+func (s *Store) foldImage() []Entry {
 	names := make([]string, 0, len(s.parts))
 	for name := range s.parts {
 		names = append(names, name)
@@ -206,12 +272,14 @@ func (s *Store) Compact() error {
 	now := s.clock.Now()
 	var entries []Entry
 	for _, name := range names {
-		for _, e := range s.parts[name].snapshotEntries() {
+		img, boundary := s.parts[name].foldEntries()
+		for _, e := range img {
+			e.Seq = boundary
 			e.Time = now
 			entries = append(entries, e)
 		}
 	}
-	return s.engine.Rewrite(entries)
+	return entries
 }
 
 // Stats reports engine health plus per-repository sizes.
@@ -232,11 +300,13 @@ func (s *Store) Stats() Stats {
 // Close drains and closes the engine. Idempotent.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
+	s.folds.stop()
 	return s.engine.Close()
 }
 
