@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store|runtime|monitor|persist|segments]
+//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store|runtime|monitor|persist|segments|fold]
 //	           [-runtime-shards N]
 //
 // The runtime experiment drives disjoint-instance token moves from a
@@ -17,7 +17,10 @@
 // experiment measures the copy-free read path — summary-backed cockpit
 // queries and summary-mode Advance vs their snapshot-backed baselines
 // over a 2048-instance × 128-event population — and records the
-// trajectory in BENCH_monitor.json.
+// trajectory in BENCH_monitor.json. The fold experiment grows an
+// execution log tenfold and compares per-compaction cost with the
+// fold-by-reference archives against the legacy full-history rewrite,
+// verifying reads stay byte-identical; trajectory in BENCH_fold.json.
 package main
 
 import (
@@ -70,6 +73,7 @@ func main() {
 		{"monitor", "E11 — copy-free read path: summary-backed cockpit vs snapshot baseline", runMonitorReadPath},
 		{"persist", "E12 — durable runtime: write-through overhead + replay throughput", runPersist},
 		{"segments", "E13 — segmented journal: bounded restart replay via snapshot folding", runSegments},
+		{"fold", "E14 — fold-by-reference archives: flat fold cost vs full-history rewrite", runFold},
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -1145,6 +1149,239 @@ func runSegments() error {
 			folded[0].Replayed, folded[n-1].Replayed, unfolded[0].Replayed, unfolded[n-1].Replayed)
 	}
 	fmt.Printf("  wrote BENCH_segments.json\n")
+	return nil
+}
+
+// runFold measures what fold-by-reference archives buy: the cost of a
+// compaction as log history grows tenfold. The same workload — rounds
+// of execution-log appends, each followed by Compact — runs against
+// two stores; one keeps a small live window and spills older history
+// into archives carried by reference, the other (LogLiveWindow < 0)
+// rewrites the full log into every snapshot, the pre-archive behavior.
+// With archives each fold writes O(live window + one round of spill),
+// flat as history grows; the legacy rewrite grows linearly. Reads must
+// not notice: the full log and a cursor page-walk are verified
+// byte-identical before close and after reopen. Results go to stdout
+// and BENCH_fold.json.
+func runFold() error {
+	const (
+		rounds     = 10
+		perRound   = 2000
+		instances  = 64
+		liveWindow = 500
+	)
+
+	type point struct {
+		Round           int    `json:"round"`
+		TotalEntries    int    `json:"total_entries"`
+		FoldNs          int64  `json:"fold_ns"`
+		FoldBytes       uint64 `json:"fold_bytes"`
+		SnapshotEntries int64  `json:"snapshot_entries"`
+		SnapshotBytes   int64  `json:"snapshot_bytes"`
+		Archives        int64  `json:"archives"`
+		ArchiveBytes    int64  `json:"archive_bytes"`
+	}
+	type series struct {
+		Points       []point `json:"points"`
+		ReplayedOpen int     `json:"replayed_on_reopen"` // snapshot + tail entries streamed
+		ArchiveRefs  int     `json:"archive_refs_on_reopen"`
+		ReadsEqual   bool    `json:"reads_byte_identical"`
+	}
+
+	// fullJSON renders the whole log — All() stitched cold-then-live —
+	// so two states can be compared bytewise.
+	fullJSON := func(lg *store.Log) ([]byte, error) {
+		return json.Marshal(lg.All())
+	}
+	// pageJSON walks the same history through the cursor API in
+	// 333-entry pages — the cockpit's read path over unbounded history.
+	pageJSON := func(lg *store.Log) ([]byte, error) {
+		var all []store.LogEntry
+		after := uint64(0)
+		for {
+			page, err := lg.Page(after, 333)
+			if err != nil {
+				return nil, err
+			}
+			if len(page) == 0 {
+				break
+			}
+			all = append(all, page...)
+			after = page[len(page)-1].Seq
+		}
+		return json.Marshal(all)
+	}
+
+	run := func(window int) (series, error) {
+		var ser series
+		dir, err := os.MkdirTemp("", "gelee-bench-fold-*")
+		if err != nil {
+			return ser, err
+		}
+		defer os.RemoveAll(dir)
+		opts := store.Options{LogLiveWindow: window}
+		st, err := store.Open(dir, opts)
+		if err != nil {
+			return ser, err
+		}
+		lg := store.MustLog(st, "execlog")
+		if err := st.Load(); err != nil {
+			return ser, err
+		}
+		total := 0
+		for round := 1; round <= rounds; round++ {
+			for i := 0; i < perRound; i++ {
+				_, err := lg.Append(store.LogEntry{
+					Instance: fmt.Sprintf("inst-%d", i%instances),
+					Kind:     "phase-entered",
+					Actor:    "owner",
+					Detail:   fmt.Sprintf("round %d move %d", round, i),
+				})
+				if err != nil {
+					st.Close()
+					return ser, err
+				}
+				total++
+			}
+			before := st.Stats().Engine.FoldBytesWritten
+			start := time.Now()
+			if err := st.Compact(); err != nil {
+				st.Close()
+				return ser, err
+			}
+			foldNs := time.Since(start).Nanoseconds()
+			est := st.Stats().Engine
+			ser.Points = append(ser.Points, point{
+				Round:           round,
+				TotalEntries:    total,
+				FoldNs:          foldNs,
+				FoldBytes:       est.FoldBytesWritten - before,
+				SnapshotEntries: est.SnapshotEntries,
+				SnapshotBytes:   est.SnapshotBytes,
+				Archives:        est.Archives,
+				ArchiveBytes:    est.ArchiveBytes,
+			})
+		}
+
+		// History must read back byte-identical: full stitched log and
+		// cursor page-walk, before close and after a restart replay.
+		beforeAll, err := fullJSON(lg)
+		if err != nil {
+			st.Close()
+			return ser, err
+		}
+		beforePages, err := pageJSON(lg)
+		if err != nil {
+			st.Close()
+			return ser, err
+		}
+		if err := st.Close(); err != nil {
+			return ser, err
+		}
+		st2, err := store.Open(dir, opts)
+		if err != nil {
+			return ser, err
+		}
+		defer st2.Close()
+		lg2 := store.MustLog(st2, "execlog")
+		if err := st2.Load(); err != nil {
+			return ser, err
+		}
+		rs := st2.Stats().Engine.Replay
+		ser.ReplayedOpen = rs.SnapshotEntries + rs.TailEntries
+		ser.ArchiveRefs = rs.ArchiveRefs
+		afterAll, err := fullJSON(lg2)
+		if err != nil {
+			return ser, err
+		}
+		afterPages, err := pageJSON(lg2)
+		if err != nil {
+			return ser, err
+		}
+		ser.ReadsEqual = bytes.Equal(beforeAll, afterAll) &&
+			bytes.Equal(beforeAll, beforePages) && bytes.Equal(beforeAll, afterPages)
+		if lg2.Len() != total {
+			return ser, fmt.Errorf("reopened log has %d entries, want %d", lg2.Len(), total)
+		}
+		if !ser.ReadsEqual {
+			return ser, fmt.Errorf("log reads diverged across archiving/reopen")
+		}
+		return ser, nil
+	}
+
+	archived, err := run(liveWindow)
+	if err != nil {
+		return err
+	}
+	legacy, err := run(-1)
+	if err != nil {
+		return err
+	}
+
+	// Cost growth over a 10x history: last fold vs first fold. The
+	// archived series must stay flat (≤1.5x is the acceptance bar);
+	// the legacy rewrite grows with total history.
+	growth := func(s series) (bytesX, timeX float64) {
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if first.FoldBytes > 0 {
+			bytesX = float64(last.FoldBytes) / float64(first.FoldBytes)
+		}
+		if first.FoldNs > 0 {
+			timeX = float64(last.FoldNs) / float64(first.FoldNs)
+		}
+		return
+	}
+	archBytesX, archTimeX := growth(archived)
+	legBytesX, legTimeX := growth(legacy)
+
+	report := struct {
+		Experiment     string  `json:"experiment"`
+		Rounds         int     `json:"rounds"`
+		PerRound       int     `json:"entries_per_round"`
+		LiveWindow     int     `json:"live_window"`
+		Archived       series  `json:"archived"`
+		Legacy         series  `json:"legacy"`
+		ArchivedBytesX float64 `json:"archived_fold_bytes_growth"`
+		ArchivedTimeX  float64 `json:"archived_fold_time_growth"`
+		LegacyBytesX   float64 `json:"legacy_fold_bytes_growth"`
+		LegacyTimeX    float64 `json:"legacy_fold_time_growth"`
+	}{
+		Experiment:     "fold",
+		Rounds:         rounds,
+		PerRound:       perRound,
+		LiveWindow:     liveWindow,
+		Archived:       archived,
+		Legacy:         legacy,
+		ArchivedBytesX: archBytesX,
+		ArchivedTimeX:  archTimeX,
+		LegacyBytesX:   legBytesX,
+		LegacyTimeX:    legTimeX,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_fold.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("paper: the execution log is the permanent audit trail — compaction must not slow down as it grows\n")
+	fmt.Printf("measured (%d rounds x %d log appends, live window %d):\n", rounds, perRound, liveWindow)
+	fmt.Printf("  %-6s %8s | archived %9s %9s %5s | legacy %9s %9s\n",
+		"round", "entries", "fold KB", "ms", "archs", "fold KB", "ms")
+	for i := range archived.Points {
+		a, l := archived.Points[i], legacy.Points[i]
+		fmt.Printf("  %-6d %8d | %17.1f %9.2f %5d | %15.1f %9.2f\n",
+			a.Round, a.TotalEntries,
+			float64(a.FoldBytes)/1024, float64(a.FoldNs)/1e6, a.Archives,
+			float64(l.FoldBytes)/1024, float64(l.FoldNs)/1e6)
+	}
+	fmt.Printf("  fold bytes growth over 10x history: archived %.2fx vs legacy %.2fx (bar: <=1.5x)\n", archBytesX, legBytesX)
+	fmt.Printf("  fold time  growth over 10x history: archived %.2fx vs legacy %.2fx\n", archTimeX, legTimeX)
+	fmt.Printf("  reopen replay: archived %d entries + %d refs vs legacy %d entries; reads byte-identical: %t/%t\n",
+		archived.ReplayedOpen, archived.ArchiveRefs, legacy.ReplayedOpen,
+		archived.ReadsEqual, legacy.ReadsEqual)
+	fmt.Printf("  wrote BENCH_fold.json\n")
 	return nil
 }
 

@@ -9,6 +9,7 @@
 //	       [-sync] [-store-shards N] [-runtime-shards N]
 //	       [-journal-flush-interval D] [-journal-flush-batch N]
 //	       [-segment-max-bytes N] [-snapshot-every N]
+//	       [-log-live-window N] [-fold-min-interval D] [-fold-min-garbage R]
 //	       [-max-events N] [-invocation-retention D]
 //	       [-persist-instances=true|false]
 //
@@ -33,9 +34,17 @@
 // snapshots in the background, which bounds restart replay to
 // snapshot + tail instead of all history, without ever blocking
 // writers. -snapshot-every folds only once that many sealed segments
-// accumulate. GET /api/v1/admin/store and /api/v1/admin/runtime
-// report the resulting engine, rotation/fold, replay, runtime and
-// persistence health.
+// accumulate. -log-live-window keeps only that many of the execution
+// log's newest entries hot (in RAM and in each snapshot); older
+// history is spilled once into immutable CRC-summed archive files
+// carried forward by reference, so fold cost stays flat as history
+// grows — cold pages still serve reads, streamed from disk via
+// GET /api/v1/admin/log?after=&limit=. -fold-min-interval and
+// -fold-min-garbage pace the background folder (wall-clock spacing and
+// a minimum sealed-garbage ratio) so a trickle of writes never
+// re-snapshots an unchanged population. GET /api/v1/admin/store and
+// /api/v1/admin/runtime report the resulting engine, rotation/fold,
+// archive, replay, runtime and persistence health.
 package main
 
 import (
@@ -63,6 +72,9 @@ func main() {
 	flushBatch := flag.Int("journal-flush-batch", 0, "max journal entries per group-commit batch (0 = default)")
 	segmentMax := flag.Int64("segment-max-bytes", 64<<20, "rotate journal segments past this size; folded into snapshots in the background (0 = no rotation)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "fold once this many sealed segments accumulate (0 = every rotation)")
+	logWindow := flag.Int("log-live-window", 0, "execution-log entries kept hot; older history archived by reference (0 = default, <0 = never archive)")
+	foldMinInterval := flag.Duration("fold-min-interval", 15*time.Second, "minimum wall-clock spacing between background snapshot folds (0 = none)")
+	foldMinGarbage := flag.Float64("fold-min-garbage", 0.25, "minimum sealed-garbage ratio before a background fold runs (0 = none)")
 	maxEvents := flag.Int("max-events", 0, "max in-memory events per instance, ring-truncated (0 = unbounded)")
 	invRetention := flag.Duration("invocation-retention", 0, "grace window before terminal invocation-index entries are GC'd (0 = keep forever)")
 	persist := flag.Bool("persist-instances", true, "journal lifecycle-instance mutations and replay them on start")
@@ -77,6 +89,9 @@ func main() {
 		JournalFlushBatch:    *flushBatch,
 		SegmentMaxBytes:      *segmentMax,
 		SnapshotEvery:        *snapshotEvery,
+		LogLiveWindow:        *logWindow,
+		FoldMinInterval:      *foldMinInterval,
+		FoldMinGarbage:       *foldMinGarbage,
 		RuntimeShards:        *rtShards,
 		MaxEventsInMemory:    *maxEvents,
 		InvocationRetention:  *invRetention,

@@ -131,6 +131,22 @@ type Options struct {
 	// SnapshotEvery folds once this many sealed segments accumulate
 	// (0 = fold on every rotation).
 	SnapshotEvery int
+	// LogLiveWindow is how many of the execution log's newest entries
+	// stay in RAM and in each snapshot; older history is spilled by
+	// folds into immutable CRC-summed archive files carried forward by
+	// reference, keeping fold cost and snapshot size flat as history
+	// grows. Cold history still serves reads, streamed from disk.
+	// 0 = store.DefaultLogLiveWindow; negative = archive nothing (every
+	// fold rewrites the full log — the legacy behavior).
+	LogLiveWindow int
+	// FoldMinInterval spaces background snapshot folds at least this
+	// far apart in wall-clock time (0 = fold on every qualifying seal).
+	// Compact ignores it.
+	FoldMinInterval time.Duration
+	// FoldMinGarbage is the minimum garbage ratio (sealed backlog bytes
+	// over sealed + snapshot bytes) a background fold requires
+	// (0 = no floor). Compact ignores it.
+	FoldMinGarbage float64
 	// RuntimeShards overrides the runtime instance-table lock-stripe
 	// count (0 = runtime.DefaultShards). Advances on instances in
 	// different stripes share no lock.
@@ -233,6 +249,9 @@ func New(opts Options) (*System, error) {
 		FlushBatch:      opts.JournalFlushBatch,
 		SegmentMaxBytes: opts.SegmentMaxBytes,
 		SnapshotEvery:   opts.SnapshotEvery,
+		LogLiveWindow:   opts.LogLiveWindow,
+		FoldMinInterval: opts.FoldMinInterval,
+		FoldMinGarbage:  opts.FoldMinGarbage,
 		Clock:           clock,
 	}
 	engine := opts.Engine
@@ -560,6 +579,14 @@ func (s *System) Widgets() *widget.Renderer { return s.wdgt }
 
 // ExecutionLog returns the persistent event log.
 func (s *System) ExecutionLog() *store.Log { return s.execLog }
+
+// ExecutionLogPage returns up to limit execution-log entries with
+// Seq > after in append order — the cockpit's cursor over unbounded
+// history. Archived cold history streams from disk lazily; archives
+// entirely below the cursor are skipped without touching them.
+func (s *System) ExecutionLogPage(after uint64, limit int) ([]store.LogEntry, error) {
+	return s.execLog.Page(after, limit)
+}
 
 // ErrForbidden is returned when Auth is enabled and the actor lacks the
 // required role.

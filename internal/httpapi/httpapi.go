@@ -97,6 +97,7 @@ type Backend interface {
 	Widgets() *widget.Renderer
 	StoreStats() store.Stats
 	RuntimeStats() runtime.Stats
+	ExecutionLogPage(after uint64, limit int) ([]store.LogEntry, error)
 	UserExists(name string) bool
 }
 
@@ -155,6 +156,9 @@ func (s *Server) routes() {
 	// occupancy, secondary-index sizes).
 	s.mux.HandleFunc("GET /api/v1/admin/store", s.authed(s.handleStoreStats))
 	s.mux.HandleFunc("GET /api/v1/admin/runtime", s.authed(s.handleRuntimeStats))
+	// Execution-log pages: a seq cursor over unbounded history, cold
+	// pages streamed from archive files on demand.
+	s.mux.HandleFunc("GET /api/v1/admin/log", s.authed(s.handleExecLogPage))
 
 	// Monitoring cockpit.
 	s.mux.HandleFunc("GET /api/v1/monitor/summary", s.handleMonitorSummary)
@@ -643,6 +647,44 @@ func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRuntimeStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.b.RuntimeStats())
+}
+
+// handleExecLogPage serves execution-log pages: ?after=<seq> resumes
+// past a cursor, ?limit=<n> bounds the page (default 100, max 1000).
+// Cold history streams from archive files; a page entirely below the
+// archived range touches at most one archive on disk.
+func (s *Server) handleExecLogPage(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	after, err := queryInt(q.Get("after"))
+	if err != nil || after < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad after: %v", q.Get("after")))
+		return
+	}
+	limit, err := queryInt(q.Get("limit"))
+	if err != nil || limit < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit: %v", q.Get("limit")))
+		return
+	}
+	if limit == 0 {
+		limit = 100
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	entries, err := s.b.ExecutionLogPage(uint64(after), limit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	next := uint64(after)
+	if n := len(entries); n > 0 {
+		next = entries[n-1].Seq
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"entries": entries,
+		"next":    next,
+		"more":    len(entries) == limit,
+	})
 }
 
 func (s *Server) handleMonitorSummary(w http.ResponseWriter, r *http.Request) {

@@ -770,6 +770,72 @@ func TestAdminStoreStats(t *testing.T) {
 	}
 }
 
+// TestAdminLogPage: the cursor endpoint over the execution log pages
+// forward by sequence number and reports whether more history remains.
+func TestAdminLogPage(t *testing.T) {
+	e := newEnv(t, false)
+	model := scenario.QualityPlan()
+	e.sys.DefineModel("", model)
+	e.sys.Sims.Wiki.CreatePage("D1.1", "owner", "text")
+	ref := gelee.Ref{URI: "http://wiki.liquidpub.org/pages/D1.1", Type: "mediawiki"}
+	snap, err := e.sys.Instantiate(model.URI, ref, "owner", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.sys.Advance(snap.ID, "internalreview", "owner", gelee.AdvanceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	total := e.sys.ExecutionLog().Len()
+	if total < 3 {
+		t.Fatalf("expected a few log entries, got %d", total)
+	}
+
+	type page struct {
+		Entries []struct {
+			Seq  uint64 `json:"seq"`
+			Kind string `json:"kind"`
+		} `json:"entries"`
+		Next uint64 `json:"next"`
+		More bool   `json:"more"`
+	}
+	var first page
+	if code := e.call(t, "GET", "/api/v1/admin/log?limit=2", "", nil, &first); code != 200 {
+		t.Fatalf("admin log page = %d", code)
+	}
+	if len(first.Entries) != 2 || !first.More {
+		t.Fatalf("first page = %+v, want 2 entries with more", first)
+	}
+	if first.Next != first.Entries[1].Seq {
+		t.Fatalf("cursor next = %d, want last seq %d", first.Next, first.Entries[1].Seq)
+	}
+	// Walk the cursor to the end; pages must cover the log exactly once.
+	seen := len(first.Entries)
+	cursor := first.Next
+	for {
+		var p page
+		path := fmt.Sprintf("/api/v1/admin/log?after=%d&limit=2", cursor)
+		if code := e.call(t, "GET", path, "", nil, &p); code != 200 {
+			t.Fatalf("admin log page after %d = %d", cursor, code)
+		}
+		for _, en := range p.Entries {
+			if en.Seq <= cursor {
+				t.Fatalf("page after %d returned seq %d", cursor, en.Seq)
+			}
+		}
+		seen += len(p.Entries)
+		if len(p.Entries) == 0 {
+			break
+		}
+		cursor = p.Next
+	}
+	if seen != total {
+		t.Fatalf("cursor walk saw %d entries, log has %d", seen, total)
+	}
+	if code := e.call(t, "GET", "/api/v1/admin/log?after=oops", "", nil, nil); code != 400 {
+		t.Fatalf("bad cursor = %d, want 400", code)
+	}
+}
+
 func TestAdminRuntimeStats(t *testing.T) {
 	e := newEnv(t, false)
 	model := scenario.QualityPlan()

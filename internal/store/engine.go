@@ -48,13 +48,31 @@ type EngineStats struct {
 	// deleted by folds, and SnapshotEntries the size of the newest
 	// snapshot. Replay reports what this open streamed — its
 	// SnapshotEntries+TailEntries sum is the bounded restart cost.
-	SealedSegments  int         `json:"sealed_segments,omitempty"`
-	Rotations       uint64      `json:"rotations,omitempty"`
-	Folds           uint64      `json:"folds,omitempty"`
-	FoldErrors      uint64      `json:"fold_errors,omitempty"`
-	FoldedSegments  uint64      `json:"folded_segments,omitempty"`
-	SnapshotEntries int64       `json:"snapshot_entries,omitempty"`
-	Replay          ReplayStats `json:"replay"`
+	SealedSegments  int    `json:"sealed_segments,omitempty"`
+	Rotations       uint64 `json:"rotations,omitempty"`
+	Folds           uint64 `json:"folds,omitempty"`
+	FoldErrors      uint64 `json:"fold_errors,omitempty"`
+	FoldedSegments  uint64 `json:"folded_segments,omitempty"`
+	SnapshotEntries int64  `json:"snapshot_entries,omitempty"`
+
+	// Byte accounting for the fold pacing policy and the fold
+	// benchmark. SealedBytes is the unfolded sealed backlog,
+	// SnapshotBytes the newest snapshot's size, FoldBytesWritten the
+	// cumulative bytes folds have written (snapshots + archives) —
+	// the number the fold-by-reference optimization flattens.
+	SealedBytes      int64  `json:"sealed_bytes,omitempty"`
+	SnapshotBytes    int64  `json:"snapshot_bytes,omitempty"`
+	FoldBytesWritten uint64 `json:"fold_bytes_written,omitempty"`
+
+	// Archive counters: referenced cold-history files on disk, their
+	// total size, how many this process wrote, and how many orphans
+	// (written by a fold that crashed pre-install) open removed.
+	Archives        int64  `json:"archives,omitempty"`
+	ArchiveBytes    int64  `json:"archive_bytes,omitempty"`
+	ArchivesWritten uint64 `json:"archives_written,omitempty"`
+	OrphanArchives  uint64 `json:"orphan_archives,omitempty"`
+
+	Replay ReplayStats `json:"replay"`
 }
 
 // Engine is the pluggable persistence layer behind a Store. A Store
@@ -89,10 +107,18 @@ type Engine interface {
 	// Fold compacts every segment sealed before the call into a
 	// snapshot of the live state and deletes them — the compaction
 	// primitive, safe to run while appends proceed. build is invoked
-	// once, after the fold boundary is fixed, and must return the full
-	// live-entry image (see Store.foldImage); engines without segments
-	// ignore it. Callers serialize folds.
-	Fold(build func() []Entry) error
+	// once, after the fold boundary is fixed, with an Archiver the
+	// image may spill cold history through (by-reference folding); it
+	// must return the live-entry image plus an optional Commit hook the
+	// engine runs only after the snapshot is durably installed (see
+	// Store.foldImage). Engines without segments ignore build.
+	// Callers serialize folds.
+	Fold(build func(Archiver) FoldImage) error
+	// ReadArchive streams one referenced archive file's entries through
+	// fn, verifying its checksum when read to the end (fn may return
+	// ErrStopScan to stop early). Engines without archive storage
+	// return an error.
+	ReadArchive(ref ArchiveRef, fn func(Entry) error) error
 	// Stats reports engine health and throughput counters.
 	Stats() EngineStats
 	// Close drains pending appends, flushes, and releases resources.
@@ -132,7 +158,13 @@ func (m *memEngine) Seal() error { return nil }
 
 // Fold implements Engine: nothing persisted, nothing to fold. build is
 // not invoked — there is no snapshot to write its image into.
-func (m *memEngine) Fold(func() []Entry) error { return nil }
+func (m *memEngine) Fold(func(Archiver) FoldImage) error { return nil }
+
+// ReadArchive implements Engine: the memory engine has no archive
+// storage, so nothing can ever hold a ref to read.
+func (m *memEngine) ReadArchive(ArchiveRef, func(Entry) error) error {
+	return errors.New("store: memory engine has no archives")
+}
 
 func (m *memEngine) Stats() EngineStats {
 	state := StateRunning

@@ -1,0 +1,84 @@
+package store
+
+// Replay fan-out shared by Store.LoadParallel and
+// Instances.ReplayParallel: a single reader streams entries in commit
+// order and dispatches each to a worker lane picked by key, so entries
+// with the same key apply in exactly the sequential-replay order while
+// independent keys proceed in parallel. The reader keeps doing all
+// skip/bounds bookkeeping (it is cheap); workers only run apply. An
+// apply error aborts the stream at the next dispatch; lanes drain so
+// nothing blocks.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/liquidpub/gelee/internal/shardkey"
+)
+
+// fanLane is one worker goroutine's queue.
+type fanLane struct {
+	ch chan Entry
+	wg sync.WaitGroup
+}
+
+// fanOut runs workers lanes applying entries keyed onto them.
+type fanOut struct {
+	lanes    []*fanLane
+	failed   atomic.Bool
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// newFanOut starts the worker lanes. Callers must finish() exactly
+// once, after the last dispatch.
+func newFanOut(workers int, apply func(Entry) error) *fanOut {
+	f := &fanOut{lanes: make([]*fanLane, workers)}
+	for i := range f.lanes {
+		l := &fanLane{ch: make(chan Entry, 256)}
+		f.lanes[i] = l
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			for e := range l.ch {
+				if f.failed.Load() {
+					continue // drain after failure
+				}
+				if err := apply(e); err != nil {
+					f.errMu.Lock()
+					if f.firstErr == nil {
+						f.firstErr = err
+					}
+					f.errMu.Unlock()
+					f.failed.Store(true)
+				}
+			}
+		}()
+	}
+	return f
+}
+
+// dispatch hands e to the lane owning key, or returns the first apply
+// error once a worker has failed (aborting the caller's stream).
+func (f *fanOut) dispatch(key string, e Entry) error {
+	if f.failed.Load() {
+		f.errMu.Lock()
+		err := f.firstErr
+		f.errMu.Unlock()
+		return err
+	}
+	f.lanes[shardkey.Index(key, len(f.lanes))].ch <- e
+	return nil
+}
+
+// finish closes the lanes, waits for the workers and reports the first
+// apply error.
+func (f *fanOut) finish() error {
+	for _, l := range f.lanes {
+		close(l.ch)
+		l.wg.Wait()
+	}
+	f.errMu.Lock()
+	defer f.errMu.Unlock()
+	return f.firstErr
+}

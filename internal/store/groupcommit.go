@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -128,14 +129,35 @@ func NewJournalEngine(cfg JournalConfig) (Engine, error) {
 // Replay implements Engine: stream the newest snapshot, the uncovered
 // sealed segments and the active file through fn (skipping folded
 // duplicates), truncate away any torn active tail so the next append
-// starts on a record boundary, open the active segment for appending
-// at the right sequence, and start the commit writer.
+// starts on a record boundary, reconcile archive files against the
+// refs the snapshot carried (a referenced archive must exist intact;
+// unreferenced ones are leftovers of a fold that crashed before its
+// snapshot installed, and are removed), open the active segment for
+// appending at the right sequence, and start the commit writer.
 func (e *journalEngine) Replay(fn func(Entry) error) error {
-	sr, err := replaySegmented(e.cfg.Dir, func(en Entry) string { return en.Repo }, fn)
+	// Archive refs only ever appear in snapshots (the append path never
+	// writes them), so every one seen during replay is part of the
+	// durable generation — record it for reconciliation and still
+	// forward it to fn so the owning part adopts its cold history.
+	var refs []ArchiveRef
+	sr, err := replaySegmented(e.cfg.Dir, func(en Entry) string { return en.Repo }, func(en Entry) error {
+		if en.Op == opArchiveRef {
+			var ref ArchiveRef
+			if jsonErr := json.Unmarshal(en.Data, &ref); jsonErr != nil {
+				return fmt.Errorf("%w: archive ref: %v", ErrCorrupt, jsonErr)
+			}
+			refs = append(refs, ref)
+		}
+		return fn(en)
+	})
 	if err != nil {
 		return err
 	}
 	if err := truncateTorn(e.cfg.Dir, sr.activeGood); err != nil {
+		return err
+	}
+	kept, keptBytes, hi, removed, err := reconcileArchives(e.cfg.Dir, sr.state.archives, refs)
+	if err != nil {
 		return err
 	}
 	j, err := OpenJournal(filepath.Join(e.cfg.Dir, journalName), sr.lastSeq)
@@ -144,6 +166,8 @@ func (e *journalEngine) Replay(fn func(Entry) error) error {
 	}
 	e.j = j
 	e.sf = newSegFiles(e.cfg.Dir, sr.state)
+	e.sf.adoptArchives(kept, keptBytes, hi, removed)
+	sr.stats.ArchiveRefs = len(refs)
 	e.replay = sr.stats
 	e.state.Store(1)
 	e.wg.Add(1)
@@ -327,12 +351,19 @@ func (e *journalEngine) Seal() error {
 }
 
 // Fold implements Engine: fix the fold boundary (every segment sealed
-// so far), capture the live image via build, write it to a new
-// snapshot and delete the folded segments. Appends — and further seals
-// — proceed concurrently: the image is captured after the boundary, so
-// it is a superset of everything folded, and replay skips the overlap
-// via the per-bucket boundary seqs stamped on snapshot entries.
-func (e *journalEngine) Fold(build func() []Entry) error {
+// so far), capture the live image via build — handing it the segment
+// set as Archiver so cold history can be spilled into archive files
+// referenced by the snapshot instead of rewritten into it — write the
+// image to a new snapshot and delete the folded segments. Appends —
+// and further seals — proceed concurrently: the image is captured
+// after the boundary, so it is a superset of everything folded, and
+// replay skips the overlap via the per-bucket boundary seqs stamped on
+// snapshot entries. The image's Commit hook runs only once the
+// snapshot is durably installed; on any fold failure it never runs, so
+// in-memory state keeps covering history the old generation still
+// owns (an archive written by the failed attempt is an orphan the next
+// open removes).
+func (e *journalEngine) Fold(build func(Archiver) FoldImage) error {
 	e.foldMu.Lock()
 	defer e.foldMu.Unlock()
 	if e.state.Load() != 1 {
@@ -345,17 +376,31 @@ func (e *journalEngine) Fold(build func() []Entry) error {
 		hwm = e.j.Seq()
 	}
 	e.mu.Unlock()
-	return e.sf.fold(covers, hwm, func(sj *Journal) error {
+	var commit func()
+	err := e.sf.fold(covers, hwm, func(sj *Journal) error {
 		if build == nil {
 			return nil
 		}
-		for _, entry := range build() {
+		img := build(e.sf)
+		commit = img.Commit
+		for _, entry := range img.Entries {
 			if err := sj.writeRaw(entry); err != nil {
 				return err
 			}
 		}
 		return nil
 	})
+	if err == nil && commit != nil {
+		commit()
+	}
+	return err
+}
+
+// ReadArchive implements Engine: stream one archive file, lazily and
+// checksum-verified. Archives are immutable and only removed by the
+// open-time reconcile pass, so a concurrent fold never races a reader.
+func (e *journalEngine) ReadArchive(ref ArchiveRef, fn func(Entry) error) error {
+	return readArchive(e.cfg.Dir, ref, fn)
 }
 
 // Stats implements Engine.

@@ -7,8 +7,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"github.com/liquidpub/gelee/internal/shardkey"
 )
 
 // instancesRepo is the Entry.Repo name framing instance records.
@@ -191,62 +189,17 @@ func (c *Instances) ReplayParallel(workers int, fn func(id string, data []byte) 
 }
 
 // replayFanOut drives the segmented replay with per-id-sharded worker
-// goroutines. The reader performs all skip bookkeeping (it is cheap);
-// workers only run apply. An apply error aborts the stream at the next
-// dispatch; workers drain so nothing blocks.
+// goroutines (the shared fanOut, also behind Store.LoadParallel).
 func (c *Instances) replayFanOut(workers int, apply func(Entry) error) (segReplay, error) {
-	type lane struct {
-		ch chan Entry
-		wg sync.WaitGroup
-	}
-	lanes := make([]*lane, workers)
-	var failed atomic.Bool
-	var firstErr error
-	var errMu sync.Mutex
-	for i := range lanes {
-		l := &lane{ch: make(chan Entry, 256)}
-		lanes[i] = l
-		l.wg.Add(1)
-		go func() {
-			defer l.wg.Done()
-			for e := range l.ch {
-				if failed.Load() {
-					continue // drain after failure
-				}
-				if err := apply(e); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					failed.Store(true)
-				}
-			}
-		}()
-	}
+	fo := newFanOut(workers, apply)
 	sr, readErr := replaySegmented(c.dir, func(e Entry) string { return e.ID }, func(e Entry) error {
-		if failed.Load() {
-			errMu.Lock()
-			err := firstErr
-			errMu.Unlock()
-			return err
-		}
-		lanes[shardkey.Index(e.ID, workers)].ch <- e
-		return nil
+		return fo.dispatch(e.ID, e)
 	})
-	for _, l := range lanes {
-		close(l.ch)
-		l.wg.Wait()
-	}
+	finishErr := fo.finish()
 	if readErr != nil {
 		return sr, readErr
 	}
-	errMu.Lock()
-	defer errMu.Unlock()
-	if firstErr != nil {
-		return sr, firstErr
-	}
-	return sr, nil
+	return sr, finishErr
 }
 
 // Replayed reports how many records the startup replay streamed

@@ -22,19 +22,21 @@
 //	gelee.journal          active segment — all appends land here
 //	journal.NNNNNN.jsonl   sealed segments, immutable, NNNNNN ascending
 //	snapshot.NNNNNN.jsonl  snapshot folding the state of segments 1..NNNNNN
-//	snapshot.*.jsonl.tmp   in-progress fold — ignored and removed on open
+//	archive.NNNNNN.jsonl   immutable, CRC-summed cold log history
+//	*.jsonl.tmp            in-progress fold — ignored and removed on open
 //
 // When the active segment exceeds SegmentMaxBytes (or on demand) it is
 // sealed: flushed, fsynced, renamed to the next sealed name and
 // replaced with a fresh active file — an O(1) rename/create under the
 // appender lock, so writers never block on compaction. A background
 // folder then compacts sealed segments into a snapshot of the live
-// state (repositories contribute their last-writer-wins image, logs
-// their full history, the instance collection typed per-instance
-// snapshot records) and deletes the folded segments. Restart replay is
-// therefore O(snapshot + tail segments), not O(all history ever
-// written): Load streams the newest snapshot, then the uncovered
-// sealed segments in order, then the active file.
+// state (repositories contribute their last-writer-wins image, the
+// instance collection typed per-instance snapshot records) and deletes
+// the folded segments. Restart replay is therefore O(snapshot + tail
+// segments), not O(all history ever written): Load streams the newest
+// snapshot, then the uncovered sealed segments in order, then the
+// active file — fanned out across parallel appliers sharded by
+// (part, key), so per-key order is exactly the sequential order.
 //
 // Snapshot entries record a fold boundary in their Seq field — the
 // journal sequence up to which their bucket (a repository name, or an
@@ -44,6 +46,33 @@
 // appending mid-fold. Store.Compact survives as seal-then-fold, so
 // compaction no longer excludes writers.
 //
+// # Hot/cold log history: fold-by-reference archives
+//
+// Logs are append-only history, so "live state" would otherwise mean
+// everything ever logged — every fold rewriting all of it into the new
+// snapshot, compaction I/O and snapshot size growing without bound as
+// a deployment ages. Instead a log keeps only its newest entries (the
+// configured live window) hot: when a fold finds the window exceeded,
+// the overflow is written once into an immutable archive file
+// (archive.NNNNNN.jsonl, CRC32-C summed), and this snapshot — and
+// every later one — carries it as a one-line ArchiveRef (file number,
+// entry count, seq range, checksum, byte length) instead of the
+// entries. Fold cost and snapshot size are O(live window + refs),
+// flat as history grows. Archives install under the same fsync+rename
+// protocol as snapshots, before the snapshot that references them;
+// open verifies referenced archives cheaply (existence + length,
+// anything else fails the open as corruption), deletes unreferenced
+// ones (a fold that crashed between archive install and snapshot
+// install), and the full CRC is verified whenever an archive is
+// actually streamed. Reads stitch cold and hot lazily: Log.All,
+// ByInstance, Range and the cursor-paged Log.Page stream archives
+// from disk on demand — cold history never reloads into RAM.
+//
+// Background folds are paced by policy (Options.FoldMinInterval,
+// Options.FoldMinGarbage): a trickle of writes does not re-snapshot an
+// unchanged population, and a sealed backlog below the garbage-ratio
+// floor waits for more garbage. Store.Compact bypasses the policy.
+//
 // # Recovery invariants
 //
 // A torn final line in the active file or in a sealed segment (a crash
@@ -52,11 +81,14 @@
 // before reopening so appends land on a record boundary. A malformed
 // line *followed by more data* is real corruption and fails the open,
 // as does a torn snapshot — snapshots are fsynced before the atomic
-// rename that publishes them, so a damaged one means the disk lied. A
-// fold deletes nothing until the new snapshot is durably installed;
-// every crash window leaves either the old or the new generation
-// intact, and the next open's directory scan removes the leftovers
-// (temp files, superseded snapshots, already-folded segments).
+// rename that publishes them, so a damaged one means the disk lied;
+// the same goes for a referenced archive that is missing, resized or
+// fails its CRC when read. A fold deletes nothing until the new
+// snapshot is durably installed, and trims no in-memory log history
+// until then either (the fold image's commit hook); every crash window
+// leaves either the old or the new generation intact, and the next
+// open removes the leftovers (temp files, superseded snapshots,
+// already-folded segments, unreferenced archives).
 //
 // Journal lines are encoded by a hand-rolled codec (appendEntry) — the
 // reflection-based marshal cost more than the write it framed — while

@@ -5,15 +5,78 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/liquidpub/gelee/internal/shardkey"
 )
 
 // repoShard is one lock stripe of a repository: its own mutex, its own
-// slice of the key space.
+// slice of the key space, plus read counters. gets/hits are atomics so
+// the Get hot path never takes an extra lock; the hot-key sketch is
+// sampled (one Get in hotSampleEvery) under its own small mutex.
 type repoShard[T any] struct {
 	mu    sync.RWMutex
 	items map[string]T
+
+	gets  atomic.Uint64
+	hits  atomic.Uint64
+	hotMu sync.Mutex
+	hot   map[string]uint64 // space-saving top-k sketch of read keys
+}
+
+// Hot-key sketch tuning: how many candidate keys each shard tracks
+// (space-saving: a new key displaces the current minimum, inheriting
+// its count) and the Get sampling stride that keeps the sketch off the
+// hot path.
+const (
+	hotKeysPerShard = 8
+	hotSampleEvery  = 8
+)
+
+// noteHot records one sampled read in the shard's space-saving sketch.
+func (sh *repoShard[T]) noteHot(id string) {
+	sh.hotMu.Lock()
+	defer sh.hotMu.Unlock()
+	if sh.hot == nil {
+		sh.hot = make(map[string]uint64, hotKeysPerShard)
+	}
+	if _, ok := sh.hot[id]; ok {
+		sh.hot[id]++
+		return
+	}
+	if len(sh.hot) < hotKeysPerShard {
+		sh.hot[id] = 1
+		return
+	}
+	// Displace the current minimum; the newcomer inherits its count + 1
+	// (the space-saving overestimate, bounded by the evicted count).
+	var minID string
+	var minN uint64
+	first := true
+	for k, n := range sh.hot {
+		if first || n < minN {
+			minID, minN, first = k, n, false
+		}
+	}
+	delete(sh.hot, minID)
+	sh.hot[id] = minN + 1
+}
+
+// HotKey is one entry of a repository's hot-key report.
+type HotKey struct {
+	ID    string `json:"id"`
+	Count uint64 `json:"count"`
+}
+
+// RepoReadStats reports a repository's read traffic for the admin
+// endpoint: total Gets, how many hit a live key, and the sampled
+// hot-key sketch (approximate counts, dominant readers first) — the
+// data grounding any future read-cache sizing.
+type RepoReadStats struct {
+	Gets    uint64   `json:"gets"`
+	Hits    uint64   `json:"hits"`
+	Misses  uint64   `json:"misses"`
+	HotKeys []HotKey `json:"hot_keys,omitempty"`
 }
 
 // Repo is a typed, journal-backed key/value repository. T must be JSON
@@ -75,12 +138,21 @@ func (r *Repo[T]) Put(id string, v T) error {
 	})
 }
 
-// Get returns the value stored under id.
+// Get returns the value stored under id. Read stats ride along: the
+// counters are atomics and the hot-key sketch is only touched on a
+// sampled fraction of calls, so the hot path stays one RLock deep.
 func (r *Repo[T]) Get(id string) (T, bool) {
 	sh := r.shardFor(id)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	v, ok := sh.items[id]
+	sh.mu.RUnlock()
+	n := sh.gets.Add(1)
+	if ok {
+		sh.hits.Add(1)
+	}
+	if n%hotSampleEvery == 0 {
+		sh.noteHot(id)
+	}
 	return v, ok
 }
 
@@ -192,8 +264,9 @@ func (r *Repo[T]) applyEntry(e Entry) error {
 // Repositories are keyed last-writer-wins, so replaying a folded tail
 // entry over the fold image converges to the same value — no skip
 // needed, which also spares the repo from tracking applied seqs across
-// its lock stripes.
-func (r *Repo[T]) foldEntries() ([]Entry, uint64) {
+// its lock stripes. The Archiver is unused: live state is already
+// minimal, there is no cold history to spill.
+func (r *Repo[T]) foldEntries(Archiver) ([]Entry, uint64, func()) {
 	pairs := r.pairs()
 	out := make([]Entry, 0, len(pairs))
 	for _, p := range pairs {
@@ -203,5 +276,42 @@ func (r *Repo[T]) foldEntries() ([]Entry, uint64) {
 		}
 		out = append(out, Entry{Repo: r.name, Op: OpPut, ID: p.id, Data: data})
 	}
-	return out, 0
+	return out, 0, nil
+}
+
+// replayKey implements journaled: entries of different keys commute
+// (separate map slots), so parallel replay lanes shard by ID.
+func (r *Repo[T]) replayKey(e Entry) string { return e.ID }
+
+// readStats merges the shards' read counters and hot-key sketches.
+func (r *Repo[T]) readStats() RepoReadStats {
+	var st RepoReadStats
+	merged := make(map[string]uint64)
+	for _, sh := range r.shards {
+		st.Gets += sh.gets.Load()
+		st.Hits += sh.hits.Load()
+		sh.hotMu.Lock()
+		for k, n := range sh.hot {
+			merged[k] += n
+		}
+		sh.hotMu.Unlock()
+	}
+	st.Misses = st.Gets - st.Hits
+	if len(merged) > 0 {
+		keys := make([]HotKey, 0, len(merged))
+		for k, n := range merged {
+			keys = append(keys, HotKey{ID: k, Count: n})
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Count != keys[j].Count {
+				return keys[i].Count > keys[j].Count
+			}
+			return keys[i].ID < keys[j].ID
+		})
+		if len(keys) > hotKeysPerShard {
+			keys = keys[:hotKeysPerShard]
+		}
+		st.HotKeys = keys
+	}
+	return st
 }

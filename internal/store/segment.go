@@ -64,20 +64,26 @@ func parseNumbered(name, prefix string) (uint64, bool) {
 }
 
 // segState is the on-disk generation a directory scan found: the
-// newest snapshot and the sealed segments it does not cover.
+// newest snapshot, the sealed segments it does not cover, and the
+// archive files present (reconciled against snapshot refs after
+// replay — see reconcileArchives).
 type segState struct {
-	snapNum  uint64 // newest snapshot number, 0 = none
-	snapPath string // "" when snapNum is 0
-	sealed   []uint64
+	snapNum     uint64 // newest snapshot number, 0 = none
+	snapPath    string // "" when snapNum is 0
+	snapBytes   int64
+	sealed      []uint64
+	sealedBytes int64
+	archives    map[uint64]int64 // archive number -> byte length
 }
 
 // scanSegments inventories dir and removes stale files: in-progress
-// snapshot temp files (a fold that never completed), snapshots older
-// than the newest, and sealed segments a snapshot already covers (a
-// fold that crashed between rename and delete). The survivors are the
-// exact replay set.
+// snapshot and archive temp files (a fold that never completed),
+// snapshots older than the newest, and sealed segments a snapshot
+// already covers (a fold that crashed between rename and delete). The
+// survivors are the exact replay set; archive files are inventoried
+// but judged only after replay has read the snapshot's refs.
 func scanSegments(dir string) (segState, error) {
-	var st segState
+	st := segState{archives: make(map[uint64]int64)}
 	names, err := os.ReadDir(dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -86,14 +92,25 @@ func scanSegments(dir string) (segState, error) {
 		return st, fmt.Errorf("store: scan journal dir: %w", err)
 	}
 	var snaps, sealed []uint64
+	size := func(de os.DirEntry) int64 {
+		if info, err := de.Info(); err == nil {
+			return info.Size()
+		}
+		return 0
+	}
 	for _, de := range names {
 		name := de.Name()
-		if strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, "snapshot.") {
+		if strings.HasSuffix(name, ".tmp") &&
+			(strings.HasPrefix(name, "snapshot.") || strings.HasPrefix(name, "archive.")) {
 			os.Remove(filepath.Join(dir, name)) // partial fold: never renamed, never valid
 			continue
 		}
 		if n, ok := parseNumbered(name, "snapshot."); ok {
 			snaps = append(snaps, n)
+			continue
+		}
+		if n, ok := parseNumbered(name, "archive."); ok {
+			st.archives[n] = size(de)
 			continue
 		}
 		if n, ok := parseNumbered(name, "journal."); ok {
@@ -105,6 +122,9 @@ func scanSegments(dir string) (segState, error) {
 	if len(snaps) > 0 {
 		st.snapNum = snaps[len(snaps)-1]
 		st.snapPath = filepath.Join(dir, snapName(st.snapNum))
+		if info, err := os.Stat(st.snapPath); err == nil {
+			st.snapBytes = info.Size()
+		}
 		for _, n := range snaps[:len(snaps)-1] {
 			os.Remove(filepath.Join(dir, snapName(n)))
 		}
@@ -115,6 +135,9 @@ func scanSegments(dir string) (segState, error) {
 			continue
 		}
 		st.sealed = append(st.sealed, n)
+		if info, err := os.Stat(filepath.Join(dir, sealedName(n))); err == nil {
+			st.sealedBytes += info.Size()
+		}
 	}
 	return st, nil
 }
@@ -130,6 +153,9 @@ type ReplayStats struct {
 	SkippedEntries  int `json:"skipped_entries"`
 	// Segments is the number of sealed tail segments replayed.
 	Segments int `json:"segments"`
+	// ArchiveRefs is the number of archive references the snapshot
+	// carried — cold history adopted by pointer, not replayed into RAM.
+	ArchiveRefs int `json:"archive_refs,omitempty"`
 }
 
 // segReplay is the full result of a segmented replay.
@@ -252,6 +278,20 @@ type segFiles struct {
 	foldErrors  atomic.Uint64
 	foldedSegs  atomic.Uint64
 	snapEntries atomic.Int64 // entries in the newest snapshot
+
+	// Byte accounting feeding the fold pacing policy (garbage ratio =
+	// sealedBytes / (sealedBytes + snapBytes)) and the fold benchmark.
+	sealedBytes atomic.Int64  // bytes in unfolded sealed segments
+	snapBytes   atomic.Int64  // bytes of the newest snapshot
+	foldBytes   atomic.Uint64 // bytes written by folds (snapshots + archives)
+
+	// Archive generation (see archive.go). archiveHi advances only
+	// under the owner's fold serialization.
+	archiveHi       atomic.Uint64
+	archives        atomic.Int64 // referenced archive files on disk
+	archiveBytes    atomic.Int64
+	archivesWritten atomic.Uint64
+	orphanArchives  atomic.Uint64 // unreferenced archives removed on open
 }
 
 // newSegFiles adopts the generation a scan found.
@@ -262,7 +302,17 @@ func newSegFiles(dir string, st segState) *segFiles {
 	if n := len(st.sealed); n > 0 {
 		sf.sealedHi = st.sealed[n-1]
 	}
+	sf.sealedBytes.Store(st.sealedBytes)
+	sf.snapBytes.Store(st.snapBytes)
 	return sf
+}
+
+// adoptArchives seeds the archive counters from a reconcile pass.
+func (sf *segFiles) adoptArchives(kept int, keptBytes int64, hi, removed uint64) {
+	sf.archiveHi.Store(hi)
+	sf.archives.Store(int64(kept))
+	sf.archiveBytes.Store(keptBytes)
+	sf.orphanArchives.Store(removed)
 }
 
 // sealedCount reports how many sealed segments await folding; callers
@@ -291,6 +341,7 @@ func (sf *segFiles) seal(j *Journal) (*Journal, error) {
 		return j, err
 	}
 	seq := j.Seq()
+	size := j.Size()
 	if err := j.Close(); err != nil {
 		return j, fmt.Errorf("store: close active segment: %w", err)
 	}
@@ -305,6 +356,7 @@ func (sf *segFiles) seal(j *Journal) (*Journal, error) {
 	}
 	syncDir(sf.dir)
 	atomic.StoreUint64(&sf.sealedHi, next)
+	sf.sealedBytes.Add(size)
 	sf.rotations.Add(1)
 	return nj, nil
 }
@@ -356,6 +408,10 @@ func (sf *segFiles) fold(covers, hwm uint64, write func(*Journal) error) error {
 		sf.foldErrors.Add(1)
 		return err
 	}
+	snapSize := int64(0)
+	if info, statErr := os.Stat(tmp); statErr == nil {
+		snapSize = info.Size()
+	}
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
 		sf.foldErrors.Add(1)
@@ -366,8 +422,14 @@ func (sf *segFiles) fold(covers, hwm uint64, write func(*Journal) error) error {
 	// in this window leaves stale files that the next scan removes.
 	sf.snapNum.Store(covers)
 	for n := prev + 1; n <= covers; n++ {
-		if os.Remove(filepath.Join(sf.dir, sealedName(n))) == nil {
+		seg := filepath.Join(sf.dir, sealedName(n))
+		segSize := int64(0)
+		if info, statErr := os.Stat(seg); statErr == nil {
+			segSize = info.Size()
+		}
+		if os.Remove(seg) == nil {
 			sf.foldedSegs.Add(1)
+			sf.sealedBytes.Add(-segSize)
 		}
 	}
 	if prev > 0 {
@@ -375,6 +437,8 @@ func (sf *segFiles) fold(covers, hwm uint64, write func(*Journal) error) error {
 	}
 	sf.folds.Add(1)
 	sf.snapEntries.Store(entries)
+	sf.snapBytes.Store(snapSize)
+	sf.foldBytes.Add(uint64(snapSize))
 	return nil
 }
 
@@ -444,5 +508,12 @@ func (sf *segFiles) statsInto(st *EngineStats, replay ReplayStats) {
 	st.FoldErrors = sf.foldErrors.Load()
 	st.FoldedSegments = sf.foldedSegs.Load()
 	st.SnapshotEntries = sf.snapEntries.Load()
+	st.SealedBytes = sf.sealedBytes.Load()
+	st.SnapshotBytes = sf.snapBytes.Load()
+	st.FoldBytesWritten = sf.foldBytes.Load()
+	st.Archives = sf.archives.Load()
+	st.ArchiveBytes = sf.archiveBytes.Load()
+	st.ArchivesWritten = sf.archivesWritten.Load()
+	st.OrphanArchives = sf.orphanArchives.Load()
 	st.Replay = replay
 }

@@ -182,10 +182,10 @@ func TestFoldDoesNotBlockAppends(t *testing.T) {
 	release := make(chan struct{})
 	foldDone := make(chan error, 1)
 	go func() {
-		foldDone <- eng.Fold(func() []Entry {
+		foldDone <- eng.Fold(func(Archiver) FoldImage {
 			close(entered)
 			<-release
-			return []Entry{{Repo: "docs", Op: OpPut, ID: "a", Data: json.RawMessage(`{}`)}}
+			return FoldImage{Entries: []Entry{{Repo: "docs", Op: OpPut, ID: "a", Data: json.RawMessage(`{}`)}}}
 		})
 	}()
 	<-entered
@@ -252,11 +252,11 @@ func TestSealWaitsForPendingApplies(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sawApplied bool
-	if err := eng.Fold(func() []Entry {
+	if err := eng.Fold(func(Archiver) FoldImage {
 		mu.Lock()
 		sawApplied = applied
 		mu.Unlock()
-		return []Entry{{Repo: "docs", Op: OpPut, ID: "a", Data: json.RawMessage(`{}`)}}
+		return FoldImage{Entries: []Entry{{Repo: "docs", Op: OpPut, ID: "a", Data: json.RawMessage(`{}`)}}}
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestFoldOverlapDoesNotDuplicateLogs(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := s.fold(); err != nil {
+	if err := s.fold(true); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
