@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store|runtime|monitor|persist|segments|fold]
+//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store|runtime|monitor|persist|segments|fold|overload]
 //	           [-runtime-shards N]
 //
 // The runtime experiment drives disjoint-instance token moves from a
@@ -21,11 +21,18 @@
 // execution log tenfold and compares per-compaction cost with the
 // fold-by-reference archives against the legacy full-history rewrite,
 // verifying reads stay byte-identical; trajectory in BENCH_fold.json.
+// The overload experiment saturates admission control (shed cost and
+// recovery), trips the read-only fallback with an injected journal
+// fault (probe-driven recovery time), and wedges a REST action
+// endpoint to measure circuit-breaker isolation: opens, fast-fail
+// latency and the flat Advance latency of unaffected instances;
+// results in BENCH_overload.json.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -41,6 +48,7 @@ import (
 	"github.com/liquidpub/gelee/internal/actionlib"
 	"github.com/liquidpub/gelee/internal/core"
 	"github.com/liquidpub/gelee/internal/monitor"
+	"github.com/liquidpub/gelee/internal/resilience"
 	"github.com/liquidpub/gelee/internal/resource"
 	rtpkg "github.com/liquidpub/gelee/internal/runtime"
 	"github.com/liquidpub/gelee/internal/scenario"
@@ -74,6 +82,7 @@ func main() {
 		{"persist", "E12 — durable runtime: write-through overhead + replay throughput", runPersist},
 		{"segments", "E13 — segmented journal: bounded restart replay via snapshot folding", runSegments},
 		{"fold", "E14 — fold-by-reference archives: flat fold cost vs full-history rewrite", runFold},
+		{"overload", "E15 — overload & failure engineering: shedding, read-only fallback, breaker isolation", runOverload},
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -1448,4 +1457,426 @@ func snapshotOverview(rt *rtpkg.Runtime, now time.Time) int {
 		n++
 	}
 	return n
+}
+
+// ---- E15: overload & failure engineering ----
+
+// benchFaultSink is the injected journal fault for the read-only
+// phase: pass-through until armed, then every append fails.
+type benchFaultSink struct {
+	inner rtpkg.Journal
+	armed atomic.Bool
+	fails atomic.Int64
+}
+
+func (f *benchFaultSink) Record(rec *rtpkg.JournalRecord) error {
+	if f.armed.Load() {
+		f.fails.Add(1)
+		return errors.New("injected: disk gone")
+	}
+	if f.inner == nil {
+		return nil
+	}
+	return f.inner.Record(rec)
+}
+
+// runOverload measures the three failure shields: admission control
+// under a saturated commit queue (shed cost vs letting the burst in),
+// the read-only fallback under a failing journal (trip speed and
+// probe-driven recovery time), and circuit-breaker isolation of a
+// wedged action endpoint (opens, fast-fail cost, flat latency for
+// healthy dispatch). Results go to stdout and BENCH_overload.json.
+func runOverload() error {
+	const burst = 48
+
+	// Phase 1 — admission control. The same saturated mutation burst
+	// runs against a shedding system and a non-shedding one.
+	shedPhase := func(maxQueue int) (acked, shed int, meanRespNs int64, rep struct {
+		Shed    int64
+		Resumed int
+	}, err error) {
+		var depth atomic.Int64
+		sys, err := gelee.New(gelee.Options{
+			EmbeddedPlugins: true,
+			SyncActions:     true,
+			Resilience: gelee.ResilienceOptions{
+				MaxQueueDepth:  maxQueue,
+				ShedRetryAfter: time.Second,
+				DepthSignal:    func() int { return int(depth.Load()) },
+			},
+		})
+		if err != nil {
+			return 0, 0, 0, rep, err
+		}
+		defer sys.Close()
+		if err := sys.DefineModel("", scenario.QualityPlan()); err != nil {
+			return 0, 0, 0, rep, err
+		}
+		srv := httptest.NewServer(sys.HTTPHandler())
+		defer srv.Close()
+
+		ids := make([]string, burst)
+		for i := range ids {
+			page := fmt.Sprintf("SHED-%d", i)
+			if _, err := sys.Sims.Wiki.CreatePage(page, "owner", "x"); err != nil {
+				return 0, 0, 0, rep, err
+			}
+			snap, err := sys.Instantiate(scenario.QualityPlanURI,
+				gelee.Ref{URI: "http://wiki.liquidpub.org/pages/" + page, Type: "mediawiki"},
+				"owner", nil)
+			if err != nil {
+				return 0, 0, 0, rep, err
+			}
+			ids[i] = snap.ID
+		}
+
+		advance := func(id string) (int, error) {
+			resp, err := http.Post(srv.URL+"/api/v1/instances/"+id+"/advance",
+				"application/json", bytes.NewReader([]byte(`{"to":"elaboration","actor":"owner"}`)))
+			if err != nil {
+				return 0, err
+			}
+			resp.Body.Close()
+			return resp.StatusCode, nil
+		}
+
+		// Saturate the depth signal and fire the burst.
+		depth.Store(int64(maxQueue*10 + 100))
+		var total time.Duration
+		shedIDs := make([]string, 0, burst)
+		for _, id := range ids {
+			start := time.Now()
+			code, err := advance(id)
+			total += time.Since(start)
+			if err != nil {
+				return 0, 0, 0, rep, err
+			}
+			switch code {
+			case http.StatusOK:
+				acked++
+			case http.StatusTooManyRequests:
+				shed++
+				shedIDs = append(shedIDs, id)
+			default:
+				return 0, 0, 0, rep, fmt.Errorf("burst advance: status %d", code)
+			}
+		}
+		meanRespNs = total.Nanoseconds() / int64(burst)
+
+		// Drain the backlog: every shed mutation is admitted on retry.
+		depth.Store(0)
+		for _, id := range shedIDs {
+			code, err := advance(id)
+			if err != nil {
+				return 0, 0, 0, rep, err
+			}
+			if code == http.StatusOK {
+				rep.Resumed++
+			}
+		}
+		rep.Shed = sys.HealthReport().Admission.Shed
+		return acked, shed, meanRespNs, rep, nil
+	}
+
+	openAcked, openShed, openNs, _, err := shedPhase(0) // shedding off
+	if err != nil {
+		return err
+	}
+	onAcked, onShed, onNs, shedRep, err := shedPhase(8) // shedding on
+	if err != nil {
+		return err
+	}
+
+	// Phase 2 — read-only fallback. An injected journal fault trips the
+	// health machine; once the fault clears, only the durability prober
+	// can walk it back to healthy.
+	fault := &benchFaultSink{}
+	roSys, err := gelee.New(gelee.Options{
+		EmbeddedPlugins: true,
+		SyncActions:     true,
+		Resilience: gelee.ResilienceOptions{
+			DegradeAfter:  1,
+			ReadOnlyAfter: 3,
+			RecoverAfter:  2,
+			ProbeInterval: 2 * time.Millisecond,
+			WrapJournal: func(inner rtpkg.Journal) rtpkg.Journal {
+				fault.inner = inner
+				return fault
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer roSys.Close()
+	if err := roSys.DefineModel("", scenario.QualityPlan()); err != nil {
+		return err
+	}
+	if _, err := roSys.Sims.Wiki.CreatePage("RO-1", "owner", "x"); err != nil {
+		return err
+	}
+	roSnap, err := roSys.Instantiate(scenario.QualityPlanURI,
+		gelee.Ref{URI: "http://wiki.liquidpub.org/pages/RO-1", Type: "mediawiki"}, "owner", nil)
+	if err != nil {
+		return err
+	}
+
+	fault.armed.Store(true)
+	tripStart := time.Now()
+	tripWrites := 0
+	for i := 0; roSys.Health() != resilience.ReadOnly && i < 10; i++ {
+		roSys.Advance(roSnap.ID, scenario.HappyPath[i%len(scenario.HappyPath)], "owner", gelee.AdvanceOptions{})
+		tripWrites++
+	}
+	tripNs := time.Since(tripStart).Nanoseconds()
+	if roSys.Health() != resilience.ReadOnly {
+		return fmt.Errorf("injected journal fault never tripped read-only (health %v)", roSys.Health())
+	}
+	const rejectProbes = 100
+	rejected := 0
+	for i := 0; i < rejectProbes; i++ {
+		if err := roSys.AdmitMutation(); errors.Is(err, resilience.ErrReadOnly) {
+			rejected++
+		}
+	}
+
+	fault.armed.Store(false)
+	healStart := time.Now()
+	for roSys.Health() != resilience.Healthy {
+		if time.Since(healStart) > 10*time.Second {
+			return fmt.Errorf("probes never recovered the system (health %v)", roSys.Health())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	recoverNs := time.Since(healStart).Nanoseconds()
+	roRep := roSys.HealthReport()
+
+	// Phase 3 — circuit-breaker isolation. One wedged REST endpoint,
+	// one healthy; the breaker must open on the wedged one and healthy
+	// dispatch latency must stay flat.
+	var wedgedHits, healthyHits atomic.Int64
+	release := make(chan struct{})
+	wedged := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		wedgedHits.Add(1)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	// LIFO: the handlers must unblock before Close can drain them.
+	defer wedged.Close()
+	defer close(release)
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		healthyHits.Add(1)
+	}))
+	defer healthy.Close()
+
+	const brFailures = 3
+	brSys, err := gelee.New(gelee.Options{
+		EmbeddedPlugins: true,
+		SyncActions:     true,
+		Resilience: gelee.ResilienceOptions{
+			InvokeTimeout:   50 * time.Millisecond,
+			BreakerFailures: brFailures,
+			BreakerCooldown: time.Hour,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer brSys.Close()
+
+	registerEndpoint := func(name, endpoint string) (string, error) {
+		uri := "http://actions.bench/" + name
+		err := brSys.RegisterAction("", actionlib.ActionType{URI: uri, Name: name},
+			actionlib.Implementation{
+				TypeURI:      uri,
+				ResourceType: "mediawiki",
+				Endpoint:     endpoint,
+				Protocol:     actionlib.ProtocolREST,
+			})
+		return uri, err
+	}
+	wedgedURI, err := registerEndpoint("wedge", wedged.URL)
+	if err != nil {
+		return err
+	}
+	healthyURI, err := registerEndpoint("fine", healthy.URL)
+	if err != nil {
+		return err
+	}
+	mkModel := func(name, actionURI string) (string, error) {
+		uri := "urn:bench:models:" + name
+		m := gelee.NewModel(uri, name).
+			SuggestTypes("mediawiki").
+			Phase("work", "Work").Action(actionURI, name).Done().
+			FinalPhase("done", "Done").
+			Initial("work").
+			Chain("work", "done").
+			MustBuild()
+		return uri, brSys.DefineModel("", m)
+	}
+	wedgedModel, err := mkModel("wedged", wedgedURI)
+	if err != nil {
+		return err
+	}
+	healthyModel, err := mkModel("healthy", healthyURI)
+	if err != nil {
+		return err
+	}
+	advanceNew := func(modelURI, page string) (time.Duration, error) {
+		if _, err := brSys.Sims.Wiki.CreatePage(page, "owner", "x"); err != nil {
+			return 0, err
+		}
+		snap, err := brSys.Instantiate(modelURI,
+			gelee.Ref{URI: "http://wiki.liquidpub.org/pages/" + page, Type: "mediawiki"}, "owner", nil)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := brSys.Advance(snap.ID, "work", "owner", gelee.AdvanceOptions{}); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	const healthyN = 16
+	// Baseline: healthy dispatch with no open circuit anywhere.
+	var baseTotal time.Duration
+	for i := 0; i < healthyN; i++ {
+		d, err := advanceNew(healthyModel, fmt.Sprintf("HB-%d", i))
+		if err != nil {
+			return err
+		}
+		baseTotal += d
+	}
+	baseNs := baseTotal.Nanoseconds() / healthyN
+
+	// Wedge: the first brFailures dispatches pay the timeout and open
+	// the circuit; the rest fast-fail without touching the endpoint.
+	const wedgedN = brFailures + 3
+	var wedgeTotal, fastFailTotal time.Duration
+	for i := 0; i < wedgedN; i++ {
+		d, err := advanceNew(wedgedModel, fmt.Sprintf("WB-%d", i))
+		if err != nil {
+			return err
+		}
+		wedgeTotal += d
+		if i >= brFailures {
+			fastFailTotal += d
+		}
+	}
+	fastFailNs := fastFailTotal.Nanoseconds() / int64(wedgedN-brFailures)
+
+	// Healthy dispatch again, with the wedged circuit open next door.
+	var isoTotal time.Duration
+	for i := 0; i < healthyN; i++ {
+		d, err := advanceNew(healthyModel, fmt.Sprintf("HI-%d", i))
+		if err != nil {
+			return err
+		}
+		isoTotal += d
+	}
+	isoNs := isoTotal.Nanoseconds() / healthyN
+	brRep := brSys.HealthReport()
+	wedgedState := brRep.Breakers[wedged.URL].State
+	healthyState := brRep.Breakers[healthy.URL].State
+	latencyX := float64(isoNs) / float64(baseNs)
+
+	report := struct {
+		Experiment string `json:"experiment"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		Shedding   struct {
+			Burst          int   `json:"burst"`
+			OffAcked       int   `json:"off_acked"`
+			OffShed        int   `json:"off_shed"`
+			OffMeanRespNs  int64 `json:"off_mean_resp_ns"`
+			OnAcked        int   `json:"on_acked"`
+			OnShed         int   `json:"on_shed"`
+			OnMeanRespNs   int64 `json:"on_mean_resp_ns"`
+			ShedTotal      int64 `json:"shed_total"`
+			ResumedOnDrain int   `json:"resumed_on_drain"`
+		} `json:"shedding"`
+		ReadOnly struct {
+			TripWrites    int   `json:"trip_writes"`
+			TripNs        int64 `json:"trip_ns"`
+			Rejected      int   `json:"rejected"`
+			RejectedOf    int   `json:"rejected_of"`
+			RecoverNs     int64 `json:"recover_ns"`
+			ProbeAttempts int64 `json:"probe_attempts"`
+			SinkFailures  int64 `json:"sink_failures"`
+			ReadOnlyTrips int64 `json:"read_only_transitions"`
+			Recoveries    int64 `json:"recoveries"`
+		} `json:"read_only"`
+		Breaker struct {
+			Failures       int     `json:"failures_to_open"`
+			WedgedCalls    int     `json:"wedged_dispatches"`
+			WedgedHits     int64   `json:"wedged_endpoint_hits"`
+			Opens          int64   `json:"opens"`
+			Rejected       int64   `json:"rejected"`
+			FastFailNs     int64   `json:"fast_fail_ns"`
+			WedgedState    string  `json:"wedged_state"`
+			HealthyState   string  `json:"healthy_state"`
+			HealthyHits    int64   `json:"healthy_endpoint_hits"`
+			BaselineNs     int64   `json:"healthy_advance_baseline_ns"`
+			OpenNextDoorNs int64   `json:"healthy_advance_breaker_open_ns"`
+			LatencyRatio   float64 `json:"healthy_latency_ratio"`
+		} `json:"breaker"`
+	}{Experiment: "overload", GOMAXPROCS: gomaxprocs()}
+	report.Shedding.Burst = burst
+	report.Shedding.OffAcked = openAcked
+	report.Shedding.OffShed = openShed
+	report.Shedding.OffMeanRespNs = openNs
+	report.Shedding.OnAcked = onAcked
+	report.Shedding.OnShed = onShed
+	report.Shedding.OnMeanRespNs = onNs
+	report.Shedding.ShedTotal = shedRep.Shed
+	report.Shedding.ResumedOnDrain = shedRep.Resumed
+	report.ReadOnly.TripWrites = tripWrites
+	report.ReadOnly.TripNs = tripNs
+	report.ReadOnly.Rejected = rejected
+	report.ReadOnly.RejectedOf = rejectProbes
+	report.ReadOnly.RecoverNs = recoverNs
+	report.ReadOnly.ProbeAttempts = roRep.Probes.Attempts
+	report.ReadOnly.SinkFailures = fault.fails.Load()
+	report.ReadOnly.ReadOnlyTrips = roRep.Health.ReadOnlyTotal
+	report.ReadOnly.Recoveries = roRep.Health.RecoveredTotal
+	report.Breaker.Failures = brFailures
+	report.Breaker.WedgedCalls = wedgedN
+	report.Breaker.WedgedHits = wedgedHits.Load()
+	report.Breaker.Opens = brRep.BreakerOpens
+	report.Breaker.Rejected = brRep.BreakerRejected
+	report.Breaker.FastFailNs = fastFailNs
+	report.Breaker.WedgedState = wedgedState
+	report.Breaker.HealthyState = healthyState
+	report.Breaker.HealthyHits = healthyHits.Load()
+	report.Breaker.BaselineNs = baseNs
+	report.Breaker.OpenNextDoorNs = isoNs
+	report.Breaker.LatencyRatio = latencyX
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_overload.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("paper: a hosted lifecycle service (Fig. 2) must survive overload and partner failures without losing acked work\n")
+	fmt.Printf("measured (burst %d mutations over HTTP, GOMAXPROCS=%d):\n", burst, report.GOMAXPROCS)
+	fmt.Printf("  shedding off: %d acked, %d shed (%v/req)\n",
+		openAcked, openShed, time.Duration(openNs).Round(time.Microsecond))
+	fmt.Printf("  shedding on:  %d acked, %d shed 429+Retry-After (%v/req); %d/%d re-admitted once drained\n",
+		onAcked, onShed, time.Duration(onNs).Round(time.Microsecond), shedRep.Resumed, onShed)
+	fmt.Printf("  read-only: tripped after %d failed writes in %v; %d/%d mutations rejected; probes (%d attempts) recovered in %v\n",
+		tripWrites, time.Duration(tripNs).Round(time.Microsecond), rejected, rejectProbes,
+		roRep.Probes.Attempts, time.Duration(recoverNs).Round(time.Millisecond))
+	fmt.Printf("  breaker: wedged endpoint hit %d/%d dispatches (opens=%d, rejected=%d, fast-fail %v), state=%s\n",
+		wedgedHits.Load(), wedgedN, brRep.BreakerOpens, brRep.BreakerRejected,
+		time.Duration(fastFailNs).Round(time.Microsecond), wedgedState)
+	fmt.Printf("  healthy advance: %v baseline vs %v with the circuit open next door (%.2fx, bar <=3x), state=%s\n",
+		time.Duration(baseNs).Round(time.Microsecond), time.Duration(isoNs).Round(time.Microsecond),
+		latencyX, healthyState)
+	fmt.Printf("  wrote BENCH_overload.json\n")
+	return nil
 }

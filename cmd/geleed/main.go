@@ -12,6 +12,11 @@
 //	       [-log-live-window N] [-fold-min-interval D] [-fold-min-garbage R]
 //	       [-max-events N] [-invocation-retention D]
 //	       [-persist-instances=true|false]
+//	       [-max-queue-depth N] [-shed-retry-after D]
+//	       [-readonly-after N] [-recover-after N] [-health-probe-interval D]
+//	       [-invoke-timeout D] [-invoke-retries N] [-invoke-max-inflight N]
+//	       [-breaker-failures N] [-breaker-cooldown D]
+//	       [-alert-webhook URL] [-alert-interval D]
 //
 // -data enables persistence (empty = in-memory); -auth enforces the
 // §IV.D roles via the X-Gelee-User header; -seed loads the LiquidPub
@@ -45,6 +50,20 @@
 // re-snapshots an unchanged population. GET /api/v1/admin/store and
 // /api/v1/admin/runtime report the resulting engine, rotation/fold,
 // archive, replay, runtime and persistence health.
+//
+// The overload/failure knobs guard the service under stress:
+// -max-queue-depth sheds mutating requests with 429 + Retry-After once
+// the commit backlog saturates (reads always serve); -readonly-after
+// flips the node into a degraded read-only mode after that many
+// consecutive journal failures, rejecting mutations with 503 until
+// -health-probe-interval probes see the disk heal for -recover-after
+// writes in a row. Action outcalls run under per-endpoint circuit
+// breakers (-breaker-failures / -breaker-cooldown), bounded
+// concurrency (-invoke-max-inflight), per-attempt timeouts
+// (-invoke-timeout) and idempotent retries (-invoke-retries).
+// GET /api/v1/admin/health aggregates all of it for load balancers,
+// and threshold alerts stream over /api/v1/admin/alerts/stream or
+// POST to -alert-webhook.
 package main
 
 import (
@@ -78,6 +97,18 @@ func main() {
 	maxEvents := flag.Int("max-events", 0, "max in-memory events per instance, ring-truncated (0 = unbounded)")
 	invRetention := flag.Duration("invocation-retention", 0, "grace window before terminal invocation-index entries are GC'd (0 = keep forever)")
 	persist := flag.Bool("persist-instances", true, "journal lifecycle-instance mutations and replay them on start")
+	maxQueue := flag.Int("max-queue-depth", 0, "shed mutating requests with 429 once the commit backlog passes this depth (0 = no shedding)")
+	shedRetry := flag.Duration("shed-retry-after", 0, "Retry-After hint attached to shed responses (0 = default)")
+	readonlyAfter := flag.Int("readonly-after", 0, "consecutive journal append failures before entering read-only mode (0 = default)")
+	recoverAfter := flag.Int("recover-after", 0, "consecutive successful appends/probes before leaving a degraded state (0 = default)")
+	probeInterval := flag.Duration("health-probe-interval", time.Second, "how often a degraded node probes the journal to detect recovery (0 = never)")
+	invokeTimeout := flag.Duration("invoke-timeout", 0, "per-attempt timeout for REST/SOAP action outcalls (0 = default 30s)")
+	invokeRetries := flag.Int("invoke-retries", 0, "attempts per idempotent action send, with jittered backoff (0 = default)")
+	invokeInflight := flag.Int("invoke-max-inflight", 0, "max concurrent outcalls per action endpoint (0 = default, <0 = unlimited)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive outcall failures before an endpoint's circuit opens (0 = default, <0 = disable breakers)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open circuit waits before trying a half-open probe (0 = default)")
+	alertWebhook := flag.String("alert-webhook", "", "URL POSTed a JSON body when a health threshold fires or resolves")
+	alertInterval := flag.Duration("alert-interval", 0, "threshold evaluation period for the alert watcher (0 = only when -alert-webhook is set)")
 	flag.Parse()
 
 	sys, err := gelee.New(gelee.Options{
@@ -98,6 +129,20 @@ func main() {
 		PersistInstances:     *persist,
 		Auth:                 *auth,
 		EmbeddedPlugins:      true,
+		Resilience: gelee.ResilienceOptions{
+			MaxQueueDepth:     *maxQueue,
+			ShedRetryAfter:    *shedRetry,
+			ReadOnlyAfter:     *readonlyAfter,
+			RecoverAfter:      *recoverAfter,
+			ProbeInterval:     *probeInterval,
+			InvokeTimeout:     *invokeTimeout,
+			InvokeAttempts:    *invokeRetries,
+			InvokeMaxInFlight: *invokeInflight,
+			BreakerFailures:   *breakerFailures,
+			BreakerCooldown:   *breakerCooldown,
+			AlertWebhook:      *alertWebhook,
+			AlertInterval:     *alertInterval,
+		},
 	})
 	if err != nil {
 		log.Fatalf("geleed: %v", err)

@@ -27,6 +27,8 @@ import (
 	"path/filepath"
 	stdruntime "runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/liquidpub/gelee/internal/access"
@@ -40,6 +42,7 @@ import (
 	"github.com/liquidpub/gelee/internal/plugin/svnsim"
 	"github.com/liquidpub/gelee/internal/plugin/websim"
 	"github.com/liquidpub/gelee/internal/plugin/wikisim"
+	"github.com/liquidpub/gelee/internal/resilience"
 	"github.com/liquidpub/gelee/internal/resource"
 	"github.com/liquidpub/gelee/internal/runtime"
 	"github.com/liquidpub/gelee/internal/store"
@@ -182,6 +185,74 @@ type Options struct {
 	EmbeddedPlugins bool
 	// SyncActions dispatches phase actions inline (deterministic tests).
 	SyncActions bool
+	// Resilience tunes overload and failure behavior: admission
+	// control, the degraded/read-only health state machine, outcall
+	// circuit breakers and threshold alerting. The zero value enables
+	// health tracking and breakers with defaults; shedding, probing
+	// and alerting stay off until configured.
+	Resilience ResilienceOptions
+}
+
+// DefaultInvokeMaxInFlight caps concurrent action dispatches per
+// endpoint when ResilienceOptions.InvokeMaxInFlight is zero.
+const DefaultInvokeMaxInFlight = 64
+
+// ResilienceOptions tunes the resilience layer. See internal/resilience
+// for the health-state-machine and breaker semantics.
+type ResilienceOptions struct {
+	// MaxQueueDepth is the admission watermark: when the data tier's
+	// commit backlog (group-commit queue depth, instance-appender
+	// in-flight count, or DepthSignal — whichever is highest) reaches
+	// it, mutating HTTP requests shed with 429 + Retry-After until the
+	// backlog falls back to half the watermark. Reads continue.
+	// 0 disables shedding.
+	MaxQueueDepth int
+	// ShedRetryAfter is the Retry-After hint shed responses carry
+	// (default 1s).
+	ShedRetryAfter time.Duration
+	// DegradeAfter consecutive journal-append failures mark the system
+	// degraded (default 1); ReadOnlyAfter trip read-only mode, where
+	// mutations are rejected with 503 (default 3); RecoverAfter
+	// consecutive successes step back down one level (default 3).
+	DegradeAfter  int
+	ReadOnlyAfter int
+	RecoverAfter  int
+	// ProbeInterval, when positive, runs a durability prober: while
+	// the system is degraded or read-only it writes a no-op probe
+	// record through the instance-journal path on this interval, so
+	// read-only mode — which admits no organic writes — can prove the
+	// disk again and recover. 0 disables probing.
+	ProbeInterval time.Duration
+	// InvokeTimeout bounds one action-dispatch HTTP attempt
+	// (0 = invoke.DefaultTimeout, 30s).
+	InvokeTimeout time.Duration
+	// InvokeAttempts is the total attempts per remote dispatch, with
+	// jittered exponential backoff between them (0 or 1 = no retry).
+	// Safe because invocations carry a unique id end to end.
+	InvokeAttempts int
+	// InvokeMaxInFlight caps concurrent dispatches per endpoint
+	// (0 = DefaultInvokeMaxInFlight; negative = unlimited).
+	InvokeMaxInFlight int
+	// BreakerFailures consecutive dispatch failures open an endpoint's
+	// circuit — further sends fail fast until BreakerCooldown (default
+	// 15s) elapses and a half-open trial succeeds. 0 means the default
+	// of 5; negative disables breakers entirely.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// AlertWebhook, when set, receives every threshold alert as a JSON
+	// POST. AlertInterval is the evaluation cadence; the watcher loop
+	// runs only when AlertInterval is positive or AlertWebhook is set
+	// (cadence then defaults to 5s).
+	AlertWebhook  string
+	AlertInterval time.Duration
+	// DepthSignal, when set, is an extra saturation signal combined
+	// (max) with the engine queue depth — a seam for external backlog
+	// measures and deterministic shedding tests.
+	DepthSignal func() int
+	// WrapJournal, when set, wraps the runtime's instance-journal sink
+	// before health observation is attached — the fault-injection seam
+	// the failure-transition tests use.
+	WrapJournal func(runtime.Journal) runtime.Journal
 }
 
 // Sims exposes the embedded simulated managing applications so that
@@ -222,6 +293,22 @@ type System struct {
 	composites *composite.Adapter
 	mon        *monitor.Monitor
 	wdgt       *widget.Renderer
+
+	// Resilience layer: the health state machine fed by journal-append
+	// outcomes, the admission gate in front of mutations, the shared
+	// outcall breakers, the threshold watcher, and the (optional)
+	// durability prober that writes no-op records through journal —
+	// the final, possibly fault-wrapped, observed sink.
+	health        *resilience.Health
+	gate          *resilience.Gate
+	breakers      *resilience.BreakerSet
+	watcher       *resilience.Watcher
+	journal       runtime.Journal
+	probeStop     chan struct{}
+	probeDone     chan struct{}
+	probeAttempts atomic.Int64
+	probeFailures atomic.Int64
+	closeOnce     sync.Once
 }
 
 // CompositeRollup aggregates the component lifecycles of an embedded
@@ -241,6 +328,16 @@ func New(opts Options) (*System, error) {
 		clock = vclock.System
 	}
 
+	// The health state machine watches every durable append — both
+	// stores report their outcomes into it, so persistent disk trouble
+	// flips the system degraded and then read-only.
+	res := opts.Resilience
+	health := resilience.NewHealth(resilience.HealthConfig{
+		DegradeAfter:  res.DegradeAfter,
+		ReadOnlyAfter: res.ReadOnlyAfter,
+		RecoverAfter:  res.RecoverAfter,
+	})
+
 	storeOpts := store.Options{
 		Sync:            opts.SyncJournal,
 		SyncEveryAppend: opts.SyncEveryAppend,
@@ -253,6 +350,7 @@ func New(opts Options) (*System, error) {
 		FoldMinInterval: opts.FoldMinInterval,
 		FoldMinGarbage:  opts.FoldMinGarbage,
 		Clock:           clock,
+		OnAppendResult:  health.Observe,
 	}
 	engine := opts.Engine
 	if engine == "" {
@@ -281,6 +379,7 @@ func New(opts Options) (*System, error) {
 	s := &System{
 		opts:      opts,
 		clock:     clock,
+		health:    health,
 		store:     st,
 		Registry:  actionlib.NewRegistry(),
 		Resources: resource.NewManager(),
@@ -345,10 +444,28 @@ func New(opts Options) (*System, error) {
 	s.Local = invoke.NewLocalInvoker(reporterFunc(func(up actionlib.StatusUpdate) error {
 		return s.Runtime.Report(up)
 	}))
+	// Remote dispatch goes through per-endpoint circuit breakers (on by
+	// default; BreakerFailures < 0 disables) with an in-flight cap, and
+	// optionally retries idempotent sends with jittered backoff.
+	if res.BreakerFailures >= 0 {
+		maxInFlight := res.InvokeMaxInFlight
+		if maxInFlight == 0 {
+			maxInFlight = DefaultInvokeMaxInFlight
+		} else if maxInFlight < 0 {
+			maxInFlight = 0
+		}
+		s.breakers = resilience.NewBreakerSet(resilience.BreakerConfig{
+			Failures:    res.BreakerFailures,
+			Cooldown:    res.BreakerCooldown,
+			MaxInFlight: maxInFlight,
+		})
+	}
 	dispatcher := &invoke.Dispatcher{
-		REST:  &invoke.RESTInvoker{},
-		SOAP:  &invoke.SOAPInvoker{},
-		Local: s.Local,
+		REST:     &invoke.RESTInvoker{Timeout: res.InvokeTimeout},
+		SOAP:     &invoke.SOAPInvoker{Timeout: res.InvokeTimeout},
+		Local:    s.Local,
+		Breakers: s.breakers,
+		Attempts: res.InvokeAttempts,
 	}
 	var policy runtime.Policy
 	if opts.Auth {
@@ -358,6 +475,16 @@ func New(opts Options) (*System, error) {
 	if s.instances != nil {
 		sink = instanceSink{s.instances}
 	}
+	if res.WrapJournal != nil {
+		sink = res.WrapJournal(sink)
+	}
+	if sink != nil {
+		// Observe outcomes at the top of the sink chain so an injected
+		// fault wrapper's failures drive the health machine exactly like
+		// real disk failures would.
+		sink = observedJournal{inner: sink, health: health}
+	}
+	s.journal = sink
 	rt, err := runtime.New(runtime.Config{
 		Registry:            s.Registry,
 		Invoker:             dispatcher,
@@ -392,6 +519,91 @@ func New(opts Options) (*System, error) {
 		}
 		rt.FinishRecovery()
 		s.instances.SetSnapshotSource(rt.EmitSnapshots)
+	}
+
+	// Admission control: the mutation gate sheds when the commit
+	// backlog — group-commit queue depth, instance-appender in-flight
+	// count, or the external DepthSignal, whichever is highest —
+	// crosses the watermark, and rejects outright in read-only mode.
+	depth := func() int {
+		d := st.QueueDepth()
+		if s.instances != nil {
+			if w := s.instances.Waiters(); w > d {
+				d = w
+			}
+		}
+		if res.DepthSignal != nil {
+			if v := res.DepthSignal(); v > d {
+				d = v
+			}
+		}
+		return d
+	}
+	s.gate = &resilience.Gate{
+		Health: health,
+		Admission: resilience.NewAdmission(resilience.AdmissionConfig{
+			Watermark:  res.MaxQueueDepth,
+			RetryAfter: res.ShedRetryAfter,
+		}, depth),
+	}
+
+	// Threshold alerting: edge-triggered rules over the saturation and
+	// failure counters. The watcher object always exists (it backs the
+	// admin alert feed); its evaluation loop runs only when alerting is
+	// configured.
+	var rules []resilience.Rule
+	if res.MaxQueueDepth > 0 {
+		rules = append(rules, resilience.Rule{
+			Name:      "commit-queue-depth",
+			Severity:  "warning",
+			Threshold: float64(res.MaxQueueDepth) * 0.8,
+			Value:     func() float64 { return float64(depth()) },
+		})
+	}
+	rules = append(rules, resilience.Rule{
+		Name:      "journal-health",
+		Severity:  "critical",
+		Threshold: float64(resilience.Degraded),
+		Value:     func() float64 { return float64(health.State()) },
+	})
+	if s.breakers != nil {
+		br := s.breakers
+		rules = append(rules, resilience.Rule{
+			Name:      "breakers-open",
+			Severity:  "warning",
+			Threshold: 1,
+			Value:     func() float64 { return float64(br.OpenCount()) },
+		})
+	}
+	adm := s.gate.Admission
+	var lastShed int64 // read/written only by the watcher goroutine
+	rules = append(rules, resilience.Rule{
+		Name:      "shed-rate",
+		Severity:  "warning",
+		Threshold: 1,
+		Value: func() float64 {
+			cur := adm.Shed()
+			d := cur - lastShed
+			lastShed = cur
+			return float64(d)
+		},
+	})
+	s.watcher = resilience.NewWatcher(resilience.WatcherConfig{
+		Interval: res.AlertInterval,
+		Webhook:  res.AlertWebhook,
+	}, rules)
+	if res.AlertInterval > 0 || res.AlertWebhook != "" {
+		s.watcher.Start()
+	}
+
+	// The durability prober is what lets read-only mode end: mutations
+	// are gated off, so no organic append can ever prove the disk is
+	// back. While unhealthy it writes a no-op probe record through the
+	// full sink chain (replay discards probes).
+	if res.ProbeInterval > 0 && s.journal != nil {
+		s.probeStop = make(chan struct{})
+		s.probeDone = make(chan struct{})
+		go s.probeLoop(res.ProbeInterval)
 	}
 
 	if opts.EmbeddedPlugins {
@@ -490,6 +702,87 @@ func (s instanceSink) Record(rec *runtime.JournalRecord) error {
 	return s.coll.Append(rec.Instance, data)
 }
 
+// observedJournal feeds every instance-append outcome into the health
+// state machine. It sits above any injected fault wrapper, so injected
+// failures drive the machine exactly like real disk failures.
+type observedJournal struct {
+	inner  runtime.Journal
+	health *resilience.Health
+}
+
+func (o observedJournal) Record(rec *runtime.JournalRecord) error {
+	err := o.inner.Record(rec)
+	o.health.Observe(err)
+	return err
+}
+
+// probeLoop writes a no-op probe record through the journal chain while
+// the system is unhealthy. Probe outcomes reach the health machine via
+// the observedJournal wrapper; on replay the runtime discards RecProbe.
+func (s *System) probeLoop(every time.Duration) {
+	defer close(s.probeDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.probeStop:
+			return
+		case <-t.C:
+			if s.health.State() == resilience.Healthy {
+				continue
+			}
+			s.probeAttempts.Add(1)
+			rec := &runtime.JournalRecord{Op: runtime.RecProbe, Instance: "gelee:probe"}
+			if err := s.journal.Record(rec); err != nil {
+				s.probeFailures.Add(1)
+			}
+		}
+	}
+}
+
+// AdmitMutation is the resilience gate in front of every mutating
+// entry point: resilience.ErrReadOnly while journal persistence is
+// failing, a resilience.ShedError while the commit backlog is over the
+// admission watermark, nil otherwise.
+func (s *System) AdmitMutation() error { return s.gate.AdmitMutation() }
+
+// Health returns the current health state (healthy, degraded or
+// read-only).
+func (s *System) Health() resilience.State { return s.health.State() }
+
+// HealthReport aggregates the resilience layer's state and counters:
+// health machine, admission gate, circuit breakers, probes and alerts.
+// The payload of GET /api/v1/admin/health.
+func (s *System) HealthReport() resilience.Report {
+	rep := resilience.Report{
+		Health:           s.health.Report(),
+		Admission:        s.gate.Admission.Stats(),
+		ReadOnlyRejected: s.gate.ReadOnlyRejected(),
+		Probes: resilience.ProbeStats{
+			Attempts: s.probeAttempts.Load(),
+			Failures: s.probeFailures.Load(),
+		},
+		Alerts: s.watcher.Stats(),
+	}
+	rep.State = rep.Health.State
+	if s.breakers != nil {
+		rep.Breakers = s.breakers.Stats()
+		rep.BreakerOpens = s.breakers.Opens()
+		rep.BreakerRejected = s.breakers.Rejected()
+	}
+	return rep
+}
+
+// RecentAlerts returns up to limit of the newest threshold alerts,
+// newest last.
+func (s *System) RecentAlerts(limit int) []resilience.Alert { return s.watcher.Recent(limit) }
+
+// SubscribeAlerts subscribes to the live alert feed; the returned
+// cancel must be called when done.
+func (s *System) SubscribeAlerts(buf int) (<-chan resilience.Alert, func()) {
+	return s.watcher.Feed().Subscribe(buf)
+}
+
 // logEvent mirrors every runtime event into the persistent execution
 // log (Fig. 2 data tier). Data carries the full typed event, which is
 // what lets the timeline backfill ring-truncated history from the log;
@@ -526,6 +819,13 @@ func eventDetail(ev runtime.Event) string {
 // Close flushes and closes the data tier, the instance journal
 // included. Every mutation acknowledged before Close is durable.
 func (s *System) Close() error {
+	s.closeOnce.Do(func() {
+		s.watcher.Close()
+		if s.probeStop != nil {
+			close(s.probeStop)
+			<-s.probeDone
+		}
+	})
 	s.Runtime.WaitDispatch()
 	err := s.store.Close()
 	if s.instances != nil {

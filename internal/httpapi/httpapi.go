@@ -32,6 +32,10 @@
 //	POST /api/v1/callbacks/{inv}          action status callback (no auth)
 //	GET  /api/v1/admin/store              data-tier engine stats
 //	GET  /api/v1/admin/runtime            runtime shard/index stats
+//	GET  /api/v1/admin/health             aggregated resilience report
+//	                                      (no auth; 503 when read-only)
+//	GET  /api/v1/admin/alerts[?limit=N]   recent threshold alerts
+//	GET  /api/v1/admin/alerts/stream      live alert feed (SSE)
 //	GET  /api/v1/monitor/summary|overview|late
 //	GET  /api/v1/monitor/instances/{id}/timeline
 //	GET  /widgets/{id}                    HTML widget (Fig. 4)
@@ -42,6 +46,13 @@
 // Authentication is the hosted-prototype scheme: the X-Gelee-User header
 // names the acting user. With RequireAuth the header must name a known
 // user; callbacks and public widgets stay open.
+//
+// Every mutating route (including callbacks and the SOAP advance) is
+// gated by the resilience layer: under load shedding it answers 429
+// with a Retry-After header and {"code":"overloaded","retry_after_ms"}
+// body, and in read-only mode 503 with {"code":"read_only",
+// "mode":"read-only"}. Reads are never gated — a degraded node keeps
+// serving the cockpit.
 package httpapi
 
 import (
@@ -52,11 +63,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/liquidpub/gelee/internal/actionlib"
 	"github.com/liquidpub/gelee/internal/core"
 	"github.com/liquidpub/gelee/internal/invoke"
 	"github.com/liquidpub/gelee/internal/monitor"
+	"github.com/liquidpub/gelee/internal/resilience"
 	"github.com/liquidpub/gelee/internal/resource"
 	"github.com/liquidpub/gelee/internal/runtime"
 	"github.com/liquidpub/gelee/internal/store"
@@ -99,6 +112,16 @@ type Backend interface {
 	RuntimeStats() runtime.Stats
 	ExecutionLogPage(after uint64, limit int) ([]store.LogEntry, error)
 	UserExists(name string) bool
+
+	// Resilience surface: AdmitMutation gates every mutating route
+	// (nil admits; resilience.ErrShed → 429, resilience.ErrReadOnly →
+	// 503 — reads are never gated), HealthReport feeds the aggregated
+	// admin health endpoint, RecentAlerts/SubscribeAlerts back the
+	// alert list and SSE stream.
+	AdmitMutation() error
+	HealthReport() resilience.Report
+	RecentAlerts(limit int) []resilience.Alert
+	SubscribeAlerts(buf int) (<-chan resilience.Alert, func())
 }
 
 // Options configure the server.
@@ -130,26 +153,29 @@ func (s *Server) routes() {
 		writeJSON(w, http.StatusOK, map[string]string{"gelee": "ok"})
 	})
 
-	// Design time.
-	s.mux.HandleFunc("POST /api/v1/models", s.authed(s.handleDefineModel))
+	// Design time. Mutating routes pass the resilience gate first —
+	// shedding a request is cheaper than authenticating it.
+	s.mux.HandleFunc("POST /api/v1/models", s.mutating(s.authed(s.handleDefineModel)))
 	s.mux.HandleFunc("GET /api/v1/models", s.handleListModels)
 	s.mux.HandleFunc("GET /api/v1/models/one", s.handleGetModel)
-	s.mux.HandleFunc("POST /api/v1/models/propagate", s.authed(s.handlePropagate))
+	s.mux.HandleFunc("POST /api/v1/models/propagate", s.mutating(s.authed(s.handlePropagate)))
 	s.mux.HandleFunc("GET /api/v1/actions", s.handleBrowseActions)
-	s.mux.HandleFunc("POST /api/v1/actions", s.authed(s.handleRegisterAction))
+	s.mux.HandleFunc("POST /api/v1/actions", s.mutating(s.authed(s.handleRegisterAction)))
 
 	// Run time.
-	s.mux.HandleFunc("POST /api/v1/instances", s.authed(s.handleInstantiate))
+	s.mux.HandleFunc("POST /api/v1/instances", s.mutating(s.authed(s.handleInstantiate)))
 	s.mux.HandleFunc("GET /api/v1/instances", s.handleListInstances)
 	s.mux.HandleFunc("GET /api/v1/instances/{id}", s.handleGetInstance)
 	s.mux.HandleFunc("GET /api/v1/instances/{id}/timeline", s.handleInstanceTimeline)
-	s.mux.HandleFunc("POST /api/v1/instances/{id}/advance", s.authed(s.handleAdvance))
-	s.mux.HandleFunc("POST /api/v1/instances/{id}/annotations", s.authed(s.handleAnnotate))
-	s.mux.HandleFunc("POST /api/v1/instances/{id}/bindings", s.authed(s.handleBind))
-	s.mux.HandleFunc("POST /api/v1/instances/{id}/migrate", s.authed(s.handleMigrate))
+	s.mux.HandleFunc("POST /api/v1/instances/{id}/advance", s.mutating(s.authed(s.handleAdvance)))
+	s.mux.HandleFunc("POST /api/v1/instances/{id}/annotations", s.mutating(s.authed(s.handleAnnotate)))
+	s.mux.HandleFunc("POST /api/v1/instances/{id}/bindings", s.mutating(s.authed(s.handleBind)))
+	s.mux.HandleFunc("POST /api/v1/instances/{id}/migrate", s.mutating(s.authed(s.handleMigrate)))
 
-	// Callbacks are invoked by action implementations, not users.
-	s.mux.HandleFunc("POST /api/v1/callbacks/{inv}", s.handleCallback)
+	// Callbacks are invoked by action implementations, not users. They
+	// mutate instance state, so they pass the gate too — a shed or
+	// read-only 429/503 tells the action service to retry its report.
+	s.mux.HandleFunc("POST /api/v1/callbacks/{inv}", s.mutating(s.handleCallback))
 
 	// Admin: data-tier engine health (group-commit counters, shard
 	// count, per-repository sizes) and runtime health (instance-shard
@@ -159,6 +185,13 @@ func (s *Server) routes() {
 	// Execution-log pages: a seq cursor over unbounded history, cold
 	// pages streamed from archive files on demand.
 	s.mux.HandleFunc("GET /api/v1/admin/log", s.authed(s.handleExecLogPage))
+	// Aggregated health for load balancers: 200 while mutations are
+	// admitted, 503 in read-only mode. Deliberately unauthenticated —
+	// probes don't carry user headers.
+	s.mux.HandleFunc("GET /api/v1/admin/health", s.handleHealth)
+	// Threshold alerts: recent ring + live SSE stream.
+	s.mux.HandleFunc("GET /api/v1/admin/alerts", s.authed(s.handleAlerts))
+	s.mux.HandleFunc("GET /api/v1/admin/alerts/stream", s.authed(s.handleAlertStream))
 
 	// Monitoring cockpit.
 	s.mux.HandleFunc("GET /api/v1/monitor/summary", s.handleMonitorSummary)
@@ -179,6 +212,48 @@ func (s *Server) routes() {
 func (s *Server) user(r *http.Request) string { return r.Header.Get(UserHeader) }
 
 // authed wraps mutating handlers with the hosted-prototype auth check.
+// mutating gates a write behind the backend's admission decision:
+// read-only mode → 503 with a mode field, load shed → 429 with a
+// Retry-After header. Reads never pass through here.
+func (s *Server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.b.AdmitMutation(); err != nil {
+			writeAdmissionError(w, err)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// writeAdmissionError renders a structured rejection body — never a
+// generic 500, so clients can distinguish "back off and retry" from
+// "this node stopped accepting writes".
+func writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, resilience.ErrShed):
+		ra := resilience.RetryAfterOf(err)
+		if ra <= 0 {
+			ra = time.Second
+		}
+		secs := int64((ra + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":          err.Error(),
+			"code":           "overloaded",
+			"retry_after_ms": ra.Milliseconds(),
+		})
+	case errors.Is(err, resilience.ErrReadOnly):
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": err.Error(),
+			"code":  "read_only",
+			"mode":  "read-only",
+		})
+	default:
+		writeError(w, http.StatusServiceUnavailable, err)
+	}
+}
+
 func (s *Server) authed(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.opts.RequireAuth {
@@ -685,6 +760,66 @@ func (s *Server) handleExecLogPage(w http.ResponseWriter, r *http.Request) {
 		"next":    next,
 		"more":    len(entries) == limit,
 	})
+}
+
+// handleHealth serves the aggregated resilience report. Load balancers
+// key off the status code alone: 200 while mutations are admitted
+// (healthy or degraded), 503 once the node is read-only.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	rep := s.b.HealthReport()
+	status := http.StatusOK
+	if rep.State == resilience.ReadOnly.String() {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rep)
+}
+
+// handleAlerts lists the newest retained alerts (?limit=N).
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r.URL.Query().Get("limit"))
+	if err != nil || limit < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit: %v", r.URL.Query().Get("limit")))
+		return
+	}
+	alerts := s.b.RecentAlerts(limit)
+	if alerts == nil {
+		alerts = []resilience.Alert{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"alerts": alerts})
+}
+
+// handleAlertStream pushes alerts as server-sent events until the
+// client disconnects. Slow consumers drop alerts rather than block the
+// watcher; clients resync from GET /api/v1/admin/alerts on reconnect.
+func (s *Server) handleAlertStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	ch, cancel := s.b.SubscribeAlerts(16)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, "retry: 5000\n\n")
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case a, open := <-ch:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(a)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: alert\ndata: %s\n\n", data)
+			fl.Flush()
+		}
+	}
 }
 
 func (s *Server) handleMonitorSummary(w http.ResponseWriter, r *http.Request) {

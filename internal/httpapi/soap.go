@@ -101,6 +101,12 @@ func (s *Server) handleSOAP(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case env.Body.Advance != nil:
+		// advance mutates, so it passes the same resilience gate as
+		// the REST routes; SOAP 1.1 carries the rejection as a Fault.
+		if err := s.b.AdmitMutation(); err != nil {
+			soapFaultOut(w, "soap:Server", err.Error())
+			return
+		}
 		op := env.Body.Advance
 		actor := op.Actor
 		if actor == "" {

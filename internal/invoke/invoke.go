@@ -9,11 +9,20 @@
 // Three transports are provided: REST (JSON over HTTP POST), SOAP (a
 // minimal SOAP 1.1 envelope over HTTP POST), and local (in-process
 // handler table) for embedded deployments and tests. A Dispatcher picks
-// the transport from the resolved implementation's protocol.
+// the transport from the resolved implementation's protocol, and —
+// when configured with a resilience.BreakerSet — guards every remote
+// send with a per-endpoint circuit breaker, in-flight cap and jittered
+// retry, so one wedged action service cannot wedge the runtime.
+//
+// Every HTTP call is context-propagated with a configurable per-attempt
+// timeout (DefaultTimeout unless overridden) and rides a shared
+// transport with bounded connection counts — dispatch volume reuses
+// connections instead of minting a client per call.
 package invoke
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"encoding/xml"
 	"fmt"
@@ -23,7 +32,73 @@ import (
 	"time"
 
 	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/resilience"
 )
+
+// DefaultTimeout bounds one HTTP attempt when no Timeout option and no
+// caller deadline is set — the old hardcoded client timeout, now just
+// a default.
+const DefaultTimeout = 30 * time.Second
+
+// sharedTransport is the connection pool every default client rides:
+// connections are reused across dispatches and capped per host so a
+// burst against one endpoint cannot exhaust file descriptors.
+var sharedTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 32
+	t.MaxConnsPerHost = 128
+	t.IdleConnTimeout = 90 * time.Second
+	return t
+}()
+
+// sharedClient has no client-level timeout: deadlines come from the
+// per-attempt context, which composes with caller cancellation.
+var sharedClient = &http.Client{Transport: sharedTransport}
+
+// attemptContext applies the per-attempt timeout: an explicit option
+// wins, otherwise DefaultTimeout — unless the caller's own deadline is
+// already tighter.
+func attemptContext(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= timeout {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+// postJSON POSTs body to url under the attempt context and treats any
+// non-2xx as an error.
+func postJSON(ctx context.Context, client *http.Client, timeout time.Duration, url, contentType string, body []byte, hdr map[string]string) error {
+	ctx, cancel := attemptContext(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	if client == nil {
+		client = sharedClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return nil
+}
 
 // WireInvocation is the JSON body POSTed to a REST action endpoint.
 type WireInvocation struct {
@@ -88,28 +163,21 @@ func DecodeInvocation(r io.Reader) (actionlib.Invocation, error) {
 
 // RESTInvoker POSTs invocations as JSON to the implementation endpoint.
 type RESTInvoker struct {
+	// Client overrides the shared pooled client (mostly tests).
 	Client *http.Client
+	// Timeout bounds one POST (0 = DefaultTimeout).
+	Timeout time.Duration
 }
 
 // Invoke implements runtime.Invoker semantics for REST endpoints. A
 // non-2xx response is a dispatch failure.
-func (ri *RESTInvoker) Invoke(inv actionlib.Invocation) error {
+func (ri *RESTInvoker) Invoke(ctx context.Context, inv actionlib.Invocation) error {
 	body, err := json.Marshal(ToWire(inv))
 	if err != nil {
 		return fmt.Errorf("invoke: encode invocation %s: %w", inv.ID, err)
 	}
-	client := ri.Client
-	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
-	}
-	resp, err := client.Post(inv.Endpoint, "application/json", bytes.NewReader(body))
-	if err != nil {
+	if err := postJSON(ctx, ri.Client, ri.Timeout, inv.Endpoint, "application/json", body, nil); err != nil {
 		return fmt.Errorf("invoke: POST %s: %w", inv.Endpoint, err)
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("invoke: POST %s: status %s", inv.Endpoint, resp.Status)
 	}
 	return nil
 }
@@ -141,11 +209,14 @@ type soapParam struct {
 
 // SOAPInvoker wraps the invocation in a SOAP envelope.
 type SOAPInvoker struct {
+	// Client overrides the shared pooled client (mostly tests).
 	Client *http.Client
+	// Timeout bounds one POST (0 = DefaultTimeout).
+	Timeout time.Duration
 }
 
 // Invoke POSTs a SOAP envelope to the endpoint.
-func (si *SOAPInvoker) Invoke(inv actionlib.Invocation) error {
+func (si *SOAPInvoker) Invoke(ctx context.Context, inv actionlib.Invocation) error {
 	env := soapEnvelope{Body: soapBody{Invoke: &soapInvoke{
 		ID:           inv.ID,
 		TypeURI:      inv.TypeURI,
@@ -160,24 +231,10 @@ func (si *SOAPInvoker) Invoke(inv actionlib.Invocation) error {
 	if err != nil {
 		return fmt.Errorf("invoke: encode SOAP %s: %w", inv.ID, err)
 	}
-	client := si.Client
-	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
-	}
-	req, err := http.NewRequest(http.MethodPost, inv.Endpoint, bytes.NewReader(append([]byte(xml.Header), body...)))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
-	req.Header.Set("SOAPAction", "urn:gelee:actions#invoke")
-	resp, err := client.Do(req)
-	if err != nil {
+	payload := append([]byte(xml.Header), body...)
+	hdr := map[string]string{"SOAPAction": "urn:gelee:actions#invoke"}
+	if err := postJSON(ctx, si.Client, si.Timeout, inv.Endpoint, "text/xml; charset=utf-8", payload, hdr); err != nil {
 		return fmt.Errorf("invoke: SOAP POST %s: %w", inv.Endpoint, err)
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("invoke: SOAP POST %s: status %s", inv.Endpoint, resp.Status)
 	}
 	return nil
 }
@@ -240,8 +297,14 @@ func (li *LocalInvoker) Register(endpoint string, h Handler) {
 	li.handlers[endpoint] = h
 }
 
-// Invoke implements runtime.Invoker.
-func (li *LocalInvoker) Invoke(inv actionlib.Invocation) error {
+// Invoke implements runtime.Invoker. The context gates the start of the
+// call; handlers themselves are not cancelable.
+func (li *LocalInvoker) Invoke(ctx context.Context, inv actionlib.Invocation) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	li.mu.RLock()
 	h, ok := li.handlers[inv.Endpoint]
 	li.mu.RUnlock()
@@ -258,59 +321,88 @@ func (li *LocalInvoker) Invoke(inv actionlib.Invocation) error {
 }
 
 // Dispatcher routes by implementation protocol — the single Invoker the
-// runtime is configured with in full deployments.
+// runtime is configured with in full deployments. When Breakers is set,
+// remote (REST/SOAP) sends are guarded: a per-endpoint circuit breaker
+// and in-flight cap decide admission, and admitted sends retry up to
+// Attempts times with jittered exponential backoff. Invocations carry a
+// unique id end to end, so retried deliveries are deduplicable by the
+// receiver. Local dispatch is in-process and never guarded.
 type Dispatcher struct {
 	REST  *RESTInvoker
 	SOAP  *SOAPInvoker
 	Local *LocalInvoker
+
+	// Breakers guards remote sends per endpoint; nil = direct sends.
+	Breakers *resilience.BreakerSet
+	// Attempts per remote send (0 or 1 = no retry).
+	Attempts int
+	// Retry shapes the backoff between attempts.
+	Retry resilience.Backoff
 }
 
 // Invoke implements runtime.Invoker.
-func (d *Dispatcher) Invoke(inv actionlib.Invocation) error {
+func (d *Dispatcher) Invoke(ctx context.Context, inv actionlib.Invocation) error {
 	switch inv.Protocol {
 	case actionlib.ProtocolREST:
 		if d.REST == nil {
 			return fmt.Errorf("invoke: REST transport not configured")
 		}
-		return d.REST.Invoke(inv)
+		return d.send(ctx, inv, d.REST.Invoke)
 	case actionlib.ProtocolSOAP:
 		if d.SOAP == nil {
 			return fmt.Errorf("invoke: SOAP transport not configured")
 		}
-		return d.SOAP.Invoke(inv)
+		return d.send(ctx, inv, d.SOAP.Invoke)
 	case actionlib.ProtocolLocal:
 		if d.Local == nil {
 			return fmt.Errorf("invoke: local transport not configured")
 		}
-		return d.Local.Invoke(inv)
+		return d.Local.Invoke(ctx, inv)
 	}
 	return fmt.Errorf("invoke: unknown protocol %q", inv.Protocol)
+}
+
+// send wraps one remote transport call in the breaker/retry guard.
+func (d *Dispatcher) send(ctx context.Context, inv actionlib.Invocation, f func(context.Context, actionlib.Invocation) error) error {
+	if d.Breakers == nil {
+		return f(ctx, inv)
+	}
+	release, err := d.Breakers.Acquire(inv.Endpoint)
+	if err != nil {
+		return fmt.Errorf("invoke: %s: %w", inv.ID, err)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	err = resilience.Retry(ctx, d.Attempts, d.Retry, func(ctx context.Context) error {
+		return f(ctx, inv)
+	})
+	release(err)
+	return err
 }
 
 // CallbackClient is what remote (HTTP-hosted) action implementations use
 // to report status: POST the WireStatus JSON to the callback URI.
 type CallbackClient struct {
+	// Client overrides the shared pooled client (mostly tests).
 	Client *http.Client
+	// Timeout bounds one POST (0 = DefaultTimeout).
+	Timeout time.Duration
 }
 
 // Send posts the status update to callbackURI.
 func (cc *CallbackClient) Send(callbackURI string, up actionlib.StatusUpdate) error {
+	return cc.SendContext(context.Background(), callbackURI, up)
+}
+
+// SendContext is Send under a caller-controlled context.
+func (cc *CallbackClient) SendContext(ctx context.Context, callbackURI string, up actionlib.StatusUpdate) error {
 	body, err := json.Marshal(WireStatus{InvocationID: up.InvocationID, Message: up.Message, Detail: up.Detail})
 	if err != nil {
 		return err
 	}
-	client := cc.Client
-	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
-	}
-	resp, err := client.Post(callbackURI, "application/json", bytes.NewReader(body))
-	if err != nil {
+	if err := postJSON(ctx, cc.Client, cc.Timeout, callbackURI, "application/json", body, nil); err != nil {
 		return fmt.Errorf("invoke: callback POST %s: %w", callbackURI, err)
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("invoke: callback POST %s: status %s", callbackURI, resp.Status)
 	}
 	return nil
 }

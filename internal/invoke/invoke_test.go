@@ -2,14 +2,18 @@ package invoke
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/liquidpub/gelee/internal/actionlib"
+	"github.com/liquidpub/gelee/internal/resilience"
 )
 
 func sampleInvocation() actionlib.Invocation {
@@ -74,7 +78,7 @@ func TestRESTInvokerDeliversInvocation(t *testing.T) {
 	inv := sampleInvocation()
 	inv.Endpoint = srv.URL
 	ri := &RESTInvoker{Client: srv.Client()}
-	if err := ri.Invoke(inv); err != nil {
+	if err := ri.Invoke(context.Background(), inv); err != nil {
 		t.Fatal(err)
 	}
 	if got.ID != inv.ID || got.Params["mode"] != "reviewers-only" || got.CallbackURI != inv.CallbackURI {
@@ -89,7 +93,7 @@ func TestRESTInvokerNon2xxIsDispatchError(t *testing.T) {
 	defer srv.Close()
 	inv := sampleInvocation()
 	inv.Endpoint = srv.URL
-	if err := (&RESTInvoker{Client: srv.Client()}).Invoke(inv); err == nil {
+	if err := (&RESTInvoker{Client: srv.Client()}).Invoke(context.Background(), inv); err == nil {
 		t.Fatal("503 treated as success")
 	}
 }
@@ -97,7 +101,7 @@ func TestRESTInvokerNon2xxIsDispatchError(t *testing.T) {
 func TestRESTInvokerUnreachableEndpoint(t *testing.T) {
 	inv := sampleInvocation()
 	inv.Endpoint = "http://127.0.0.1:1/unreachable"
-	if err := (&RESTInvoker{}).Invoke(inv); err == nil {
+	if err := (&RESTInvoker{}).Invoke(context.Background(), inv); err == nil {
 		t.Fatal("unreachable endpoint succeeded")
 	}
 }
@@ -116,7 +120,7 @@ func TestSOAPInvokerEnvelope(t *testing.T) {
 	inv := sampleInvocation()
 	inv.Endpoint = srv.URL
 	inv.Protocol = actionlib.ProtocolSOAP
-	if err := (&SOAPInvoker{Client: srv.Client()}).Invoke(inv); err != nil {
+	if err := (&SOAPInvoker{Client: srv.Client()}).Invoke(context.Background(), inv); err != nil {
 		t.Fatal(err)
 	}
 	s := string(body)
@@ -158,7 +162,7 @@ func TestLocalInvokerReportsCompleted(t *testing.T) {
 	inv := sampleInvocation()
 	inv.Endpoint = "local://gdoc/chr"
 	inv.Protocol = actionlib.ProtocolLocal
-	if err := li.Invoke(inv); err != nil {
+	if err := li.Invoke(context.Background(), inv); err != nil {
 		t.Fatal(err)
 	}
 	ups := rep.updates()
@@ -181,7 +185,7 @@ func TestLocalInvokerReportsFailed(t *testing.T) {
 	})
 	inv := sampleInvocation()
 	inv.Endpoint = "local://x"
-	if err := li.Invoke(inv); err != nil {
+	if err := li.Invoke(context.Background(), inv); err != nil {
 		t.Fatal(err)
 	}
 	ups := rep.updates()
@@ -194,7 +198,7 @@ func TestLocalInvokerUnknownEndpoint(t *testing.T) {
 	li := NewLocalInvoker(&memReporter{})
 	inv := sampleInvocation()
 	inv.Endpoint = "local://nowhere"
-	if err := li.Invoke(inv); err == nil {
+	if err := li.Invoke(context.Background(), inv); err == nil {
 		t.Fatal("unknown endpoint accepted")
 	}
 }
@@ -212,7 +216,7 @@ func TestDispatcherRoutesByProtocol(t *testing.T) {
 	inv := sampleInvocation()
 	inv.Endpoint = "local://x"
 	inv.Protocol = actionlib.ProtocolLocal
-	if err := d.Invoke(inv); err != nil {
+	if err := d.Invoke(context.Background(), inv); err != nil {
 		t.Fatal(err)
 	}
 	if called != "local" {
@@ -220,15 +224,15 @@ func TestDispatcherRoutesByProtocol(t *testing.T) {
 	}
 	// Unconfigured transports error cleanly.
 	inv.Protocol = actionlib.ProtocolREST
-	if err := d.Invoke(inv); err == nil {
+	if err := d.Invoke(context.Background(), inv); err == nil {
 		t.Fatal("missing REST transport accepted")
 	}
 	inv.Protocol = actionlib.ProtocolSOAP
-	if err := d.Invoke(inv); err == nil {
+	if err := d.Invoke(context.Background(), inv); err == nil {
 		t.Fatal("missing SOAP transport accepted")
 	}
 	inv.Protocol = "pigeon"
-	if err := d.Invoke(inv); err == nil {
+	if err := d.Invoke(context.Background(), inv); err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
 }
@@ -283,5 +287,121 @@ func TestDecodeStatusErrors(t *testing.T) {
 	}
 	if _, err := DecodeStatus(strings.NewReader(`{"message":"ok"}`)); err == nil {
 		t.Fatal("status without invocation id accepted")
+	}
+}
+
+func TestRESTInvokerHonorsTimeout(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	inv := sampleInvocation()
+	inv.Endpoint = srv.URL
+	start := time.Now()
+	err := (&RESTInvoker{Client: srv.Client(), Timeout: 50 * time.Millisecond}).Invoke(context.Background(), inv)
+	if err == nil {
+		t.Fatal("wedged endpoint did not time out")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, want ~50ms", elapsed)
+	}
+}
+
+func TestRESTInvokerHonorsCallerCancel(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	inv := sampleInvocation()
+	inv.Endpoint = srv.URL
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- (&RESTInvoker{Client: srv.Client()}).Invoke(ctx, inv)
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled invoke returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled invoke did not return")
+	}
+}
+
+func TestDispatcherRetriesIdempotentSends(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+
+	d := &Dispatcher{
+		REST:     &RESTInvoker{Client: srv.Client()},
+		Breakers: resilience.NewBreakerSet(resilience.BreakerConfig{Failures: 10}),
+		Attempts: 3,
+		Retry:    resilience.Backoff{Base: time.Millisecond, Max: time.Millisecond},
+	}
+	inv := sampleInvocation()
+	inv.Endpoint = srv.URL
+	if err := d.Invoke(context.Background(), inv); err != nil {
+		t.Fatalf("retried dispatch failed: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("endpoint saw %d calls, want 3", got)
+	}
+}
+
+func TestDispatcherBreakerFailsFast(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	d := &Dispatcher{
+		REST:     &RESTInvoker{Client: srv.Client()},
+		Breakers: resilience.NewBreakerSet(resilience.BreakerConfig{Failures: 2, Cooldown: time.Hour}),
+	}
+	inv := sampleInvocation()
+	inv.Endpoint = srv.URL
+	for i := 0; i < 2; i++ {
+		if err := d.Invoke(context.Background(), inv); err == nil {
+			t.Fatal("failing endpoint dispatched cleanly")
+		}
+	}
+	err := d.Invoke(context.Background(), inv)
+	if !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("open breaker err = %v, want ErrBreakerOpen", err)
+	}
+	if d.Breakers.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", d.Breakers.Opens())
+	}
+}
+
+func TestDispatcherLocalBypassesBreaker(t *testing.T) {
+	rep := &memReporter{}
+	li := NewLocalInvoker(rep)
+	li.Register("local://x", func(inv actionlib.Invocation, r Reporter) (string, error) { return "ok", nil })
+	d := &Dispatcher{
+		Local:    li,
+		Breakers: resilience.NewBreakerSet(resilience.BreakerConfig{}),
+	}
+	inv := sampleInvocation()
+	inv.Protocol = actionlib.ProtocolLocal
+	inv.Endpoint = "local://x"
+	if err := d.Invoke(context.Background(), inv); err != nil {
+		t.Fatalf("local dispatch: %v", err)
+	}
+	if n := len(d.Breakers.Stats()); n != 0 {
+		t.Fatalf("local dispatch created %d breaker entries, want 0", n)
 	}
 }

@@ -8,6 +8,7 @@ package monitor
 // compare like for like. The population is built once and shared.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -42,7 +43,7 @@ func benchEnv(b *testing.B) (*runtime.Runtime, *Monitor, *vclock.Fake) {
 		clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
 		rt, err := runtime.New(runtime.Config{
 			Registry:    actionlib.NewRegistry(),
-			Invoker:     runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+			Invoker:     runtime.InvokerFunc(func(context.Context, actionlib.Invocation) error { return nil }),
 			Clock:       clock,
 			SyncActions: true,
 		})

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -26,7 +27,7 @@ func newEnv(t *testing.T) *env {
 	clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
 	rt, err := runtime.New(runtime.Config{
 		Registry:    actionlib.NewRegistry(),
-		Invoker:     runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+		Invoker:     runtime.InvokerFunc(func(context.Context, actionlib.Invocation) error { return nil }),
 		Clock:       clock,
 		SyncActions: true,
 	})
@@ -303,7 +304,7 @@ func TestTimelinePageTruncatedPrefix(t *testing.T) {
 	clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
 	rt, err := runtime.New(runtime.Config{
 		Registry:          actionlib.NewRegistry(),
-		Invoker:           runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+		Invoker:           runtime.InvokerFunc(func(context.Context, actionlib.Invocation) error { return nil }),
 		Clock:             clock,
 		SyncActions:       true,
 		MaxEventsInMemory: 8,
@@ -423,7 +424,7 @@ func TestPhaseStatsSurviveTruncation(t *testing.T) {
 	clock := vclock.NewFake(time.Date(2009, 2, 1, 0, 0, 0, 0, time.UTC))
 	rt, err := runtime.New(runtime.Config{
 		Registry:          actionlib.NewRegistry(),
-		Invoker:           runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+		Invoker:           runtime.InvokerFunc(func(context.Context, actionlib.Invocation) error { return nil }),
 		Clock:             clock,
 		SyncActions:       true,
 		MaxEventsInMemory: 4,

@@ -1,6 +1,7 @@
 package composite
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -87,7 +88,7 @@ func newEnv(t *testing.T) *env {
 
 	rt, err := runtime.New(runtime.Config{
 		Registry:    actionlib.NewRegistry(),
-		Invoker:     runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+		Invoker:     runtime.InvokerFunc(func(context.Context, actionlib.Invocation) error { return nil }),
 		Clock:       clock,
 		SyncActions: true,
 	})

@@ -2,6 +2,7 @@ package plugin
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -177,7 +178,7 @@ func TestBindLocal(t *testing.T) {
 	in := inv("inv-local-1", "pdf")
 	in.Endpoint = "local://gdoc/actions/pdf"
 	in.Protocol = actionlib.ProtocolLocal
-	if err := li.Invoke(in); err != nil {
+	if err := li.Invoke(context.Background(), in); err != nil {
 		t.Fatal(err)
 	}
 	up := rep.last(t)

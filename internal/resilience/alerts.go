@@ -1,0 +1,284 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Alert is one threshold crossing, pushed to the webhook and the SSE
+// feed and kept in the recent ring. State is "firing" on the way up and
+// "resolved" on the way down — rules are edge-triggered, so a counter
+// sitting above its threshold alerts once, not once per tick.
+type Alert struct {
+	Rule      string    `json:"rule"`
+	Severity  string    `json:"severity"`
+	State     string    `json:"state"`
+	Value     float64   `json:"value"`
+	Threshold float64   `json:"threshold"`
+	Message   string    `json:"message"`
+	At        time.Time `json:"at"`
+}
+
+// Rule is one threshold over a live counter: it fires while
+// Value() >= Threshold. Value is called only from the watcher
+// goroutine, so closures may keep private state (e.g. a previous total
+// for rate rules).
+type Rule struct {
+	Name      string
+	Severity  string
+	Threshold float64
+	Value     func() float64
+}
+
+// Feed fans alerts out to SSE subscribers. Publishing never blocks: a
+// subscriber that falls behind its buffer drops alerts (SSE clients
+// resync from the recent ring on reconnect).
+type Feed struct {
+	mu   sync.Mutex
+	subs map[int]chan Alert
+	next int
+}
+
+// NewFeed builds an empty feed.
+func NewFeed() *Feed { return &Feed{subs: make(map[int]chan Alert)} }
+
+// Subscribe registers a subscriber with the given channel buffer and
+// returns its channel plus a cancel function. Cancel closes the
+// channel.
+func (f *Feed) Subscribe(buf int) (<-chan Alert, func()) {
+	if buf < 1 {
+		buf = 16
+	}
+	ch := make(chan Alert, buf)
+	f.mu.Lock()
+	id := f.next
+	f.next++
+	f.subs[id] = ch
+	f.mu.Unlock()
+	return ch, func() {
+		f.mu.Lock()
+		if _, ok := f.subs[id]; ok {
+			delete(f.subs, id)
+			close(ch)
+		}
+		f.mu.Unlock()
+	}
+}
+
+// Publish delivers to every subscriber without blocking.
+func (f *Feed) Publish(a Alert) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ch := range f.subs {
+		select {
+		case ch <- a:
+		default:
+		}
+	}
+}
+
+// Subscribers is the current subscriber count.
+func (f *Feed) Subscribers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+// WatcherConfig tunes the alert evaluator.
+type WatcherConfig struct {
+	// Interval between evaluations (default 5s).
+	Interval time.Duration
+	// Webhook, when set, receives every alert as a JSON POST.
+	Webhook string
+	// Client posts webhooks; nil means a 5s-timeout default.
+	Client *http.Client
+	// Now stamps alerts; nil means time.Now.
+	Now func() time.Time
+}
+
+const recentAlerts = 128
+
+// Watcher evaluates threshold rules on an interval, publishing edge
+// alerts to the webhook and the feed. Start launches the loop; tests
+// call Evaluate directly for determinism.
+type Watcher struct {
+	cfg   WatcherConfig
+	rules []Rule
+	feed  *Feed
+
+	mu     sync.Mutex
+	firing map[string]bool
+	recent []Alert // ring, newest last
+
+	sent        atomic.Int64
+	webhookErrs atomic.Int64
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewWatcher builds a watcher over rules.
+func NewWatcher(cfg WatcherConfig, rules []Rule) *Watcher {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &Watcher{
+		cfg:    cfg,
+		rules:  rules,
+		feed:   NewFeed(),
+		firing: make(map[string]bool),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Feed is the SSE fan-out the HTTP layer subscribes on.
+func (w *Watcher) Feed() *Feed { return w.feed }
+
+// Start launches the evaluation loop (idempotent).
+func (w *Watcher) Start() {
+	if !w.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(w.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Evaluate()
+			}
+		}
+	}()
+}
+
+// Close stops the loop (idempotent; a never-started watcher closes
+// immediately).
+func (w *Watcher) Close() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	if w.started.Load() {
+		<-w.done
+	}
+}
+
+// Evaluate runs one pass over every rule and returns the alerts it
+// emitted (exported for tests and for a forced flush).
+func (w *Watcher) Evaluate() []Alert {
+	var out []Alert
+	now := w.cfg.Now()
+	for _, r := range w.rules {
+		v := r.Value()
+		above := v >= r.Threshold
+		w.mu.Lock()
+		was := w.firing[r.Name]
+		if above != was {
+			w.firing[r.Name] = above
+		}
+		w.mu.Unlock()
+		if above == was {
+			continue
+		}
+		a := Alert{
+			Rule:      r.Name,
+			Severity:  r.Severity,
+			Value:     v,
+			Threshold: r.Threshold,
+			At:        now,
+		}
+		if above {
+			a.State = "firing"
+			a.Message = fmt.Sprintf("%s: %g >= %g", r.Name, v, r.Threshold)
+		} else {
+			a.State = "resolved"
+			a.Message = fmt.Sprintf("%s: back under %g (now %g)", r.Name, r.Threshold, v)
+		}
+		w.emit(a)
+		out = append(out, a)
+	}
+	return out
+}
+
+func (w *Watcher) emit(a Alert) {
+	w.mu.Lock()
+	w.recent = append(w.recent, a)
+	if len(w.recent) > recentAlerts {
+		w.recent = w.recent[len(w.recent)-recentAlerts:]
+	}
+	w.mu.Unlock()
+	w.sent.Add(1)
+	w.feed.Publish(a)
+	if w.cfg.Webhook != "" {
+		body, err := json.Marshal(a)
+		if err == nil {
+			resp, perr := w.cfg.Client.Post(w.cfg.Webhook, "application/json", bytes.NewReader(body))
+			if perr == nil {
+				resp.Body.Close()
+				if resp.StatusCode < 200 || resp.StatusCode > 299 {
+					perr = fmt.Errorf("status %s", resp.Status)
+				}
+			}
+			if perr != nil {
+				w.webhookErrs.Add(1)
+			}
+		}
+	}
+}
+
+// Recent returns up to limit of the newest alerts, newest last
+// (limit <= 0 means all retained).
+func (w *Watcher) Recent(limit int) []Alert {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.recent)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Alert, n)
+	copy(out, w.recent[len(w.recent)-n:])
+	return out
+}
+
+// AlertStats is the alerting section of the admin report.
+type AlertStats struct {
+	Sent          int64 `json:"sent_total"`
+	WebhookErrors int64 `json:"webhook_errors"`
+	Subscribers   int   `json:"subscribers"`
+	Firing        int   `json:"firing"`
+}
+
+// Stats snapshots the watcher.
+func (w *Watcher) Stats() AlertStats {
+	if w == nil {
+		return AlertStats{}
+	}
+	w.mu.Lock()
+	firing := 0
+	for _, f := range w.firing {
+		if f {
+			firing++
+		}
+	}
+	w.mu.Unlock()
+	return AlertStats{
+		Sent:          w.sent.Load(),
+		WebhookErrors: w.webhookErrs.Load(),
+		Subscribers:   w.feed.Subscribers(),
+		Firing:        firing,
+	}
+}

@@ -1,0 +1,93 @@
+package resilience
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff computes jittered exponential delays between retry attempts.
+// The zero value uses the defaults (50ms base, 2s cap, ×2 growth, 50%
+// jitter).
+type Backoff struct {
+	// Base is the pre-jitter delay after the first failure.
+	Base time.Duration
+	// Max caps the pre-jitter delay.
+	Max time.Duration
+	// Factor multiplies the delay per attempt.
+	Factor float64
+	// Jitter is the fraction of the delay randomized (0..1): the final
+	// delay is uniform in [d·(1-Jitter), d]. Full-range jitter spreads
+	// retry herds without ever waiting longer than the deterministic
+	// schedule.
+	Jitter float64
+}
+
+func (b Backoff) defaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.5
+	}
+	return b
+}
+
+// Delay is the sleep before retry attempt+1 (attempt is 0-based: the
+// delay after the first failure is Delay(0)).
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.defaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		d -= rand.Float64() * b.Jitter * d
+	}
+	return time.Duration(d)
+}
+
+// Retry runs f up to attempts times (minimum 1), sleeping the jittered
+// backoff between failures. It stops early when ctx is done — a
+// canceled dispatch must not keep hammering an endpoint — and returns
+// the last attempt's error. Only use it for idempotent sends: gelee's
+// action invocations carry a unique invocation id end to end, so a
+// duplicate delivery is detectable by the receiver.
+func Retry(ctx context.Context, attempts int, b Backoff, f func(ctx context.Context) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			t := time.NewTimer(b.Delay(i - 1))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return err
+			case <-t.C:
+			}
+		}
+		if err = f(ctx); err == nil {
+			return nil
+		}
+		// The caller's context expiring is terminal; a per-attempt
+		// timeout inside f is exactly what retries are for.
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}

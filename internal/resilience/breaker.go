@@ -1,0 +1,241 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: calls flow, failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls fail fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a bounded number of trial calls probe the
+	// endpoint; one success closes, one failure re-opens.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes every breaker in a set.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure streak that opens a closed
+	// breaker (default 5).
+	Failures int
+	// Cooldown is how long an open breaker rejects before letting
+	// trial calls through (default 15s).
+	Cooldown time.Duration
+	// HalfOpenProbes caps concurrent trial calls while half-open
+	// (default 1).
+	HalfOpenProbes int
+	// MaxInFlight caps concurrent calls per key in any state
+	// (0 = unlimited), so one slow endpoint saturates its own lane
+	// only.
+	MaxInFlight int
+	// Now drives the cooldown clock; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.Failures <= 0 {
+		c.Failures = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 15 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// BreakerSet keys independent breakers by endpoint. The zero map grows
+// lazily: endpoints get a breaker on first use.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu sync.RWMutex
+	m  map[string]*breaker
+
+	opens    atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewBreakerSet builds an empty set.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	cfg.defaults()
+	return &BreakerSet{cfg: cfg, m: make(map[string]*breaker)}
+}
+
+type breaker struct {
+	set *BreakerSet
+
+	mu         sync.Mutex
+	state      BreakerState
+	failStreak int
+	openedAt   time.Time
+	inFlight   int
+	probes     int
+	opensTotal int64
+	rejTotal   int64
+	lastErr    string
+}
+
+func (s *BreakerSet) get(key string) *breaker {
+	s.mu.RLock()
+	b := s.m[key]
+	s.mu.RUnlock()
+	if b != nil {
+		return b
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b = s.m[key]; b == nil {
+		b = &breaker{set: s}
+		s.m[key] = b
+	}
+	return b
+}
+
+// Acquire admits one call to key's endpoint. On admission it returns a
+// release function the caller must invoke exactly once with the call's
+// outcome; on rejection it returns ErrBreakerOpen or ErrCapacity
+// (wrapped with the key).
+func (s *BreakerSet) Acquire(key string) (release func(err error), err error) {
+	b := s.get(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && s.cfg.Now().Sub(b.openedAt) >= s.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probes = 0
+	}
+	switch b.state {
+	case BreakerOpen:
+		b.rejTotal++
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %s", ErrBreakerOpen, key)
+	case BreakerHalfOpen:
+		if b.probes >= s.cfg.HalfOpenProbes {
+			b.rejTotal++
+			s.rejected.Add(1)
+			return nil, fmt.Errorf("%w: %s (half-open probe in flight)", ErrBreakerOpen, key)
+		}
+	}
+	if s.cfg.MaxInFlight > 0 && b.inFlight >= s.cfg.MaxInFlight {
+		b.rejTotal++
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %s (%d in flight)", ErrCapacity, key, b.inFlight)
+	}
+	if b.state == BreakerHalfOpen {
+		b.probes++
+	}
+	b.inFlight++
+	return func(err error) { b.release(err) }, nil
+}
+
+func (b *breaker) release(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.inFlight--
+	wasHalfOpen := b.state == BreakerHalfOpen
+	if wasHalfOpen {
+		b.probes--
+	}
+	if err == nil {
+		b.failStreak = 0
+		if wasHalfOpen {
+			b.state = BreakerClosed
+		}
+		return
+	}
+	b.lastErr = err.Error()
+	if wasHalfOpen {
+		b.trip()
+		return
+	}
+	if b.state == BreakerClosed {
+		b.failStreak++
+		if b.failStreak >= b.set.cfg.Failures {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.set.cfg.Now()
+	b.failStreak = 0
+	b.opensTotal++
+	b.set.opens.Add(1)
+}
+
+// Opens counts transitions into the open state across all keys.
+func (s *BreakerSet) Opens() int64 { return s.opens.Load() }
+
+// Rejected counts fast-failed acquisitions (open + capacity) across
+// all keys.
+func (s *BreakerSet) Rejected() int64 { return s.rejected.Load() }
+
+// OpenCount is how many breakers currently sit open. A breaker whose
+// cooldown has lapsed still counts until the next Acquire flips it to
+// half-open — good enough for alert rules.
+func (s *BreakerSet) OpenCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, b := range s.m {
+		b.mu.Lock()
+		if b.state == BreakerOpen {
+			n++
+		}
+		b.mu.Unlock()
+	}
+	return n
+}
+
+// BreakerStats is one breaker's section of the admin report.
+type BreakerStats struct {
+	State      string `json:"state"`
+	FailStreak int    `json:"fail_streak"`
+	InFlight   int    `json:"in_flight"`
+	Opens      int64  `json:"opens"`
+	Rejected   int64  `json:"rejected"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// Stats snapshots every breaker in the set, keyed by endpoint.
+func (s *BreakerSet) Stats() map[string]BreakerStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]BreakerStats, len(s.m))
+	for k, b := range s.m {
+		b.mu.Lock()
+		out[k] = BreakerStats{
+			State:      b.state.String(),
+			FailStreak: b.failStreak,
+			InFlight:   b.inFlight,
+			Opens:      b.opensTotal,
+			Rejected:   b.rejTotal,
+			LastError:  b.lastErr,
+		}
+		b.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,405 @@
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func TestHealthTransitions(t *testing.T) {
+	h := NewHealth(HealthConfig{DegradeAfter: 1, ReadOnlyAfter: 3, RecoverAfter: 2})
+	if got := h.State(); got != Healthy {
+		t.Fatalf("initial state = %v, want healthy", got)
+	}
+
+	h.Observe(errBoom)
+	if got := h.State(); got != Degraded {
+		t.Fatalf("after 1 failure state = %v, want degraded", got)
+	}
+	h.Observe(errBoom)
+	h.Observe(errBoom)
+	if got := h.State(); got != ReadOnly {
+		t.Fatalf("after 3 failures state = %v, want read-only", got)
+	}
+
+	// Recovery steps down one level per success streak.
+	h.Observe(nil)
+	if got := h.State(); got != ReadOnly {
+		t.Fatalf("one success should not recover yet, state = %v", got)
+	}
+	h.Observe(nil)
+	if got := h.State(); got != Degraded {
+		t.Fatalf("after RecoverAfter successes state = %v, want degraded", got)
+	}
+	h.Observe(nil)
+	h.Observe(nil)
+	if got := h.State(); got != Healthy {
+		t.Fatalf("after second streak state = %v, want healthy", got)
+	}
+
+	rep := h.Report()
+	if rep.State != "healthy" || rep.FailuresTotal != 3 || rep.ReadOnlyTotal != 1 || rep.RecoveredTotal != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestHealthFailureStreakResets(t *testing.T) {
+	h := NewHealth(HealthConfig{DegradeAfter: 2, ReadOnlyAfter: 3, RecoverAfter: 1})
+	// An interleaved success resets the failure streak: never degrades.
+	for i := 0; i < 10; i++ {
+		h.Observe(errBoom)
+		h.Observe(nil)
+	}
+	if got := h.State(); got != Healthy {
+		t.Fatalf("interleaved outcomes tripped the machine to %v", got)
+	}
+}
+
+func TestHealthOnChange(t *testing.T) {
+	h := NewHealth(HealthConfig{DegradeAfter: 1, ReadOnlyAfter: 2, RecoverAfter: 1})
+	var mu sync.Mutex
+	var seen []string
+	h.OnChange(func(from, to State) {
+		mu.Lock()
+		seen = append(seen, from.String()+">"+to.String())
+		mu.Unlock()
+	})
+	h.Observe(errBoom)
+	h.Observe(errBoom)
+	h.Observe(nil)
+	h.Observe(nil)
+	want := []string{"healthy>degraded", "degraded>read-only", "read-only>degraded", "degraded>healthy"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	now := time.Unix(0, 0)
+	cfg := BreakerConfig{Failures: 2, Cooldown: time.Minute, Now: func() time.Time { return now }}
+	s := NewBreakerSet(cfg)
+
+	fail := func() {
+		rel, err := s.Acquire("ep")
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		rel(errBoom)
+	}
+	fail()
+	fail()
+	if _, err := s.Acquire("ep"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+	if s.Opens() != 1 || s.OpenCount() != 1 {
+		t.Fatalf("opens = %d, open count = %d", s.Opens(), s.OpenCount())
+	}
+
+	// After the cooldown one trial goes through half-open; concurrent
+	// trials are rejected; a success closes the circuit.
+	now = now.Add(time.Minute)
+	rel, err := s.Acquire("ep")
+	if err != nil {
+		t.Fatalf("half-open trial rejected: %v", err)
+	}
+	if _, err := s.Acquire("ep"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second half-open probe admitted: %v", err)
+	}
+	rel(nil)
+	if rel2, err := s.Acquire("ep"); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	} else {
+		rel2(nil)
+	}
+	if st := s.Stats()["ep"]; st.State != "closed" {
+		t.Fatalf("state = %q, want closed", st.State)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := NewBreakerSet(BreakerConfig{Failures: 1, Cooldown: time.Second, Now: func() time.Time { return now }})
+	rel, _ := s.Acquire("ep")
+	rel(errBoom) // trips at 1
+	now = now.Add(time.Second)
+	rel, err := s.Acquire("ep")
+	if err != nil {
+		t.Fatalf("half-open trial rejected: %v", err)
+	}
+	rel(errBoom)
+	if _, err := s.Acquire("ep"); !errorsIsAny(err, ErrBreakerOpen) {
+		t.Fatalf("re-opened breaker admitted: %v", err)
+	}
+	if s.Opens() != 2 {
+		t.Fatalf("opens = %d, want 2", s.Opens())
+	}
+}
+
+func errorsIsAny(err error, targets ...error) bool {
+	for _, tg := range targets {
+		if errors.Is(err, tg) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBreakerKeysIndependent(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{Failures: 1})
+	rel, _ := s.Acquire("bad")
+	rel(errBoom)
+	if _, err := s.Acquire("bad"); err == nil {
+		t.Fatal("tripped key admitted")
+	}
+	rel, err := s.Acquire("good")
+	if err != nil {
+		t.Fatalf("unrelated key rejected: %v", err)
+	}
+	rel(nil)
+}
+
+func TestBreakerInFlightCap(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{MaxInFlight: 2})
+	r1, err1 := s.Acquire("ep")
+	r2, err2 := s.Acquire("ep")
+	if err1 != nil || err2 != nil {
+		t.Fatalf("under-cap acquires failed: %v %v", err1, err2)
+	}
+	if _, err := s.Acquire("ep"); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("over-cap acquire = %v, want ErrCapacity", err)
+	}
+	r1(nil)
+	r3, err := s.Acquire("ep")
+	if err != nil {
+		t.Fatalf("freed slot rejected: %v", err)
+	}
+	r3(nil)
+	r2(nil)
+	if s.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", s.Rejected())
+	}
+}
+
+func TestAdmissionHysteresis(t *testing.T) {
+	depth := 0
+	a := NewAdmission(AdmissionConfig{Watermark: 10, RetryAfter: 250 * time.Millisecond}, func() int { return depth })
+
+	if err := a.Admit(); err != nil {
+		t.Fatalf("idle admit: %v", err)
+	}
+	depth = 10
+	err := a.Admit()
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("at watermark: %v, want ErrShed", err)
+	}
+	if ra := RetryAfterOf(err); ra != 250*time.Millisecond {
+		t.Fatalf("retry-after = %v", ra)
+	}
+
+	// Hysteresis: below the watermark but above Resume keeps shedding.
+	depth = 7
+	if err := a.Admit(); !errors.Is(err, ErrShed) {
+		t.Fatalf("above resume: %v, want ErrShed", err)
+	}
+	depth = 5 // Resume defaults to Watermark/2
+	if err := a.Admit(); err != nil {
+		t.Fatalf("at resume: %v, want admit", err)
+	}
+	st := a.Stats()
+	if st.Shed != 2 || st.Admitted != 2 || st.Shedding {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionDisabled(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{}, nil)
+	for i := 0; i < 3; i++ {
+		if err := a.Admit(); err != nil {
+			t.Fatalf("disabled admission shed: %v", err)
+		}
+	}
+	var nilA *Admission
+	if err := nilA.Admit(); err != nil {
+		t.Fatalf("nil admission shed: %v", err)
+	}
+}
+
+func TestGateReadOnlyBeatsShed(t *testing.T) {
+	h := NewHealth(HealthConfig{ReadOnlyAfter: 1})
+	g := &Gate{
+		Health:    h,
+		Admission: NewAdmission(AdmissionConfig{Watermark: 1}, func() int { return 100 }),
+	}
+	if err := g.AdmitMutation(); !errors.Is(err, ErrShed) {
+		t.Fatalf("saturated gate: %v, want ErrShed", err)
+	}
+	h.Observe(errBoom)
+	if err := g.AdmitMutation(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only gate: %v, want ErrReadOnly", err)
+	}
+	if g.ReadOnlyRejected() != 1 {
+		t.Fatalf("read-only rejected = %d", g.ReadOnlyRejected())
+	}
+	var nilG *Gate
+	if err := nilG.AdmitMutation(); err != nil {
+		t.Fatalf("nil gate rejected: %v", err)
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	for attempt := 0; attempt < 8; attempt++ {
+		full := 100 * time.Millisecond << attempt
+		if full > time.Second {
+			full = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt)
+			if d > full || d < full/2 {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+}
+
+func TestRetryEventualSuccess(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 3, Backoff{Base: time.Microsecond, Max: time.Microsecond}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, 5, Backoff{Base: time.Microsecond, Max: time.Microsecond}, func(context.Context) error {
+		calls++
+		cancel()
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want last attempt error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (canceled context must stop retries)", calls)
+	}
+}
+
+func TestWatcherEdgeTriggered(t *testing.T) {
+	v := 0.0
+	w := NewWatcher(WatcherConfig{}, []Rule{
+		{Name: "depth", Severity: "warning", Threshold: 10, Value: func() float64 { return v }},
+	})
+
+	if got := w.Evaluate(); len(got) != 0 {
+		t.Fatalf("idle evaluate fired %v", got)
+	}
+	v = 12
+	got := w.Evaluate()
+	if len(got) != 1 || got[0].State != "firing" || got[0].Rule != "depth" {
+		t.Fatalf("crossing up = %+v", got)
+	}
+	// Still above: edge-triggered, no repeat.
+	if got := w.Evaluate(); len(got) != 0 {
+		t.Fatalf("steady state re-fired %v", got)
+	}
+	v = 3
+	got = w.Evaluate()
+	if len(got) != 1 || got[0].State != "resolved" {
+		t.Fatalf("crossing down = %+v", got)
+	}
+	if rec := w.Recent(10); len(rec) != 2 {
+		t.Fatalf("recent = %d alerts, want 2", len(rec))
+	}
+	st := w.Stats()
+	if st.Sent != 2 || st.Firing != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWatcherFeedAndWebhook(t *testing.T) {
+	var mu sync.Mutex
+	var posted []Alert
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var a Alert
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			t.Errorf("webhook decode: %v", err)
+		}
+		mu.Lock()
+		posted = append(posted, a)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	v := 0.0
+	w := NewWatcher(WatcherConfig{Webhook: srv.URL, Client: srv.Client()}, []Rule{
+		{Name: "r", Severity: "critical", Threshold: 1, Value: func() float64 { return v }},
+	})
+	ch, cancel := w.Feed().Subscribe(4)
+	defer cancel()
+
+	v = 1
+	w.Evaluate()
+	select {
+	case a := <-ch:
+		if a.Rule != "r" || a.State != "firing" {
+			t.Fatalf("feed alert = %+v", a)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no alert on feed")
+	}
+	mu.Lock()
+	n := len(posted)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("webhook posts = %d, want 1", n)
+	}
+}
+
+func TestWatcherStartCloseIdempotent(t *testing.T) {
+	w := NewWatcher(WatcherConfig{Interval: time.Millisecond}, nil)
+	w.Start()
+	w.Start()
+	w.Close()
+	w.Close()
+	// Close without Start must not hang.
+	w2 := NewWatcher(WatcherConfig{}, nil)
+	w2.Close()
+}
+
+func TestFeedDropsWhenFull(t *testing.T) {
+	f := NewFeed()
+	ch, cancel := f.Subscribe(1)
+	defer cancel()
+	f.Publish(Alert{Rule: "a"})
+	f.Publish(Alert{Rule: "b"}) // buffer full: dropped, not blocking
+	if a := <-ch; a.Rule != "a" {
+		t.Fatalf("first alert = %+v", a)
+	}
+	select {
+	case a := <-ch:
+		t.Fatalf("unexpected second alert %+v", a)
+	default:
+	}
+}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/liquidpub/gelee/internal/actionlib"
@@ -255,7 +256,7 @@ func (r *Runtime) launch(instID string, items []dispatchItem) {
 		}
 		inv := d.inv
 		if r.cfg.SyncActions {
-			if err := r.cfg.Invoker.Invoke(inv); err != nil {
+			if err := r.invoke(inv); err != nil {
 				r.failDispatch(instID, inv.ID, err)
 			}
 			continue
@@ -263,11 +264,22 @@ func (r *Runtime) launch(instID string, items []dispatchItem) {
 		r.dispatch.Add(1)
 		go func() {
 			defer r.dispatch.Done()
-			if err := r.cfg.Invoker.Invoke(inv); err != nil {
+			if err := r.invoke(inv); err != nil {
 				r.failDispatch(instID, inv.ID, err)
 			}
 		}()
 	}
+}
+
+// invoke runs one dispatch under the configured end-to-end deadline.
+func (r *Runtime) invoke(inv actionlib.Invocation) error {
+	ctx := context.Background()
+	if r.cfg.DispatchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.DispatchTimeout)
+		defer cancel()
+	}
+	return r.cfg.Invoker.Invoke(ctx, inv)
 }
 
 // failDispatch marks an invocation failed when the invoker itself

@@ -62,6 +62,11 @@ const (
 	RecReject       RecordOp = "reject"
 	RecSwitch       RecordOp = "switch"
 	RecSnapshot     RecordOp = "snapshot"
+	// RecProbe is the durability probe the resilience layer writes
+	// through the sink while the system is degraded or read-only: it
+	// proves the append path end to end but carries no instance state,
+	// and replay discards it.
+	RecProbe RecordOp = "probe"
 )
 
 // JournalRecord is one journaled instance mutation: the operation, the
@@ -191,6 +196,10 @@ func (r *Runtime) ApplyJournal(id string, data []byte) error {
 		return r.replayInstantiate(&rec)
 	case RecSnapshot:
 		return r.replaySnapshot(&rec)
+	case RecProbe:
+		// Probes prove the append path while unhealthy; they carry no
+		// state and replay drops them.
+		return nil
 	}
 	in, ok := r.lookup(rec.Instance)
 	if !ok {

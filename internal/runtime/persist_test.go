@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -302,7 +303,7 @@ func TestReplayGaplessSeqsAndPhaseStats(t *testing.T) {
 // lands on the recovered instance and completes it.
 func TestReplayPendingInvocationRoutable(t *testing.T) {
 	sink := &captureSink{}
-	swallow := InvokerFunc(func(actionlib.Invocation) error { return nil }) // dispatch succeeds, never reports
+	swallow := InvokerFunc(func(context.Context, actionlib.Invocation) error { return nil }) // dispatch succeeds, never reports
 	clock := vclock.NewFake(time.Date(2009, 2, 1, 9, 0, 0, 0, time.UTC))
 	rt, err := New(Config{Registry: testActions(t), Invoker: swallow, Clock: clock, SyncActions: true, Journal: sink})
 	if err != nil {
@@ -371,7 +372,7 @@ func TestReplayWithRingTruncation(t *testing.T) {
 	mk := func(j Journal) *Runtime {
 		rt, err := New(Config{Registry: testActions(t), Clock: clock, SyncActions: true,
 			MaxEventsInMemory: 16, Journal: j,
-			Invoker: InvokerFunc(func(actionlib.Invocation) error { return nil })})
+			Invoker: InvokerFunc(func(context.Context, actionlib.Invocation) error { return nil })})
 		if err != nil {
 			t.Fatal(err)
 		}

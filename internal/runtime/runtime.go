@@ -122,6 +122,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -141,16 +142,18 @@ import (
 // or asynchronous (status arrives later via Runtime.Report). A returned
 // error means the dispatch itself failed; the runtime records it as a
 // failed execution — actions are not guaranteed to succeed and there is
-// no transactional semantic (§IV.C).
+// no transactional semantic (§IV.C). The context carries the dispatch
+// deadline (Config.DispatchTimeout) and lets callers cancel in-flight
+// sends; implementations must respect it on any network path.
 type Invoker interface {
-	Invoke(inv actionlib.Invocation) error
+	Invoke(ctx context.Context, inv actionlib.Invocation) error
 }
 
 // InvokerFunc adapts a function to the Invoker interface.
-type InvokerFunc func(actionlib.Invocation) error
+type InvokerFunc func(ctx context.Context, inv actionlib.Invocation) error
 
 // Invoke calls f.
-func (f InvokerFunc) Invoke(inv actionlib.Invocation) error { return f(inv) }
+func (f InvokerFunc) Invoke(ctx context.Context, inv actionlib.Invocation) error { return f(ctx, inv) }
 
 // Policy is the permission hook the runtime consults before mutating an
 // instance. The zero-value allowAll policy suits embedded library use;
@@ -190,6 +193,10 @@ type Config struct {
 	// SyncActions makes Advance dispatch actions inline instead of in
 	// goroutines. Order remains deliberately unspecified either way.
 	SyncActions bool
+	// DispatchTimeout caps one action dispatch end to end — including
+	// any transport-level retries the Invoker performs. 0 leaves the
+	// ceiling to the Invoker's own per-attempt timeouts.
+	DispatchTimeout time.Duration
 	// Shards is the instance-table lock-stripe count (0 =
 	// DefaultShards, minimum 1). More shards, less contention.
 	Shards int

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -89,7 +90,7 @@ type recordingInvoker struct {
 	fail   map[string]bool // action URIs whose dispatch should error
 }
 
-func (ri *recordingInvoker) Invoke(inv actionlib.Invocation) error {
+func (ri *recordingInvoker) Invoke(_ context.Context, inv actionlib.Invocation) error {
 	ri.mu.Lock()
 	ri.calls = append(ri.calls, inv)
 	shouldFail := ri.fail[inv.TypeURI]
@@ -704,7 +705,7 @@ func TestAsyncDispatchParallelism(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var order []string
-	inv := InvokerFunc(func(in actionlib.Invocation) error {
+	inv := InvokerFunc(func(_ context.Context, in actionlib.Invocation) error {
 		mu.Lock()
 		order = append(order, in.TypeURI)
 		n := len(order)

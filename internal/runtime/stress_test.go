@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -54,7 +55,7 @@ func TestStressConcurrentMutations(t *testing.T) {
 	invocations := make(chan string, 4096)
 	rt, err := New(Config{
 		Registry: reg,
-		Invoker: InvokerFunc(func(inv actionlib.Invocation) error {
+		Invoker: InvokerFunc(func(_ context.Context, inv actionlib.Invocation) error {
 			invocations <- inv.ID
 			return nil
 		}),

@@ -121,6 +121,10 @@ type Engine interface {
 	ReadArchive(ref ArchiveRef, fn func(Entry) error) error
 	// Stats reports engine health and throughput counters.
 	Stats() EngineStats
+	// Depth is the number of appends queued but not yet committed — an
+	// O(1) saturation signal for admission control, cheap enough to
+	// sample per request.
+	Depth() int
 	// Close drains pending appends, flushes, and releases resources.
 	// It is idempotent.
 	Close() error
@@ -155,6 +159,10 @@ func (m *memEngine) Append(e Entry, onCommit func(uint64)) (uint64, error) {
 
 // Seal implements Engine: nothing persisted, nothing to seal.
 func (m *memEngine) Seal() error { return nil }
+
+// Depth implements Engine: in-memory appends commit synchronously, so
+// nothing ever queues.
+func (m *memEngine) Depth() int { return 0 }
 
 // Fold implements Engine: nothing persisted, nothing to fold. build is
 // not invoked — there is no snapshot to write its image into.

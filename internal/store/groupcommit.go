@@ -403,6 +403,9 @@ func (e *journalEngine) ReadArchive(ref ArchiveRef, fn func(Entry) error) error 
 	return readArchive(e.cfg.Dir, ref, fn)
 }
 
+// Depth implements Engine: the group-commit queue's current occupancy.
+func (e *journalEngine) Depth() int { return len(e.reqs) }
+
 // Stats implements Engine.
 func (e *journalEngine) Stats() EngineStats {
 	state := StateRunning

@@ -25,6 +25,11 @@ type InstancesOptions struct {
 	// SnapshotEvery folds once this many sealed segments accumulate
 	// (0 = every rotation).
 	SnapshotEvery int
+	// OnAppendResult, when set, observes the outcome of every Append
+	// (nil error = durably acknowledged) — the health signal the
+	// resilience layer watches. Called on the write path; must be O(1)
+	// and must not call back into the collection.
+	OnAppendResult func(error)
 }
 
 // Instances is the lifecycle-instance collection of the data tier: an
@@ -106,6 +111,11 @@ type Instances struct {
 	maxBatch    atomic.Int64
 	replayed    atomic.Int64
 	replayStats ReplayStats
+
+	// waiters gauges appenders currently inside Append — the
+	// flush-combining path has no queue channel, so in-flight count is
+	// its saturation signal for admission control.
+	waiters atomic.Int64
 }
 
 // NewInstances wraps a generic Engine as the instance collection — the
@@ -243,6 +253,20 @@ func (c *Instances) SetSnapshotSource(source func(emit func(id string, data []by
 // SegmentMaxBytes seals it in place — an O(1) rename/create — and
 // pokes the folder.
 func (c *Instances) Append(id string, data []byte) error {
+	c.waiters.Add(1)
+	err := c.append(id, data)
+	c.waiters.Add(-1)
+	if c.opts.OnAppendResult != nil {
+		c.opts.OnAppendResult(err)
+	}
+	return err
+}
+
+// Waiters is the number of appenders currently inside Append — the
+// collection's queue-depth analogue.
+func (c *Instances) Waiters() int { return int(c.waiters.Load()) }
+
+func (c *Instances) append(id string, data []byte) error {
 	if id == "" {
 		return fmt.Errorf("store: %s: empty instance id", instancesRepo)
 	}

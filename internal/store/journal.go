@@ -90,6 +90,22 @@
 // open removes the leftovers (temp files, superseded snapshots,
 // already-folded segments, unreferenced archives).
 //
+// # Degraded mode: append failures are observed, not hidden
+//
+// The journal is fail-forward: when an append errors (disk full,
+// device gone), the in-memory mutation it framed is not rolled back —
+// the caller gets the error and decides, and the repositories stay
+// internally consistent. What the store adds is observation: every
+// append outcome, success or failure, is reported through
+// Options.OnAppendResult (and InstancesOptions.OnAppendResult for the
+// instance collection). The embedding system feeds these outcomes into
+// a health state machine (internal/resilience) that walks
+// healthy → degraded → read-only on consecutive failures, rejecting
+// new mutations at the API edge with 503 while reads keep serving,
+// and probes the journal until consecutive successes walk it back.
+// The store itself never blocks writes on health — the gate lives in
+// front of the API, so replay, folding and recovery are unaffected.
+//
 // Journal lines are encoded by a hand-rolled codec (appendEntry) — the
 // reflection-based marshal cost more than the write it framed — while
 // replay keeps decoding with encoding/json.

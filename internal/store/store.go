@@ -57,6 +57,10 @@ type Store struct {
 	loadCalled bool
 	closed     bool
 
+	// onAppendResult observes every commit outcome (Options.
+	// OnAppendResult); nil = no observer.
+	onAppendResult func(error)
+
 	// Background folder, started by Load; the engine's OnSeal (wired
 	// by Open) pokes it on every qualifying rotation. The pacing policy
 	// (minInterval/minGarbage) gates what a poke actually does;
@@ -120,6 +124,13 @@ type Options struct {
 	FoldMinGarbage float64
 	// Clock stamps journal entries; nil means the wall clock.
 	Clock vclock.Clock
+	// OnAppendResult, when set, observes the outcome of every commit
+	// (nil error = durably acknowledged). The resilience layer feeds
+	// it into the health state machine so a failing journal flips the
+	// system read-only instead of silently dropping durability. Called
+	// on the commit path — must be O(1) and must not call back into
+	// the store.
+	OnAppendResult func(error)
 }
 
 // DefaultShards is the repository lock-stripe count when Options.Shards
@@ -182,14 +193,15 @@ func New(engine Engine, opts Options) *Store {
 		window = -1
 	}
 	return &Store{
-		engine:      engine,
-		clock:       clock,
-		shards:      shards,
-		window:      window,
-		parts:       make(map[string]journaled),
-		folds:       newFolder(),
-		minInterval: opts.FoldMinInterval,
-		minGarbage:  opts.FoldMinGarbage,
+		engine:         engine,
+		clock:          clock,
+		shards:         shards,
+		window:         window,
+		parts:          make(map[string]journaled),
+		folds:          newFolder(),
+		minInterval:    opts.FoldMinInterval,
+		minGarbage:     opts.FoldMinGarbage,
+		onAppendResult: opts.OnAppendResult,
 	}
 }
 
@@ -334,8 +346,15 @@ func (s *Store) commit(e Entry, apply func(seq uint64)) error {
 	}
 	e.Time = s.clock.Now()
 	_, err := s.engine.Append(e, apply)
+	if s.onAppendResult != nil {
+		s.onAppendResult(err)
+	}
 	return err
 }
+
+// QueueDepth is the engine's current commit-queue occupancy — the
+// saturation signal admission control samples per mutating request.
+func (s *Store) QueueDepth() int { return s.engine.Depth() }
 
 // Compact compacts the journal without stopping writers: the active
 // segment is sealed (O(1) under the appender lock), then every sealed

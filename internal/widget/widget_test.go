@@ -1,6 +1,7 @@
 package widget
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -42,7 +43,7 @@ func newEnv(t *testing.T) *env {
 
 	rt, err := runtime.New(runtime.Config{
 		Registry:    actionlib.NewRegistry(),
-		Invoker:     runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+		Invoker:     runtime.InvokerFunc(func(context.Context, actionlib.Invocation) error { return nil }),
 		Clock:       clock,
 		SyncActions: true,
 		Policy:      aclPolicy{acl},
@@ -197,7 +198,7 @@ func TestHTMLEscapesContent(t *testing.T) {
 	clock := vclock.NewFake(time.Unix(0, 0))
 	rt, _ := runtime.New(runtime.Config{
 		Registry: actionlib.NewRegistry(),
-		Invoker:  runtime.InvokerFunc(func(actionlib.Invocation) error { return nil }),
+		Invoker:  runtime.InvokerFunc(func(context.Context, actionlib.Invocation) error { return nil }),
 		Clock:    clock, SyncActions: true,
 	})
 	m := scenario.QualityPlan().Clone()
