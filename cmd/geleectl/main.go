@@ -21,6 +21,14 @@
 //	summary | overview | late      monitoring cockpit
 //	timeline ID                    instance history
 //	widget ID                      widget HTML
+//	fsck [-repair] DATADIR         offline journal integrity check
+//
+// fsck is the one offline command: it opens no server connection but
+// walks a (stopped) geleed data directory — and its instances journal —
+// verifying every record CRC, segment footer and archive checksum, and
+// prints a per-file JSON report. With -repair it truncates torn active
+// tails and moves corrupt files aside (.quarantined) so the directory
+// opens again. Exits 1 when corruption was found.
 package main
 
 import (
@@ -31,7 +39,10 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
+
+	"github.com/liquidpub/gelee/internal/store"
 )
 
 func main() {
@@ -43,11 +54,68 @@ func main() {
 		fmt.Fprintln(os.Stderr, "geleectl: no command (try: models, instances, summary)")
 		os.Exit(2)
 	}
+	if args[0] == "fsck" {
+		if err := runFsck(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "geleectl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	c := &client{base: *server, user: *user}
 	if err := c.run(args[0], args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "geleectl: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runFsck checks (and with -repair, fixes) a geleed data directory
+// offline: the definitions journal at DATADIR and, when present, the
+// instance journal at DATADIR/instances. Stop geleed first — fsck reads
+// the same files the server appends to.
+func runFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	repair := fs.Bool("repair", false, "truncate torn active tails and quarantine corrupt files")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: geleectl fsck [-repair] DATADIR")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fsck [-repair] DATADIR")
+	}
+	dataDir := fs.Arg(0)
+	if _, err := os.Stat(dataDir); err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	}
+	dirs := []string{dataDir}
+	if info, err := os.Stat(filepath.Join(dataDir, "instances")); err == nil && info.IsDir() {
+		dirs = append(dirs, filepath.Join(dataDir, "instances"))
+	}
+	corrupt, torn, repaired := 0, 0, 0
+	reports := make([]store.FsckReport, 0, len(dirs))
+	for _, d := range dirs {
+		rep, err := store.Fsck(d, *repair)
+		if err != nil {
+			return err
+		}
+		corrupt += rep.Corrupt
+		torn += rep.Torn
+		repaired += rep.Repaired
+		reports = append(reports, rep)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reports); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fsck: %d corrupt, %d torn, %d repaired across %d dir(s)\n",
+		corrupt, torn, repaired, len(dirs))
+	if corrupt > 0 {
+		return fmt.Errorf("fsck: corruption found in %d file(s)", corrupt)
+	}
+	return nil
 }
 
 type client struct {

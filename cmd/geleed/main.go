@@ -17,6 +17,9 @@
 //	       [-invoke-timeout D] [-invoke-retries N] [-invoke-max-inflight N]
 //	       [-breaker-failures N] [-breaker-cooldown D]
 //	       [-alert-webhook URL] [-alert-interval D]
+//	       [-quarantine-corrupt] [-scrub-interval D] [-scrub-budget-bytes N]
+//	       [-disable-journal-checksums]
+//	       [-max-conns-per-host N] [-max-idle-conns N]
 //
 // -data enables persistence (empty = in-memory); -auth enforces the
 // §IV.D roles via the X-Gelee-User header; -seed loads the LiquidPub
@@ -64,6 +67,20 @@
 // GET /api/v1/admin/health aggregates all of it for load balancers,
 // and threshold alerts stream over /api/v1/admin/alerts/stream or
 // POST to -alert-webhook.
+//
+// The integrity knobs guard the journals against bit rot: every record
+// is framed with a CRC-32C envelope and every sealed segment and
+// snapshot carries a footer seal (always on; -disable-journal-checksums
+// reverts to the unsummed legacy format for comparison). -scrub-interval
+// (5m by default) re-verifies sealed segments, snapshots and archives
+// in the background, at most -scrub-budget-bytes of IO per tick;
+// detections fire the journal-corruption alert and show in
+// GET /api/v1/admin/health. -quarantine-corrupt makes an open that
+// finds corruption move the damaged files aside and serve the
+// surviving history read-only (latched until restart) instead of
+// refusing to start; repair offline with geleectl fsck. The outcall
+// pool knobs (-max-conns-per-host, -max-idle-conns) bound the HTTP
+// connection pool behind REST/SOAP action dispatch.
 package main
 
 import (
@@ -109,6 +126,12 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open circuit waits before trying a half-open probe (0 = default)")
 	alertWebhook := flag.String("alert-webhook", "", "URL POSTed a JSON body when a health threshold fires or resolves")
 	alertInterval := flag.Duration("alert-interval", 0, "threshold evaluation period for the alert watcher (0 = only when -alert-webhook is set)")
+	quarantine := flag.Bool("quarantine-corrupt", false, "on corrupt journal files at open: quarantine them and serve the surviving history read-only instead of failing")
+	scrubInterval := flag.Duration("scrub-interval", 5*time.Minute, "background re-verification cadence for sealed segments, snapshots and archives (0 = never)")
+	scrubBudget := flag.Int64("scrub-budget-bytes", 0, "max bytes one scrub tick may read (0 = default 8 MiB)")
+	noChecksums := flag.Bool("disable-journal-checksums", false, "write unsummed legacy journal records without CRC envelopes or footers")
+	maxConnsPerHost := flag.Int("max-conns-per-host", 0, "max outcall connections per action endpoint host (0 = default 128, <0 = unlimited)")
+	maxIdleConns := flag.Int("max-idle-conns", 0, "max idle outcall connections across all hosts (0 = default 256, <0 = no keep-alive)")
 	flag.Parse()
 
 	sys, err := gelee.New(gelee.Options{
@@ -129,6 +152,12 @@ func main() {
 		PersistInstances:     *persist,
 		Auth:                 *auth,
 		EmbeddedPlugins:      true,
+		Integrity: gelee.IntegrityOptions{
+			Quarantine:        *quarantine,
+			DisableFraming:    *noChecksums,
+			ScrubInterval:     *scrubInterval,
+			ScrubBytesPerTick: *scrubBudget,
+		},
 		Resilience: gelee.ResilienceOptions{
 			MaxQueueDepth:     *maxQueue,
 			ShedRetryAfter:    *shedRetry,
@@ -142,6 +171,8 @@ func main() {
 			BreakerCooldown:   *breakerCooldown,
 			AlertWebhook:      *alertWebhook,
 			AlertInterval:     *alertInterval,
+			MaxConnsPerHost:   *maxConnsPerHost,
+			MaxIdleConns:      *maxIdleConns,
 		},
 	})
 	if err != nil {

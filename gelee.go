@@ -84,6 +84,13 @@ type (
 	Grant = access.Grant
 	// StatusUpdate is an action callback message.
 	StatusUpdate = actionlib.StatusUpdate
+	// IntegrityOptions tune journal corruption detection: checksummed
+	// record framing, quarantine-and-serve opens, and the background
+	// scrubber (see store.IntegrityOptions).
+	IntegrityOptions = store.IntegrityOptions
+	// CorruptFile describes one corruption detection, delivered to
+	// IntegrityOptions.OnCorrupt.
+	CorruptFile = store.CorruptFile
 )
 
 // Role constants re-exported from the access package (§IV.D).
@@ -191,6 +198,16 @@ type Options struct {
 	// health tracking and breakers with defaults; shedding, probing
 	// and alerting stay off until configured.
 	Resilience ResilienceOptions
+	// Integrity tunes end-to-end journal integrity on both journals
+	// (the definitions store and the instance collection): checksummed
+	// record framing is on by default; Quarantine makes a corrupt open
+	// serve the surviving history read-only instead of failing;
+	// ScrubInterval starts the background re-verification of sealed
+	// segments, snapshots and archives. A quarantined file latches the
+	// health state machine read-only until restart-after-repair
+	// (geleectl fsck); the OnCorrupt hook still fires for callers that
+	// want their own telemetry.
+	Integrity IntegrityOptions
 }
 
 // DefaultInvokeMaxInFlight caps concurrent action dispatches per
@@ -233,6 +250,15 @@ type ResilienceOptions struct {
 	// InvokeMaxInFlight caps concurrent dispatches per endpoint
 	// (0 = DefaultInvokeMaxInFlight; negative = unlimited).
 	InvokeMaxInFlight int
+	// MaxConnsPerHost bounds the outcall HTTP connection pool: total
+	// connections (idle + active + dialing) per endpoint host across
+	// the REST and SOAP transports. 0 keeps the shared default (128);
+	// negative = unlimited.
+	MaxConnsPerHost int
+	// MaxIdleConns caps idle pooled connections across all endpoint
+	// hosts (0 = shared default 256; negative disables keep-alive
+	// pooling).
+	MaxIdleConns int
 	// BreakerFailures consecutive dispatch failures open an endpoint's
 	// circuit — further sends fail fast until BreakerCooldown (default
 	// 15s) elapses and a half-open trial succeeds. 0 means the default
@@ -338,6 +364,24 @@ func New(opts Options) (*System, error) {
 		RecoverAfter:  res.RecoverAfter,
 	})
 
+	// Journal integrity: the facade owns the OnCorrupt hook so that a
+	// quarantined file — damaged history moved aside at open — latches
+	// the node read-only until an operator repairs and restarts
+	// (probe-driven recovery must not un-latch it; the disk working
+	// again does not restore the quarantined records). Scrub detections
+	// don't latch: the file may never be read, and the journal-corruption
+	// alert plus the health report carry the signal to the operator.
+	integ := opts.Integrity
+	userOnCorrupt := integ.OnCorrupt
+	integ.OnCorrupt = func(cf store.CorruptFile) {
+		if cf.Quarantined {
+			health.ForceReadOnly(fmt.Sprintf("journal corruption quarantined: %s", cf.Path))
+		}
+		if userOnCorrupt != nil {
+			userOnCorrupt(cf)
+		}
+	}
+
 	storeOpts := store.Options{
 		Sync:            opts.SyncJournal,
 		SyncEveryAppend: opts.SyncEveryAppend,
@@ -351,6 +395,7 @@ func New(opts Options) (*System, error) {
 		FoldMinGarbage:  opts.FoldMinGarbage,
 		Clock:           clock,
 		OnAppendResult:  health.Observe,
+		Integrity:       integ,
 	}
 	engine := opts.Engine
 	if engine == "" {
@@ -403,6 +448,7 @@ func New(opts Options) (*System, error) {
 					Sync:            opts.SyncJournal || opts.SyncEveryAppend,
 					SegmentMaxBytes: opts.SegmentMaxBytes,
 					SnapshotEvery:   opts.SnapshotEvery,
+					Integrity:       integ,
 				})
 			if err != nil {
 				return nil, err
@@ -460,9 +506,16 @@ func New(opts Options) (*System, error) {
 			MaxInFlight: maxInFlight,
 		})
 	}
+	// A non-zero pool override gets its own bounded transport; zero
+	// keeps the shared pooled client (invoke.NewPooledClient returns
+	// nil, and the invokers fall back to it).
+	outcalls := invoke.NewPooledClient(invoke.PoolConfig{
+		MaxConnsPerHost: res.MaxConnsPerHost,
+		MaxIdleConns:    res.MaxIdleConns,
+	})
 	dispatcher := &invoke.Dispatcher{
-		REST:     &invoke.RESTInvoker{Timeout: res.InvokeTimeout},
-		SOAP:     &invoke.SOAPInvoker{Timeout: res.InvokeTimeout},
+		REST:     &invoke.RESTInvoker{Client: outcalls, Timeout: res.InvokeTimeout},
+		SOAP:     &invoke.SOAPInvoker{Client: outcalls, Timeout: res.InvokeTimeout},
 		Local:    s.Local,
 		Breakers: s.breakers,
 		Attempts: res.InvokeAttempts,
@@ -565,6 +618,21 @@ func New(opts Options) (*System, error) {
 		Severity:  "critical",
 		Threshold: float64(resilience.Degraded),
 		Value:     func() float64 { return float64(health.State()) },
+	})
+	// Corruption detections (open pre-verify + background scrub) across
+	// both journals. CorruptFiles already includes quarantines.
+	rules = append(rules, resilience.Rule{
+		Name:      "journal-corruption",
+		Severity:  "critical",
+		Threshold: 1,
+		Value: func() float64 {
+			st := s.StoreStats()
+			v := st.Engine.Integrity.CorruptFiles
+			if st.Instances != nil {
+				v += st.Instances.Integrity.CorruptFiles
+			}
+			return float64(v)
+		},
 	})
 	if s.breakers != nil {
 		br := s.breakers
@@ -769,6 +837,32 @@ func (s *System) HealthReport() resilience.Report {
 		rep.Breakers = s.breakers.Stats()
 		rep.BreakerOpens = s.breakers.Opens()
 		rep.BreakerRejected = s.breakers.Rejected()
+	}
+	// Journal integrity, summed across the definitions store and the
+	// instance collection, for deployments with durable journals.
+	st := s.StoreStats()
+	if st.Engine.Integrity.Framing || st.Instances != nil && st.Instances.Integrity.Framing {
+		ir := &resilience.IntegrityReport{
+			Framing:         true,
+			ReadOnlyLatched: rep.Health.Latched,
+		}
+		add := func(is store.IntegrityStats) {
+			ir.CorruptFiles += is.CorruptFiles
+			ir.QuarantinedFiles += is.QuarantinedFiles
+			ir.TornTailsRecovered += is.TornTails
+			ir.ScrubPasses += is.ScrubPasses
+			if is.LastScrubUnix > ir.LastScrubUnix {
+				ir.LastScrubUnix = is.LastScrubUnix
+			}
+			if is.LastError != "" {
+				ir.LastError = is.LastError
+			}
+		}
+		add(st.Engine.Integrity)
+		if st.Instances != nil {
+			add(st.Instances.Integrity)
+		}
+		rep.Integrity = ir
 	}
 	return rep
 }

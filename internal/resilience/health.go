@@ -81,6 +81,7 @@ type Health struct {
 	okStreak   int
 	since      time.Time
 	lastErr    string
+	latched    bool  // ForceReadOnly: no probe-driven step-down
 	degraded   int64 // transitions into Degraded
 	readOnly   int64 // transitions into ReadOnly
 	recovered  int64 // transitions back into Healthy
@@ -113,7 +114,10 @@ func (h *Health) Observe(err error) {
 		defer h.mu.Unlock()
 		h.failStreak = 0
 		h.okStreak++
-		if st := State(h.state.Load()); st != Healthy && h.okStreak >= h.cfg.RecoverAfter {
+		// A latched machine never steps down on successes: the journal
+		// path working again says nothing about the corrupt history that
+		// forced read-only (see ForceReadOnly).
+		if st := State(h.state.Load()); st != Healthy && !h.latched && h.okStreak >= h.cfg.RecoverAfter {
 			h.okStreak = 0
 			h.transitionLocked(st, st-1)
 		}
@@ -156,6 +160,33 @@ func (h *Health) transitionLocked(from, to State) {
 	}
 }
 
+// ForceReadOnly trips the machine straight to read-only and latches it
+// there: unlike the streak-driven transition, no success streak —
+// probe or real — ever steps a latched machine down, because the
+// condition that forced it (quarantined journal corruption) is not
+// something working appends repair. The latch clears only with a
+// process restart, after an operator has repaired or restored the data
+// directory (geleectl fsck).
+func (h *Health) ForceReadOnly(reason string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.calm.Store(false)
+	h.latched = true
+	if reason != "" {
+		h.lastErr = reason
+	}
+	if st := State(h.state.Load()); st != ReadOnly {
+		h.transitionLocked(st, ReadOnly)
+	}
+}
+
+// Latched reports whether ForceReadOnly pinned the machine read-only.
+func (h *Health) Latched() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.latched
+}
+
 // HealthReport is the machine's stats section of the admin report.
 type HealthReport struct {
 	State          string    `json:"state"`
@@ -165,7 +196,10 @@ type HealthReport struct {
 	DegradedTotal  int64     `json:"degraded_transitions"`
 	ReadOnlyTotal  int64     `json:"read_only_transitions"`
 	RecoveredTotal int64     `json:"recoveries"`
-	LastError      string    `json:"last_error,omitempty"`
+	// Latched reports a ForceReadOnly pin (journal corruption was
+	// quarantined); only a restart after repair clears it.
+	Latched   bool   `json:"latched,omitempty"`
+	LastError string `json:"last_error,omitempty"`
 }
 
 // Report snapshots the machine.
@@ -180,6 +214,7 @@ func (h *Health) Report() HealthReport {
 		DegradedTotal:  h.degraded,
 		ReadOnlyTotal:  h.readOnly,
 		RecoveredTotal: h.recovered,
+		Latched:        h.latched,
 		LastError:      h.lastErr,
 	}
 }

@@ -151,4 +151,32 @@ type Report struct {
 	BreakerRejected  int64                   `json:"breaker_rejected_total"`
 	Probes           ProbeStats              `json:"probes"`
 	Alerts           AlertStats              `json:"alerts"`
+	// Integrity summarizes journal corruption detection across the
+	// store and instance journals (nil when the deployment has no
+	// durable journals). Filled by the facade from the store layer's
+	// IntegrityStats.
+	Integrity *IntegrityReport `json:"integrity,omitempty"`
+}
+
+// IntegrityReport is the health endpoint's journal-integrity section:
+// the corruption ledger summed across every journal directory the node
+// runs (definitions store + instance collection), plus whether
+// corruption latched the node read-only.
+type IntegrityReport struct {
+	// Framing reports that appends write checksummed record envelopes.
+	Framing bool `json:"framing"`
+	// CorruptFiles counts corruption detections (open + scrub);
+	// QuarantinedFiles how many files were moved aside at open.
+	CorruptFiles     uint64 `json:"corrupt_files"`
+	QuarantinedFiles uint64 `json:"quarantined_files"`
+	// TornTailsRecovered counts crash tails opens dropped — recovered,
+	// not corruption.
+	TornTailsRecovered uint64 `json:"torn_tails_recovered"`
+	// ScrubPasses / LastScrubUnix report background-scrub progress.
+	ScrubPasses   uint64 `json:"scrub_passes"`
+	LastScrubUnix int64  `json:"last_scrub_unix,omitempty"`
+	// ReadOnlyLatched reports that quarantined corruption pinned the
+	// node read-only until restart-after-repair.
+	ReadOnlyLatched bool   `json:"read_only_latched"`
+	LastError       string `json:"last_error,omitempty"`
 }

@@ -152,6 +152,9 @@ func (sf *segFiles) Archive(entries []Entry) (ArchiveRef, error) {
 	sf.archiveBytes.Add(ref.Bytes)
 	sf.archivesWritten.Add(1)
 	sf.foldBytes.Add(uint64(ref.Bytes))
+	sf.refMu.Lock()
+	sf.refs[next] = ref
+	sf.refMu.Unlock()
 	return ref, nil
 }
 
@@ -212,10 +215,19 @@ func readArchive(dir string, ref ArchiveRef, fn func(Entry) error) error {
 // durably installed, so its cold history must be whole), and archive
 // files no snapshot references — a fold that crashed between archive
 // install and snapshot install — are deleted. Returns the surviving
-// count, their total bytes, the highest surviving number, and how many
+// refs, their total bytes, the highest referenced number, and how many
 // orphans were removed. CRCs are not checked here: open cost must stay
-// O(live + refs), so full verification happens lazily on read.
-func reconcileArchives(dir string, onDisk map[uint64]int64, refs []ArchiveRef) (kept int, keptBytes int64, hi uint64, removed uint64, err error) {
+// O(live + refs), so full verification is the read path's and the
+// scrubber's job.
+//
+// In tolerant mode (quarantine opens) a missing or resized referenced
+// archive is skipped instead of failing the open — the pre-verify pass
+// already quarantined/reported it, and the surviving history serves
+// read-only. keepOrphans additionally disables orphan deletion: when
+// any file of the generation was quarantined (above all a snapshot,
+// whose refs are the only thing marking archives as referenced), the
+// "unreferenced" verdict can no longer be trusted.
+func reconcileArchives(dir string, onDisk map[uint64]int64, refs []ArchiveRef, tolerate, keepOrphans bool) (kept []ArchiveRef, keptBytes int64, hi uint64, removed uint64, err error) {
 	referenced := make(map[uint64]bool, len(refs))
 	for _, ref := range refs {
 		referenced[ref.Archive] = true
@@ -224,14 +236,23 @@ func reconcileArchives(dir string, onDisk map[uint64]int64, refs []ArchiveRef) (
 		}
 		size, ok := onDisk[ref.Archive]
 		if !ok {
-			return 0, 0, 0, 0, fmt.Errorf("%w: snapshot references missing archive %s", ErrCorrupt, archiveName(ref.Archive))
+			if tolerate {
+				continue
+			}
+			return nil, 0, 0, 0, fmt.Errorf("%w: snapshot references missing archive %s", ErrCorrupt, archiveName(ref.Archive))
 		}
 		if size != ref.Bytes {
-			return 0, 0, 0, 0, fmt.Errorf("%w: archive %s is %d bytes, snapshot recorded %d",
+			if tolerate {
+				continue
+			}
+			return nil, 0, 0, 0, fmt.Errorf("%w: archive %s is %d bytes, snapshot recorded %d",
 				ErrCorrupt, archiveName(ref.Archive), size, ref.Bytes)
 		}
-		kept++
+		kept = append(kept, ref)
 		keptBytes += size
+	}
+	if keepOrphans {
+		return kept, keptBytes, hi, 0, nil
 	}
 	for n := range onDisk {
 		if referenced[n] {

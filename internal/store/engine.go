@@ -72,6 +72,11 @@ type EngineStats struct {
 	ArchivesWritten uint64 `json:"archives_written,omitempty"`
 	OrphanArchives  uint64 `json:"orphan_archives,omitempty"`
 
+	// Integrity is the corruption-detection ledger: framing mode, torn
+	// tails recovered at open, corrupt/quarantined file counts, and the
+	// background scrubber's progress.
+	Integrity IntegrityStats `json:"integrity"`
+
 	Replay ReplayStats `json:"replay"`
 }
 
@@ -119,6 +124,13 @@ type Engine interface {
 	// ErrStopScan to stop early). Engines without archive storage
 	// return an error.
 	ReadArchive(ref ArchiveRef, fn func(Entry) error) error
+	// Scrub runs one bounded background-verification tick: up to
+	// maxBytes (0 = DefaultScrubBytesPerTick) of sealed segments,
+	// snapshots and archives re-checked against their CRCs and footers
+	// while the engine serves. Detections are counted in
+	// Stats().Integrity and reported through the configured OnCorrupt
+	// hook; engines without durable files return zeros.
+	Scrub(maxBytes int64) ScrubResult
 	// Stats reports engine health and throughput counters.
 	Stats() EngineStats
 	// Depth is the number of appends queued but not yet committed — an
@@ -173,6 +185,9 @@ func (m *memEngine) Fold(func(Archiver) FoldImage) error { return nil }
 func (m *memEngine) ReadArchive(ArchiveRef, func(Entry) error) error {
 	return errors.New("store: memory engine has no archives")
 }
+
+// Scrub implements Engine: no durable files, nothing to verify.
+func (m *memEngine) Scrub(int64) ScrubResult { return ScrubResult{} }
 
 func (m *memEngine) Stats() EngineStats {
 	state := StateRunning

@@ -42,6 +42,9 @@ type JournalConfig struct {
 	// rotation leaves at least SnapshotEvery sealed segments unfolded —
 	// the hook the Store's background folder hangs off.
 	OnSeal func()
+	// Integrity tunes corruption detection: record framing, quarantine
+	// mode, the background scrubber (see IntegrityOptions).
+	Integrity IntegrityOptions
 }
 
 // Defaults for JournalConfig zero fields.
@@ -133,8 +136,19 @@ func NewJournalEngine(cfg JournalConfig) (Engine, error) {
 // refs the snapshot carried (a referenced archive must exist intact;
 // unreferenced ones are leftovers of a fold that crashed before its
 // snapshot installed, and are removed), open the active segment for
-// appending at the right sequence, and start the commit writer.
+// appending at the right sequence, and start the commit writer. In
+// quarantine mode a pre-verify pass first moves every file that fails
+// its CRCs aside — before anything is applied — so the replay serves
+// the surviving history instead of failing (see preVerify).
 func (e *journalEngine) Replay(fn func(Entry) error) error {
+	quarantined, corrupt := 0, 0
+	if e.cfg.Integrity.Quarantine {
+		var err error
+		quarantined, corrupt, err = preVerify(e.cfg.Dir, e.cfg.Integrity.OnCorrupt)
+		if err != nil {
+			return err
+		}
+	}
 	// Archive refs only ever appear in snapshots (the append path never
 	// writes them), so every one seen during replay is part of the
 	// durable generation — record it for reconciliation and still
@@ -153,19 +167,23 @@ func (e *journalEngine) Replay(fn func(Entry) error) error {
 	if err != nil {
 		return err
 	}
-	if err := truncateTorn(e.cfg.Dir, sr.activeGood); err != nil {
+	if err := truncateTorn(e.cfg.Dir, sr.active.good); err != nil {
 		return err
 	}
-	kept, keptBytes, hi, removed, err := reconcileArchives(e.cfg.Dir, sr.state.archives, refs)
+	kept, keptBytes, hi, removed, err := reconcileArchives(e.cfg.Dir, sr.state.archives, refs,
+		e.cfg.Integrity.Quarantine, quarantined > 0)
 	if err != nil {
 		return err
 	}
-	j, err := OpenJournal(filepath.Join(e.cfg.Dir, journalName), sr.lastSeq)
+	framed := !e.cfg.Integrity.DisableFraming
+	j, err := openJournal(filepath.Join(e.cfg.Dir, journalName), sr.lastSeq, framed)
 	if err != nil {
 		return err
 	}
+	j.adoptReplay(sr.active)
 	e.j = j
-	e.sf = newSegFiles(e.cfg.Dir, sr.state)
+	e.sf = newSegFiles(e.cfg.Dir, sr.state, framed)
+	e.sf.adoptIntegrity(sr, quarantined, corrupt, e.cfg.Integrity.OnCorrupt)
 	e.sf.adoptArchives(kept, keptBytes, hi, removed)
 	sr.stats.ArchiveRefs = len(refs)
 	e.replay = sr.stats
@@ -401,6 +419,15 @@ func (e *journalEngine) Fold(build func(Archiver) FoldImage) error {
 // open-time reconcile pass, so a concurrent fold never races a reader.
 func (e *journalEngine) ReadArchive(ref ArchiveRef, fn func(Entry) error) error {
 	return readArchive(e.cfg.Dir, ref, fn)
+}
+
+// Scrub implements Engine: one bounded verification tick over the
+// sealed segments, newest snapshot and archives (see scrub.go).
+func (e *journalEngine) Scrub(maxBytes int64) ScrubResult {
+	if e.state.Load() != 1 || e.sf == nil {
+		return ScrubResult{}
+	}
+	return e.sf.scrubTick(maxBytes)
 }
 
 // Depth implements Engine: the group-commit queue's current occupancy.

@@ -30,6 +30,9 @@ type InstancesOptions struct {
 	// resilience layer watches. Called on the write path; must be O(1)
 	// and must not call back into the collection.
 	OnAppendResult func(error)
+	// Integrity tunes corruption detection: record framing, quarantine
+	// mode, the background scrubber (see IntegrityOptions).
+	Integrity IntegrityOptions
 }
 
 // Instances is the lifecycle-instance collection of the data tier: an
@@ -104,6 +107,10 @@ type Instances struct {
 	source func(emit func(id string, data []byte) error) error
 	folds  *folder
 
+	// stopScrub halts the background scrubber (nil when ScrubInterval
+	// is zero); set by ReplayParallel, called by Close.
+	stopScrub func()
+
 	flushedSeq  uint64
 	appends     atomic.Uint64
 	flushes     atomic.Uint64
@@ -171,6 +178,14 @@ func (c *Instances) ReplayParallel(workers int, fn func(id string, data []byte) 
 		return c.engine.Replay(apply)
 	}
 
+	quarantined, corrupt := 0, 0
+	if c.opts.Integrity.Quarantine {
+		var err error
+		quarantined, corrupt, err = preVerify(c.dir, c.opts.Integrity.OnCorrupt)
+		if err != nil {
+			return err
+		}
+	}
 	var sr segReplay
 	var err error
 	if workers <= 1 {
@@ -181,21 +196,43 @@ func (c *Instances) ReplayParallel(workers int, fn func(id string, data []byte) 
 	if err != nil {
 		return err
 	}
-	if err := truncateTorn(c.dir, sr.activeGood); err != nil {
+	if err := truncateTorn(c.dir, sr.active.good); err != nil {
 		return err
 	}
-	j, err := OpenJournal(filepath.Join(c.dir, journalName), sr.lastSeq)
+	framed := !c.opts.Integrity.DisableFraming
+	j, err := openJournal(filepath.Join(c.dir, journalName), sr.lastSeq, framed)
 	if err != nil {
 		return err
 	}
+	j.adoptReplay(sr.active)
 	c.mu.Lock()
 	c.j = j
-	c.sf = newSegFiles(c.dir, sr.state)
+	c.sf = newSegFiles(c.dir, sr.state, framed)
+	c.sf.adoptIntegrity(sr, quarantined, corrupt, c.opts.Integrity.OnCorrupt)
 	c.flushedSeq = sr.lastSeq
 	c.replayStats = sr.stats
 	c.mu.Unlock()
 	c.opened.Store(true)
+	if iv := c.opts.Integrity.ScrubInterval; iv > 0 {
+		c.stopScrub = scrubLoop(iv, c.opts.Integrity.ScrubBytesPerTick, c.Scrub)
+	}
 	return nil
+}
+
+// Scrub runs one bounded background-verification tick over the
+// collection's sealed segments and snapshot (see scrub.go). Zeros for
+// the generic-engine mode without durable files.
+func (c *Instances) Scrub(maxBytes int64) ScrubResult {
+	if c.engine != nil {
+		return c.engine.Scrub(maxBytes)
+	}
+	c.mu.Lock()
+	sf, closed := c.sf, c.closed
+	c.mu.Unlock()
+	if sf == nil || closed {
+		return ScrubResult{}
+	}
+	return sf.scrubTick(maxBytes)
 }
 
 // replayFanOut drives the segmented replay with per-id-sharded worker
@@ -451,6 +488,9 @@ func (c *Instances) Stats() EngineStats {
 func (c *Instances) Close() error {
 	if c.engine != nil {
 		return c.engine.Close()
+	}
+	if c.stopScrub != nil {
+		c.stopScrub()
 	}
 	c.folds.stop()
 	// A straggler fold could still be writing; let it finish before the

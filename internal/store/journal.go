@@ -73,22 +73,59 @@
 // unchanged population, and a sealed backlog below the garbage-ratio
 // floor waits for more garbage. Store.Compact bypasses the policy.
 //
-// # Recovery invariants
+// # Record envelopes and segment footers
 //
-// A torn final line in the active file or in a sealed segment (a crash
-// mid-write, including mid-batch) is dropped silently — such entries
-// were never acknowledged. The active file's torn tail is truncated
-// before reopening so appends land on a record boundary. A malformed
-// line *followed by more data* is real corruption and fails the open,
-// as does a torn snapshot — snapshots are fsynced before the atomic
-// rename that publishes them, so a damaged one means the disk lied;
-// the same goes for a referenced archive that is missing, resized or
-// fails its CRC when read. A fold deletes nothing until the new
-// snapshot is durably installed, and trims no in-memory log history
-// until then either (the fold image's commit hook); every crash window
-// leaves either the old or the new generation intact, and the next
-// open removes the leftovers (temp files, superseded snapshots,
-// already-folded segments, unreferenced archives).
+// Every journal, snapshot and archive byte is covered by CRC32-C
+// (Castagnoli, hardware-accelerated). Journal and snapshot lines are
+// written inside a versioned record envelope:
+//
+//	#1 xxxxxxxx {json}\n     a record: 8-hex CRC32-C of the payload
+//	#F xxxxxxxx {json}\n     the segment footer (see below)
+//
+// and a line starting with '{' is a legacy (pre-framing) record with no
+// checksum — version sniffing that lets pre-upgrade data directories
+// open unchanged; a reopened legacy active file simply continues with
+// framed lines. When a segment is sealed (or a snapshot fold finishes)
+// a footer line is appended carrying the record count, the sequence
+// range, and the CRC32-C of every preceding byte of the file — so a
+// sealed segment or installed snapshot verifies in one streaming pass,
+// and the scrubber and fsck verify it without replaying into anything.
+// Archives carry their whole-file CRC in the ArchiveRef instead (see
+// archive.go).
+//
+// # Recovery invariants: torn tails vs. bit rot
+//
+// The decision rule is positional. An invalid *suffix* of the active
+// file — an unterminated line, a CRC-failing or unparseable tail with
+// nothing valid after it — is a torn write: the entries were never
+// acknowledged, the tail is truncated before reopening so appends land
+// on a record boundary, and the drop is counted in IntegrityStats. An
+// invalid line *before* the last valid record is bit rot — committed
+// history is damaged — and fails the open with a CorruptionError
+// carrying file/offset/line/sequence detail. Sealed segments tolerate
+// only a torn (unterminated) final line, and only when they carry no
+// footer — the legacy crash shape where a torn active file was sealed
+// by a later life; a footer makes them fully strict. Snapshots and
+// archives tolerate nothing: both are fsynced before the atomic rename
+// that publishes them, so any damage means the disk lied. The same
+// goes for a referenced archive that is missing, resized or fails its
+// CRC when read.
+//
+// Opt-in quarantine mode (IntegrityOptions.Quarantine) turns corruption
+// from a failed open into a degraded one: before anything is applied, a
+// pre-verify pass moves each damaged file aside (renamed with a
+// .quarantined suffix), reports it through OnCorrupt — which the
+// embedding system uses to latch read-only — and the replay then serves
+// the surviving history. A background scrubber (scrub.go) re-verifies
+// sealed segments, snapshots and archives while serving, bounded IO per
+// tick, and the same checks run offline via Fsck (geleectl fsck).
+//
+// A fold deletes nothing until the new snapshot is durably installed,
+// and trims no in-memory log history until then either (the fold
+// image's commit hook); every crash window leaves either the old or the
+// new generation intact, and the next open removes the leftovers (temp
+// files, superseded snapshots, already-folded segments, unreferenced
+// archives).
 //
 // # Degraded mode: append failures are observed, not hidden
 //
@@ -124,8 +161,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -153,6 +192,68 @@ type Entry struct {
 	Data json.RawMessage `json:"data,omitempty"`
 }
 
+// Record envelope framing (version 1): "#1 xxxxxxxx {json}\n" for a
+// record, "#F xxxxxxxx {json}\n" for the segment footer, where xxxxxxxx
+// is the lowercase 8-hex CRC32-C of the JSON payload. A line starting
+// with '{' is a legacy unframed record — the version sniff that keeps
+// pre-upgrade files readable.
+const (
+	frameMagic  = '#'
+	frameRecord = '1'
+	frameFooter = 'F'
+	frameHdrLen = 12 // '#' + kind + ' ' + 8 hex digits + ' '
+)
+
+// segFooter is the seal line written at the end of a finished segment
+// or snapshot file: record count, sequence range, and the CRC32-C and
+// byte length of everything preceding it in the file. Replay verifies
+// Records/Bytes/CRC against what it streamed; FirstSeq/LastSeq are
+// informational (snapshot entries carry fold boundaries in Seq, not
+// append sequences, so a range check would be meaningless there).
+type segFooter struct {
+	Records  int64  `json:"records"`
+	FirstSeq uint64 `json:"first_seq,omitempty"`
+	LastSeq  uint64 `json:"last_seq,omitempty"`
+	CRC      uint32 `json:"crc"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// appendFrame wraps payload (one JSON document, no newline) in a v1
+// record envelope: magic, kind, the payload's CRC32-C in hex, payload,
+// newline.
+func appendFrame(buf []byte, kind byte, payload []byte) []byte {
+	buf = append(buf, frameMagic, kind, ' ')
+	crc := crc32.Checksum(payload, crcTable)
+	const hexdigits = "0123456789abcdef"
+	for shift := 28; shift >= 0; shift -= 4 {
+		buf = append(buf, hexdigits[(crc>>uint(shift))&0xf])
+	}
+	buf = append(buf, ' ')
+	buf = append(buf, payload...)
+	return append(buf, '\n')
+}
+
+// parseHex32 decodes exactly 8 lowercase hex digits.
+func parseHex32(b []byte) (uint32, bool) {
+	if len(b) != 8 {
+		return 0, false
+	}
+	var v uint32
+	for _, c := range b {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
 // Journal is an append-only JSONL file: the write-side primitive the
 // journaled engine builds group commit on. It is not itself
 // goroutine-safe; the engine's single writer goroutine (or its mutex)
@@ -165,13 +266,31 @@ type Journal struct {
 	size int64  // bytes in the file including unflushed writes
 	raw  int64  // entries written via writeRaw (snapshot files)
 	buf  []byte // line-encoding scratch, reused across writeEntry calls
+	line []byte // envelope scratch wrapping buf's payload
 	err  error  // sticky I/O error: once the tail is suspect, stop writing
+
+	// Framing state. framed selects v1 envelopes (plus a footer when
+	// sealed); the rest is the running whole-file accounting the footer
+	// seals, seeded by adoptReplay when an existing file is reopened.
+	framed  bool
+	fileCRC uint32 // CRC32-C over every good byte written or replayed
+	records int64  // record lines in the file
+	loSeq   uint64 // lowest/highest nonzero Seq in the file
+	hiSeq   uint64
 }
 
-// OpenJournal opens (or creates) the journal at path for appending.
-// lastSeq must be the highest sequence number already present (as
-// reported by ReplayJournal); new entries continue from there.
+// OpenJournal opens (or creates) the journal at path for appending with
+// v1 record framing. lastSeq must be the highest sequence number
+// already present (as reported by ReplayJournal); new entries continue
+// from there.
 func OpenJournal(path string, lastSeq uint64) (*Journal, error) {
+	return openJournal(path, lastSeq, true)
+}
+
+// openJournal is OpenJournal with the framing mode explicit: framed
+// writes v1 envelopes and seals with a footer, unframed writes bare
+// legacy lines (the benchmark baseline; replay accepts both).
+func openJournal(path string, lastSeq uint64, framed bool) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open journal: %w", err)
@@ -180,7 +299,18 @@ func OpenJournal(path string, lastSeq uint64) (*Journal, error) {
 	if info, err := f.Stat(); err == nil {
 		size = info.Size()
 	}
-	return &Journal{path: path, f: f, w: bufio.NewWriter(f), seq: lastSeq, size: size}, nil
+	return &Journal{path: path, f: f, w: bufio.NewWriter(f), seq: lastSeq, size: size, framed: framed}, nil
+}
+
+// adoptReplay seeds the footer accounting from what replay found in an
+// existing file (already truncated to fr.good), so a reopened active
+// segment — even one carrying legacy unframed lines — can still be
+// sealed under a correct whole-file footer.
+func (j *Journal) adoptReplay(fr fileReplay) {
+	j.fileCRC = fr.crc
+	j.records = int64(fr.n)
+	j.loSeq = fr.firstSeq
+	j.hiSeq = fr.lastSeq
 }
 
 // writeEntry assigns the next sequence number to e and writes it into
@@ -197,10 +327,7 @@ func (j *Journal) writeEntry(e Entry) (uint64, error) {
 		return 0, j.err
 	}
 	e.Seq = j.seq + 1
-	j.buf = appendEntry(j.buf[:0], e)
-	n, err := j.w.Write(j.buf)
-	j.size += int64(n)
-	if err != nil {
+	if err := j.writeLine(e); err != nil {
 		j.err = fmt.Errorf("store: write journal entry: %w", err)
 		return 0, j.err
 	}
@@ -215,14 +342,67 @@ func (j *Journal) writeRaw(e Entry) error {
 	if j.err != nil {
 		return j.err
 	}
-	j.buf = appendEntry(j.buf[:0], e)
-	n, err := j.w.Write(j.buf)
-	j.size += int64(n)
-	if err != nil {
+	if err := j.writeLine(e); err != nil {
 		j.err = fmt.Errorf("store: write snapshot entry: %w", err)
 		return j.err
 	}
 	j.raw++
+	return nil
+}
+
+// writeLine encodes and writes one record line — framed in a v1
+// envelope unless the journal runs in legacy mode — and maintains the
+// running size/CRC/record accounting the segment footer seals.
+func (j *Journal) writeLine(e Entry) error {
+	j.buf = appendEntry(j.buf[:0], e)
+	out := j.buf
+	if j.framed {
+		j.line = appendFrame(j.line[:0], frameRecord, j.buf[:len(j.buf)-1])
+		out = j.line
+	}
+	n, err := j.w.Write(out)
+	j.size += int64(n)
+	if err != nil {
+		return err
+	}
+	j.fileCRC = crc32.Update(j.fileCRC, crcTable, out)
+	j.records++
+	if e.Seq > 0 {
+		if j.loSeq == 0 || e.Seq < j.loSeq {
+			j.loSeq = e.Seq
+		}
+		if e.Seq > j.hiSeq {
+			j.hiSeq = e.Seq
+		}
+	}
+	return nil
+}
+
+// writeFooter appends the segment footer sealing everything written so
+// far: record count, sequence range, whole-file CRC and byte length.
+// Buffered like every write — the caller's flush/sync covers it. A
+// no-op for legacy-mode or empty files; nothing may be appended after
+// it (replay treats data past a footer as corruption), which the seal
+// and fold paths guarantee by footer-ing only right before rename.
+func (j *Journal) writeFooter() error {
+	if j.err != nil {
+		return j.err
+	}
+	if !j.framed || j.records == 0 {
+		return nil
+	}
+	ft := segFooter{Records: j.records, FirstSeq: j.loSeq, LastSeq: j.hiSeq, CRC: j.fileCRC, Bytes: j.size}
+	payload, err := json.Marshal(ft)
+	if err != nil {
+		return fmt.Errorf("store: encode segment footer: %w", err)
+	}
+	j.line = appendFrame(j.line[:0], frameFooter, payload)
+	n, werr := j.w.Write(j.line)
+	j.size += int64(n)
+	if werr != nil {
+		j.err = fmt.Errorf("store: write segment footer: %w", werr)
+		return j.err
+	}
 	return nil
 }
 
@@ -312,71 +492,215 @@ func (j *Journal) Close() error {
 // Seq returns the sequence number of the last written entry.
 func (j *Journal) Seq() uint64 { return j.seq }
 
-// ErrCorrupt is wrapped by ReplayJournal when it finds a malformed
-// record before the final line of the file.
+// ErrCorrupt is the sentinel wrapped by every corruption verdict: a
+// damaged record before the last valid one, a broken segment footer, a
+// torn snapshot, a referenced archive that is missing, resized or fails
+// its CRC. Match with errors.Is; the concrete error is usually a
+// *CorruptionError carrying file/offset detail.
 var ErrCorrupt = errors.New("store: corrupt journal record")
 
-// ReplayJournal streams every entry of the journal at path through fn
-// in order, returning the count replayed, the highest sequence seen,
-// and the byte offset where valid data ends.
-//
-// Recovery semantics: a malformed or truncated *final* line is treated
-// as a torn write and dropped silently — this covers both a torn single
-// append and a batch cut short mid-write, since a batch is one
-// contiguous buffered write whose tail is the only damage a crash can
-// do. The returned goodBytes excludes the torn tail; appenders must
-// truncate to it before reopening, or the next append would weld onto
-// the torn line and turn a recoverable tail into mid-file corruption.
-// A malformed line followed by more data means real corruption and
-// returns ErrCorrupt (wrapped). A missing file replays zero entries.
-func ReplayJournal(path string, fn func(Entry) error) (n int, lastSeq uint64, goodBytes int64, err error) {
+// CorruptionError reports where mid-file damage was found. It wraps
+// ErrCorrupt, so errors.Is(err, ErrCorrupt) keeps matching.
+type CorruptionError struct {
+	Path    string // file the damage was found in
+	Offset  int64  // byte offset where the bad data starts
+	Line    int    // 1-based line number of the bad record
+	LastSeq uint64 // highest sequence read successfully before the damage
+	Detail  string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("%v: %s: line %d @ offset %d (last good seq %d): %s",
+		ErrCorrupt, filepath.Base(e.Path), e.Line, e.Offset, e.LastSeq, e.Detail)
+}
+
+func (e *CorruptionError) Unwrap() error { return ErrCorrupt }
+
+// replayPolicy selects the torn-tail-vs-corruption verdict for one file
+// kind (see the package doc's decision rule).
+type replayPolicy int
+
+const (
+	// replayActive: an invalid suffix is a torn tail (truncate, count);
+	// an invalid line before the last valid record is corruption.
+	replayActive replayPolicy = iota
+	// replaySealed: strict, except a torn (unterminated) final line in
+	// a footer-less legacy segment — a crash tail sealed by a later
+	// life — which is dropped.
+	replaySealed
+	// replaySnapshot: fully strict; snapshots are fsynced before the
+	// rename that publishes them, so any damage means the disk lied.
+	replaySnapshot
+)
+
+// fileReplay is what one file's replay found: record count, sequence
+// range, the offset where valid data ends (excluding any footer and
+// torn tail), the running CRC over those good bytes, the verified
+// footer if one was present, and how many trailing bytes were dropped
+// as a torn tail.
+type fileReplay struct {
+	n        int
+	firstSeq uint64
+	lastSeq  uint64
+	good     int64
+	crc      uint32
+	size     int64
+	torn     int64
+	footer   *segFooter
+}
+
+// parseJournalLine decodes one non-empty journal line: a framed v1
+// record or footer, or a legacy bare-JSON record (version sniff on the
+// first byte). A non-empty detail means the line is invalid — malformed
+// envelope, CRC mismatch, or undecodable JSON; the torn-vs-corrupt
+// verdict is the caller's, since it depends on the file kind and the
+// line's position.
+func parseJournalLine(trimmed []byte) (*Entry, *segFooter, string) {
+	if trimmed[0] == frameMagic {
+		if len(trimmed) <= frameHdrLen || trimmed[2] != ' ' || trimmed[frameHdrLen-1] != ' ' {
+			return nil, nil, "malformed record envelope"
+		}
+		want, ok := parseHex32(trimmed[3 : frameHdrLen-1])
+		if !ok {
+			return nil, nil, "malformed envelope checksum"
+		}
+		payload := trimmed[frameHdrLen:]
+		if got := crc32.Checksum(payload, crcTable); got != want {
+			return nil, nil, fmt.Sprintf("record CRC mismatch (computed %08x, recorded %08x)", got, want)
+		}
+		switch trimmed[1] {
+		case frameRecord:
+			var e Entry
+			if err := json.Unmarshal(payload, &e); err != nil {
+				return nil, nil, fmt.Sprintf("undecodable record: %v", err)
+			}
+			return &e, nil, ""
+		case frameFooter:
+			var ft segFooter
+			if err := json.Unmarshal(payload, &ft); err != nil {
+				return nil, nil, fmt.Sprintf("undecodable segment footer: %v", err)
+			}
+			return nil, &ft, ""
+		default:
+			return nil, nil, fmt.Sprintf("unknown envelope kind %q", trimmed[1])
+		}
+	}
+	var e Entry
+	if err := json.Unmarshal(trimmed, &e); err != nil {
+		return nil, nil, fmt.Sprintf("undecodable record: %v", err)
+	}
+	return &e, nil, ""
+}
+
+// replayJournalFile streams one file's entries through fn in order,
+// verifying per-record CRCs and the segment footer when present, and
+// applying the policy's torn-tail-vs-corruption rule. fn may be nil to
+// verify without applying (the scrubber and fsck). A missing file
+// replays zero entries. Callers replaying an active file must truncate
+// it to fr.good before reopening it for appends — that cuts both a torn
+// tail and a footer left by a seal that crashed before its rename.
+func replayJournalFile(path string, policy replayPolicy, fn func(Entry) error) (fileReplay, error) {
+	var fr fileReplay
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return 0, 0, 0, nil
+			return fr, nil
 		}
-		return 0, 0, 0, fmt.Errorf("store: open journal for replay: %w", err)
+		return fr, fmt.Errorf("store: open journal for replay: %w", err)
 	}
 	defer f.Close()
 
 	r := bufio.NewReaderSize(f, 1<<16)
 	lineNo := 0
 	offset := int64(0)
+	footerEnd := int64(-1)
+	badOff := int64(-1) // first invalid line (active policy's suffix scan)
+	var badLine int
+	var badDetail string
+	corrupt := func(off int64, line int, detail string) error {
+		return &CorruptionError{Path: path, Offset: off, Line: line, LastSeq: fr.lastSeq, Detail: detail}
+	}
 	for {
 		line, readErr := r.ReadBytes('\n')
 		atEOF := errors.Is(readErr, io.EOF)
 		if readErr != nil && !atEOF {
-			return n, lastSeq, goodBytes, fmt.Errorf("store: read journal: %w", readErr)
+			return fr, fmt.Errorf("store: read journal: %w", readErr)
 		}
+		lineStart := offset
 		offset += int64(len(line))
+		fr.size = offset
 		trimmed := bytes.TrimSpace(line)
 		if len(trimmed) > 0 {
 			lineNo++
-			// A record is only valid when newline-terminated: an
-			// unterminated final line — even one that happens to parse —
-			// is a batch cut short before its flush completed, so the
-			// entry was never acknowledged and is dropped.
-			if atEOF && !bytes.HasSuffix(line, []byte{'\n'}) {
-				return n, lastSeq, goodBytes, nil // torn final write: drop it
+			terminated := bytes.HasSuffix(line, []byte{'\n'})
+			e, ft, detail := parseJournalLine(trimmed)
+			if detail == "" && !terminated {
+				// A record is only valid when newline-terminated: an
+				// unterminated final line — even one that parses — is a
+				// write cut short before its flush completed, so the
+				// entry was never acknowledged.
+				detail = "unterminated final record"
 			}
-			var e Entry
-			if jsonErr := json.Unmarshal(trimmed, &e); jsonErr != nil {
-				if atEOF {
-					return n, lastSeq, goodBytes, nil // torn final write: drop it
+			switch {
+			case detail != "":
+				if badOff < 0 {
+					badOff, badLine, badDetail = lineStart, lineNo, detail
 				}
-				return n, lastSeq, goodBytes, fmt.Errorf("%w: line %d: %v", ErrCorrupt, lineNo, jsonErr)
-			}
-			if fnErr := fn(e); fnErr != nil {
-				return n, lastSeq, goodBytes, fnErr
-			}
-			n++
-			if e.Seq > lastSeq {
-				lastSeq = e.Seq
+				switch policy {
+				case replaySnapshot:
+					return fr, corrupt(badOff, badLine, badDetail)
+				case replaySealed:
+					if atEOF && !terminated && footerEnd < 0 {
+						fr.torn = offset - badOff // legacy crash tail sealed later
+						return fr, nil
+					}
+					return fr, corrupt(badOff, badLine, badDetail)
+				}
+				// Active file: keep scanning — an invalid suffix is a torn
+				// tail, but any valid line after it proves mid-file damage.
+			case badOff >= 0:
+				return fr, corrupt(badOff, badLine, badDetail)
+			case footerEnd >= 0:
+				return fr, corrupt(lineStart, lineNo, "data after segment footer")
+			case ft != nil:
+				if ft.Records != int64(fr.n) || ft.Bytes != fr.good || ft.CRC != fr.crc {
+					return fr, corrupt(lineStart, lineNo, fmt.Sprintf(
+						"segment footer mismatch: streamed %d records / %d bytes / crc %08x, footer sealed %d / %d / %08x",
+						fr.n, fr.good, fr.crc, ft.Records, ft.Bytes, ft.CRC))
+				}
+				fr.footer = ft
+				footerEnd = offset
+			default:
+				if fn != nil {
+					if fnErr := fn(*e); fnErr != nil {
+						return fr, fnErr
+					}
+				}
+				fr.n++
+				if e.Seq > 0 && (fr.firstSeq == 0 || e.Seq < fr.firstSeq) {
+					fr.firstSeq = e.Seq
+				}
+				if e.Seq > fr.lastSeq {
+					fr.lastSeq = e.Seq
+				}
+				fr.crc = crc32.Update(fr.crc, crcTable, line)
+				fr.good = offset
 			}
 		}
-		goodBytes = offset
 		if atEOF {
-			return n, lastSeq, goodBytes, nil
+			if badOff >= 0 {
+				fr.torn = offset - badOff
+			}
+			return fr, nil
 		}
 	}
+}
+
+// ReplayJournal streams every entry of the journal at path through fn
+// in order under the active-file policy, returning the count replayed,
+// the highest sequence seen, and the byte offset where valid data ends
+// (which callers reopening the file for appends must truncate to).
+func ReplayJournal(path string, fn func(Entry) error) (n int, lastSeq uint64, goodBytes int64, err error) {
+	fr, err := replayJournalFile(path, replayActive, fn)
+	return fr.n, fr.lastSeq, fr.good, err
 }

@@ -1,0 +1,178 @@
+package store
+
+// The background scrubber: bounded re-verification of durable files
+// while the engine serves. Each tick walks the generation in a fixed
+// order — sealed segments by number, then the newest snapshot, then
+// archives by number — resuming at a cursor and stopping once the byte
+// budget is spent; reaching the end completes a pass and resets the
+// cursor. The active file is never scrubbed: its tail is legitimately
+// in flux (buffered writes can land mid-line), and every line in it is
+// re-verified at the next open anyway.
+//
+// Scrubbing is detection, not repair: a failed file is counted, stamped
+// into IntegrityStats.LastError and reported through onCorrupt (which
+// feeds the journal-corruption alert), but never moved while the engine
+// may be serving reads from it — quarantine is an open-time decision,
+// repair an offline one (fsck).
+
+import (
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// scrubLoop runs tick(maxBytes) every interval from its own goroutine
+// and returns an idempotent stop function that waits for the loop to
+// exit. The shared driver behind Store's and Instances' background
+// scrubbers.
+func scrubLoop(interval time.Duration, maxBytes int64, tick func(int64) ScrubResult) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				tick(maxBytes)
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// ScrubResult reports what one scrub tick did.
+type ScrubResult struct {
+	// Files and Bytes count what this tick verified.
+	Files int   `json:"files"`
+	Bytes int64 `json:"bytes"`
+	// Corrupt counts files that failed verification this tick.
+	Corrupt int `json:"corrupt"`
+	// PassCompleted reports that the tick reached the end of the
+	// generation (the cursor reset; the next tick starts over).
+	PassCompleted bool `json:"pass_completed"`
+}
+
+// scrubPos orders the scrub walk: sealed segments (kind 0), the
+// snapshot (kind 1), archives (kind 2), each by file number. The zero
+// value means "start of the pass" — real candidates always have a
+// nonzero number.
+type scrubPos struct {
+	kind int
+	num  uint64
+}
+
+func (p scrubPos) less(q scrubPos) bool {
+	return p.kind < q.kind || (p.kind == q.kind && p.num < q.num)
+}
+
+// scrubCandidates lists the currently verifiable files in walk order
+// from the live generation state — no directory scan, so a tick races
+// folds only through the filesystem (a file deleted underfoot verifies
+// as empty and is skipped).
+func (sf *segFiles) scrubCandidates() []scrubPos {
+	var out []scrubPos
+	snap := sf.snapNum.Load()
+	hi := atomic.LoadUint64(&sf.sealedHi)
+	for n := snap + 1; n <= hi; n++ {
+		out = append(out, scrubPos{0, n})
+	}
+	if snap > 0 {
+		out = append(out, scrubPos{1, snap})
+	}
+	sf.refMu.Lock()
+	nums := make([]uint64, 0, len(sf.refs))
+	for n := range sf.refs {
+		nums = append(nums, n)
+	}
+	sf.refMu.Unlock()
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	for _, n := range nums {
+		out = append(out, scrubPos{2, n})
+	}
+	return out
+}
+
+// scrubVerify checks one candidate and returns the bytes it read. A
+// file that vanished underfoot (folded away between listing and open)
+// verifies as zero bytes, nil error — except a referenced archive,
+// whose absence is real corruption (references are durable).
+func (sf *segFiles) scrubVerify(p scrubPos) (string, int64, error) {
+	switch p.kind {
+	case 0:
+		path := filepath.Join(sf.dir, sealedName(p.num))
+		fr, err := replayJournalFile(path, replaySealed, nil)
+		return path, fr.size, err
+	case 1:
+		path := filepath.Join(sf.dir, snapName(p.num))
+		fr, err := replayJournalFile(path, replaySnapshot, nil)
+		return path, fr.size, err
+	default:
+		path := filepath.Join(sf.dir, archiveName(p.num))
+		sf.refMu.Lock()
+		ref, ok := sf.refs[p.num]
+		sf.refMu.Unlock()
+		if !ok {
+			return path, 0, nil
+		}
+		return path, ref.Bytes, readArchive(sf.dir, ref, func(Entry) error { return nil })
+	}
+}
+
+// scrubTick runs one bounded verification tick (at most maxBytes of
+// IO, 0 = DefaultScrubBytesPerTick). Ticks are serialized by scrubMu;
+// callers may invoke it from a ticker loop or on demand.
+func (sf *segFiles) scrubTick(maxBytes int64) ScrubResult {
+	sf.scrubMu.Lock()
+	defer sf.scrubMu.Unlock()
+	if maxBytes <= 0 {
+		maxBytes = DefaultScrubBytesPerTick
+	}
+	var res ScrubResult
+	start := scrubPos{}
+	cursor := sf.scrubCursor
+	budget := maxBytes
+	for _, c := range sf.scrubCandidates() {
+		if cursor != start && !cursor.less(c) {
+			continue // verified earlier in this pass
+		}
+		path, size, err := sf.scrubVerify(c)
+		res.Files++
+		res.Bytes += size
+		sf.scrubFiles.Add(1)
+		sf.scrubBytes.Add(uint64(size))
+		if err != nil {
+			res.Corrupt++
+			sf.corrupt.Add(1)
+			sf.scrubErr = err.Error()
+			if sf.onCorrupt != nil {
+				sf.onCorrupt(CorruptFile{Path: path, Detail: err.Error(), Source: "scrub"})
+			}
+		}
+		sf.scrubCursor = c
+		cursor = c
+		budget -= size
+		if budget <= 0 {
+			sf.scrubTicks.Add(1)
+			return res
+		}
+	}
+	sf.scrubCursor = start
+	sf.scrubPasses.Add(1)
+	sf.lastScrub.Store(time.Now().Unix())
+	sf.scrubTicks.Add(1)
+	res.PassCompleted = true
+	return res
+}

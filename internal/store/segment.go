@@ -160,10 +160,15 @@ type ReplayStats struct {
 
 // segReplay is the full result of a segmented replay.
 type segReplay struct {
-	stats      ReplayStats
-	lastSeq    uint64
-	activeGood int64 // byte offset where the active file's valid data ends
-	state      segState
+	stats   ReplayStats
+	lastSeq uint64
+	active  fileReplay // the active file's result; good excludes footer + torn tail
+	state   segState
+	// Torn-tail accounting: files whose invalid suffix was dropped as a
+	// crash tail, and the bytes dropped — recoverable, but counted so
+	// operators can see it happened (IntegrityStats).
+	tornFiles int
+	tornBytes int64
 }
 
 // replaySegmented streams the directory's journal generation through
@@ -176,14 +181,14 @@ type segReplay struct {
 // for non-idempotent buckets (logs, instance records) re-applying them
 // would double history.
 //
-// Torn tails: a torn final line in the active file OR in a sealed
-// segment is dropped silently — in both cases it is a batch cut short
-// by a crash whose entries were never acknowledged (a sealed segment
-// can carry one when the crash hit the active file and a later life
-// sealed it, or when rename happened but the tail had never been
-// acked). A torn tail in a *snapshot* is real corruption — snapshots
-// are renamed into place only after a successful fsync — and fails the
-// replay rather than silently dropping folded state.
+// Torn tails vs. corruption: each file kind gets its own policy (see
+// replayPolicy in journal.go). The active file tolerates an invalid
+// suffix (truncated and counted), a sealed segment only a torn final
+// line when it carries no footer (the legacy crash shape where the
+// torn active file was sealed by a later life), and a snapshot nothing
+// — snapshots are renamed into place only after a successful fsync, so
+// damage there fails the replay rather than silently dropping folded
+// state.
 func replaySegmented(dir string, key func(Entry) string, fn func(Entry) error) (segReplay, error) {
 	var out segReplay
 	st, err := scanSegments(dir)
@@ -198,7 +203,7 @@ func replaySegmented(dir string, key func(Entry) string, fn func(Entry) error) (
 		}
 	}
 	if st.snapPath != "" {
-		_, lastSeq, good, err := ReplayJournal(st.snapPath, func(e Entry) error {
+		fr, err := replayJournalFile(st.snapPath, replaySnapshot, func(e Entry) error {
 			if e.Op == opSeqMark {
 				note(e.Seq)
 				return nil
@@ -212,10 +217,7 @@ func replaySegmented(dir string, key func(Entry) string, fn func(Entry) error) (
 		if err != nil {
 			return out, err
 		}
-		note(lastSeq)
-		if info, statErr := os.Stat(st.snapPath); statErr == nil && info.Size() > good {
-			return out, fmt.Errorf("%w: torn snapshot %s", ErrCorrupt, snapName(st.snapNum))
-		}
+		note(fr.lastSeq)
 	}
 	tail := func(e Entry) error {
 		if e.Seq <= bounds[key(e)] {
@@ -226,19 +228,30 @@ func replaySegmented(dir string, key func(Entry) string, fn func(Entry) error) (
 		return fn(e)
 	}
 	for _, n := range st.sealed {
-		_, lastSeq, _, err := ReplayJournal(filepath.Join(dir, sealedName(n)), tail)
+		fr, err := replayJournalFile(filepath.Join(dir, sealedName(n)), replaySealed, tail)
 		if err != nil {
 			return out, err
 		}
-		note(lastSeq)
+		note(fr.lastSeq)
 		out.stats.Segments++
+		if fr.torn > 0 {
+			out.tornFiles++
+			out.tornBytes += fr.torn
+		}
 	}
-	_, lastSeq, good, err := ReplayJournal(filepath.Join(dir, journalName), tail)
+	fr, err := replayJournalFile(filepath.Join(dir, journalName), replayActive, tail)
 	if err != nil {
 		return out, err
 	}
-	note(lastSeq)
-	out.activeGood = good
+	note(fr.lastSeq)
+	out.active = fr
+	if fr.torn > 0 {
+		// fr.size - fr.good can also include a footer left by a seal
+		// that crashed before its rename; only genuinely torn bytes are
+		// counted (the footer is still truncated away via fr.good).
+		out.tornFiles++
+		out.tornBytes += fr.torn
+	}
 	return out, nil
 }
 
@@ -270,6 +283,7 @@ func syncDir(dir string) {
 // serialized by the owner (one fold at a time).
 type segFiles struct {
 	dir      string
+	framed   bool          // write v1 envelopes and seal with footers
 	sealedHi uint64        // highest sealed segment on disk (appender lock)
 	snapNum  atomic.Uint64 // segments <= snapNum are folded into the snapshot
 
@@ -292,11 +306,34 @@ type segFiles struct {
 	archiveBytes    atomic.Int64
 	archivesWritten atomic.Uint64
 	orphanArchives  atomic.Uint64 // unreferenced archives removed on open
+
+	// Integrity accounting (see integrity.go and scrub.go). onCorrupt
+	// is set before any traffic (at open) and observes every corruption
+	// detection; nil = unobserved.
+	tornTails     atomic.Uint64 // files whose torn tails open dropped
+	tornTailBytes atomic.Int64
+	corrupt       atomic.Uint64 // corrupt files detected (open + scrub)
+	quarantined   atomic.Uint64 // files moved aside by quarantine mode
+	scrubTicks    atomic.Uint64
+	scrubPasses   atomic.Uint64
+	scrubFiles    atomic.Uint64
+	scrubBytes    atomic.Uint64
+	lastScrub     atomic.Int64 // unix seconds of the last completed pass
+	onCorrupt     func(CorruptFile)
+
+	// scrubMu guards the scrub cursor and last-error text (one scrub
+	// tick at a time); refMu the referenced-archive set the scrubber
+	// verifies (written by reconcile at open and Archive during folds).
+	scrubMu     sync.Mutex
+	scrubCursor scrubPos
+	scrubErr    string
+	refMu       sync.Mutex
+	refs        map[uint64]ArchiveRef
 }
 
 // newSegFiles adopts the generation a scan found.
-func newSegFiles(dir string, st segState) *segFiles {
-	sf := &segFiles{dir: dir}
+func newSegFiles(dir string, st segState, framed bool) *segFiles {
+	sf := &segFiles{dir: dir, framed: framed, refs: make(map[uint64]ArchiveRef)}
 	sf.snapNum.Store(st.snapNum)
 	sf.sealedHi = st.snapNum
 	if n := len(st.sealed); n > 0 {
@@ -307,12 +344,28 @@ func newSegFiles(dir string, st segState) *segFiles {
 	return sf
 }
 
-// adoptArchives seeds the archive counters from a reconcile pass.
-func (sf *segFiles) adoptArchives(kept int, keptBytes int64, hi, removed uint64) {
+// adoptIntegrity seeds the open-time integrity counters from replay and
+// the quarantine pre-verify pass.
+func (sf *segFiles) adoptIntegrity(sr segReplay, quarantined, corrupt int, onCorrupt func(CorruptFile)) {
+	sf.tornTails.Store(uint64(sr.tornFiles))
+	sf.tornTailBytes.Store(sr.tornBytes)
+	sf.corrupt.Store(uint64(corrupt))
+	sf.quarantined.Store(uint64(quarantined))
+	sf.onCorrupt = onCorrupt
+}
+
+// adoptArchives seeds the archive counters and the scrubber's ref set
+// from a reconcile pass.
+func (sf *segFiles) adoptArchives(kept []ArchiveRef, keptBytes int64, hi, removed uint64) {
 	sf.archiveHi.Store(hi)
-	sf.archives.Store(int64(kept))
+	sf.archives.Store(int64(len(kept)))
 	sf.archiveBytes.Store(keptBytes)
 	sf.orphanArchives.Store(removed)
+	sf.refMu.Lock()
+	for _, ref := range kept {
+		sf.refs[ref.Archive] = ref
+	}
+	sf.refMu.Unlock()
 }
 
 // sealedCount reports how many sealed segments await folding; callers
@@ -334,6 +387,14 @@ func (sf *segFiles) seal(j *Journal) (*Journal, error) {
 	if j.Size() == 0 {
 		return j, nil
 	}
+	// The footer seals the segment's content (count, seq range, whole-
+	// file CRC) so the sealed file verifies in one pass. If anything
+	// after this fails, the journal's sticky error stops further appends
+	// — and a footer stranded in the active file is harmless anyway: the
+	// next open truncates it away with the torn tail.
+	if err := j.writeFooter(); err != nil {
+		return j, err
+	}
 	if err := j.Flush(); err != nil {
 		return j, err
 	}
@@ -350,7 +411,7 @@ func (sf *segFiles) seal(j *Journal) (*Journal, error) {
 	if err := os.Rename(active, filepath.Join(sf.dir, sealedName(next))); err != nil {
 		return j, fmt.Errorf("store: seal segment: %w", err)
 	}
-	nj, err := OpenJournal(active, seq)
+	nj, err := openJournal(active, seq, sf.framed)
 	if err != nil {
 		return j, err
 	}
@@ -379,7 +440,7 @@ func (sf *segFiles) fold(covers, hwm uint64, write func(*Journal) error) error {
 	final := filepath.Join(sf.dir, snapName(covers))
 	tmp := final + ".tmp"
 	os.Remove(tmp)
-	sj, err := OpenJournal(tmp, 0)
+	sj, err := openJournal(tmp, 0, sf.framed)
 	if err != nil {
 		sf.foldErrors.Add(1)
 		return err
@@ -397,6 +458,9 @@ func (sf *segFiles) fold(covers, hwm uint64, write func(*Journal) error) error {
 		return fail(err)
 	}
 	entries := sj.Raw() - 1 // exclude the opSeqMark header
+	if err := sj.writeFooter(); err != nil {
+		return fail(err)
+	}
 	if err := sj.Flush(); err != nil {
 		return fail(err)
 	}
@@ -515,5 +579,20 @@ func (sf *segFiles) statsInto(st *EngineStats, replay ReplayStats) {
 	st.ArchiveBytes = sf.archiveBytes.Load()
 	st.ArchivesWritten = sf.archivesWritten.Load()
 	st.OrphanArchives = sf.orphanArchives.Load()
+	st.Integrity = IntegrityStats{
+		Framing:          sf.framed,
+		TornTails:        sf.tornTails.Load(),
+		TornTailBytes:    sf.tornTailBytes.Load(),
+		CorruptFiles:     sf.corrupt.Load(),
+		QuarantinedFiles: sf.quarantined.Load(),
+		ScrubTicks:       sf.scrubTicks.Load(),
+		ScrubPasses:      sf.scrubPasses.Load(),
+		ScrubFiles:       sf.scrubFiles.Load(),
+		ScrubBytes:       sf.scrubBytes.Load(),
+		LastScrubUnix:    sf.lastScrub.Load(),
+	}
+	sf.scrubMu.Lock()
+	st.Integrity.LastError = sf.scrubErr
+	sf.scrubMu.Unlock()
 	st.Replay = replay
 }

@@ -78,6 +78,12 @@ type Store struct {
 	retryMu    sync.Mutex
 	retry      *time.Timer
 	retryArmed bool
+
+	// Background scrubber (Options.Integrity.ScrubInterval); started by
+	// Load, stopped by Close.
+	scrubInterval time.Duration
+	scrubBudget   int64
+	stopScrub     func()
 }
 
 // Options configure a Store.
@@ -131,6 +137,10 @@ type Options struct {
 	// on the commit path — must be O(1) and must not call back into
 	// the store.
 	OnAppendResult func(error)
+	// Integrity tunes corruption detection on the journal: record
+	// framing, quarantine mode, the background scrubber (see
+	// IntegrityOptions).
+	Integrity IntegrityOptions
 }
 
 // DefaultShards is the repository lock-stripe count when Options.Shards
@@ -220,11 +230,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		SegmentMaxBytes: opts.SegmentMaxBytes,
 		SnapshotEvery:   opts.SnapshotEvery,
 		OnSeal:          s.scheduleFold,
+		Integrity:       opts.Integrity,
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.engine = engine
+	s.scrubInterval = opts.Integrity.ScrubInterval
+	s.scrubBudget = opts.Integrity.ScrubBytesPerTick
 	return s, nil
 }
 
@@ -324,7 +337,22 @@ func (s *Store) LoadParallel(workers int) error {
 	// journal keeps growing until a later fold succeeds, so no data is
 	// ever at risk.
 	s.folds.start(func() { s.fold(false) })
+	if s.scrubInterval > 0 {
+		s.stopScrub = scrubLoop(s.scrubInterval, s.scrubBudget, s.engine.Scrub)
+	}
 	return nil
+}
+
+// Scrub runs one bounded background-verification tick on the engine —
+// the on-demand hook behind the admin API and tests; the interval loop
+// (Options.Integrity.ScrubInterval) calls the same engine method.
+func (s *Store) Scrub(maxBytes int64) ScrubResult {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ScrubResult{}
+	}
+	return s.engine.Scrub(maxBytes)
 }
 
 // scheduleFold pokes the background folder — the engine's OnSeal hook.
@@ -523,6 +551,9 @@ func (s *Store) Close() error {
 		s.retry.Stop()
 	}
 	s.retryMu.Unlock()
+	if s.stopScrub != nil {
+		s.stopScrub()
+	}
 	s.folds.stop()
 	return s.engine.Close()
 }
