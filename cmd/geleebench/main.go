@@ -7,8 +7,12 @@
 //
 // Usage:
 //
-//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store|runtime|monitor|persist|segments|fold|overload|integrity]
+//	geleebench [-experiment all|fig1|table1|table2|fig2|fig3|fig4|ablation|liquidpub|store|runtime|monitor|persist|segments|fold|overload|integrity|openloop]
 //	           [-runtime-shards N]
+//	           [-openloop-duration D] [-openloop-scale N] [-openloop-soak D]
+//	           [-openloop-fixed] [-openloop-hot-rate R] [-openloop-advance-rate R]
+//	           [-openloop-timeline-rate R] [-openloop-model-rate R]
+//	           [-openloop-cockpit-rate R] [-openloop-tuning=false]
 //
 // The runtime experiment drives disjoint-instance token moves from a
 // growing number of goroutines and compares indexed vs scan-based
@@ -30,7 +34,17 @@
 // the durable-put cost of CRC-32C record framing against the legacy
 // unframed format and the background scrubber's verification
 // throughput, proving a flipped bit is detected; results in
-// BENCH_integrity.json.
+// BENCH_integrity.json. The openloop experiment is the latency
+// harness: arrivals are scheduled on a Poisson (or -openloop-fixed)
+// clock decoupled from completions so queueing delay is measured
+// rather than hidden (no coordinated omission), with log-linear
+// histograms (p50/p99/p999/max) per operation class — advance,
+// cockpit read, timeline page, model get — over a population seeded
+// to -openloop-scale (default 1M, with memory-per-instance and index
+// growth at each power-of-ten checkpoint), a read-cache on/off A/B on
+// a hot wide model, an admission-watermark tuning sweep that grounds
+// geleed's -max-queue-depth default, and an optional -openloop-soak
+// mixed run; results in BENCH_openloop.json.
 package main
 
 import (
@@ -89,6 +103,7 @@ func main() {
 		{"fold", "E14 — fold-by-reference archives: flat fold cost vs full-history rewrite", runFold},
 		{"overload", "E15 — overload & failure engineering: shedding, read-only fallback, breaker isolation", runOverload},
 		{"integrity", "E16 — journal integrity: CRC framing overhead + scrub throughput", runIntegrity},
+		{"openloop", "E17 — open-loop latency: arrival-rate histograms, 1M-instance scaler, read-cache A/B", runOpenLoopExperiment},
 	}
 	ran := 0
 	for _, e := range experiments {

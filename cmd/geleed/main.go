@@ -10,6 +10,7 @@
 //	       [-journal-flush-interval D] [-journal-flush-batch N]
 //	       [-segment-max-bytes N] [-snapshot-every N]
 //	       [-log-live-window N] [-fold-min-interval D] [-fold-min-garbage R]
+//	       [-read-cache-entries N]
 //	       [-max-events N] [-invocation-retention D]
 //	       [-persist-instances=true|false]
 //	       [-max-queue-depth N] [-shed-retry-after D]
@@ -50,13 +51,20 @@
 // GET /api/v1/admin/log?after=&limit=. -fold-min-interval and
 // -fold-min-garbage pace the background folder (wall-clock spacing and
 // a minimum sealed-garbage ratio) so a trickle of writes never
-// re-snapshots an unchanged population. GET /api/v1/admin/store and
+// re-snapshots an unchanged population. -read-cache-entries bounds the
+// per-shard LRU read cache in front of the model/template repositories
+// (64 per shard by default, <0 disables): hot models are served as
+// shared prepared values, skipping the defensive deep clone on every
+// cockpit fetch — hit/miss/evict counters show next to the hot-key
+// sketch on the admin store stats. GET /api/v1/admin/store and
 // /api/v1/admin/runtime report the resulting engine, rotation/fold,
 // archive, replay, runtime and persistence health.
 //
 // The overload/failure knobs guard the service under stress:
 // -max-queue-depth sheds mutating requests with 429 + Retry-After once
-// the commit backlog saturates (reads always serve); -readonly-after
+// the commit backlog saturates (reads always serve; default 512, tuned
+// under the open-loop harness — see BENCH_openloop.json — 0 disables
+// shedding); -readonly-after
 // flips the node into a degraded read-only mode after that many
 // consecutive journal failures, rejecting mutations with 503 until
 // -health-probe-interval probes see the disk heal for -recover-after
@@ -95,6 +103,15 @@ import (
 	"github.com/liquidpub/gelee/internal/scenario"
 )
 
+// defaultMaxQueueDepth is the tuned admission watermark (geleebench
+// -experiment openloop, BENCH_openloop.json): at depths past ~512 the
+// commit backlog only adds queueing delay to every acked mutation
+// without improving throughput, while shedding at 512 keeps acked p99
+// bounded under 2x-capacity overload. Resume stays at the watermark/2
+// hysteresis built into the admission gate. Set -max-queue-depth 0 to
+// disable shedding (the pre-tuning behavior).
+const defaultMaxQueueDepth = 512
+
 func main() {
 	addr := flag.String("addr", ":8085", "listen address")
 	dataDir := flag.String("data", "", "data directory (empty = in-memory)")
@@ -111,10 +128,11 @@ func main() {
 	logWindow := flag.Int("log-live-window", 0, "execution-log entries kept hot; older history archived by reference (0 = default, <0 = never archive)")
 	foldMinInterval := flag.Duration("fold-min-interval", 15*time.Second, "minimum wall-clock spacing between background snapshot folds (0 = none)")
 	foldMinGarbage := flag.Float64("fold-min-garbage", 0.25, "minimum sealed-garbage ratio before a background fold runs (0 = none)")
+	readCache := flag.Int("read-cache-entries", 0, "per-shard LRU entries for the model/template read cache (0 = default 64, <0 = disable)")
 	maxEvents := flag.Int("max-events", 0, "max in-memory events per instance, ring-truncated (0 = unbounded)")
 	invRetention := flag.Duration("invocation-retention", 0, "grace window before terminal invocation-index entries are GC'd (0 = keep forever)")
 	persist := flag.Bool("persist-instances", true, "journal lifecycle-instance mutations and replay them on start")
-	maxQueue := flag.Int("max-queue-depth", 0, "shed mutating requests with 429 once the commit backlog passes this depth (0 = no shedding)")
+	maxQueue := flag.Int("max-queue-depth", defaultMaxQueueDepth, "shed mutating requests with 429 once the commit backlog passes this depth (0 = no shedding)")
 	shedRetry := flag.Duration("shed-retry-after", 0, "Retry-After hint attached to shed responses (0 = default)")
 	readonlyAfter := flag.Int("readonly-after", 0, "consecutive journal append failures before entering read-only mode (0 = default)")
 	recoverAfter := flag.Int("recover-after", 0, "consecutive successful appends/probes before leaving a degraded state (0 = default)")
@@ -146,6 +164,7 @@ func main() {
 		LogLiveWindow:        *logWindow,
 		FoldMinInterval:      *foldMinInterval,
 		FoldMinGarbage:       *foldMinGarbage,
+		ReadCacheEntries:     *readCache,
 		RuntimeShards:        *rtShards,
 		MaxEventsInMemory:    *maxEvents,
 		InvocationRetention:  *invRetention,
@@ -208,6 +227,12 @@ func main() {
 	stats := sys.StoreStats()
 	log.Printf("gelee lifecycle manager listening on %s (auth=%t, data=%q, engine=%s, store-shards=%d, runtime-shards=%d)",
 		*addr, *auth, *dataDir, stats.Engine.Engine, stats.Shards, sys.RuntimeStats().Shards)
+	if n := sys.ReadCacheEntriesPerShard(); n > 0 {
+		log.Printf("read cache: models/templates LRU, %d entries/shard x %d shards (max %d cached values); admission watermark %d",
+			n, stats.Shards, n*stats.Shards, *maxQueue)
+	} else {
+		log.Printf("read cache: disabled; admission watermark %d", *maxQueue)
+	}
 	log.Printf("try: curl http://localhost%s/api/v1/monitor/summary", *addr)
 	if err := http.ListenAndServe(*addr, sys.HTTPHandler()); err != nil {
 		log.Fatal(err)

@@ -149,6 +149,15 @@ type Options struct {
 	// 0 = store.DefaultLogLiveWindow; negative = archive nothing (every
 	// fold rewrites the full log — the legacy behavior).
 	LogLiveWindow int
+	// ReadCacheEntries bounds the per-shard LRU read cache in front of
+	// the model and template repositories: decoded values prepared for
+	// sharing (a deep clone) are kept hot so the dominant read paths —
+	// cockpit model fetches, monitor rendering, instantiation storms on
+	// a popular template — skip the defensive copy entirely. Write-
+	// through invalidated on Put/Delete/replay and purged on quarantine
+	// or repair, so a cached value never outlives its record.
+	// 0 = store.DefaultReadCacheEntries per shard; negative disables.
+	ReadCacheEntries int
 	// FoldMinInterval spaces background snapshot folds at least this
 	// far apart in wall-clock time (0 = fold on every qualifying seal).
 	// Compact ignores it.
@@ -213,6 +222,10 @@ type Options struct {
 // DefaultInvokeMaxInFlight caps concurrent action dispatches per
 // endpoint when ResilienceOptions.InvokeMaxInFlight is zero.
 const DefaultInvokeMaxInFlight = 64
+
+// DefaultReadCacheEntries re-exports the per-shard read-cache bound
+// used when Options.ReadCacheEntries is zero.
+const DefaultReadCacheEntries = store.DefaultReadCacheEntries
 
 // ResilienceOptions tunes the resilience layer. See internal/resilience
 // for the health-state-machine and breaker semantics.
@@ -309,6 +322,10 @@ type System struct {
 	execLog   *store.Log
 	instances *store.Instances // nil unless Options.PersistInstances
 
+	// readCacheEntries is the resolved per-shard read-cache bound
+	// (<= 0 when disabled) — reported by startup logs and admin stats.
+	readCacheEntries int
+
 	Registry  *actionlib.Registry
 	Resources *resource.Manager
 	ACL       *access.Control
@@ -373,9 +390,18 @@ func New(opts Options) (*System, error) {
 	// alert plus the health report carry the signal to the operator.
 	integ := opts.Integrity
 	userOnCorrupt := integ.OnCorrupt
+	// purgeCaches is bound to the cached repositories once they exist
+	// (below); a quarantine event must also drop every cached decode,
+	// since the records they came from just left the journal. The hook
+	// can fire during the store's initial Load (caches still empty, the
+	// purge is a no-op but must not deadlock — see the bind site).
+	var purgeCaches func()
 	integ.OnCorrupt = func(cf store.CorruptFile) {
 		if cf.Quarantined {
 			health.ForceReadOnly(fmt.Sprintf("journal corruption quarantined: %s", cf.Path))
+			if purgeCaches != nil {
+				purgeCaches()
+			}
 		}
 		if userOnCorrupt != nil {
 			userOnCorrupt(cf)
@@ -383,19 +409,20 @@ func New(opts Options) (*System, error) {
 	}
 
 	storeOpts := store.Options{
-		Sync:            opts.SyncJournal,
-		SyncEveryAppend: opts.SyncEveryAppend,
-		Shards:          opts.StoreShards,
-		FlushInterval:   opts.JournalFlushInterval,
-		FlushBatch:      opts.JournalFlushBatch,
-		SegmentMaxBytes: opts.SegmentMaxBytes,
-		SnapshotEvery:   opts.SnapshotEvery,
-		LogLiveWindow:   opts.LogLiveWindow,
-		FoldMinInterval: opts.FoldMinInterval,
-		FoldMinGarbage:  opts.FoldMinGarbage,
-		Clock:           clock,
-		OnAppendResult:  health.Observe,
-		Integrity:       integ,
+		Sync:             opts.SyncJournal,
+		SyncEveryAppend:  opts.SyncEveryAppend,
+		Shards:           opts.StoreShards,
+		FlushInterval:    opts.JournalFlushInterval,
+		FlushBatch:       opts.JournalFlushBatch,
+		SegmentMaxBytes:  opts.SegmentMaxBytes,
+		SnapshotEvery:    opts.SnapshotEvery,
+		LogLiveWindow:    opts.LogLiveWindow,
+		FoldMinInterval:  opts.FoldMinInterval,
+		FoldMinGarbage:   opts.FoldMinGarbage,
+		ReadCacheEntries: opts.ReadCacheEntries,
+		Clock:            clock,
+		OnAppendResult:   health.Observe,
+		Integrity:        integ,
 	}
 	engine := opts.Engine
 	if engine == "" {
@@ -432,6 +459,26 @@ func New(opts Options) (*System, error) {
 	}
 	s.models = store.MustRepo[*core.Model](st, "models")
 	s.templates = store.MustRepo[*core.Model](st, "templates")
+	// Read cache: models and templates are the read-dominated
+	// repositories (every cockpit fetch, monitor render and
+	// instantiation reads them), and their values need a defensive deep
+	// clone when handed out — exactly what an LRU of prepared shared
+	// values amortizes. ModelView/TemplateView serve the shared path.
+	cacheEntries := opts.ReadCacheEntries
+	if cacheEntries == 0 {
+		cacheEntries = store.DefaultReadCacheEntries
+	}
+	s.readCacheEntries = cacheEntries
+	s.models.EnableReadCache(cacheEntries, (*core.Model).Clone)
+	s.templates.EnableReadCache(cacheEntries, (*core.Model).Clone)
+	// Purge the cached repos directly, not via Store.PurgeReadCaches:
+	// a quarantine can fire OnCorrupt in the middle of the store's
+	// Load, where the store mutex is already held — the repo-level
+	// purge takes only per-shard cache locks and is safe there.
+	purgeCaches = func() {
+		s.models.PurgeReadCache()
+		s.templates.PurgeReadCache()
+	}
 	s.actTypes = store.MustRepo[actionlib.ActionType](st, "action-types")
 	s.actImpls = store.MustRepo[actionlib.Implementation](st, "action-impls")
 	s.users = store.MustRepo[access.User](st, "users")
@@ -1032,6 +1079,20 @@ func (s *System) Model(uri string) (*core.Model, bool) {
 	return m.Clone(), true
 }
 
+// ReadCacheEntriesPerShard reports the resolved per-shard read-cache
+// bound (<= 0 means the cache is disabled) — startup logs and
+// diagnostics read it.
+func (s *System) ReadCacheEntriesPerShard() int { return s.readCacheEntries }
+
+// ModelView returns the stored model under uri as a shared read-only
+// view: the value is served from the per-shard read cache when hot, so
+// repeated fetches of a popular model skip the defensive deep clone
+// entirely. Callers MUST NOT mutate the result — use Model for a
+// private copy.
+func (s *System) ModelView(uri string) (*core.Model, bool) {
+	return s.models.GetShared(uri)
+}
+
 // Models lists every stored model.
 func (s *System) Models() []*core.Model {
 	list := s.models.List()
@@ -1066,6 +1127,13 @@ func (s *System) Template(uri string) (*core.Model, bool) {
 		return nil, false
 	}
 	return m.Clone(), true
+}
+
+// TemplateView returns the template under uri as a shared read-only
+// view served from the read cache (see ModelView). Callers MUST NOT
+// mutate the result — use Template for a private copy.
+func (s *System) TemplateView(uri string) (*core.Model, bool) {
+	return s.templates.GetShared(uri)
 }
 
 // Templates lists every template.

