@@ -39,12 +39,14 @@
 // clock decoupled from completions so queueing delay is measured
 // rather than hidden (no coordinated omission), with log-linear
 // histograms (p50/p99/p999/max) per operation class — advance,
-// cockpit read, timeline page, model get — over a population seeded
-// to -openloop-scale (default 1M, with memory-per-instance and index
-// growth at each power-of-ten checkpoint), a read-cache on/off A/B on
-// a hot wide model, an admission-watermark tuning sweep that grounds
-// geleed's -max-queue-depth default, and an optional -openloop-soak
-// mixed run; results in BENCH_openloop.json.
+// cockpit read, filtered cockpit read (?resource= pushed down to the
+// secondary index), timeline page, model get — over a population
+// seeded to -openloop-scale (default 1M, with memory-per-instance and
+// index growth at each power-of-ten checkpoint), a cockpit A/B pitting
+// the population index against the deprecated pre-index full scan, a
+// read-cache on/off A/B on a hot wide model, an admission-watermark
+// tuning sweep that grounds geleed's -max-queue-depth default, and an
+// optional -openloop-soak mixed run; results in BENCH_openloop.json.
 package main
 
 import (

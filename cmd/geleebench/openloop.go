@@ -8,10 +8,12 @@
 // completion, and every scheduled request is eventually executed and
 // recorded — so an overloaded system shows its real, growing tail.
 //
-// The experiment has four parts: a population scaler that seeds up to
+// The experiment has five parts: a population scaler that seeds up to
 // 1M instances and reports memory-per-instance and index growth; per-
-// operation-class open-loop runs (advance, cockpit read, timeline
-// page, model get) with HDR-style histograms; a cache A/B that drives
+// operation-class open-loop runs (advance, cockpit read, filtered
+// cockpit read, timeline page, model get) with HDR-style histograms;
+// a cockpit A/B reading the same page through the population index and
+// through the deprecated pre-index full scan; a cache A/B that drives
 // the hot-model read workload at a fixed arrival rate with the read
 // cache off vs on; and an admission-watermark tuning probe over a
 // sync-journal system that grounds geleed's -max-queue-depth default.
@@ -270,6 +272,7 @@ type scalePoint struct {
 	HeapBytes       uint64 `json:"heap_bytes"`
 	BytesPerInst    int64  `json:"bytes_per_instance"`
 	SummariesPageNs int64  `json:"summaries_page_ns"`
+	FilteredPageNs  int64  `json:"filtered_page_ns"`
 	EventsPageNs    int64  `json:"events_page_ns"`
 	InvocationIndex int    `json:"invocation_index"`
 	ResourceKeys    int    `json:"resource_index_keys"`
@@ -328,6 +331,12 @@ func seedPopulation(sys *gelee.System, scale int) ([]scalePoint, []string, error
 				return nil, nil, fmt.Errorf("empty cockpit page at %d instances", len(ids))
 			}
 			t0 = time.Now()
+			fp := sys.QuerySummaries(gelee.Filter{Resource: fmt.Sprintf("urn:bench:r-%d", len(ids)/2)}, 0, 100)
+			filteredNs := time.Since(t0).Nanoseconds()
+			if len(fp.Summaries) != 1 {
+				return nil, nil, fmt.Errorf("filtered cockpit page matched %d at %d instances", len(fp.Summaries), len(ids))
+			}
+			t0 = time.Now()
 			if _, ok := sys.Events(ids[len(ids)/2], 0, 50); !ok {
 				return nil, nil, fmt.Errorf("timeline read failed at %d instances", len(ids))
 			}
@@ -338,6 +347,7 @@ func seedPopulation(sys *gelee.System, scale int) ([]scalePoint, []string, error
 				HeapBytes:       heap,
 				BytesPerInst:    int64((heap - base) / uint64(len(ids))),
 				SummariesPageNs: pageNs,
+				FilteredPageNs:  filteredNs,
 				EventsPageNs:    evNs,
 				InvocationIndex: st.Invocations,
 				ResourceKeys:    st.ResourceKeys,
@@ -356,6 +366,51 @@ func seedPopulation(sys *gelee.System, scale int) ([]scalePoint, []string, error
 		}
 	}
 	return points, ids, nil
+}
+
+// # Cockpit A/B — population index vs full scan
+
+type cockpitABReport struct {
+	Population     int         `json:"population"`
+	PageSize       int         `json:"page_size"`
+	Indexed        histSummary `json:"indexed"`
+	Scan           histSummary `json:"scan"`
+	P99Improvement float64     `json:"p99_improvement"`
+	BaselineNote   string      `json:"baseline_note"`
+}
+
+// runCockpitAB reads the same first cockpit page through the
+// incrementally maintained population index and through the deprecated
+// pre-index full scan (SummariesPageScan), on the same live system at
+// full population. The scan is O(N log N) per page — a handful of
+// samples is all a million-instance population affords, and is plenty:
+// the distribution is flat.
+func runCockpitAB(sys *gelee.System, population int) cockpitABReport {
+	rep := cockpitABReport{Population: population, PageSize: 100}
+	indexed := &latHist{}
+	for i := 0; i < 200; i++ {
+		t0 := time.Now()
+		if len(sys.SummariesPage(0, 100).Summaries) == 0 {
+			break
+		}
+		indexed.record(time.Since(t0))
+	}
+	scan := &latHist{}
+	for i := 0; i < 5; i++ {
+		t0 := time.Now()
+		if len(sys.SummariesPageScan(0, 100).Summaries) == 0 {
+			break
+		}
+		scan.record(time.Since(t0))
+	}
+	rep.Indexed, rep.Scan = indexed.summary(), scan.summary()
+	if rep.Indexed.P99Ns > 0 {
+		rep.P99Improvement = float64(rep.Scan.P99Ns) / float64(rep.Indexed.P99Ns)
+	}
+	rep.BaselineNote = "scan is the pre-index collectAll page (SummariesPageScan), the path every " +
+		"cockpit read took before the population index; PR 9's open-loop run measured it at " +
+		"p99 6.51s for 1M instances"
+	return rep
 }
 
 // # Cache A/B
@@ -629,11 +684,25 @@ func runOpenLoopExperiment() error {
 	classes = append(classes, classRun("cockpit-read", *olCockpitRate, *olDuration, *olFixed, 4, func() bool {
 		return len(sys.SummariesPage(0, 100).Summaries) > 0
 	}))
+	// The filtered cockpit: a ?resource= query pushed down to the
+	// by-resource index rather than a walk of the whole population.
+	var cf atomic.Uint64
+	classes = append(classes, classRun("cockpit-filtered", *olCockpitRate, *olDuration, *olFixed, 4, func() bool {
+		i := cf.Add(1)
+		f := gelee.Filter{Resource: fmt.Sprintf("urn:bench:r-%d", int(i)%len(ids))}
+		return len(sys.QuerySummaries(f, 0, 100).Summaries) == 1
+	}))
 	for _, c := range classes {
 		fmt.Printf("  %-13s @%8.0f/s: p50 %s p99 %s p999 %s max %s (%d ops)\n",
 			c.Class, c.RatePerSec, fmtNs(c.Latency.P50Ns), fmtNs(c.Latency.P99Ns),
 			fmtNs(c.Latency.P999Ns), fmtNs(c.Latency.MaxNs), c.Latency.Count)
 	}
+
+	// Part 2b — cockpit A/B: the same page through the population index
+	// and through the deprecated pre-index full scan.
+	cab := runCockpitAB(sys, len(ids))
+	fmt.Printf("  cockpit A/B at %d: indexed p99 %s vs scan p99 %s — %.0fx\n",
+		cab.Population, fmtNs(cab.Indexed.P99Ns), fmtNs(cab.Scan.P99Ns), cab.P99Improvement)
 
 	// Part 3 — optional mixed soak at full population: 20% advance,
 	// 40% timeline, 40% model get (the cockpit's O(population) scan is
@@ -690,16 +759,17 @@ func runOpenLoopExperiment() error {
 	}
 
 	report := struct {
-		Experiment  string        `json:"experiment"`
-		GOMAXPROCS  int           `json:"gomaxprocs"`
-		Arrivals    string        `json:"arrivals"`
-		DurationSec float64       `json:"phase_duration_sec"`
-		Scale       int           `json:"population_scale"`
-		Population  []scalePoint  `json:"population"`
-		Classes     []classResult `json:"classes"`
-		Soak        *classResult  `json:"soak,omitempty"`
-		CacheAB     cacheABReport `json:"cache_ab"`
-		Tuning      *tuningReport `json:"admission_tuning,omitempty"`
+		Experiment  string          `json:"experiment"`
+		GOMAXPROCS  int             `json:"gomaxprocs"`
+		Arrivals    string          `json:"arrivals"`
+		DurationSec float64         `json:"phase_duration_sec"`
+		Scale       int             `json:"population_scale"`
+		Population  []scalePoint    `json:"population"`
+		Classes     []classResult   `json:"classes"`
+		CockpitAB   cockpitABReport `json:"cockpit_ab"`
+		Soak        *classResult    `json:"soak,omitempty"`
+		CacheAB     cacheABReport   `json:"cache_ab"`
+		Tuning      *tuningReport   `json:"admission_tuning,omitempty"`
 	}{
 		Experiment:  "openloop",
 		GOMAXPROCS:  gomaxprocs(),
@@ -708,6 +778,7 @@ func runOpenLoopExperiment() error {
 		Scale:       *olScale,
 		Population:  points,
 		Classes:     classes,
+		CockpitAB:   cab,
 		Soak:        soak,
 		CacheAB:     ab,
 		Tuning:      tuning,

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -131,7 +132,9 @@ func (c *client) run(cmd string, args []string) error {
 		if len(args) != 1 {
 			return fmt.Errorf("usage: model URI")
 		}
-		return c.getRaw("/api/v1/models/one?format=xml&uri=" + args[0])
+		// Path-escaped model addressing (the /models/one query-param
+		// lookup is deprecated).
+		return c.getRaw("/api/v1/models/" + url.PathEscape(args[0]) + "?format=xml")
 	case "define":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: define FILE.xml")

@@ -72,6 +72,12 @@ type (
 	MoveResult = runtime.MoveResult
 	// EventPage is a paged window of an instance's event history.
 	EventPage = runtime.EventPage
+	// SummaryPage is one cursor window of the population summary view.
+	SummaryPage = runtime.SummaryPage
+	// Filter is the pushed-down predicate of a population query
+	// (resource/model URI → secondary indexes, state/lateness →
+	// summary counters); the zero value matches every instance.
+	Filter = runtime.Filter
 	// AdvanceOptions carries annotation and call-time bindings of a move.
 	AdvanceOptions = runtime.AdvanceOptions
 	// ActionType is a reusable action signature (Table II).
@@ -1029,6 +1035,10 @@ func (s *System) ExecutionLogPage(after uint64, limit int) ([]store.LogEntry, er
 	return s.execLog.Page(after, limit)
 }
 
+// ExecutionLogLen reports the number of entries ever appended to the
+// execution log, archived cold history included.
+func (s *System) ExecutionLogLen() int { return s.execLog.Len() }
+
 // ErrForbidden is returned when Auth is enabled and the actor lacks the
 // required role.
 var ErrForbidden = runtime.ErrForbidden
@@ -1339,9 +1349,35 @@ func (s *System) Summaries() []runtime.Summary { return s.Runtime.Summaries() }
 
 // SummariesPage returns one cursor window of the population summary
 // view (creation seq > after, at most limit) — the paged mode of
-// GET /api/v1/instances.
+// GET /api/v1/instances — served from the runtime's incrementally
+// maintained population index in O(log N + page).
 func (s *System) SummariesPage(after int64, limit int) runtime.SummaryPage {
 	return s.Runtime.SummariesPage(after, limit)
+}
+
+// QuerySummaries returns one cursor window of the summaries matching
+// the filter — the filtered mode of GET /api/v1/instances. Resource
+// and model predicates are served from the runtime's secondary URI
+// indexes, state/lateness from the maintained summary counters; see
+// runtime.Runtime.QuerySummaries for the Total semantics of filtered
+// pages.
+func (s *System) QuerySummaries(f runtime.Filter, after int64, limit int) runtime.SummaryPage {
+	return s.Runtime.QuerySummaries(f, after, limit)
+}
+
+// ForEachSummary streams the summaries matching the filter in creation
+// order, without materializing the population — the monitor.Source
+// seam the cockpit rebuild runs on.
+func (s *System) ForEachSummary(f runtime.Filter, after int64, fn func(runtime.Summary) bool) {
+	s.Runtime.ForEachSummary(f, after, fn)
+}
+
+// SummariesPageScan is the pre-index O(N log N) full-scan page.
+//
+// Deprecated: it exists only as the A/B baseline for the openloop
+// benchmark and goes away next release; use SummariesPage.
+func (s *System) SummariesPageScan(after int64, limit int) runtime.SummaryPage {
+	return s.Runtime.SummariesPageScan(after, limit)
 }
 
 // RecoveryStats reports what the startup instance-journal replay

@@ -8,15 +8,21 @@
 //	GET  /api/v1/ping                     liveness
 //	POST /api/v1/models                   define model (JSON or Table I XML)
 //	GET  /api/v1/models                   list models
-//	GET  /api/v1/models/one?uri=U         fetch (?format=xml → Table I)
+//	GET  /api/v1/models/{uri...}          fetch by path-escaped model URI
+//	                                      (?format=xml → Table I)
+//	GET  /api/v1/models/one?uri=U         deprecated query-param fetch
 //	POST /api/v1/models/propagate?uri=U   push new version to instances
 //	GET  /api/v1/actions[?resource_type=] browse action library (Fig. 3)
 //	POST /api/v1/actions                  register action type (+impls)
 //	POST /api/v1/instances                instantiate
 //	GET  /api/v1/instances                list (summary view, no histories);
 //	                                      ?after=SEQ&limit=N pages by creation
-//	                                      seq and wraps the page in
-//	                                      {instances, total, next_after}
+//	                                      seq off the runtime's population
+//	                                      index; ?resource=U&model=U&state=S
+//	                                      &late=1 filters, pushed down to the
+//	                                      runtime's secondary indexes; any of
+//	                                      those params wraps the page in the
+//	                                      uniform envelope
 //	GET  /api/v1/instances/{id}           snapshot (full history)
 //	GET  /api/v1/instances/{id}/timeline  paged history (?after=S&limit=N);
 //	                                      pages older than the in-memory ring
@@ -37,11 +43,53 @@
 //	GET  /api/v1/admin/alerts[?limit=N]   recent threshold alerts
 //	GET  /api/v1/admin/alerts/stream      live alert feed (SSE)
 //	GET  /api/v1/monitor/summary|overview|late
+//	                                      overview and late accept the same
+//	                                      ?resource=&model=&state=&late=1
+//	                                      filters as the instance list
 //	GET  /api/v1/monitor/instances/{id}/timeline
 //	GET  /widgets/{id}                    HTML widget (Fig. 4)
 //	GET  /widgets/{id}/json               widget payload
 //	GET  /widgets/{id}/feed               RSS feed (pipes, §V.C)
 //	POST /soap                            SOAP 1.1 subset (see soap.go)
+//
+// # Paging envelope
+//
+// Every cursor-paged collection — GET /api/v1/instances (paged or
+// filtered mode), GET /api/v1/instances/{id}/timeline,
+// GET /api/v1/monitor/instances/{id}/timeline and GET /api/v1/admin/log
+// — shares one envelope shape: {items, total, next_after}. items is the
+// page, total the collection size where the server knows it without a
+// scan (0 = unknown: filtered instance walks, the unbounded admin log),
+// and next_after the cursor of the following page (absent at the tail;
+// pass it back as ?after=).
+//
+// Deprecated aliases: for one release each envelope also carries its
+// pre-unification field names — "instances" on the instance list,
+// "entries" on both timelines, and "entries"/"next"/"more" on the admin
+// log — mirroring items/next_after. The monitor timeline, which used to
+// return a bare JSON array, now returns the envelope (read it from
+// "items"). New clients must use the uniform names; the aliases go away
+// next release.
+//
+// # Errors
+//
+// Every 4xx/5xx response from every route is a JSON object
+// {code, message} — code a stable machine-readable string
+// (bad_request, unauthorized, forbidden, not_found, conflict, invalid,
+// overloaded, read_only, internal, not_implemented, unavailable),
+// message the human-readable detail. Backoff rejections additionally
+// carry retry_after_ms (mirrored in the Retry-After header) and
+// read-only rejections mode:"read-only". The legacy "error" field
+// mirrors message for one release (deprecated, like the envelope
+// aliases). SOAP faults are unaffected (SOAP 1.1 fault envelope).
+//
+// # Deprecations
+//
+// GET /api/v1/models/one?uri=U is deprecated in favor of
+// GET /api/v1/models/{uri...} (path-escape the model URI); the old
+// route still works for one release and answers with a
+// "Deprecation: true" header, as does every deprecated-alias envelope.
+// A model whose URI is literally "one" must use the escaped path form.
 //
 // Authentication is the hosted-prototype scheme: the X-Gelee-User header
 // names the acting user. With RequireAuth the header must name a known
@@ -61,6 +109,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -108,6 +157,10 @@ type Backend interface {
 	Instances() []runtime.Snapshot
 	Summaries() []runtime.Summary
 	SummariesPage(after int64, limit int) runtime.SummaryPage
+	// QuerySummaries is the filtered page: resource/model URIs are
+	// served from the runtime's secondary indexes, state/lateness from
+	// the maintained summary counters.
+	QuerySummaries(f runtime.Filter, after int64, limit int) runtime.SummaryPage
 	Report(up actionlib.StatusUpdate) error
 
 	Monitor() *monitor.Monitor
@@ -115,6 +168,10 @@ type Backend interface {
 	StoreStats() store.Stats
 	RuntimeStats() runtime.Stats
 	ExecutionLogPage(after uint64, limit int) ([]store.LogEntry, error)
+	// ExecutionLogLen is the number of entries ever appended to the
+	// execution log (hot + archived) — the total of the admin-log page
+	// envelope.
+	ExecutionLogLen() int
 	UserExists(name string) bool
 
 	// Resilience surface: AdmitMutation gates every mutating route
@@ -161,6 +218,9 @@ func (s *Server) routes() {
 	// shedding a request is cheaper than authenticating it.
 	s.mux.HandleFunc("POST /api/v1/models", s.mutating(s.authed(s.handleDefineModel)))
 	s.mux.HandleFunc("GET /api/v1/models", s.handleListModels)
+	// Path-escaped model addressing; the literal "one" route below wins
+	// for exactly /models/one (deprecated query-param lookup).
+	s.mux.HandleFunc("GET /api/v1/models/{uri...}", s.handleGetModelByPath)
 	s.mux.HandleFunc("GET /api/v1/models/one", s.handleGetModel)
 	s.mux.HandleFunc("POST /api/v1/models/propagate", s.mutating(s.authed(s.handlePropagate)))
 	s.mux.HandleFunc("GET /api/v1/actions", s.handleBrowseActions)
@@ -241,17 +301,19 @@ func writeAdmissionError(w http.ResponseWriter, err error) {
 		}
 		secs := int64((ra + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-		writeJSON(w, http.StatusTooManyRequests, map[string]any{
-			"error":          err.Error(),
-			"code":           "overloaded",
-			"retry_after_ms": ra.Milliseconds(),
+		writeJSON(w, http.StatusTooManyRequests, apiError{
+			Code:         "overloaded",
+			Message:      err.Error(),
+			RetryAfterMS: ra.Milliseconds(),
+			Error:        err.Error(),
 		})
 	case errors.Is(err, resilience.ErrReadOnly):
 		w.Header().Set("Retry-After", "5")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"error": err.Error(),
-			"code":  "read_only",
-			"mode":  "read-only",
+		writeJSON(w, http.StatusServiceUnavailable, apiError{
+			Code:    "read_only",
+			Message: err.Error(),
+			Mode:    "read-only",
+			Error:   err.Error(),
 		})
 	default:
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -279,8 +341,58 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// apiError is the structured shape of every 4xx/5xx response (see the
+// package doc's Errors section): a stable machine-readable code, the
+// human-readable message, and optional backoff/mode fields.
+type apiError struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	Mode         string `json:"mode,omitempty"`
+	// Error mirrors Message under the pre-redesign field name.
+	// Deprecated: read Message; this alias goes away next release.
+	Error string `json:"error"`
+}
+
+// codeFor derives the stable error code from the HTTP status.
+func codeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusUnprocessableEntity:
+		return "invalid"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	case http.StatusNotImplemented:
+		return "not_implemented"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusInternalServerError:
+		return "internal"
+	}
+	if status >= 500 {
+		return "internal"
+	}
+	return "bad_request"
+}
+
+// writeError renders the uniform structured error body; every handler's
+// 4xx/5xx path funnels through here (or writeAdmissionError, which adds
+// the backoff fields).
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, apiError{
+		Code:    codeFor(status),
+		Message: err.Error(),
+		Error:   err.Error(),
+	})
 }
 
 // statusFor maps kernel errors onto HTTP statuses.
@@ -405,6 +517,98 @@ func toMovePayload(res runtime.MoveResult) instancePayload {
 // response shape.
 func wantFull(r *http.Request) bool { return r.URL.Query().Get("full") == "1" }
 
+// ---- page envelopes ----------------------------------------------------------
+//
+// One cursor shape for every paged collection (see the package doc's
+// Paging envelope section): {items, total, next_after}, plus the
+// deprecated per-endpoint aliases kept for one release. Responses
+// carrying an alias also set the "Deprecation: true" header.
+
+// instancesPage is the envelope of the paged/filtered instance list.
+type instancesPage struct {
+	Items []instancePayload `json:"items"`
+	// Total is the live population for unfiltered pages; for filtered
+	// pages it is the match count when served from a secondary index
+	// and 0 (unknown) when the filter required a predicate walk.
+	Total     int   `json:"total"`
+	NextAfter int64 `json:"next_after,omitempty"`
+	// Instances mirrors Items.
+	// Deprecated: read Items; this alias goes away next release.
+	Instances []instancePayload `json:"instances"`
+}
+
+// timelinePage is the envelope of both timeline routes, wrapping the
+// monitor's page with the uniform field names.
+type timelinePage struct {
+	Items     []monitor.TimelineEntry `json:"items"`
+	Total     int                     `json:"total"`
+	NextAfter int                     `json:"next_after,omitempty"`
+	// OldestSeq/Truncated/Backfilled report ring truncation and
+	// execution-log backfill, as before.
+	OldestSeq  int  `json:"oldest_seq"`
+	Truncated  bool `json:"truncated"`
+	Backfilled int  `json:"backfilled,omitempty"`
+	// Entries mirrors Items.
+	// Deprecated: read Items; this alias goes away next release.
+	Entries []monitor.TimelineEntry `json:"entries"`
+}
+
+func toTimelinePage(p monitor.TimelinePage) timelinePage {
+	return timelinePage{
+		Items:      p.Entries,
+		Total:      p.Total,
+		NextAfter:  p.NextAfter,
+		OldestSeq:  p.OldestSeq,
+		Truncated:  p.Truncated,
+		Backfilled: p.Backfilled,
+		Entries:    p.Entries,
+	}
+}
+
+// execLogPage is the envelope of the admin execution-log cursor.
+type execLogPage struct {
+	Items []store.LogEntry `json:"items"`
+	// Total is the number of entries ever appended (hot + archived).
+	Total     int    `json:"total"`
+	NextAfter uint64 `json:"next_after,omitempty"`
+	// Entries/Next/More mirror Items and the cursor state.
+	// Deprecated: read Items/NextAfter; these aliases go away next
+	// release.
+	Entries []store.LogEntry `json:"entries"`
+	Next    uint64           `json:"next"`
+	More    bool             `json:"more"`
+}
+
+// deprecatedAliases marks a response that still carries pre-redesign
+// field names or reached a deprecated route.
+func deprecatedAliases(w http.ResponseWriter) {
+	w.Header().Set("Deprecation", "true")
+}
+
+// parseFilter extracts the pushed-down population filter from the
+// query: ?resource=URI, ?model=URI, ?state=active|completed, ?late=1.
+// has reports whether any filter was present.
+func parseFilter(q url.Values) (f runtime.Filter, has bool, err error) {
+	f.Resource = q.Get("resource")
+	f.ModelURI = q.Get("model")
+	switch st := q.Get("state"); st {
+	case "":
+	case string(runtime.StateActive), string(runtime.StateCompleted):
+		f.State = runtime.State(st)
+	default:
+		return f, false, fmt.Errorf("bad state %q: want active or completed", st)
+	}
+	switch late := q.Get("late"); late {
+	case "", "0", "false":
+	case "1", "true":
+		f.LateOnly = true
+	default:
+		return f, false, fmt.Errorf("bad late %q: want 1 or 0", q.Get("late"))
+	}
+	has = f.Resource != "" || f.ModelURI != "" || f.State != "" || f.LateOnly
+	return f, has, nil
+}
+
 // ---- design-time handlers ------------------------------------------------------
 
 func (s *Server) decodeModel(r *http.Request) (*core.Model, error) {
@@ -447,8 +651,20 @@ func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleGetModel is the deprecated query-param lookup
+// (GET /api/v1/models/one?uri=U); prefer the path-addressed route.
 func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
-	uri := r.URL.Query().Get("uri")
+	deprecatedAliases(w)
+	s.serveModel(w, r, r.URL.Query().Get("uri"))
+}
+
+// handleGetModelByPath is the REST-conventional model fetch: the model
+// URI rides the path, path-escaped (GET /api/v1/models/{uri...}).
+func (s *Server) handleGetModelByPath(w http.ResponseWriter, r *http.Request) {
+	s.serveModel(w, r, r.PathValue("uri"))
+}
+
+func (s *Server) serveModel(w http.ResponseWriter, r *http.Request, uri string) {
 	m, ok := s.b.ModelView(uri)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no model %q", uri))
@@ -548,13 +764,19 @@ func (s *Server) handleInstantiate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleListInstances(w http.ResponseWriter, r *http.Request) {
 	// The list view rides the runtime's summary path: no event-history
-	// deep copies, same payload shape as before (histories were always
-	// omitted here). With ?after= or ?limit= it switches to cursor
-	// paging by creation seq — the population twin of the per-instance
-	// timeline paging — and wraps the page in an envelope carrying the
-	// next cursor.
+	// deep copies, served off the incrementally maintained population
+	// index. With ?after=, ?limit= or any filter param
+	// (?resource=&model=&state=&late=1 — pushed down to the runtime's
+	// secondary indexes) it returns the uniform page envelope; the
+	// bare parameterless call keeps the legacy bare-array shape for one
+	// release.
 	q := r.URL.Query()
-	if q.Get("after") == "" && q.Get("limit") == "" {
+	f, filtered, err := parseFilter(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !filtered && q.Get("after") == "" && q.Get("limit") == "" {
 		sums := s.b.Summaries()
 		out := make([]instancePayload, len(sums))
 		for i, sum := range sums {
@@ -573,16 +795,18 @@ func (s *Server) handleListInstances(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit: %w", err))
 		return
 	}
-	page := s.b.SummariesPage(after, limit)
-	out := struct {
-		Instances []instancePayload `json:"instances"`
-		Total     int               `json:"total"`
-		NextAfter int64             `json:"next_after,omitempty"`
-	}{Instances: make([]instancePayload, len(page.Summaries)), Total: page.Total, NextAfter: page.NextAfter}
+	page := s.b.QuerySummaries(f, after, limit)
+	items := make([]instancePayload, len(page.Summaries))
 	for i, sum := range page.Summaries {
-		out.Instances[i] = toSummaryPayload(sum)
+		items[i] = toSummaryPayload(sum)
 	}
-	writeJSON(w, http.StatusOK, out)
+	deprecatedAliases(w)
+	writeJSON(w, http.StatusOK, instancesPage{
+		Items:     items,
+		Total:     page.Total,
+		NextAfter: page.NextAfter,
+		Instances: items,
+	})
 }
 
 func (s *Server) handleGetInstance(w http.ResponseWriter, r *http.Request) {
@@ -759,11 +983,18 @@ func (s *Server) handleExecLogPage(w http.ResponseWriter, r *http.Request) {
 	if n := len(entries); n > 0 {
 		next = entries[n-1].Seq
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"entries": entries,
-		"next":    next,
-		"more":    len(entries) == limit,
-	})
+	out := execLogPage{
+		Items:   entries,
+		Total:   s.b.ExecutionLogLen(),
+		Entries: entries,
+		Next:    next,
+		More:    len(entries) == limit,
+	}
+	if out.More {
+		out.NextAfter = next
+	}
+	deprecatedAliases(w)
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleHealth serves the aggregated resilience report. Load balancers
@@ -831,20 +1062,53 @@ func (s *Server) handleMonitorSummary(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMonitorOverview(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.b.Monitor().Overview())
+	f, _, err := parseFilter(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows := s.b.Monitor().OverviewWhere(f)
+	if rows == nil {
+		rows = []monitor.Row{}
+	}
+	writeJSON(w, http.StatusOK, rows)
 }
 
 func (s *Server) handleMonitorLate(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.b.Monitor().Late())
+	f, _, err := parseFilter(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows := s.b.Monitor().LateWhere(f)
+	if rows == nil {
+		rows = []monitor.Row{}
+	}
+	writeJSON(w, http.StatusOK, rows)
 }
 
+// handleTimeline is the monitor's timeline view. It shares the uniform
+// page envelope with the API timeline route (?after=&limit= page it);
+// the pre-redesign bare-array shape is gone — read the "items" field.
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
-	tl, ok := s.b.Monitor().Timeline(r.PathValue("id"))
+	q := r.URL.Query()
+	after, err := queryInt(q.Get("after"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad after: %w", err))
+		return
+	}
+	limit, err := queryInt(q.Get("limit"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit: %w", err))
+		return
+	}
+	page, ok := s.b.Monitor().TimelinePage(r.PathValue("id"), after, limit)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, tl)
+	deprecatedAliases(w)
+	writeJSON(w, http.StatusOK, toTimelinePage(page))
 }
 
 // handleInstanceTimeline serves the paged history window:
@@ -869,7 +1133,8 @@ func (s *Server) handleInstanceTimeline(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusNotFound, fmt.Errorf("no instance %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, page)
+	deprecatedAliases(w)
+	writeJSON(w, http.StatusOK, toTimelinePage(page))
 }
 
 // queryInt parses an optional non-negative integer query value.

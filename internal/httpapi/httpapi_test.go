@@ -200,13 +200,20 @@ func TestFig2EndToEnd(t *testing.T) {
 		t.Fatalf("document mode = %s", doc.Mode)
 	}
 
-	// 7. The cockpit saw everything.
-	var tl []map[string]any
+	// 7. The cockpit saw everything — via the uniform page envelope.
+	var tl struct {
+		Items   []map[string]any `json:"items"`
+		Entries []map[string]any `json:"entries"` // deprecated alias
+		Total   int              `json:"total"`
+	}
 	if code := e.call(t, "GET", "/api/v1/monitor/instances/"+inst.ID+"/timeline", "", nil, &tl); code != 200 {
 		t.Fatalf("timeline = %d", code)
 	}
-	if len(tl) < 8 {
-		t.Fatalf("timeline entries = %d", len(tl))
+	if len(tl.Items) < 8 || tl.Total != len(tl.Items) {
+		t.Fatalf("timeline items = %d, total = %d", len(tl.Items), tl.Total)
+	}
+	if len(tl.Entries) != len(tl.Items) {
+		t.Fatalf("deprecated entries alias = %d items, want %d", len(tl.Entries), len(tl.Items))
 	}
 }
 

@@ -11,10 +11,17 @@
 // (deviations, failed steps, pending invocations), token position and
 // the current phase's resolved due date — so a cockpit query is
 // O(population) with small constants, never O(total history), and never
-// deep-copies an event slice, an execution slice or a model. Only the
-// per-instance drill-downs still read history: Timeline pages straight
-// from the runtime's event window (runtime.Events), and PhaseStats
-// replays one instance's retained phase-entered events from a snapshot.
+// deep-copies an event slice, an execution slice or a model. Since the
+// population-index rewrite the views stream those summaries through
+// Source.ForEachSummary — the runtime's incrementally maintained
+// ordered index — instead of materializing the full population per
+// call, and the filtered variants (OverviewWhere, LateWhere) push a
+// runtime.Filter down to the runtime's secondary indexes so a
+// by-resource or by-model cockpit view is O(matches), not O(N). Only
+// the per-instance drill-downs still read history: Timeline pages
+// straight from the runtime's event window (runtime.Events), and
+// PhaseStats replays one instance's retained phase-entered events from
+// a snapshot.
 package monitor
 
 import (
@@ -27,12 +34,13 @@ import (
 
 // Source supplies instance projections — satisfied by *runtime.Runtime
 // and by *gelee.System (whose Events stitches ring-truncated history
-// back in from the journaled execution log). Summaries feeds the
-// population views; Events (paged history window) and PhaseStats (the
-// incrementally maintained per-phase counters) feed the per-instance
-// drill-downs.
+// back in from the journaled execution log). ForEachSummary streams
+// the population views off the runtime's ordered population index,
+// filter pushed down, without materializing every summary; Events
+// (paged history window) and PhaseStats (the incrementally maintained
+// per-phase counters) feed the per-instance drill-downs.
 type Source interface {
-	Summaries() []runtime.Summary
+	ForEachSummary(f runtime.Filter, after int64, fn func(runtime.Summary) bool)
 	Events(id string, after, limit int) (runtime.EventPage, bool)
 	PhaseStats(id string, now time.Time) (map[string]runtime.PhaseStat, bool)
 }
@@ -97,29 +105,48 @@ func row(s runtime.Summary, now time.Time) Row {
 
 // Overview returns one row per instance, in creation order.
 func (m *Monitor) Overview() []Row {
+	return m.OverviewWhere(runtime.Filter{})
+}
+
+// OverviewWhere returns one row per instance matching the filter, in
+// creation order. The filter is pushed down to the runtime — a
+// by-resource or by-model view is served from the secondary indexes,
+// O(matches) instead of O(population).
+func (m *Monitor) OverviewWhere(f runtime.Filter) []Row {
 	now := m.clock.Now()
-	sums := m.src.Summaries()
-	rows := make([]Row, len(sums))
-	for i, s := range sums {
-		rows[i] = row(s, now)
+	if f.Now.IsZero() {
+		f.Now = now
 	}
+	var rows []Row
+	m.src.ForEachSummary(f, 0, func(s runtime.Summary) bool {
+		rows = append(rows, row(s, now))
+		return true
+	})
 	return rows
 }
 
 // Late returns the rows of active, overdue instances, most overdue
 // first — requirement §II.B.4: "with particular attention to delays".
 func (m *Monitor) Late() []Row {
+	return m.LateWhere(runtime.Filter{})
+}
+
+// LateWhere returns the late rows among instances matching the filter,
+// most overdue first. The lateness predicate itself is pushed down:
+// the runtime evaluates it on the maintained summary counters while
+// streaming the population (or secondary) index, so only late rows are
+// ever built.
+func (m *Monitor) LateWhere(f runtime.Filter) []Row {
 	now := m.clock.Now()
-	sums := m.src.Summaries()
-	// Preallocated at the population bound: late rows are often most of
-	// the population when anyone asks, and append-doubling would copy
-	// the row slice log(n) times.
-	rows := make([]Row, 0, len(sums))
-	for _, s := range sums {
-		if s.Late(now) {
-			rows = append(rows, row(s, now))
-		}
+	f.LateOnly = true
+	if f.Now.IsZero() {
+		f.Now = now
 	}
+	var rows []Row
+	m.src.ForEachSummary(f, 0, func(s runtime.Summary) bool {
+		rows = append(rows, row(s, f.Now))
+		return true
+	})
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Due.Before(rows[j].Due) })
 	return rows
 }
@@ -146,7 +173,7 @@ type Summary struct {
 func (m *Monitor) Summarize() Summary {
 	now := m.clock.Now()
 	sum := Summary{ByPhase: make(map[string]int), ByModel: make(map[string]int)}
-	for _, s := range m.src.Summaries() {
+	m.src.ForEachSummary(runtime.Filter{}, 0, func(s runtime.Summary) bool {
 		sum.Total++
 		switch s.State {
 		case runtime.StateActive:
@@ -173,7 +200,8 @@ func (m *Monitor) Summarize() Summary {
 		if s.Pending != "" {
 			sum.Proposals++
 		}
-	}
+		return true
+	})
 	return sum
 }
 

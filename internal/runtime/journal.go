@@ -269,14 +269,9 @@ func (r *Runtime) replayInstantiate(rec *JournalRecord) error {
 	}
 	r.applyEvents(in, rec.Events)
 
-	sh := r.shardFor(in.id)
-	sh.mu.Lock()
-	if _, dup := sh.instances[in.id]; dup {
-		sh.mu.Unlock()
+	if r.publish(in) {
 		return fmt.Errorf("%w: replayed instantiate for existing %s", ErrAlreadyExists, in.id)
 	}
-	sh.instances[in.id] = in
-	sh.mu.Unlock()
 	r.byRes.add(in.res.URI, in)
 	r.byModel.add(in.modelURI, in)
 	bumpAtLeast(&r.nextInst, rec.Seq)

@@ -67,6 +67,30 @@
 // history plus bindings; they remain the right call for audit views and
 // tests, not for per-request or per-population hot paths.
 //
+// # Population index
+//
+// Every population listing — Summaries, SummariesPage, QuerySummaries,
+// ForEachSummary, Instances, the monitor's cockpit rebuild — is served
+// from an incrementally maintained ordered index instead of a
+// copy-and-sort scan. Each shard keeps a slice of its instance
+// pointers sorted by creation seq, guarded by the same shard
+// membership lock as the map and updated at the three publication
+// sites: Instantiate, instantiate replay and snapshot replay (so a
+// restart rebuilds the index as a side effect of replay, with no
+// separate pass). Instances are never removed, so the index only
+// grows. Reads seek each shard's slice to the cursor with a binary
+// search and k-way merge the per-shard runs by seq: a page costs
+// O(shards·(log N/shards + page)) and streaming walks touch one batch
+// of pointers at a time — the full population is never materialized or
+// re-sorted per call. Because the creation seq is allocated before
+// publication, concurrent Instantiates may publish out of order;
+// inserts handle that with a from-the-tail binary search (the in-order
+// common case stays an amortized O(1) append) and the admin stats
+// count the out-of-order shuffles. Filtered queries (Filter) push
+// resource/model URIs down to the secondary indexes and evaluate
+// state/lateness on the incrementally maintained summary counters.
+// See popindex.go.
+//
 // # History truncation
 //
 // Histories grow without bound by default. Setting
@@ -215,11 +239,17 @@ type Config struct {
 	Journal Journal
 }
 
-// shard is one stripe of the instance table. Its lock guards only map
-// membership; instance state is guarded by each instance's own mutex.
+// shard is one stripe of the instance table. Its lock guards only
+// membership — the id→instance map and the seq-ordered slice mirroring
+// it (the population index, see popindex.go); instance state is guarded
+// by each instance's own mutex.
 type shard struct {
 	mu        sync.RWMutex
 	instances map[string]*instance
+	// ordered mirrors instances sorted by creation seq; maintained by
+	// insertOrdered at every publish site, never shrunk (instances are
+	// never removed).
+	ordered []*instance
 }
 
 // uriIndex is a striped secondary index from a URI to the instances
@@ -337,6 +367,11 @@ type Runtime struct {
 	totalEvents     atomic.Int64 // events ever recorded across instances
 	truncatedEvents atomic.Int64 // events dropped by ring truncation
 	invGCed         atomic.Int64 // invocation-index entries garbage-collected
+
+	// Population-index counters (see popindex.go).
+	popOutOfOrder atomic.Int64 // ordered inserts that were not appends
+	popIndexed    atomic.Int64 // population queries served from indexes
+	popScans      atomic.Int64 // deprecated full-scan baseline calls
 
 	// Persistence counters (see journal.go). recoveryStart is written
 	// once (recoveryOnce makes that safe under parallel replay);
@@ -608,10 +643,7 @@ func (r *Runtime) Instantiate(model *core.Model, ref resource.Ref, owner string,
 		return Snapshot{}, err
 	}
 
-	sh := r.shardFor(in.id)
-	sh.mu.Lock()
-	sh.instances[in.id] = in
-	sh.mu.Unlock()
+	r.publish(in)
 	r.byRes.add(in.res.URI, in)
 	r.byModel.add(in.modelURI, in)
 
@@ -677,8 +709,12 @@ func (r *Runtime) Count() int {
 	return n
 }
 
-// collectAll gathers every instance pointer, sorted by creation order.
-// Only shard membership locks are taken, one stripe at a time.
+// collectAll gathers every instance pointer, sorted by creation order,
+// by copying and re-sorting the full population — O(N log N) per call.
+// Only shard membership locks are taken, one stripe at a time. The hot
+// read paths stream off the population index instead (popindex.go);
+// this remains as the ground truth of the index equivalence tests and
+// the measured baseline behind SummariesPageScan.
 func (r *Runtime) collectAll() []*instance {
 	var all []*instance
 	for _, sh := range r.shards {
@@ -699,32 +735,32 @@ func sortBySeq(list []*instance) {
 }
 
 // Instances returns full snapshots of every instance in creation
-// order. Each deep copy is made under that instance's own lock — for
-// dashboards and list views prefer Summaries, which skips the event
-// and execution histories.
+// order, streamed off the population index. Each deep copy is made
+// under that instance's own lock — for dashboards and list views
+// prefer Summaries, which skips the event and execution histories.
 func (r *Runtime) Instances() []Snapshot {
-	all := r.collectAll()
-	out := make([]Snapshot, 0, len(all))
-	for _, in := range all {
+	out := make([]Snapshot, 0, r.Count())
+	r.forEachRef(0, func(in *instance) bool {
 		in.mu.Lock()
 		out = append(out, in.snapshot())
 		in.mu.Unlock()
-	}
+		return true
+	})
 	return out
 }
 
 // Summaries returns a lightweight view of every instance in creation
 // order: identity, token position, state and resource — no event
 // history, no executions, no model copy. This is the cheap path for
-// list endpoints and cockpit overviews over large populations.
+// list endpoints and cockpit overviews over large populations; it
+// streams off the population index without a full pointer copy or
+// re-sort.
 func (r *Runtime) Summaries() []Summary {
-	all := r.collectAll()
-	out := make([]Summary, 0, len(all))
-	for _, in := range all {
-		in.mu.Lock()
-		out = append(out, in.summary())
-		in.mu.Unlock()
-	}
+	out := make([]Summary, 0, r.Count())
+	r.ForEachSummary(Filter{}, 0, func(s Summary) bool {
+		out = append(out, s)
+		return true
+	})
 	return out
 }
 
@@ -742,30 +778,13 @@ type SummaryPage struct {
 
 // SummariesPage returns the summaries of instances with creation
 // sequence > after, at most limit of them (limit <= 0 means no bound),
-// in creation order. Cursor paging keeps very large populations
-// listable without materializing every summary per call: only the
-// page's instances are locked and projected.
+// in creation order. The page is served from the incrementally
+// maintained population index — the cursor is seeked with one binary
+// search per shard and only the page's instances are locked and
+// projected, O(log N + page) per call. Equivalent to
+// QuerySummaries(Filter{}, after, limit).
 func (r *Runtime) SummariesPage(after int64, limit int) SummaryPage {
-	all := r.collectAll()
-	page := SummaryPage{Total: len(all)}
-	start := sort.Search(len(all), func(i int) bool { return all[i].seq > after })
-	end := len(all)
-	if limit > 0 && start+limit < end {
-		end = start + limit
-	}
-	if start >= end {
-		return page
-	}
-	page.Summaries = make([]Summary, 0, end-start)
-	for _, in := range all[start:end] {
-		in.mu.Lock()
-		page.Summaries = append(page.Summaries, in.summary())
-		in.mu.Unlock()
-	}
-	if end < len(all) {
-		page.NextAfter = all[end-1].seq
-	}
-	return page
+	return r.QuerySummaries(Filter{}, after, limit)
 }
 
 // PhaseStat is the incrementally maintained per-phase drill-down of
@@ -952,6 +971,9 @@ type Stats struct {
 	// log still has them).
 	EventsInMemory  int64 `json:"events_in_memory"`
 	EventsTruncated int64 `json:"events_truncated"`
+	// PopulationIndex reports the ordered index behind every population
+	// listing (see popindex.go).
+	PopulationIndex PopIndexStats `json:"population_index"`
 	// Persistence reports the durability seam: write-through counters
 	// and what the last replay recovered.
 	Persistence PersistenceStats `json:"persistence"`
@@ -990,6 +1012,12 @@ func (r *Runtime) RuntimeStats() Stats {
 	}
 	st.ResourceKeys = r.byRes.keys()
 	st.ModelKeys = r.byModel.keys()
+	st.PopulationIndex = PopIndexStats{
+		Entries:           st.Instances,
+		OutOfOrderInserts: r.popOutOfOrder.Load(),
+		IndexedQueries:    r.popIndexed.Load(),
+		ScanQueries:       r.popScans.Load(),
+	}
 	st.InvocationsGCed = r.invGCed.Load()
 	st.EventsTruncated = r.truncatedEvents.Load()
 	st.EventsInMemory = r.totalEvents.Load() - st.EventsTruncated

@@ -161,14 +161,9 @@ func (r *Runtime) replaySnapshot(rec *JournalRecord) error {
 		r.registerExecution(in, &ex)
 	}
 
-	sh := r.shardFor(in.id)
-	sh.mu.Lock()
-	if _, dup := sh.instances[in.id]; dup {
-		sh.mu.Unlock()
+	if r.publish(in) {
 		return fmt.Errorf("%w: replayed snapshot for existing %s", ErrAlreadyExists, in.id)
 	}
-	sh.instances[in.id] = in
-	sh.mu.Unlock()
 	r.byRes.add(in.res.URI, in)
 	r.byModel.add(in.modelURI, in)
 	bumpAtLeast(&r.nextInst, rec.Seq)
